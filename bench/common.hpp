@@ -1,0 +1,40 @@
+// Shared environment for the figure/table reproduction harnesses: the
+// paper-scale simulated datacenter (~895 scenarios, Table 2 machines) and a
+// fitted FLARE pipeline (18 clusters), built once per binary.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "dcsim/submission.hpp"
+
+namespace flare::bench {
+
+struct Environment {
+  dcsim::ScenarioSet set;
+  dcsim::SubmissionStats stats;
+  std::unique_ptr<core::FlarePipeline> pipeline;
+};
+
+/// Builds the paper-scale environment. `quality_curve` enables the Fig. 9
+/// k-sweep (slow; only fig09 wants it).
+inline Environment make_environment(bool quality_curve = false) {
+  Environment env;
+  dcsim::SubmissionConfig sub;  // defaults: 8 machines, 895 distinct scenarios
+  env.set = dcsim::generate_scenario_set(sub, dcsim::default_machine(),
+                                         dcsim::default_job_catalog(), &env.stats);
+  core::FlareConfig config;
+  config.analyzer.compute_quality_curve = quality_curve;
+  env.pipeline = std::make_unique<core::FlarePipeline>(config);
+  env.pipeline->fit(env.set);
+  return env;
+}
+
+inline void print_banner(const char* figure, const char* caption) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", figure, caption);
+  std::printf("================================================================\n");
+}
+
+}  // namespace flare::bench

@@ -1,0 +1,50 @@
+// Extension: the WSMeter-style self-sizing canary cluster (the paper's Fig. 1
+// "statistical sampling" point) placed on the same cost/accuracy axes as
+// FLARE. The canary hits any accuracy target — at a cost that scales with the
+// datacenter's variance; FLARE's representative selection removes the
+// variance instead of averaging over it.
+#include <cmath>
+#include <iostream>
+
+#include "baselines/canary_evaluator.hpp"
+#include "baselines/full_evaluator.hpp"
+#include "bench/common.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace flare;
+  bench::Environment env = bench::make_environment();
+  const baselines::FullDatacenterEvaluator truth(env.pipeline->impact_model(),
+                                                 env.set);
+  const baselines::CanaryClusterEvaluator canary(env.pipeline->impact_model(),
+                                                 env.set);
+
+  bench::print_banner("Extension", "WSMeter-style canary cluster vs FLARE");
+  for (const core::Feature& f : core::standard_features()) {
+    const double dc = truth.evaluate(f).impact_pct;
+    const core::FeatureEstimate flare_est = env.pipeline->evaluate(f);
+    std::printf("\n%s — truth %.2f%%, FLARE %.2f%% at cost 18:\n",
+                f.name().c_str(), dc, flare_est.impact_pct);
+    report::AsciiTable table({"target CI (pp)", "canary size", "estimate %",
+                              "|error| pp", "achieved CI", "cost vs FLARE"});
+    for (const double target : {2.0, 1.0, 0.5, 0.25}) {
+      baselines::CanaryConfig config;
+      config.target_ci_halfwidth_pp = target;
+      const baselines::CanaryResult r = canary.evaluate(f, config);
+      table.add_row({report::AsciiTable::cell(target),
+                     std::to_string(r.canary_size),
+                     report::AsciiTable::cell(r.impact_pct),
+                     report::AsciiTable::cell(std::abs(r.impact_pct - dc)),
+                     report::AsciiTable::cell(r.achieved_ci_halfwidth),
+                     report::AsciiTable::cell(
+                         static_cast<double>(r.canary_size) / 18.0, 1) +
+                         "x"});
+    }
+    table.print(std::cout);
+  }
+  std::printf("\nThe canary needs tens to hundreds of machine-observations to "
+              "reach FLARE's sub-0.5pp accuracy — the paper's point that even "
+              "statistical canaries carry 'tens to hundreds of machines' of "
+              "overhead, while FLARE holds at 18 replays.\n");
+  return 0;
+}

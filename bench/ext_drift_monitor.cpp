@@ -1,0 +1,88 @@
+// Extension: representative-validity (drift) monitoring. The paper scopes
+// FLARE to features that keep the machine shape (§2) and prescribes re-
+// weighting for scheduler changes (§5.6) and per-shape refits (§5.5) — this
+// monitor automates the triage: given a fresh profiling batch, answer
+// "valid / reweight / refit" without an engineer eyeballing radar plots.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/drift.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace flare;
+
+metrics::MetricDatabase profile_batch(const dcsim::ScenarioSet& set,
+                                      const dcsim::MachineConfig& machine,
+                                      std::uint64_t stream) {
+  const dcsim::InterferenceModel model;
+  core::ProfilerConfig config;
+  config.noise_stream = stream;
+  const core::Profiler profiler(model, config);
+  return profiler.profile(set, machine);
+}
+
+}  // namespace
+
+int main() {
+  const bench::Environment env = bench::make_environment();
+  const core::DriftMonitor monitor(env.pipeline->analysis());
+
+  bench::print_banner("Extension", "Representative-validity (drift) monitor");
+  report::AsciiTable table({"fresh batch", "distance scale", "out-of-coverage",
+                            "weight shift", "verdict"});
+  table.set_alignment(0, report::Align::kLeft);
+
+  // Batch 1: the same datacenter a week later (new seed, new noise).
+  dcsim::SubmissionConfig sub;
+  sub.seed = 4242;
+  sub.target_distinct_scenarios = 300;
+  const dcsim::ScenarioSet same = dcsim::generate_scenario_set(sub, dcsim::default_machine());
+  {
+    const core::DriftReport r =
+        monitor.inspect(profile_batch(same, dcsim::default_machine(), 0xFEED));
+    table.add_row({"same datacenter, later week",
+                   report::AsciiTable::cell(r.distance_ratio, 2) + "x",
+                   report::AsciiTable::cell(100.0 * r.out_of_coverage_fraction, 1) + "%",
+                   report::AsciiTable::cell(100.0 * r.weight_shift, 1) + "%",
+                   std::string(to_string(r.verdict))});
+  }
+
+  // Batch 2: a consolidating scheduler skewed the frequencies (§5.6).
+  {
+    dcsim::ScenarioSet skewed = same;
+    for (auto& s : skewed.scenarios) {
+      const double load = static_cast<double>(s.mix.vcpus()) /
+                          dcsim::default_machine().scheduling_vcpus();
+      s.observation_weight *= load > 0.7 ? 50.0 : 0.02;
+    }
+    const core::DriftReport r =
+        monitor.inspect(profile_batch(skewed, dcsim::default_machine(), 0xFEED));
+    table.add_row({"consolidating scheduler (skewed weights)",
+                   report::AsciiTable::cell(r.distance_ratio, 2) + "x",
+                   report::AsciiTable::cell(100.0 * r.out_of_coverage_fraction, 1) + "%",
+                   report::AsciiTable::cell(100.0 * r.weight_shift, 1) + "%",
+                   std::string(to_string(r.verdict))});
+  }
+
+  // Batch 3: the fleet was re-imaged with a very different machine (§5.5).
+  {
+    dcsim::MachineConfig mutated = dcsim::default_machine();
+    mutated.llc_mb_per_socket = 4.0;
+    mutated.max_freq_ghz = 1.4;
+    mutated.mem_latency_ns = 160.0;
+    const core::DriftReport r =
+        monitor.inspect(profile_batch(same, mutated, 0xFEED));
+    table.add_row({"fleet re-imaged (different machine behaviour)",
+                   report::AsciiTable::cell(r.distance_ratio, 2) + "x",
+                   report::AsciiTable::cell(100.0 * r.out_of_coverage_fraction, 1) + "%",
+                   report::AsciiTable::cell(100.0 * r.weight_shift, 1) + "%",
+                   std::string(to_string(r.verdict))});
+  }
+  table.print(std::cout);
+  std::printf("\nverdicts map to the paper's prescriptions: valid -> keep the "
+              "representatives; reweight -> §5.6 (re-cluster from step 3); "
+              "refit -> §5.5 (re-profile, per-shape representatives).\n");
+  return 0;
+}

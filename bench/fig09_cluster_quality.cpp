@@ -1,0 +1,25 @@
+// Reproduces Figure 9: Sum of Squared Errors and Silhouette Score across
+// cluster counts; the paper picks 18 where returns diminish.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace flare;
+  const bench::Environment env = bench::make_environment(/*quality_curve=*/true);
+  const core::AnalysisResult& analysis = env.pipeline->analysis();
+
+  bench::print_banner("Figure 9", "SSE and Silhouette Score vs cluster count");
+  report::AsciiTable table({"clusters", "SSE", "silhouette"});
+  for (const core::ClusterQualityPoint& p : analysis.quality_curve) {
+    table.add_row({std::to_string(p.k), report::AsciiTable::cell(p.sse, 0),
+                   report::AsciiTable::cell(p.silhouette, 3)});
+  }
+  table.print(std::cout);
+  std::printf("\nauto-suggested k (SSE elbow + silhouette tie-break, the "
+              "Fig. 9 'diminishing returns' rule): %zu\n",
+              core::Analyzer::suggest_k(analysis.quality_curve));
+  std::printf("chosen k (paper parity): %zu\n", analysis.chosen_k);
+  return 0;
+}

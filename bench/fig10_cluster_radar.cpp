@@ -1,0 +1,58 @@
+// Reproduces Figure 10: the radar plots of the 18 cluster centers in PC
+// space (±1σ within the cluster), with each cluster's observation weight.
+// Rendered as tables: one row per cluster with its strongest PC coordinates.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <numeric>
+
+#include "bench/common.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace flare;
+  const bench::Environment env = bench::make_environment();
+  const core::AnalysisResult& a = env.pipeline->analysis();
+  const std::size_t dims = a.cluster_space.cols();
+
+  bench::print_banner("Figure 10",
+                      "Cluster centers in (whitened) PC space, with weights");
+  for (std::size_t c = 0; c < a.chosen_k; ++c) {
+    const auto members = a.clustering.members_of(c);
+    std::printf("Cluster %-2zu  weight %4.1f%%  members %3zu  representative "
+                "scenario #%zu (%s)\n",
+                c, 100.0 * a.cluster_weights[c], members.size(),
+                a.representatives[c],
+                env.set.scenarios[a.representatives[c]].mix.key().c_str());
+
+    // Per-PC center ± stddev; print the strongest |center| coordinates.
+    std::vector<double> center(dims, 0.0), sd(dims, 0.0);
+    for (const std::size_t m : members) {
+      for (std::size_t d = 0; d < dims; ++d) center[d] += a.cluster_space(m, d);
+    }
+    for (double& v : center) v /= static_cast<double>(members.size());
+    for (const std::size_t m : members) {
+      for (std::size_t d = 0; d < dims; ++d) {
+        const double diff = a.cluster_space(m, d) - center[d];
+        sd[d] += diff * diff;
+      }
+    }
+    for (double& v : sd) v = std::sqrt(v / static_cast<double>(members.size()));
+
+    std::vector<std::size_t> order(dims);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      return std::abs(center[x]) > std::abs(center[y]);
+    });
+    std::printf("    top PCs:");
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, dims); ++i) {
+      const std::size_t d = order[i];
+      std::printf("  PC%zu %+.2f±%.2f", d, center[d], sd[d]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nMany clusters carry ~1/18 of the weight: the datacenter has "
+              "no single dominant behaviour (paper §5.2) — features must be "
+              "evaluated on diverse representatives.\n");
+  return 0;
+}

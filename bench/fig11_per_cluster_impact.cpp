@@ -1,0 +1,50 @@
+// Reproduces Figure 11: per-cluster MIPS-reduction estimates for the three
+// Table 4 features, measured from each cluster's representative scenario.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace flare;
+  bench::Environment env = bench::make_environment();
+
+  bench::print_banner("Figure 11",
+                      "Per-cluster impact of Features 1–3 (representatives)");
+  std::vector<core::FeatureEstimate> estimates;
+  for (const core::Feature& f : core::standard_features()) {
+    estimates.push_back(env.pipeline->evaluate(f));
+  }
+
+  report::AsciiTable table({"cluster", "weight %", "F1 cache %", "F2 dvfs %",
+                            "F3 smt %"});
+  for (std::size_t c = 0; c < estimates[0].per_cluster.size(); ++c) {
+    table.add_row({std::to_string(c),
+                   report::AsciiTable::cell(
+                       100.0 * estimates[0].per_cluster[c].weight, 1),
+                   report::AsciiTable::cell(estimates[0].per_cluster[c].impact_pct),
+                   report::AsciiTable::cell(estimates[1].per_cluster[c].impact_pct),
+                   report::AsciiTable::cell(estimates[2].per_cluster[c].impact_pct)});
+  }
+  table.print(std::cout);
+
+  // The Fig. 10/§5.2 reasoning hook: which cluster suffers most from the
+  // cache feature, and what does its interpretation say?
+  std::size_t worst = 0;
+  for (std::size_t c = 1; c < estimates[0].per_cluster.size(); ++c) {
+    if (estimates[0].per_cluster[c].impact_pct >
+        estimates[0].per_cluster[worst].impact_pct) {
+      worst = c;
+    }
+  }
+  std::printf("\nCluster %zu reacts strongest to Feature 1 (cache sizing): "
+              "%.1f%% — its representative is '%s'.\n",
+              worst, estimates[0].per_cluster[worst].impact_pct,
+              env.set.scenarios[estimates[0].per_cluster[worst]
+                                    .representative_scenario]
+                  .mix.key()
+                  .c_str());
+  std::printf("Clusters respond differently to the same feature (paper §5.2) "
+              "— the weighting step is what makes the summary accurate.\n");
+  return 0;
+}

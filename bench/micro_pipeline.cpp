@@ -1,0 +1,108 @@
+// google-benchmark microbenchmarks of the pipeline's computational kernels:
+// scenario evaluation, counter synthesis, PCA, K-means, silhouette, and the
+// end-to-end fit. These quantify why FLARE's analysis is "light-weight".
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+#include "ml/cluster_quality.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/pca.hpp"
+
+namespace {
+
+using namespace flare;
+
+const bench::Environment& env() {
+  static const bench::Environment kEnv = bench::make_environment();
+  return kEnv;
+}
+
+void BM_ScenarioEvaluation(benchmark::State& state) {
+  const dcsim::InterferenceModel model;
+  const auto& scenario = env().set.scenarios[42];
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.evaluate(dcsim::default_machine(), scenario.mix, ++stream));
+  }
+}
+BENCHMARK(BM_ScenarioEvaluation);
+
+void BM_CounterSynthesis(benchmark::State& state) {
+  const dcsim::InterferenceModel model;
+  const auto perf =
+      model.evaluate(dcsim::default_machine(), env().set.scenarios[42].mix);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dcsim::synthesize_counters(
+        perf, dcsim::default_job_catalog(), metrics::MetricCatalog::standard()));
+  }
+}
+BENCHMARK(BM_CounterSynthesis);
+
+void BM_ProfileWholeDatacenter(benchmark::State& state) {
+  const dcsim::InterferenceModel model;
+  const core::Profiler profiler(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profiler.profile(env().set, dcsim::default_machine()));
+  }
+}
+BENCHMARK(BM_ProfileWholeDatacenter);
+
+void BM_PcaFit(benchmark::State& state) {
+  const linalg::Matrix data = env().pipeline->database().to_matrix();
+  ml::Standardizer standardizer;
+  const linalg::Matrix z = standardizer.fit_transform(data);
+  for (auto _ : state) {
+    ml::Pca pca;
+    pca.fit(z);
+    benchmark::DoNotOptimize(pca);
+  }
+}
+BENCHMARK(BM_PcaFit);
+
+void BM_KMeans18(benchmark::State& state) {
+  const linalg::Matrix& space = env().pipeline->analysis().cluster_space;
+  for (auto _ : state) {
+    ml::KMeansParams params;
+    params.k = 18;
+    benchmark::DoNotOptimize(ml::kmeans(space, params));
+  }
+}
+BENCHMARK(BM_KMeans18);
+
+void BM_Silhouette18(benchmark::State& state) {
+  const auto& analysis = env().pipeline->analysis();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::silhouette_score(
+        analysis.cluster_space, analysis.clustering.assignment, 18));
+  }
+}
+BENCHMARK(BM_Silhouette18);
+
+void BM_FullPipelineFit(benchmark::State& state) {
+  for (auto _ : state) {
+    core::FlareConfig config;
+    config.analyzer.compute_quality_curve = false;
+    core::FlarePipeline pipeline(config);
+    pipeline.fit(env().set);
+    benchmark::DoNotOptimize(pipeline.analysis().representatives);
+  }
+}
+BENCHMARK(BM_FullPipelineFit);
+
+void BM_FeatureEstimate(benchmark::State& state) {
+  // Fresh replayer each iteration so the cost ledger doesn't dedupe work.
+  const auto& analysis = env().pipeline->analysis();
+  const core::ImpactModel& impact = env().pipeline->impact_model();
+  const core::Feature feature = core::feature_dvfs_cap();
+  for (auto _ : state) {
+    core::Replayer replayer(impact);
+    const core::FlareEstimator estimator(analysis, env().set, replayer);
+    benchmark::DoNotOptimize(estimator.estimate(feature));
+  }
+}
+BENCHMARK(BM_FeatureEstimate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Reproduces Table 2 (datacenter machine specifications) and Table 5 (the
+// two machine shapes of the §5.5 heterogeneity study).
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "dcsim/machine_config.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace flare;
+  bench::print_banner("Table 2 / Table 5", "Datacenter machine specifications");
+
+  const dcsim::MachineConfig def = dcsim::default_machine();
+  const dcsim::MachineConfig small = dcsim::small_machine();
+
+  report::AsciiTable table({"Resource", "Default", "Small"});
+  table.set_alignment(1, report::Align::kLeft);
+  table.set_alignment(2, report::Align::kLeft);
+  table.add_row({"CPU", def.cpu_model, small.cpu_model});
+  table.add_row({"Sockets", std::to_string(def.sockets), std::to_string(small.sockets)});
+  table.add_row({"vCPUs/socket",
+                 std::to_string(def.scheduling_vcpus() / def.sockets),
+                 std::to_string(small.scheduling_vcpus() / small.sockets)});
+  table.add_row({"Physical cores", std::to_string(def.total_cores()),
+                 std::to_string(small.total_cores())});
+  table.add_row({"DRAM", def.dram_model, small.dram_model});
+  table.add_row({"LLC (MB/socket)", report::AsciiTable::cell(def.llc_mb_per_socket, 0),
+                 report::AsciiTable::cell(small.llc_mb_per_socket, 0)});
+  table.add_row({"Clock (GHz)",
+                 report::AsciiTable::cell(def.min_freq_ghz, 1) + " - " +
+                     report::AsciiTable::cell(def.max_freq_ghz, 1),
+                 report::AsciiTable::cell(small.min_freq_ghz, 1) + " - " +
+                     report::AsciiTable::cell(small.max_freq_ghz, 1)});
+  table.add_row({"Mem BW (GB/s)", report::AsciiTable::cell(def.total_mem_bw_gbps(), 1),
+                 report::AsciiTable::cell(small.total_mem_bw_gbps(), 1)});
+  table.add_row({"Disk", def.disk_model, small.disk_model});
+  table.add_row({"Network", def.nic_model, small.nic_model});
+  table.print(std::cout);
+  return 0;
+}

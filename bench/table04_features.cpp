@@ -1,0 +1,30 @@
+// Reproduces Table 4: the datacenter-improving features under evaluation.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/feature.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace flare;
+  bench::print_banner("Table 4", "Summary of the datacenter-improving features");
+
+  report::AsciiTable table({"Setup", "Description"});
+  table.set_alignment(1, report::Align::kLeft);
+  table.add_row({"Baseline", core::baseline_feature().description()});
+  const std::vector<core::Feature> features = core::standard_features();
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    table.add_row({"Feature " + std::to_string(i + 1), features[i].description()});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEffect on the Table 2 default machine:\n";
+  const dcsim::MachineConfig base = dcsim::default_machine();
+  for (const core::Feature& f : features) {
+    const dcsim::MachineConfig m = f.apply(base);
+    std::cout << "  " << f.name() << ": LLC " << m.total_llc_mb() << " MB, fmax "
+              << m.max_freq_ghz << " GHz, SMT " << (m.smt_enabled ? "on" : "off")
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: the complete FLARE workflow in one page.
+//
+//   1. Simulate a datacenter to collect its job co-location scenarios.
+//   2. Fit the FLARE pipeline (profile -> refine -> PCA -> cluster).
+//   3. Estimate the impact of the three Table 4 features from the
+//      representative scenarios, and compare with the full-datacenter truth.
+#include <cstdio>
+
+#include "baselines/full_evaluator.hpp"
+#include "core/pipeline.hpp"
+#include "dcsim/submission.hpp"
+
+int main() {
+  using namespace flare;
+
+  // 1. The simulated datacenter: Table 2 machines, Table 3 jobs.
+  const dcsim::MachineConfig machine = dcsim::default_machine();
+  dcsim::SubmissionConfig submission;
+  dcsim::SubmissionStats sim_stats;
+  const dcsim::ScenarioSet set =
+      dcsim::generate_scenario_set(submission, machine,
+                                   dcsim::default_job_catalog(), &sim_stats);
+  std::printf("datacenter: %zu distinct co-location scenarios "
+              "(%.0f simulated hours, %.0f%% mean occupancy, %zu denials)\n",
+              set.size(), sim_stats.simulated_hours,
+              100.0 * sim_stats.mean_cpu_occupancy, sim_stats.denials);
+
+  // 2. Fit FLARE.
+  core::FlareConfig config;
+  config.machine = machine;
+  config.analyzer.compute_quality_curve = false;  // quickstart: skip Fig. 9 sweep
+  core::FlarePipeline flare(config);
+  flare.fit(set);
+
+  const core::AnalysisResult& analysis = flare.analysis();
+  std::printf("analysis: %zu raw metrics -> %zu refined -> %zu PCs (%.1f%% var) "
+              "-> %zu clusters\n",
+              flare.database().num_metrics(), analysis.kept_columns.size(),
+              analysis.num_components,
+              100.0 * analysis.pca.cumulative_explained_variance(
+                          analysis.num_components),
+              analysis.chosen_k);
+
+  // 3. Evaluate the three features; check against the ground truth.
+  const core::ImpactModel& impact = flare.impact_model();
+  const baselines::FullDatacenterEvaluator truth(impact, set);
+  for (const core::Feature& feature : core::standard_features()) {
+    const core::FeatureEstimate est = flare.evaluate(feature);
+    const baselines::FullEvaluationResult full = truth.evaluate(feature);
+    std::printf("%-22s FLARE %6.2f%%  datacenter %6.2f%%  |error| %.2f pp  "
+                "(%zu vs %zu scenario evaluations)\n",
+                feature.name().c_str(), est.impact_pct, full.impact_pct,
+                std::abs(est.impact_pct - full.impact_pct), est.scenario_replays,
+                full.scenario_evaluations);
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Scheduler change (§5.6): the cluster team tunes the scheduler to pack
+// machines fuller (a utilization-target change). Per the paper's premise,
+// such changes do not invent unseen colocation scenarios — they promote some
+// existing scenarios and suppress others. Given a quick estimate of the new
+// scenario frequencies, FLARE re-derives representatives from step 3
+// (clustering) without any new profiling.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "dcsim/submission.hpp"
+
+int main() {
+  using namespace flare;
+
+  // Fit on the current scheduler's landscape.
+  dcsim::SubmissionConfig submission;
+  const dcsim::ScenarioSet set =
+      dcsim::generate_scenario_set(submission, dcsim::default_machine());
+  core::FlareConfig config;
+  config.analyzer.compute_quality_curve = false;
+  core::FlarePipeline flare(config);
+  flare.fit(set);
+
+  const core::Feature feature = core::feature_smt_off();
+  const core::FeatureEstimate before = flare.evaluate(feature);
+  std::printf("under the current scheduler:      %s costs %.2f%% HP MIPS\n",
+              feature.name().c_str(), before.impact_pct);
+
+  // The new scheduler raises the utilization target: scenarios that pack the
+  // machine become proportionally more frequent, lightly loaded ones rarer.
+  // (In production this frequency estimate comes from a scheduler simulator
+  // or a canary cell — it needs no performance measurement at all.)
+  std::vector<double> new_weights;
+  new_weights.reserve(set.size());
+  for (const auto& s : set.scenarios) {
+    const double load = static_cast<double>(s.mix.vcpus()) /
+                        dcsim::default_machine().scheduling_vcpus();
+    new_weights.push_back(s.observation_weight * (0.2 + 2.5 * load * load));
+  }
+
+  // §5.6 workflow: re-cluster + re-weight (step 3 onward), then re-evaluate.
+  flare.apply_scheduler_change(new_weights);
+  const core::FeatureEstimate after = flare.evaluate(feature);
+  std::printf("under the consolidating scheduler: %s costs %.2f%% HP MIPS\n",
+              feature.name().c_str(), after.impact_pct);
+  std::printf("\ndelta: %+.2f pp — fuller machines lean harder on SMT, so "
+              "disabling it now costs more. Derived without re-profiling a "
+              "single scenario: the expensive step 1 (collection) was reused "
+              "as-is (paper §5.6).\n",
+              after.impact_pct - before.impact_pct);
+  return 0;
+}

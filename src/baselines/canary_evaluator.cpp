@@ -1,0 +1,71 @@
+#include "baselines/canary_evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+#include "util/error.hpp"
+
+namespace flare::baselines {
+namespace {
+constexpr double kZ95 = 1.959964;  // two-sided 95% normal quantile
+}
+
+CanaryClusterEvaluator::CanaryClusterEvaluator(const core::ImpactModel& impact,
+                                               const dcsim::ScenarioSet& set)
+    : impact_(&impact), set_(&set) {
+  ensure(!set.scenarios.empty(), "CanaryClusterEvaluator: empty scenario set");
+}
+
+CanaryResult CanaryClusterEvaluator::evaluate(const core::Feature& feature,
+                                              const CanaryConfig& config) const {
+  ensure(config.target_ci_halfwidth_pp > 0.0,
+         "CanaryClusterEvaluator: target CI half-width must be positive");
+  ensure(config.pilot_size >= 2,
+         "CanaryClusterEvaluator: pilot needs at least two observations");
+  ensure(config.max_size >= config.pilot_size,
+         "CanaryClusterEvaluator: max_size must cover the pilot");
+
+  // Per-scenario impacts are cached: re-observing a machine in the same mix
+  // re-reads the same measurement.
+  std::vector<double> impact_cache(set_->scenarios.size());
+  for (std::size_t i = 0; i < set_->scenarios.size(); ++i) {
+    impact_cache[i] = impact_->scenario_impact_pct(
+        set_->scenarios[i].mix, feature, core::MeasurementContext::kTestbed);
+  }
+  const std::vector<double> weights = set_->normalized_weights();
+  stats::Rng rng(config.seed);
+
+  // Pilot phase: estimate the variance.
+  stats::RunningStats observations;
+  for (std::size_t i = 0; i < config.pilot_size; ++i) {
+    observations.add(impact_cache[rng.weighted_index(weights)]);
+  }
+  CanaryResult result;
+  result.feature_name = feature.name();
+  result.pilot_stddev = observations.stddev();
+
+  // Size the canary: n = (z σ / h)², at least the pilot, at most the cap.
+  const double required = std::pow(
+      kZ95 * result.pilot_stddev / config.target_ci_halfwidth_pp, 2.0);
+  const std::size_t target_n = std::clamp<std::size_t>(
+      static_cast<std::size_t>(std::ceil(required)), config.pilot_size,
+      config.max_size);
+
+  // Growth phase: extend the pilot to the target size.
+  while (observations.count() < target_n) {
+    observations.add(impact_cache[rng.weighted_index(weights)]);
+  }
+
+  result.canary_size = observations.count();
+  result.impact_pct = observations.mean();
+  result.achieved_ci_halfwidth =
+      kZ95 * observations.stddev() /
+      std::sqrt(static_cast<double>(observations.count()));
+  result.target_met =
+      result.achieved_ci_halfwidth <= config.target_ci_halfwidth_pp * 1.05;
+  return result;
+}
+
+}  // namespace flare::baselines

@@ -1,0 +1,58 @@
+// Canary-cluster baseline, after WSMeter (Lee et al., ASPLOS'18) — the
+// "statistical approach to construct a small canary cluster" the paper's
+// introduction positions FLARE against.
+//
+// The canary sizes itself: a pilot batch of randomly drawn machine
+// observations estimates the impact variance, the classic sample-size formula
+// n = (z·σ / target)² decides how many observations a target confidence-
+// interval half-width requires, and the canary grows to that size. Accuracy
+// is tunable, but the cost scales with the datacenter's inherent variance —
+// which is exactly why FLARE's 18 hand-picked representatives beat it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/feature.hpp"
+#include "core/impact.hpp"
+#include "dcsim/scenario.hpp"
+
+namespace flare::baselines {
+
+struct CanaryConfig {
+  /// Desired 95% CI half-width of the impact estimate, in percentage points.
+  double target_ci_halfwidth_pp = 0.5;
+  /// Observations measured up-front to estimate the variance.
+  std::size_t pilot_size = 12;
+  /// Hard cap on the canary size (you cannot canary the whole fleet).
+  std::size_t max_size = 2000;
+  std::uint64_t seed = 77;
+};
+
+struct CanaryResult {
+  std::string feature_name;
+  double impact_pct = 0.0;       ///< the canary's estimate
+  std::size_t canary_size = 0;   ///< observations measured (the cost)
+  double pilot_stddev = 0.0;     ///< σ estimated from the pilot
+  double achieved_ci_halfwidth = 0.0;  ///< z·s/√n at the final size
+  bool target_met = false;       ///< false when max_size capped the growth
+};
+
+class CanaryClusterEvaluator {
+ public:
+  CanaryClusterEvaluator(const core::ImpactModel& impact,
+                         const dcsim::ScenarioSet& set);
+  CanaryClusterEvaluator(core::ImpactModel&&, const dcsim::ScenarioSet&) = delete;
+
+  /// Builds a self-sizing canary for `feature` and returns its estimate.
+  /// Observations are machine draws, i.e. scenarios sampled with replacement
+  /// proportionally to observation weight.
+  [[nodiscard]] CanaryResult evaluate(const core::Feature& feature,
+                                      const CanaryConfig& config) const;
+
+ private:
+  const core::ImpactModel* impact_;  ///< non-owning
+  const dcsim::ScenarioSet* set_;    ///< non-owning
+};
+
+}  // namespace flare::baselines

@@ -1,0 +1,78 @@
+#include "baselines/full_evaluator.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace flare::baselines {
+
+FullDatacenterEvaluator::FullDatacenterEvaluator(const core::ImpactModel& impact,
+                                                 const dcsim::ScenarioSet& set)
+    : impact_(&impact), set_(&set) {
+  ensure(!set.scenarios.empty(), "FullDatacenterEvaluator: empty scenario set");
+}
+
+FullEvaluationResult FullDatacenterEvaluator::evaluate(
+    const core::Feature& feature) const {
+  FullEvaluationResult result;
+  result.feature_name = feature.name();
+  result.per_scenario_impact.reserve(set_->scenarios.size());
+
+  double total_weight = 0.0;
+  double weighted_sum = 0.0;
+  for (const dcsim::ColocationScenario& s : set_->scenarios) {
+    const double impact = impact_->scenario_impact_pct(
+        s.mix, feature, core::MeasurementContext::kDatacenter);
+    result.per_scenario_impact.push_back(impact);
+    weighted_sum += s.observation_weight * impact;
+    total_weight += s.observation_weight;
+  }
+  ensure(total_weight > 0.0, "FullDatacenterEvaluator: zero total weight");
+  result.impact_pct = weighted_sum / total_weight;
+
+  double weighted_var = 0.0;
+  for (std::size_t i = 0; i < set_->scenarios.size(); ++i) {
+    const double d = result.per_scenario_impact[i] - result.impact_pct;
+    weighted_var += set_->scenarios[i].observation_weight * d * d;
+  }
+  result.impact_stddev = std::sqrt(weighted_var / total_weight);
+  result.scenario_evaluations = set_->scenarios.size();
+  return result;
+}
+
+FullJobEvaluationResult FullDatacenterEvaluator::evaluate_job(
+    const core::Feature& feature, dcsim::JobType job) const {
+  FullJobEvaluationResult result;
+  result.feature_name = feature.name();
+  result.job = job;
+
+  double total_weight = 0.0;
+  double weighted_sum = 0.0;
+  std::vector<double> impacts;
+  std::vector<double> weights;
+  for (const dcsim::ColocationScenario& s : set_->scenarios) {
+    const int count = s.mix.count(job);
+    if (count == 0) continue;
+    const double impact = impact_->job_impact_pct(
+        job, s.mix, feature, core::MeasurementContext::kDatacenter);
+    const double w = s.observation_weight * static_cast<double>(count);
+    impacts.push_back(impact);
+    weights.push_back(w);
+    weighted_sum += w * impact;
+    total_weight += w;
+    ++result.scenarios_with_job;
+  }
+  ensure(total_weight > 0.0,
+         "FullDatacenterEvaluator::evaluate_job: job never appears");
+  result.impact_pct = weighted_sum / total_weight;
+
+  double weighted_var = 0.0;
+  for (std::size_t i = 0; i < impacts.size(); ++i) {
+    const double d = impacts[i] - result.impact_pct;
+    weighted_var += weights[i] * d * d;
+  }
+  result.impact_stddev = std::sqrt(weighted_var / total_weight);
+  return result;
+}
+
+}  // namespace flare::baselines

@@ -1,0 +1,48 @@
+// Ground truth: evaluate the feature on every scenario of the datacenter,
+// weighted by observation time. This is the "Datacenter" series of
+// Figs. 2/12 — accurate but with cost proportional to the scenario count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/feature.hpp"
+#include "core/impact.hpp"
+#include "dcsim/scenario.hpp"
+
+namespace flare::baselines {
+
+struct FullEvaluationResult {
+  std::string feature_name;
+  double impact_pct = 0.0;                 ///< weight-averaged HP MIPS reduction
+  std::vector<double> per_scenario_impact; ///< in scenario order (Fig. 3b)
+  double impact_stddev = 0.0;              ///< weighted spread across scenarios
+  std::size_t scenario_evaluations = 0;    ///< the evaluation cost (= set size)
+};
+
+struct FullJobEvaluationResult {
+  std::string feature_name;
+  dcsim::JobType job = dcsim::JobType::kDataAnalytics;
+  double impact_pct = 0.0;   ///< instance-weighted mean across scenarios
+  double impact_stddev = 0.0;
+  std::size_t scenarios_with_job = 0;
+};
+
+class FullDatacenterEvaluator {
+ public:
+  FullDatacenterEvaluator(const core::ImpactModel& impact,
+                          const dcsim::ScenarioSet& set);
+
+  /// All-HP-job impact measured in the live datacenter.
+  [[nodiscard]] FullEvaluationResult evaluate(const core::Feature& feature) const;
+
+  /// Per-job impact, instance-count × observation-time weighted.
+  [[nodiscard]] FullJobEvaluationResult evaluate_job(const core::Feature& feature,
+                                                     dcsim::JobType job) const;
+
+ private:
+  const core::ImpactModel* impact_;  ///< non-owning
+  const dcsim::ScenarioSet* set_;    ///< non-owning
+};
+
+}  // namespace flare::baselines

@@ -1,0 +1,48 @@
+#include "baselines/loadtest_evaluator.hpp"
+
+#include "util/error.hpp"
+
+namespace flare::baselines {
+
+LoadTestingEvaluator::LoadTestingEvaluator(const core::ImpactModel& impact)
+    : impact_(&impact) {}
+
+int LoadTestingEvaluator::populated_instances(dcsim::JobType job) const {
+  const dcsim::MachineConfig& machine = impact_->baseline_machine();
+  const dcsim::JobProfile& profile = impact_->model().catalog().profile(job);
+  const int by_vcpu = machine.scheduling_vcpus() / profile.vcpus;
+  const int by_dram = static_cast<int>(machine.dram_gb / profile.dram_gb);
+  const int n = std::min(by_vcpu, by_dram);
+  ensure(n >= 1, "LoadTestingEvaluator: job does not fit on the test machine");
+  return n;
+}
+
+LoadTestResult LoadTestingEvaluator::evaluate_job(const core::Feature& feature,
+                                                  dcsim::JobType job) const {
+  LoadTestResult result;
+  result.feature_name = feature.name();
+  result.job = job;
+  result.instances = populated_instances(job);
+
+  dcsim::JobMix mix;
+  mix.add(job, result.instances);
+
+  const dcsim::MachineConfig& base_machine = impact_->baseline_machine();
+  const dcsim::MachineConfig feat_machine = feature.apply(base_machine);
+
+  result.baseline_mips =
+      impact_->evaluate(mix, base_machine, core::MeasurementContext::kTestbed)
+          .job(job)
+          .mips_per_instance;
+  result.feature_mips =
+      impact_->evaluate(mix, feat_machine, core::MeasurementContext::kTestbed)
+          .job(job)
+          .mips_per_instance;
+  ensure_numeric(result.baseline_mips > 0.0,
+                 "LoadTestingEvaluator: baseline MIPS is zero");
+  result.impact_pct =
+      100.0 * (result.baseline_mips - result.feature_mips) / result.baseline_mips;
+  return result;
+}
+
+}  // namespace flare::baselines

@@ -1,0 +1,41 @@
+// Conventional (co-location-unaware) load-testing baseline (paper §3.1,
+// Fig. 2): "we populate instances of each service on a single machine and
+// measure the feature's impact on it". The machine runs ONLY the service
+// under test — no interference from other jobs — which is exactly why its
+// estimates diverge from in-datacenter reality.
+#pragma once
+
+#include <string>
+
+#include "core/feature.hpp"
+#include "core/impact.hpp"
+
+namespace flare::baselines {
+
+struct LoadTestResult {
+  std::string feature_name;
+  dcsim::JobType job = dcsim::JobType::kDataAnalytics;
+  int instances = 0;           ///< copies populated on the test machine
+  double baseline_mips = 0.0;  ///< per instance
+  double feature_mips = 0.0;   ///< per instance
+  double impact_pct = 0.0;     ///< MIPS reduction, percent
+};
+
+class LoadTestingEvaluator {
+ public:
+  explicit LoadTestingEvaluator(const core::ImpactModel& impact);
+
+  /// Fills the machine with as many instances of `job` as the vCPU quota
+  /// allows (the paper's "populate instances") and measures the feature's
+  /// per-instance MIPS reduction.
+  [[nodiscard]] LoadTestResult evaluate_job(const core::Feature& feature,
+                                            dcsim::JobType job) const;
+
+  /// How many instances of `job` the load test populates.
+  [[nodiscard]] int populated_instances(dcsim::JobType job) const;
+
+ private:
+  const core::ImpactModel* impact_;  ///< non-owning
+};
+
+}  // namespace flare::baselines

@@ -1,0 +1,123 @@
+#include "baselines/sampling_evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+#include "util/error.hpp"
+
+namespace flare::baselines {
+namespace {
+
+SamplingResult finalize(SamplingResult result, double true_impact_pct) {
+  result.true_impact_pct = true_impact_pct;
+  result.distribution = stats::box_summary(result.trial_estimates);
+  // The 95% band a single sampling campaign lands in (Fig. 12b's error bars):
+  // the [2.5%, 97.5%] percentiles of the trial estimates.
+  result.ci95.lower = stats::percentile(result.trial_estimates, 0.025);
+  result.ci95.upper = stats::percentile(result.trial_estimates, 0.975);
+  result.mean_estimate = stats::mean(result.trial_estimates);
+  result.ci95.point = result.mean_estimate;
+  std::vector<double> abs_errors;
+  abs_errors.reserve(result.trial_estimates.size());
+  for (const double e : result.trial_estimates) {
+    abs_errors.push_back(std::abs(e - true_impact_pct));
+  }
+  result.max_abs_error = stats::max_value(abs_errors);
+  result.p95_abs_error = stats::percentile(abs_errors, 0.95);
+  return result;
+}
+
+}  // namespace
+
+RandomSamplingEvaluator::RandomSamplingEvaluator(const core::ImpactModel& impact,
+                                                 const dcsim::ScenarioSet& set)
+    : impact_(&impact), set_(&set) {
+  ensure(!set.scenarios.empty(), "RandomSamplingEvaluator: empty scenario set");
+}
+
+SamplingResult RandomSamplingEvaluator::evaluate(const core::Feature& feature,
+                                                 const SamplingConfig& config,
+                                                 double true_impact_pct) const {
+  ensure(config.sample_size >= 1, "RandomSamplingEvaluator: sample_size must be >= 1");
+  ensure(config.trials >= 1, "RandomSamplingEvaluator: trials must be >= 1");
+  ensure(config.with_replacement || config.sample_size <= set_->scenarios.size(),
+         "RandomSamplingEvaluator: sample larger than population");
+
+  // Cache per-scenario impacts: a trial re-uses the measured value, exactly
+  // as re-sampling the same machine would re-read the same number.
+  std::vector<double> impact_cache(set_->scenarios.size());
+  for (std::size_t i = 0; i < set_->scenarios.size(); ++i) {
+    impact_cache[i] = impact_->scenario_impact_pct(
+        set_->scenarios[i].mix, feature, core::MeasurementContext::kTestbed);
+  }
+  const std::vector<double> weights = set_->normalized_weights();
+
+  stats::Rng rng(config.seed);
+  SamplingResult result;
+  result.feature_name = feature.name();
+  result.config = config;
+  result.scenario_evaluations_per_trial = config.sample_size;
+  result.trial_estimates.reserve(static_cast<std::size_t>(config.trials));
+
+  for (int t = 0; t < config.trials; ++t) {
+    double sum = 0.0;
+    if (config.with_replacement) {
+      for (std::size_t s = 0; s < config.sample_size; ++s) {
+        sum += impact_cache[rng.weighted_index(weights)];
+      }
+    } else {
+      const std::vector<std::size_t> picks =
+          rng.sample_without_replacement(set_->scenarios.size(), config.sample_size);
+      for (const std::size_t p : picks) sum += impact_cache[p];
+    }
+    result.trial_estimates.push_back(sum / static_cast<double>(config.sample_size));
+  }
+  return finalize(std::move(result), true_impact_pct);
+}
+
+SamplingResult RandomSamplingEvaluator::evaluate_job(const core::Feature& feature,
+                                                     dcsim::JobType job,
+                                                     const SamplingConfig& config,
+                                                     double true_impact_pct) const {
+  // Restrict the population to scenarios containing the job (the sampler
+  // keeps drawing machines until it has n with the job of interest).
+  std::vector<double> impact_cache;
+  std::vector<double> weights;
+  for (const dcsim::ColocationScenario& s : set_->scenarios) {
+    const int count = s.mix.count(job);
+    if (count == 0) continue;
+    impact_cache.push_back(impact_->job_impact_pct(
+        job, s.mix, feature, core::MeasurementContext::kTestbed));
+    weights.push_back(s.observation_weight * static_cast<double>(count));
+  }
+  ensure(!impact_cache.empty(),
+         "RandomSamplingEvaluator::evaluate_job: job never appears");
+  ensure(config.with_replacement || config.sample_size <= impact_cache.size(),
+         "RandomSamplingEvaluator::evaluate_job: sample larger than population");
+
+  stats::Rng rng(config.seed);
+  SamplingResult result;
+  result.feature_name = feature.name();
+  result.config = config;
+  result.scenario_evaluations_per_trial = config.sample_size;
+  result.trial_estimates.reserve(static_cast<std::size_t>(config.trials));
+
+  for (int t = 0; t < config.trials; ++t) {
+    double sum = 0.0;
+    if (config.with_replacement) {
+      for (std::size_t s = 0; s < config.sample_size; ++s) {
+        sum += impact_cache[rng.weighted_index(weights)];
+      }
+    } else {
+      const std::vector<std::size_t> picks =
+          rng.sample_without_replacement(impact_cache.size(), config.sample_size);
+      for (const std::size_t p : picks) sum += impact_cache[p];
+    }
+    result.trial_estimates.push_back(sum / static_cast<double>(config.sample_size));
+  }
+  return finalize(std::move(result), true_impact_pct);
+}
+
+}  // namespace flare::baselines

@@ -1,0 +1,65 @@
+// Sampling-based evaluation baseline (paper §5.3–§5.4, after WSMeter):
+// randomly pick n scenarios, replay them, average. Machines are sampled
+// uniformly, which samples scenarios proportionally to their observation
+// weight — an unbiased but high-variance estimator of the datacenter impact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/feature.hpp"
+#include "core/impact.hpp"
+#include "dcsim/scenario.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/summary.hpp"
+
+namespace flare::baselines {
+
+struct SamplingConfig {
+  std::size_t sample_size = 18;  ///< scenarios per trial (= FLARE's cost)
+  int trials = 1000;             ///< independent repetitions (Fig. 12a violins)
+  std::uint64_t seed = 1234;
+  bool with_replacement = true;  ///< weight-proportional draw of machines
+};
+
+struct SamplingResult {
+  std::string feature_name;
+  SamplingConfig config;
+  std::vector<double> trial_estimates;   ///< one impact estimate per trial
+  stats::BoxSummary distribution;        ///< box/violin body over the trials
+  /// 95% interval of the trial estimates — where a single sampling campaign
+  /// of this size would land (the paper's Fig. 12b error bars).
+  stats::ConfidenceInterval ci95;
+  double mean_estimate = 0.0;
+  /// Worst absolute deviation from `true_impact_pct` across trials.
+  double max_abs_error = 0.0;
+  /// 95th percentile of absolute deviation (the paper's "expected max error").
+  double p95_abs_error = 0.0;
+  double true_impact_pct = 0.0;          ///< reference used for the errors
+  std::size_t scenario_evaluations_per_trial = 0;
+};
+
+class RandomSamplingEvaluator {
+ public:
+  RandomSamplingEvaluator(const core::ImpactModel& impact,
+                          const dcsim::ScenarioSet& set);
+
+  /// Runs `config.trials` sampling evaluations of the feature; errors are
+  /// reported against `true_impact_pct` (from FullDatacenterEvaluator).
+  [[nodiscard]] SamplingResult evaluate(const core::Feature& feature,
+                                        const SamplingConfig& config,
+                                        double true_impact_pct) const;
+
+  /// Per-job variant: trials sample scenarios containing the job.
+  [[nodiscard]] SamplingResult evaluate_job(const core::Feature& feature,
+                                            dcsim::JobType job,
+                                            const SamplingConfig& config,
+                                            double true_impact_pct) const;
+
+ private:
+  const core::ImpactModel* impact_;  ///< non-owning
+  const dcsim::ScenarioSet* set_;    ///< non-owning
+};
+
+}  // namespace flare::baselines

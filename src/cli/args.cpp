@@ -1,0 +1,85 @@
+#include "cli/args.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace flare::cli {
+
+Args Args::parse(int argc, const char* const* argv) {
+  Args args;
+  if (argc < 2) throw ParseError("missing command (try: flare help)");
+  args.command_ = argv[1];
+  int i = 2;
+  while (i < argc) {
+    const std::string token = argv[i];
+    if (!util::starts_with(token, "--") || token.size() <= 2) {
+      throw ParseError("expected --key, got '" + token + "'");
+    }
+    const std::string key = token.substr(2);
+    if (args.values_.count(key) != 0) {
+      throw ParseError("duplicate option --" + key);
+    }
+    const bool has_value = i + 1 < argc && !util::starts_with(argv[i + 1], "--");
+    if (has_value) {
+      args.values_[key] = argv[i + 1];
+      i += 2;
+    } else {
+      args.values_[key] = "";
+      i += 1;
+    }
+  }
+  return args;
+}
+
+std::optional<std::string> Args::get_optional(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  consumed_.insert(key);
+  if (it->second.empty()) {
+    throw ParseError("option --" + key + " requires a value");
+  }
+  return it->second;
+}
+
+std::string Args::get_string(const std::string& key,
+                             const std::string& default_value) const {
+  return get_optional(key).value_or(default_value);
+}
+
+std::string Args::require_string(const std::string& key) const {
+  const auto value = get_optional(key);
+  if (!value.has_value()) throw ParseError("missing required option --" + key);
+  return *value;
+}
+
+long long Args::get_int(const std::string& key, long long default_value) const {
+  const auto value = get_optional(key);
+  if (!value.has_value()) return default_value;
+  return util::parse_int(*value);
+}
+
+double Args::get_double(const std::string& key, double default_value) const {
+  const auto value = get_optional(key);
+  if (!value.has_value()) return default_value;
+  return util::parse_double(*value);
+}
+
+bool Args::get_flag(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  consumed_.insert(key);
+  if (!it->second.empty()) {
+    throw ParseError("option --" + key + " is a flag and takes no value");
+  }
+  return true;
+}
+
+void Args::reject_unconsumed() const {
+  for (const auto& [key, value] : values_) {
+    if (consumed_.count(key) == 0) {
+      throw ParseError("unknown option --" + key + " for command '" + command_ + "'");
+    }
+  }
+}
+
+}  // namespace flare::cli

@@ -1,0 +1,43 @@
+// Minimal command-line argument handling for the `flare` CLI tool.
+//
+// Grammar: flare <command> [--key value]... [--flag]...
+// Values are typed on access; unknown keys are rejected when the command
+// finishes parsing (catches typos instead of silently ignoring them).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace flare::cli {
+
+class Args {
+ public:
+  /// Parses argv[1..]; argv[1] is the command, the rest are --key [value]
+  /// pairs (a --key followed by another --key or end-of-line is a flag).
+  /// Throws flare::ParseError on malformed input.
+  static Args parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& command() const { return command_; }
+
+  /// Typed accessors; each marks the key as consumed.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& default_value) const;
+  [[nodiscard]] std::optional<std::string> get_optional(const std::string& key) const;
+  [[nodiscard]] std::string require_string(const std::string& key) const;
+  [[nodiscard]] long long get_int(const std::string& key, long long default_value) const;
+  [[nodiscard]] double get_double(const std::string& key, double default_value) const;
+  [[nodiscard]] bool get_flag(const std::string& key) const;
+
+  /// Throws flare::ParseError if any provided key was never consumed.
+  void reject_unconsumed() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;  ///< key -> raw value ("" = flag)
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace flare::cli

@@ -1,0 +1,273 @@
+#include "cli/commands.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "baselines/full_evaluator.hpp"
+#include "baselines/sampling_evaluator.hpp"
+#include "cli/feature_spec.hpp"
+#include "core/pipeline.hpp"
+#include "dcsim/submission.hpp"
+#include "report/table.hpp"
+#include "trace/metric_io.hpp"
+#include "trace/scenario_io.hpp"
+#include "util/error.hpp"
+
+namespace flare::cli {
+namespace {
+
+core::MetricSchema schema_by_name(const std::string& name) {
+  if (name == "standard") return core::MetricSchema::kStandard;
+  if (name == "job-mix") return core::MetricSchema::kWithJobMix;
+  if (name == "temporal") return core::MetricSchema::kTemporal;
+  if (name == "job-mix-temporal") return core::MetricSchema::kWithJobMixTemporal;
+  throw ParseError("unknown schema '" + name +
+                   "' (standard|job-mix|temporal|job-mix-temporal)");
+}
+
+dcsim::MachineConfig machine_by_name(const std::string& name) {
+  if (name == "default") return dcsim::default_machine();
+  if (name == "small") return dcsim::small_machine();
+  throw ParseError("unknown machine shape '" + name + "' (default|small)");
+}
+
+core::AnalyzerConfig analyzer_config_from(const Args& args) {
+  core::AnalyzerConfig config;
+  const long long clusters = args.get_int("clusters", 18);
+  ensure(clusters >= 2, "--clusters must be >= 2");
+  config.fixed_clusters = static_cast<std::size_t>(clusters);
+  if (args.get_flag("auto-k")) config.fixed_clusters = std::nullopt;
+  config.compute_quality_curve =
+      args.get_flag("quality-curve") || !config.fixed_clusters.has_value();
+  if (args.get_flag("ward")) {
+    config.algorithm = core::ClusterAlgorithm::kWardAgglomerative;
+  }
+  if (args.get_flag("no-whiten")) config.whiten = false;
+  if (args.get_flag("no-refine")) config.use_correlation_filter = false;
+  return config;
+}
+
+}  // namespace
+
+int run_simulate(const Args& args, std::ostream& out) {
+  const std::string out_path = args.require_string("out");
+  const dcsim::MachineConfig machine =
+      machine_by_name(args.get_string("machine", "default"));
+  dcsim::SubmissionConfig config;
+  config.target_distinct_scenarios =
+      static_cast<std::size_t>(args.get_int("scenarios", 895));
+  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  config.num_machines = static_cast<int>(args.get_int("machines", 8));
+  args.reject_unconsumed();
+
+  dcsim::SubmissionStats stats;
+  const dcsim::ScenarioSet set = dcsim::generate_scenario_set(
+      config, machine, dcsim::default_job_catalog(), &stats);
+  trace::save_scenario_set(set, out_path);
+  out << "simulated " << stats.simulated_hours << " h of datacenter time on "
+      << config.num_machines << " " << machine.name << " machines\n"
+      << "collected " << set.size() << " distinct co-location scenarios ("
+      << stats.denials << " scheduling denials, "
+      << static_cast<int>(100.0 * stats.mean_cpu_occupancy)
+      << "% mean occupancy)\n"
+      << "wrote " << out_path << "\n";
+  return 0;
+}
+
+int run_profile(const Args& args, std::ostream& out) {
+  const std::string scenarios_path = args.require_string("scenarios");
+  const std::string out_path = args.require_string("out");
+  const dcsim::MachineConfig machine =
+      machine_by_name(args.get_string("machine", "default"));
+  core::ProfilerConfig config;
+  config.samples_per_scenario = static_cast<int>(args.get_int("samples", 4));
+  config.noise_stream = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<long long>(config.noise_stream)));
+  const core::MetricSchema schema =
+      schema_by_name(args.get_string("schema", "standard"));
+  args.reject_unconsumed();
+
+  const dcsim::ScenarioSet set = trace::load_scenario_set(scenarios_path);
+  const dcsim::InterferenceModel model;
+  const core::Profiler profiler(model, config);
+  const metrics::MetricDatabase db =
+      profiler.profile(set, machine, core::resolve_schema(schema));
+  trace::save_metric_database(db, out_path);
+  out << "profiled " << db.num_rows() << " scenarios x " << db.num_metrics()
+      << " raw metrics (" << config.samples_per_scenario
+      << " samples each) on the " << machine.name << " shape\n"
+      << "wrote " << out_path << "\n";
+  return 0;
+}
+
+int run_analyze(const Args& args, std::ostream& out) {
+  const std::string metrics_path = args.require_string("metrics");
+  const core::AnalyzerConfig config = analyzer_config_from(args);
+  const core::MetricSchema schema =
+      schema_by_name(args.get_string("schema", "standard"));
+  args.reject_unconsumed();
+
+  const metrics::MetricDatabase db =
+      trace::load_metric_database(metrics_path, core::resolve_schema(schema));
+  const core::Analyzer analyzer(config);
+  const core::AnalysisResult analysis = analyzer.analyze(db);
+
+  out << "refinement: " << db.num_metrics() << " raw -> "
+      << analysis.kept_columns.size() << " kept ("
+      << analysis.constant_columns.size() << " constant, "
+      << analysis.refinement.drops.size() << " correlation duplicates)\n";
+  out << "PCA: " << analysis.num_components << " components explain "
+      << static_cast<int>(1000.0 * analysis.pca.cumulative_explained_variance(
+                              analysis.num_components)) / 10.0
+      << "% of variance\n";
+  for (const core::PcInterpretation& pc : analysis.interpretations) {
+    out << "  PC" << pc.component << " ("
+        << static_cast<int>(1000.0 * pc.explained_variance_ratio) / 10.0
+        << "%): " << pc.label << "\n";
+  }
+  if (!analysis.quality_curve.empty()) {
+    out << "cluster-quality sweep (k, SSE, silhouette):\n";
+    for (const core::ClusterQualityPoint& p : analysis.quality_curve) {
+      out << "  " << p.k << "  " << p.sse << "  " << p.silhouette << "\n";
+    }
+  }
+  out << "clusters: " << analysis.chosen_k << "\n";
+  report::AsciiTable table({"cluster", "weight %", "members", "representative"});
+  table.set_alignment(3, report::Align::kLeft);
+  for (std::size_t c = 0; c < analysis.chosen_k; ++c) {
+    table.add_row({std::to_string(c),
+                   report::AsciiTable::cell(100.0 * analysis.cluster_weights[c], 1),
+                   std::to_string(analysis.clustering.cluster_sizes[c]),
+                   db.row(analysis.representatives[c]).scenario_key});
+  }
+  table.print(out);
+  return 0;
+}
+
+int run_evaluate(const Args& args, std::ostream& out) {
+  const std::string scenarios_path = args.require_string("scenarios");
+  const core::Feature feature = parse_feature(args.require_string("feature"));
+  const dcsim::MachineConfig machine =
+      machine_by_name(args.get_string("machine", "default"));
+  core::FlareConfig config;
+  config.machine = machine;
+  config.analyzer = analyzer_config_from(args);
+  config.schema = schema_by_name(args.get_string("schema", "standard"));
+  const bool per_job = args.get_flag("per-job");
+  const bool with_truth = args.get_flag("truth");
+  const bool with_sampling = args.get_flag("sampling");
+  args.reject_unconsumed();
+
+  const dcsim::ScenarioSet set = trace::load_scenario_set(scenarios_path);
+  core::FlarePipeline pipeline(config);
+  pipeline.fit(set);
+
+  const core::FeatureEstimate est = pipeline.evaluate(feature);
+  out << feature.name() << " (" << feature.description() << ")\n";
+  out << "FLARE estimate: " << est.impact_pct << "% HP MIPS reduction ("
+      << est.scenario_replays << " scenario replays vs " << set.size()
+      << " scenarios in the datacenter)\n";
+
+  if (with_truth || with_sampling) {
+    const baselines::FullDatacenterEvaluator truth(pipeline.impact_model(), set);
+    const double dc = truth.evaluate(feature).impact_pct;
+    out << "full-datacenter truth: " << dc << "%  (FLARE |error| "
+        << std::abs(est.impact_pct - dc) << " pp)\n";
+    if (with_sampling) {
+      const baselines::RandomSamplingEvaluator sampling(pipeline.impact_model(),
+                                                        set);
+      baselines::SamplingConfig sc;
+      sc.sample_size = est.scenario_replays;
+      sc.trials = 1000;
+      const baselines::SamplingResult sr = sampling.evaluate(feature, sc, dc);
+      out << "sampling @ equal cost: 95% of trials in [" << sr.ci95.lower << ", "
+          << sr.ci95.upper << "]%, max |error| " << sr.max_abs_error << " pp\n";
+    }
+  }
+
+  report::AsciiTable table({"cluster", "weight %", "impact %", "representative"});
+  table.set_alignment(3, report::Align::kLeft);
+  for (const core::ClusterImpact& ci : est.per_cluster) {
+    table.add_row({std::to_string(ci.cluster),
+                   report::AsciiTable::cell(100.0 * ci.weight, 1),
+                   report::AsciiTable::cell(ci.impact_pct),
+                   set.scenarios[ci.representative_scenario].mix.key()});
+  }
+  table.print(out);
+
+  if (per_job) {
+    out << "\nper-HP-job impacts:\n";
+    report::AsciiTable jobs({"job", "impact %"});
+    for (const dcsim::JobType job : dcsim::hp_job_types()) {
+      bool present = false;
+      for (const dcsim::ColocationScenario& s : set.scenarios) {
+        if (s.mix.count(job) > 0) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) {
+        jobs.add_row({std::string(dcsim::job_code(job)), "n/a (never scheduled)"});
+        continue;
+      }
+      const core::PerJobEstimate pj = pipeline.evaluate_per_job(feature, job);
+      jobs.add_row({std::string(dcsim::job_code(job)),
+                    report::AsciiTable::cell(pj.impact_pct)});
+    }
+    jobs.print(out);
+  }
+  return 0;
+}
+
+int run_help(std::ostream& out) {
+  out << "flare — representative-scenario datacenter feature evaluation\n\n"
+         "commands:\n"
+         "  simulate --out F.csv [--machine default|small] [--scenarios N]\n"
+         "           [--seed S] [--machines M]\n"
+         "      simulate a datacenter and archive its co-location scenarios\n"
+         "  profile --scenarios F.csv --out M.csv [--machine ...]\n"
+         "          [--samples K] [--seed S] [--schema NAME]\n"
+         "      collect the two-level raw metric database for every scenario\n"
+         "  analyze --metrics M.csv [--clusters K | --auto-k] [--quality-curve]\n"
+         "          [--ward] [--no-whiten] [--no-refine] [--schema NAME]\n"
+         "      refinement -> PCA -> clustering -> representative scenarios\n"
+         "  evaluate --scenarios F.csv --feature SPEC [--machine ...]\n"
+         "           [--clusters K] [--per-job] [--truth] [--sampling]\n"
+         "           [--schema NAME]\n"
+         "      estimate a feature's fleet impact from the representatives\n"
+         "  drift --baseline M.csv --fresh M2.csv [--clusters K]\n"
+         "        [--refit-ratio R] [--reweight-shift S]\n"
+         "      triage representative validity: valid | reweight | refit\n"
+         "  report --scenarios F.csv --out R.md [--features LIST] [--truth]\n"
+         "         [--machine ...] [--clusters K]\n"
+         "      write a Markdown evaluation report; LIST is ';'-separated\n"
+         "      feature SPECs (default: the three Table 4 features)\n"
+         "  help\n\n"
+         "schema NAME: standard | job-mix (§5.3 per-job columns) |\n"
+         "  temporal (§4.1 stddev columns) | job-mix-temporal\n"
+         "feature SPEC: feature1|feature2|feature3|baseline, or knobs like\n"
+         "  'fmax=2.0,llc=20,smt=off' (fmax/fmin GHz, llc MB/socket,\n"
+         "  smt on|off, memlat ns)\n";
+  return 0;
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  try {
+    const Args args = Args::parse(argc, argv);
+    const std::string& command = args.command();
+    if (command == "simulate") return run_simulate(args, out);
+    if (command == "profile") return run_profile(args, out);
+    if (command == "analyze") return run_analyze(args, out);
+    if (command == "evaluate") return run_evaluate(args, out);
+    if (command == "report") return run_report(args, out);
+    if (command == "drift") return run_drift(args, out);
+    if (command == "help" || command == "--help") return run_help(out);
+    throw ParseError("unknown command '" + command + "' (try: flare help)");
+  } catch (const std::exception& e) {
+    err << "flare: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace flare::cli

@@ -1,0 +1,39 @@
+// The `flare` CLI commands. Each takes parsed Args, does its work against
+// CSV traces on disk, writes human-readable results to `out`, and returns a
+// process exit code.
+//
+//   flare simulate --out scenarios.csv [--machine default|small]
+//                  [--scenarios N] [--seed S] [--machines M]
+//   flare profile  --scenarios scenarios.csv --out metrics.csv
+//                  [--machine ...] [--samples K] [--seed S]
+//   flare analyze  --metrics metrics.csv [--clusters K | --auto-k]
+//                  [--quality-curve] [--ward] [--no-whiten] [--no-refine]
+//   flare evaluate --scenarios scenarios.csv --feature SPEC
+//                  [--machine ...] [--clusters K] [--per-job] [--truth]
+//   flare report   --scenarios scenarios.csv --out report.md
+//                  [--features "feature1;fmax=2.0,llc=20"] [--truth]
+//   flare drift    --baseline metrics.csv --fresh new_metrics.csv
+//                  [--clusters K] [--refit-ratio R] [--reweight-shift S]
+//   flare help
+#pragma once
+
+#include <iosfwd>
+
+#include "cli/args.hpp"
+
+namespace flare::cli {
+
+[[nodiscard]] int run_simulate(const Args& args, std::ostream& out);
+[[nodiscard]] int run_profile(const Args& args, std::ostream& out);
+[[nodiscard]] int run_analyze(const Args& args, std::ostream& out);
+[[nodiscard]] int run_evaluate(const Args& args, std::ostream& out);
+[[nodiscard]] int run_report(const Args& args, std::ostream& out);
+[[nodiscard]] int run_drift(const Args& args, std::ostream& out);
+[[nodiscard]] int run_help(std::ostream& out);
+
+/// Dispatches to the command; converts flare errors into exit code 2 with a
+/// message on `err`.
+[[nodiscard]] int run_cli(int argc, const char* const* argv, std::ostream& out,
+                          std::ostream& err);
+
+}  // namespace flare::cli

@@ -1,0 +1,65 @@
+// `flare drift`: compare a fresh metric batch against a fitted baseline and
+// print the validity triage (valid / reweight / refit) with its evidence.
+#include <ostream>
+
+#include "cli/commands.hpp"
+#include "core/analyzer.hpp"
+#include "core/drift.hpp"
+#include "report/table.hpp"
+#include "trace/metric_io.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace flare::cli {
+
+int run_drift(const Args& args, std::ostream& out) {
+  const std::string baseline_path = args.require_string("baseline");
+  const std::string fresh_path = args.require_string("fresh");
+  const long long clusters = args.get_int("clusters", 18);
+  ensure(clusters >= 2, "--clusters must be >= 2");
+  core::DriftConfig drift_config;
+  drift_config.refit_distance_ratio =
+      args.get_double("refit-ratio", drift_config.refit_distance_ratio);
+  drift_config.reweight_threshold =
+      args.get_double("reweight-shift", drift_config.reweight_threshold);
+  args.reject_unconsumed();
+
+  const metrics::MetricDatabase baseline = trace::load_metric_database(baseline_path);
+  const metrics::MetricDatabase fresh = trace::load_metric_database(fresh_path);
+
+  core::AnalyzerConfig analyzer_config;
+  analyzer_config.fixed_clusters = static_cast<std::size_t>(clusters);
+  analyzer_config.compute_quality_curve = false;
+  const core::Analyzer analyzer(analyzer_config);
+  const core::AnalysisResult analysis = analyzer.analyze(baseline);
+
+  const core::DriftMonitor monitor(analysis, drift_config);
+  const core::DriftReport report = monitor.inspect(fresh);
+
+  out << "baseline: " << baseline.num_rows() << " scenarios, "
+      << analysis.chosen_k << " behaviour groups\n";
+  out << "fresh:    " << fresh.num_rows() << " scenarios\n\n";
+  out << "distance scale vs baseline: "
+      << util::format_double(report.distance_ratio, 2) << "x\n";
+  out << "out-of-coverage mass:       "
+      << util::format_double(100.0 * report.out_of_coverage_fraction, 1) << "%\n";
+  out << "cluster-weight shift (TV):  "
+      << util::format_double(100.0 * report.weight_shift, 1) << "%\n\n";
+  out << "verdict: " << to_string(report.verdict) << "\n";
+  switch (report.verdict) {
+    case core::DriftVerdict::kValid:
+      out << "-> keep using the fitted representatives.\n";
+      break;
+    case core::DriftVerdict::kReweight:
+      out << "-> re-derive weights/representatives from step 3 "
+             "(FlarePipeline::apply_scheduler_change, paper §5.6).\n";
+      break;
+    case core::DriftVerdict::kRefit:
+      out << "-> the behaviours moved: re-profile and re-fit "
+             "(per-shape representatives, paper §5.5).\n";
+      break;
+  }
+  return 0;
+}
+
+}  // namespace flare::cli

@@ -1,0 +1,62 @@
+#include "cli/feature_spec.hpp"
+
+#include <functional>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace flare::cli {
+
+core::Feature parse_feature(std::string_view spec) {
+  const std::string trimmed(util::trim(spec));
+  if (trimmed == "feature1" || trimmed == "cache") return core::feature_cache_sizing();
+  if (trimmed == "feature2" || trimmed == "dvfs") return core::feature_dvfs_cap();
+  if (trimmed == "feature3" || trimmed == "smt") return core::feature_smt_off();
+  if (trimmed == "baseline") return core::baseline_feature();
+
+  // Knob list: build a composed transformation.
+  std::vector<std::function<void(dcsim::MachineConfig&)>> knobs;
+  for (const std::string& part : util::split(trimmed, ',')) {
+    const std::vector<std::string> kv = util::split(part, '=');
+    if (kv.size() != 2) {
+      throw ParseError("malformed feature knob '" + part +
+                       "' (expected key=value or a Table 4 preset name)");
+    }
+    const std::string key(util::trim(kv[0]));
+    const std::string value(util::trim(kv[1]));
+    if (key == "fmax") {
+      const double ghz = util::parse_double(value);
+      ensure(ghz > 0.0, "fmax must be positive");
+      knobs.push_back([ghz](dcsim::MachineConfig& m) { m.max_freq_ghz = ghz; });
+    } else if (key == "fmin") {
+      const double ghz = util::parse_double(value);
+      ensure(ghz > 0.0, "fmin must be positive");
+      knobs.push_back([ghz](dcsim::MachineConfig& m) { m.min_freq_ghz = ghz; });
+    } else if (key == "llc") {
+      const double mb = util::parse_double(value);
+      ensure(mb > 0.0, "llc must be positive");
+      knobs.push_back([mb](dcsim::MachineConfig& m) { m.llc_mb_per_socket = mb; });
+    } else if (key == "smt") {
+      if (value != "on" && value != "off") {
+        throw ParseError("smt knob takes on|off, got '" + value + "'");
+      }
+      const bool on = value == "on";
+      knobs.push_back([on](dcsim::MachineConfig& m) { m.smt_enabled = on; });
+    } else if (key == "memlat") {
+      const double ns = util::parse_double(value);
+      ensure(ns > 0.0, "memlat must be positive");
+      knobs.push_back([ns](dcsim::MachineConfig& m) { m.mem_latency_ns = ns; });
+    } else {
+      throw ParseError("unknown feature knob '" + key + "'");
+    }
+  }
+  ensure(!knobs.empty(), "empty feature specification");
+  return core::Feature("custom:" + trimmed, "custom knob set: " + trimmed,
+                       [knobs](dcsim::MachineConfig m) {
+                         for (const auto& knob : knobs) knob(m);
+                         return m;
+                       });
+}
+
+}  // namespace flare::cli

@@ -1,0 +1,21 @@
+// Textual feature specifications for the CLI:
+//   "feature1" | "feature2" | "feature3" | "baseline"   (Table 4 presets)
+// or a comma-separated knob list, e.g. "fmax=2.0,llc=20,smt=off":
+//   fmax=<GHz>     cap the max clock
+//   fmin=<GHz>     raise the min clock
+//   llc=<MB>       set the per-socket LLC capacity
+//   smt=on|off     toggle hyperthreading
+//   memlat=<ns>    set the unloaded memory latency
+#pragma once
+
+#include <string_view>
+
+#include "core/feature.hpp"
+
+namespace flare::cli {
+
+/// Parses a feature specification. Throws flare::ParseError on unknown
+/// presets, unknown knobs, or malformed values.
+[[nodiscard]] core::Feature parse_feature(std::string_view spec);
+
+}  // namespace flare::cli

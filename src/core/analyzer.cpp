@@ -1,0 +1,260 @@
+#include "core/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/cluster_quality.hpp"
+#include "util/error.hpp"
+
+namespace flare::core {
+namespace {
+
+/// Columns whose variance is numerically zero carry no information and would
+/// only add dead dimensions; real deployments always have a few (e.g. the
+/// nominal frequency on a homogeneous fleet).
+std::vector<std::size_t> non_constant_columns(const linalg::Matrix& data,
+                                              std::vector<std::size_t>* constants) {
+  std::vector<std::size_t> kept;
+  for (std::size_t c = 0; c < data.cols(); ++c) {
+    double lo = data(0, c), hi = data(0, c);
+    for (std::size_t r = 1; r < data.rows(); ++r) {
+      lo = std::min(lo, data(r, c));
+      hi = std::max(hi, data(r, c));
+    }
+    const double scale = std::max({std::abs(lo), std::abs(hi), 1.0});
+    if (hi - lo <= 1e-12 * scale) {
+      if (constants != nullptr) constants->push_back(c);
+    } else {
+      kept.push_back(c);
+    }
+  }
+  return kept;
+}
+
+/// Adapts a Ward clustering into the KMeansResult shape so downstream code
+/// (representative selection, weights) is algorithm-agnostic.
+ml::KMeansResult adapt_ward(const linalg::Matrix& space, std::size_t k) {
+  const ml::AgglomerativeResult ward =
+      ml::agglomerative_cluster(space, k, ml::Linkage::kWard);
+  ml::KMeansResult result;
+  result.centroids = ward.centroids;
+  result.assignment = ward.assignment;
+  result.cluster_sizes = ward.cluster_sizes;
+  result.sse = ml::sum_squared_errors(space, ward.centroids, ward.assignment);
+  result.iterations = 0;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace
+
+std::vector<std::size_t> AnalysisResult::members_by_distance(
+    std::size_t cluster) const {
+  return clustering.members_by_distance(cluster_space, cluster);
+}
+
+Analyzer::Analyzer(AnalyzerConfig config) : config_(std::move(config)) {
+  ensure(config_.variance_target > 0.0 && config_.variance_target <= 1.0,
+         "Analyzer: variance_target must be in (0, 1]");
+  ensure(config_.min_clusters >= 2, "Analyzer: min_clusters must be >= 2");
+  ensure(config_.max_clusters >= config_.min_clusters,
+         "Analyzer: max_clusters must be >= min_clusters");
+}
+
+AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db) const {
+  ensure(db.num_rows() >= config_.min_clusters,
+         "Analyzer::analyze: fewer scenarios than clusters");
+  AnalysisResult result;
+  const linalg::Matrix raw = db.to_matrix();
+
+  // --- Refinement (§4.2): constants, then correlation duplicates ---
+  std::vector<std::size_t> informative =
+      non_constant_columns(raw, &result.constant_columns);
+  ensure(!informative.empty(), "Analyzer::analyze: all metrics are constant");
+  linalg::Matrix refined = raw.select_columns(informative);
+  if (config_.use_correlation_filter) {
+    const ml::CorrelationFilter filter(config_.correlation_threshold);
+    result.refinement = filter.fit(refined);
+    // Map audit-trail and kept indices back to original catalog columns.
+    refined = refined.select_columns(result.refinement.kept_columns);
+    result.kept_columns.reserve(result.refinement.kept_columns.size());
+    for (const std::size_t c : result.refinement.kept_columns) {
+      result.kept_columns.push_back(informative[c]);
+    }
+    for (ml::CorrelationDrop& d : result.refinement.drops) {
+      d.dropped_column = informative[d.dropped_column];
+      d.kept_column = informative[d.kept_column];
+    }
+  } else {
+    result.kept_columns = informative;
+  }
+
+  // --- High-level metric construction (§4.3) ---
+  const linalg::Matrix standardized = result.standardizer.fit_transform(refined);
+  result.pca.fit(standardized);
+  result.num_components = result.pca.num_components_for(config_.variance_target);
+  result.interpretations =
+      interpret_components(result.pca, result.kept_columns, db.catalog(),
+                           result.num_components, config_.labeler);
+
+  // --- Whitened clustering space (§4.4) ---
+  const linalg::Matrix scores =
+      result.pca.transform(standardized, result.num_components);
+  result.whitened = config_.whiten;
+  if (config_.whiten) {
+    result.cluster_space = result.whitener.fit_transform(scores);
+  } else {
+    result.whitener.fit(scores);  // fitted for API symmetry, not applied
+    result.cluster_space = scores;
+  }
+
+  // --- Cluster-count sweep (Fig. 9) ---
+  ml::KMeansParams base_params = config_.kmeans;
+  if (config_.weight_clustering_by_observation) {
+    base_params.weights = db.weights();
+  }
+  const std::size_t k_hi =
+      std::min(config_.max_clusters, result.cluster_space.rows() - 1);
+  const bool sweep = config_.compute_quality_curve || !config_.fixed_clusters;
+  for (std::size_t k = config_.min_clusters; sweep && k <= k_hi; ++k) {
+    ml::KMeansResult kr;
+    if (config_.algorithm == ClusterAlgorithm::kKMeans) {
+      ml::KMeansParams params = base_params;
+      params.k = k;
+      kr = ml::kmeans(result.cluster_space, params);
+    } else {
+      kr = adapt_ward(result.cluster_space, k);
+    }
+    ClusterQualityPoint point;
+    point.k = k;
+    point.sse = kr.sse;
+    point.silhouette = ml::silhouette_score(result.cluster_space, kr.assignment, k);
+    result.quality_curve.push_back(point);
+    if (config_.fixed_clusters.has_value() && k == *config_.fixed_clusters) {
+      result.clustering = std::move(kr);
+    }
+  }
+
+  result.chosen_k = config_.fixed_clusters.has_value()
+                        ? *config_.fixed_clusters
+                        : suggest_k(result.quality_curve);
+  ensure(result.chosen_k >= config_.min_clusters && result.chosen_k <= k_hi,
+         "Analyzer::analyze: chosen cluster count is out of the sweep range");
+  if (result.clustering.assignment.empty()) {
+    if (config_.algorithm == ClusterAlgorithm::kKMeans) {
+      ml::KMeansParams params = base_params;
+      params.k = result.chosen_k;
+      result.clustering = ml::kmeans(result.cluster_space, params);
+    } else {
+      result.clustering = adapt_ward(result.cluster_space, result.chosen_k);
+    }
+  }
+
+  // --- Representatives & weights (§4.4–§4.5) ---
+  const std::vector<double> weights = db.weights();
+  double total_weight = 0.0;
+  for (const double w : weights) total_weight += w;
+  ensure(total_weight > 0.0, "Analyzer::analyze: zero total observation weight");
+
+  result.representatives.resize(result.chosen_k);
+  result.cluster_weights.assign(result.chosen_k, 0.0);
+  for (std::size_t c = 0; c < result.chosen_k; ++c) {
+    result.representatives[c] =
+        result.clustering.nearest_member(result.cluster_space, c);
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    result.cluster_weights[result.clustering.assignment[i]] +=
+        weights[i] / total_weight;
+  }
+  return result;
+}
+
+AnalysisResult Analyzer::recluster(const AnalysisResult& base,
+                                   const std::vector<double>& new_weights) const {
+  ensure(new_weights.size() == base.cluster_space.rows(),
+         "Analyzer::recluster: weight count must match scenario count");
+  double total = 0.0;
+  for (const double w : new_weights) {
+    ensure(w >= 0.0, "Analyzer::recluster: weights must be non-negative");
+    total += w;
+  }
+  ensure(total > 0.0, "Analyzer::recluster: zero total weight");
+
+  AnalysisResult result = base;  // reuse refinement, PCA, whitening, space
+
+  // Re-cluster from Step 3 over the same high-level metric space.
+  if (config_.algorithm == ClusterAlgorithm::kKMeans) {
+    ml::KMeansParams params = config_.kmeans;
+    params.k = base.chosen_k;
+    if (config_.weight_clustering_by_observation) params.weights = new_weights;
+    result.clustering = ml::kmeans(result.cluster_space, params);
+  } else {
+    result.clustering = adapt_ward(result.cluster_space, base.chosen_k);
+  }
+
+  // Representatives must be scenarios that actually occur under the new
+  // scheduler: walk outward from the centroid past zero-weight members.
+  result.representatives.assign(result.chosen_k, 0);
+  result.cluster_weights.assign(result.chosen_k, 0.0);
+  for (std::size_t c = 0; c < result.chosen_k; ++c) {
+    const std::vector<std::size_t> ordered = result.members_by_distance(c);
+    std::size_t chosen = ordered.front();
+    for (const std::size_t member : ordered) {
+      if (new_weights[member] > 0.0) {
+        chosen = member;
+        break;
+      }
+    }
+    result.representatives[c] = chosen;
+  }
+  for (std::size_t i = 0; i < new_weights.size(); ++i) {
+    result.cluster_weights[result.clustering.assignment[i]] += new_weights[i] / total;
+  }
+  return result;
+}
+
+std::size_t Analyzer::suggest_k(const std::vector<ClusterQualityPoint>& curve,
+                                double tolerance) {
+  ensure(!curve.empty(), "Analyzer::suggest_k: empty quality curve");
+  if (curve.size() < 3) return curve.front().k;
+
+  // Fig. 9 guideline: "pick a point where the return starts to diminish".
+  // Step 1 — SSE elbow via the max-distance-to-chord (Kneedle-style) rule on
+  // the normalised curve.
+  const double k_lo = static_cast<double>(curve.front().k);
+  const double k_hi = static_cast<double>(curve.back().k);
+  const double sse_lo = curve.back().sse;
+  const double sse_hi = curve.front().sse;
+  ensure(k_hi > k_lo, "Analyzer::suggest_k: curve must span multiple k");
+  std::size_t knee_index = 0;
+  double best_gap = -1.0;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const double x = (static_cast<double>(curve[i].k) - k_lo) / (k_hi - k_lo);
+    const double y = sse_hi > sse_lo
+                         ? (curve[i].sse - sse_lo) / (sse_hi - sse_lo)
+                         : 0.0;
+    // The chord runs from (0,1) to (1,0); distance below it ∝ 1 - x - y.
+    const double gap = 1.0 - x - y;
+    if (gap > best_gap) {
+      best_gap = gap;
+      knee_index = i;
+    }
+  }
+
+  // Step 2 — within a small window beyond the elbow, take the best
+  // silhouette; among near-ties (within `tolerance`) prefer the larger k,
+  // since clusters past the elbow are cheap insurance against smearing two
+  // behaviours into one group.
+  const std::size_t window_end = std::min(knee_index + 6, curve.size() - 1);
+  std::size_t chosen = knee_index;
+  double best_silhouette = curve[knee_index].silhouette;
+  for (std::size_t i = knee_index; i <= window_end; ++i) {
+    best_silhouette = std::max(best_silhouette, curve[i].silhouette);
+  }
+  for (std::size_t i = knee_index; i <= window_end; ++i) {
+    if (curve[i].silhouette >= best_silhouette - tolerance) chosen = i;
+  }
+  return curve[chosen].k;
+}
+
+}  // namespace flare::core

@@ -1,0 +1,119 @@
+// FLARE steps 2+3 (§4.3–§4.4): the Analyzer.
+//
+// Pipeline: refine raw metrics (drop constants + correlation duplicates) →
+// standardise → PCA (keep components to a variance target) → label PCs →
+// whiten PC scores → cluster (K-means by default, Ward as the paper's noted
+// alternative) → extract the representative scenario per cluster (nearest to
+// the centroid) and the cluster observation weights.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/pc_labeler.hpp"
+#include "metrics/metric_database.hpp"
+#include "ml/agglomerative.hpp"
+#include "ml/correlation_filter.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/pca.hpp"
+#include "ml/standardizer.hpp"
+#include "ml/whitener.hpp"
+
+namespace flare::core {
+
+enum class ClusterAlgorithm : unsigned char {
+  kKMeans,            ///< paper default
+  kWardAgglomerative, ///< paper's noted alternative (§4.4)
+};
+
+struct AnalyzerConfig {
+  // Refinement.
+  bool use_correlation_filter = true;   ///< ablation: skip refinement
+  double correlation_threshold = 0.98;
+
+  // Dimensionality reduction.
+  double variance_target = 0.95;        ///< paper: 95 % -> 18 PCs
+  bool whiten = true;                   ///< ablation: cluster raw PC scores
+
+  // Clustering.
+  ClusterAlgorithm algorithm = ClusterAlgorithm::kKMeans;
+  /// Weight scenarios by observation time inside K-means itself (off in the
+  /// paper, which weights only at estimation time; exposed for the ablation
+  /// study). Ignored by the Ward alternative.
+  bool weight_clustering_by_observation = false;
+  /// Force the cluster count (paper: 18). nullopt -> choose automatically
+  /// from the SSE/silhouette sweep.
+  std::optional<std::size_t> fixed_clusters = 18;
+  std::size_t min_clusters = 2;
+  std::size_t max_clusters = 40;
+  /// Run the full Fig. 9 SSE/silhouette sweep. Required when
+  /// fixed_clusters is nullopt; optional (but informative) otherwise.
+  bool compute_quality_curve = true;
+  ml::KMeansParams kmeans;              ///< k is overwritten per sweep point
+
+  PcLabelerConfig labeler;
+};
+
+/// One point of the Fig. 9 cluster-count sweep.
+struct ClusterQualityPoint {
+  std::size_t k = 0;
+  double sse = 0.0;
+  double silhouette = 0.0;
+};
+
+struct AnalysisResult {
+  // Step: refinement.
+  std::vector<std::size_t> kept_columns;     ///< surviving raw-metric columns
+  std::vector<std::size_t> constant_columns; ///< dropped for zero variance
+  ml::CorrelationFilterResult refinement;    ///< audit trail of duplicate drops
+
+  // Step: PCA.
+  ml::Standardizer standardizer;
+  ml::Pca pca;
+  std::size_t num_components = 0;            ///< components for variance target
+  std::vector<PcInterpretation> interpretations;
+
+  // Step: clustering.
+  ml::Whitener whitener;
+  bool whitened = true;                      ///< was whitening applied? (ablation)
+  linalg::Matrix cluster_space;              ///< n × num_components (whitened)
+  std::vector<ClusterQualityPoint> quality_curve;
+  std::size_t chosen_k = 0;
+  ml::KMeansResult clustering;               ///< Ward results adapted into this
+
+  // Step: representatives.
+  std::vector<std::size_t> representatives;  ///< scenario row index per cluster
+  std::vector<double> cluster_weights;       ///< observation-weight share, Σ = 1
+
+  /// Cluster members ordered by distance from the centroid (nearest first) —
+  /// the per-job estimator walks this list (§5.3).
+  [[nodiscard]] std::vector<std::size_t> members_by_distance(std::size_t cluster) const;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerConfig config = {});
+
+  /// Runs the full analysis over a profiled metric database.
+  [[nodiscard]] AnalysisResult analyze(const metrics::MetricDatabase& db) const;
+
+  /// Re-clusters an existing analysis under new scenario weights without
+  /// re-profiling — the §5.6 scheduler-change workflow ("derive new
+  /// representative scenarios starting from Step 3"). The metric space,
+  /// standardisation and PCA of `base` are reused; clustering and
+  /// representative extraction re-run over the re-weighted population.
+  [[nodiscard]] AnalysisResult recluster(const AnalysisResult& base,
+                                         const std::vector<double>& new_weights) const;
+
+  [[nodiscard]] const AnalyzerConfig& config() const { return config_; }
+
+  /// The Fig. 9 k-selection rule: the smallest k whose silhouette is within
+  /// `tolerance` of the sweep maximum (diminishing-returns knee).
+  [[nodiscard]] static std::size_t suggest_k(
+      const std::vector<ClusterQualityPoint>& curve, double tolerance = 0.05);
+
+ private:
+  AnalyzerConfig config_;
+};
+
+}  // namespace flare::core

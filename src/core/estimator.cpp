@@ -1,0 +1,105 @@
+#include "core/estimator.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace flare::core {
+
+FlareEstimator::FlareEstimator(const AnalysisResult& analysis,
+                               const dcsim::ScenarioSet& set, Replayer& replayer)
+    : analysis_(&analysis), set_(&set), replayer_(&replayer) {
+  ensure(analysis.cluster_space.rows() == set.scenarios.size(),
+         "FlareEstimator: analysis rows must match the scenario set");
+  ensure(analysis.representatives.size() == analysis.chosen_k,
+         "FlareEstimator: analysis is missing representatives");
+}
+
+FeatureEstimate FlareEstimator::estimate(const Feature& feature) const {
+  FeatureEstimate est;
+  est.feature_name = feature.name();
+  const std::size_t replays_before = replayer_->distinct_scenario_replays();
+
+  for (std::size_t c = 0; c < analysis_->chosen_k; ++c) {
+    const std::size_t rep_row = analysis_->representatives[c];
+    const dcsim::ColocationScenario& scenario = set_->scenarios[rep_row];
+    ClusterImpact ci;
+    ci.cluster = c;
+    ci.representative_scenario = rep_row;
+    ci.weight = analysis_->cluster_weights[c];
+    ci.impact_pct = replayer_->replay_scenario_impact(scenario, feature);
+    est.impact_pct += ci.weight * ci.impact_pct;
+    est.per_cluster.push_back(ci);
+  }
+  est.scenario_replays = replayer_->distinct_scenario_replays() - replays_before;
+  return est;
+}
+
+ValidatedFeatureEstimate FlareEstimator::estimate_with_validation(
+    const Feature& feature) const {
+  ValidatedFeatureEstimate out;
+  out.estimate = estimate(feature);
+  for (std::size_t c = 0; c < analysis_->chosen_k; ++c) {
+    const std::vector<std::size_t> ordered = analysis_->members_by_distance(c);
+    const double weight = analysis_->cluster_weights[c];
+    if (ordered.size() < 2) {
+      // Singleton cluster: the representative is exact for its group.
+      out.validation_impact_pct += weight * out.estimate.per_cluster[c].impact_pct;
+      continue;
+    }
+    const double second = replayer_->replay_scenario_impact(
+        set_->scenarios[ordered[1]], feature);
+    out.validation_impact_pct += weight * second;
+    out.uncertainty_pp +=
+        weight * std::abs(out.estimate.per_cluster[c].impact_pct - second) / 2.0;
+  }
+  return out;
+}
+
+PerJobEstimate FlareEstimator::estimate_per_job(const Feature& feature,
+                                                dcsim::JobType job) const {
+  PerJobEstimate est;
+  est.feature_name = feature.name();
+  est.job = job;
+  const std::size_t replays_before = replayer_->distinct_scenario_replays();
+
+  // Per-cluster job-instance weights: observation weight × instance count.
+  double total_weight = 0.0;
+  std::vector<double> job_weight(analysis_->chosen_k, 0.0);
+  for (std::size_t i = 0; i < set_->scenarios.size(); ++i) {
+    const std::size_t c = analysis_->clustering.assignment[i];
+    job_weight[c] += set_->scenarios[i].observation_weight *
+                     static_cast<double>(set_->scenarios[i].mix.count(job));
+  }
+  for (const double w : job_weight) total_weight += w;
+  ensure(total_weight > 0.0,
+         "FlareEstimator::estimate_per_job: job never appears in the datacenter");
+
+  est.per_cluster.assign(analysis_->chosen_k, std::nullopt);
+  for (std::size_t c = 0; c < analysis_->chosen_k; ++c) {
+    if (job_weight[c] <= 0.0) continue;  // cluster has no instance of the job
+    // Walk outward from the centroid to the nearest member containing the job.
+    const std::vector<std::size_t> ordered = analysis_->members_by_distance(c);
+    std::optional<std::size_t> chosen;
+    for (const std::size_t member : ordered) {
+      if (set_->scenarios[member].mix.count(job) > 0) {
+        chosen = member;
+        break;
+      }
+    }
+    ensure(chosen.has_value(),
+           "FlareEstimator::estimate_per_job: job weight without a member scenario");
+    ClusterImpact ci;
+    ci.cluster = c;
+    ci.representative_scenario = *chosen;
+    ci.weight = job_weight[c] / total_weight;
+    ci.impact_pct =
+        replayer_->replay_job_impact(job, set_->scenarios[*chosen], feature);
+    est.impact_pct += ci.weight * ci.impact_pct;
+    est.per_cluster[c] = ci;
+  }
+  est.scenario_replays = replayer_->distinct_scenario_replays() - replays_before;
+  return est;
+}
+
+}  // namespace flare::core

@@ -1,0 +1,91 @@
+// FLARE step 4 (§4.5 + §5.3): feature-impact estimation from the
+// representative scenarios.
+//
+// All-job estimate: replay each cluster's representative and average the
+// impacts weighted by cluster observation weight.
+//
+// Per-job estimate: a representative may not contain the job of interest
+// even when its cluster does — walk outward from the centroid to the nearest
+// member that does, and weight clusters by their job-instance counts.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/replayer.hpp"
+#include "dcsim/scenario.hpp"
+
+namespace flare::core {
+
+struct ClusterImpact {
+  std::size_t cluster = 0;
+  std::size_t representative_scenario = 0;  ///< row index into the ScenarioSet
+  double impact_pct = 0.0;
+  double weight = 0.0;  ///< contribution weight (Σ over clusters used = 1)
+};
+
+struct FeatureEstimate {
+  std::string feature_name;
+  double impact_pct = 0.0;                 ///< the single-number summary
+  std::vector<ClusterImpact> per_cluster;  ///< Fig. 11 series
+  std::size_t scenario_replays = 0;        ///< evaluation cost of this estimate
+};
+
+/// A FeatureEstimate with a cheap uncertainty band (see
+/// FlareEstimator::estimate_with_validation).
+struct ValidatedFeatureEstimate {
+  FeatureEstimate estimate;
+  /// Weighted impact using each cluster's SECOND-nearest member instead of
+  /// the representative — an independent probe of within-cluster spread.
+  double validation_impact_pct = 0.0;
+  /// Half-width of the reported band: Σ_c w_c · |rep_c − second_c| / 2.
+  /// Clusters are homogeneous by construction, so the rep-vs-runner-up gap
+  /// bounds how much the choice of representative moves the answer.
+  double uncertainty_pp = 0.0;
+
+  [[nodiscard]] double lower() const {
+    return estimate.impact_pct - uncertainty_pp;
+  }
+  [[nodiscard]] double upper() const {
+    return estimate.impact_pct + uncertainty_pp;
+  }
+};
+
+struct PerJobEstimate {
+  std::string feature_name;
+  dcsim::JobType job = dcsim::JobType::kDataAnalytics;
+  double impact_pct = 0.0;
+  /// Clusters without any instance of the job contribute nothing (nullopt).
+  std::vector<std::optional<ClusterImpact>> per_cluster;
+  std::size_t scenario_replays = 0;
+};
+
+class FlareEstimator {
+ public:
+  /// `analysis` rows must correspond 1:1 with `set.scenarios`.
+  FlareEstimator(const AnalysisResult& analysis, const dcsim::ScenarioSet& set,
+                 Replayer& replayer);
+
+  /// Comprehensive HP-job impact (Fig. 12a's FLARE bar).
+  [[nodiscard]] FeatureEstimate estimate(const Feature& feature) const;
+
+  /// Like estimate(), plus an uncertainty band from one extra replay per
+  /// cluster (the second-nearest member). Cost: 2k replays instead of k —
+  /// still ~25× cheaper than the full datacenter. Singleton clusters
+  /// contribute no spread (their representative IS the cluster).
+  [[nodiscard]] ValidatedFeatureEstimate estimate_with_validation(
+      const Feature& feature) const;
+
+  /// Per-job impact (Fig. 12b's FLARE bars).
+  [[nodiscard]] PerJobEstimate estimate_per_job(const Feature& feature,
+                                                dcsim::JobType job) const;
+
+ private:
+  const AnalysisResult* analysis_;    ///< non-owning
+  const dcsim::ScenarioSet* set_;     ///< non-owning
+  Replayer* replayer_;                ///< non-owning, mutated (cost ledger)
+};
+
+}  // namespace flare::core

@@ -1,0 +1,64 @@
+#include "core/feature.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace flare::core {
+
+Feature::Feature(std::string name, std::string description, ApplyFn apply)
+    : name_(std::move(name)),
+      description_(std::move(description)),
+      apply_(std::move(apply)) {
+  ensure(static_cast<bool>(apply_), "Feature: apply function must be callable");
+}
+
+dcsim::MachineConfig Feature::apply(const dcsim::MachineConfig& machine) const {
+  dcsim::MachineConfig out = apply_(machine);
+  ensure(out.scheduling_vcpus() == machine.scheduling_vcpus(),
+         "Feature '" + name_ + "' changes the machine's vCPU shape; "
+         "shape-changing features need the §5.5 workflow, not Feature::apply");
+  ensure(out.dram_gb == machine.dram_gb,
+         "Feature '" + name_ + "' changes the machine's DRAM shape; "
+         "shape-changing features need the §5.5 workflow, not Feature::apply");
+  return out;
+}
+
+Feature baseline_feature() {
+  return Feature("baseline",
+                 "30MB LLC/socket, 1.2 - 2.9GHz clock, Hyperthreading enabled",
+                 [](dcsim::MachineConfig m) { return m; });
+}
+
+Feature feature_cache_sizing() {
+  return Feature("feature1-cache-sizing",
+                 "12MB LLC/socket, 1.2 - 2.9GHz clock, Hyperthreading enabled",
+                 [](dcsim::MachineConfig m) {
+                   m.llc_mb_per_socket *= 12.0 / 30.0;
+                   return m;
+                 });
+}
+
+Feature feature_dvfs_cap() {
+  return Feature("feature2-dvfs-cap",
+                 "30MB LLC/socket, 1.2 - 1.8GHz clock, Hyperthreading enabled",
+                 [](dcsim::MachineConfig m) {
+                   m.max_freq_ghz *= 1.8 / 2.9;
+                   return m;
+                 });
+}
+
+Feature feature_smt_off() {
+  return Feature("feature3-smt-off",
+                 "30MB LLC/socket, 1.2 - 2.9GHz clock, Hyperthreading disabled",
+                 [](dcsim::MachineConfig m) {
+                   m.smt_enabled = false;
+                   return m;
+                 });
+}
+
+std::vector<Feature> standard_features() {
+  return {feature_cache_sizing(), feature_dvfs_cap(), feature_smt_off()};
+}
+
+}  // namespace flare::core

@@ -1,0 +1,54 @@
+// Datacenter-improving features (paper Table 4).
+//
+// A feature is any change that does not alter the machine's scheduling shape
+// (§2): hardware knobs, configuration updates, software upgrades. In this
+// library a feature is a named transformation of the MachineConfig's
+// microarchitectural knobs; the three presets mirror the paper's Table 4.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dcsim/machine_config.hpp"
+
+namespace flare::core {
+
+class Feature {
+ public:
+  using ApplyFn = std::function<dcsim::MachineConfig(dcsim::MachineConfig)>;
+
+  Feature(std::string name, std::string description, ApplyFn apply);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::string& description() const { return description_; }
+
+  /// Returns the machine with the feature applied. Throws
+  /// std::invalid_argument if the feature would change the scheduling shape
+  /// (vCPU quota or DRAM capacity) — that is outside FLARE's scope (§2/§5.5).
+  [[nodiscard]] dcsim::MachineConfig apply(const dcsim::MachineConfig& machine) const;
+
+ private:
+  std::string name_;
+  std::string description_;
+  ApplyFn apply_;
+};
+
+/// No-op feature (the baseline row of Table 4).
+[[nodiscard]] Feature baseline_feature();
+
+/// Feature 1: LLC shrunk 30 -> 12 MB per socket (Intel CAT-style cache
+/// sizing). On non-default shapes the LLC is scaled by the same 0.4 ratio.
+[[nodiscard]] Feature feature_cache_sizing();
+
+/// Feature 2: DVFS ceiling lowered 2.9 -> 1.8 GHz (min 1.2 GHz unchanged).
+/// On non-default shapes the ceiling is scaled by the same 1.8/2.9 ratio.
+[[nodiscard]] Feature feature_dvfs_cap();
+
+/// Feature 3: Hyperthreading disabled.
+[[nodiscard]] Feature feature_smt_off();
+
+/// The paper's three features, in Table 4 order.
+[[nodiscard]] std::vector<Feature> standard_features();
+
+}  // namespace flare::core

@@ -1,0 +1,63 @@
+#include "core/impact.hpp"
+
+#include "util/error.hpp"
+
+namespace flare::core {
+
+ImpactModel::ImpactModel(dcsim::MachineConfig baseline_machine,
+                         const dcsim::JobCatalog& catalog,
+                         dcsim::ModelOptions options)
+    : baseline_(std::move(baseline_machine)), model_(catalog, options) {
+  for (const dcsim::JobType type : dcsim::all_job_types()) {
+    inherent_[dcsim::job_index(type)] = model_.inherent_mips(baseline_, type);
+  }
+}
+
+double ImpactModel::inherent_mips(dcsim::JobType type) const {
+  return inherent_[dcsim::job_index(type)];
+}
+
+dcsim::ScenarioPerformance ImpactModel::evaluate(const dcsim::JobMix& mix,
+                                                 const dcsim::MachineConfig& machine,
+                                                 MeasurementContext context) const {
+  return model_.evaluate(machine, mix, static_cast<std::uint64_t>(context));
+}
+
+double ImpactModel::hp_performance(const dcsim::JobMix& mix,
+                                   const dcsim::MachineConfig& machine,
+                                   MeasurementContext context) const {
+  const dcsim::ScenarioPerformance perf = evaluate(mix, machine, context);
+  double total = 0.0;
+  for (const dcsim::JobTypePerformance& j : perf.jobs) {
+    if (!dcsim::is_high_priority(j.type)) continue;
+    total += static_cast<double>(j.instances) * j.mips_per_instance /
+             inherent_mips(j.type);
+  }
+  return total;
+}
+
+double ImpactModel::scenario_impact_pct(const dcsim::JobMix& mix,
+                                        const Feature& feature,
+                                        MeasurementContext context) const {
+  ensure(mix.hp_instances() > 0,
+         "ImpactModel::scenario_impact_pct: scenario has no HP jobs");
+  const double base = hp_performance(mix, baseline_, context);
+  const double with_feature = hp_performance(mix, feature.apply(baseline_), context);
+  ensure_numeric(base > 0.0, "ImpactModel: baseline HP performance is zero");
+  return 100.0 * (base - with_feature) / base;
+}
+
+double ImpactModel::job_impact_pct(dcsim::JobType type, const dcsim::JobMix& mix,
+                                   const Feature& feature,
+                                   MeasurementContext context) const {
+  ensure(mix.count(type) > 0, "ImpactModel::job_impact_pct: job not in scenario");
+  const dcsim::ScenarioPerformance base = evaluate(mix, baseline_, context);
+  const dcsim::ScenarioPerformance feat =
+      evaluate(mix, feature.apply(baseline_), context);
+  const double base_mips = base.job(type).mips_per_instance;
+  const double feat_mips = feat.job(type).mips_per_instance;
+  ensure_numeric(base_mips > 0.0, "ImpactModel: baseline job MIPS is zero");
+  return 100.0 * (base_mips - feat_mips) / base_mips;
+}
+
+}  // namespace flare::core

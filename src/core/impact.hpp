@@ -1,0 +1,72 @@
+// The performance definition shared by FLARE, the ground-truth evaluator and
+// every baseline (paper §5.1):
+//
+//   Performance = Job MIPS / Job's Inherent MIPS
+//
+// where inherent MIPS is measured with the job alone on an empty *baseline*
+// machine. A scenario's HP performance is the sum of normalised performance
+// over its HP instances; a feature's impact on a scenario is the relative
+// reduction of that sum. Only HP jobs count — LP batch runs on free quota.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/feature.hpp"
+#include "dcsim/interference_model.hpp"
+#include "dcsim/scenario.hpp"
+
+namespace flare::core {
+
+/// Noise-stream labels: live-datacenter observations and testbed replays are
+/// independent measurements of the same scenario, so they draw from distinct
+/// deterministic noise streams.
+enum class MeasurementContext : std::uint64_t {
+  kDatacenter = 0x0D47A,
+  kTestbed = 0x7E57B,
+};
+
+class ImpactModel {
+ public:
+  ImpactModel(dcsim::MachineConfig baseline_machine,
+              const dcsim::JobCatalog& catalog = dcsim::default_job_catalog(),
+              dcsim::ModelOptions options = {});
+
+  /// Inherent MIPS of one instance of `type` alone on the baseline machine.
+  [[nodiscard]] double inherent_mips(dcsim::JobType type) const;
+
+  /// Σ over HP instances of (instance MIPS / inherent MIPS) for the mix
+  /// evaluated on `machine` (which may carry a feature).
+  [[nodiscard]] double hp_performance(const dcsim::JobMix& mix,
+                                      const dcsim::MachineConfig& machine,
+                                      MeasurementContext context) const;
+
+  /// Feature impact on a scenario, in percent MIPS reduction of HP jobs:
+  /// 100 × (P_baseline − P_feature) / P_baseline. Positive = degradation.
+  [[nodiscard]] double scenario_impact_pct(const dcsim::JobMix& mix,
+                                           const Feature& feature,
+                                           MeasurementContext context) const;
+
+  /// Feature impact on one HP job type within a scenario (percent MIPS
+  /// reduction of that job's instances). The mix must contain the job.
+  [[nodiscard]] double job_impact_pct(dcsim::JobType type, const dcsim::JobMix& mix,
+                                      const Feature& feature,
+                                      MeasurementContext context) const;
+
+  /// Full scenario evaluation on an arbitrary (possibly featured) machine.
+  [[nodiscard]] dcsim::ScenarioPerformance evaluate(
+      const dcsim::JobMix& mix, const dcsim::MachineConfig& machine,
+      MeasurementContext context) const;
+
+  [[nodiscard]] const dcsim::MachineConfig& baseline_machine() const {
+    return baseline_;
+  }
+  [[nodiscard]] const dcsim::InterferenceModel& model() const { return model_; }
+
+ private:
+  dcsim::MachineConfig baseline_;
+  dcsim::InterferenceModel model_;
+  std::array<double, dcsim::kNumJobTypes> inherent_{};
+};
+
+}  // namespace flare::core

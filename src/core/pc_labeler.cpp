@@ -1,0 +1,113 @@
+#include "core/pc_labeler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace flare::core {
+namespace {
+
+/// A short human phrase for one signed contributor, e.g.
+/// "HP cache-miss pressure ↑" for +HP.LLC_MPKI.
+std::string phrase_for(const metrics::MetricInfo& info, bool positive) {
+  const std::string who =
+      info.level == metrics::MetricLevel::kHpJobs ? "HP" : "machine";
+  std::string trait;
+  const std::string& b = info.base_name;
+  if (b.find("LLC_M") != std::string::npos || b == "LLC_MissesPerSec") {
+    trait = "cache-miss pressure";
+  } else if (b.find("LLC") != std::string::npos || b.find("L2") != std::string::npos ||
+             b.find("L1D") != std::string::npos) {
+    trait = "data-cache activity";
+  } else if (b.find("L1I") != std::string::npos || b == "TD_FrontendBound") {
+    trait = "frontend/instruction-fetch pressure";
+  } else if (b.find("MemBW") != std::string::npos ||
+             b.find("MemLatency") != std::string::npos ||
+             b == "EffMemLatency_ns" || b == "TD_BackendMem") {
+    trait = "memory-bandwidth/latency pressure";
+  } else if (b == "TD_Retiring" || b == "IPC" || b == "MIPS" ||
+             b == "InstrPerSec" || b == "ALU_UtilFrac") {
+    trait = "useful-work throughput";
+  } else if (b == "FP_UtilFrac") {
+    trait = "floating-point intensity";
+  } else if (b == "TD_BadSpeculation" || b.find("Branch") != std::string::npos) {
+    trait = "branch/speculation waste";
+  } else if (b == "TD_BackendCore" || b == "SMTSharedFrac" || b == "RunQueueLen" ||
+             b == "CyclesPerSec") {
+    trait = "core/SMT contention";
+  } else if (b.find("Network") != std::string::npos ||
+             b.find("IRQ") != std::string::npos) {
+    trait = "network intensity";
+  } else if (b.find("Disk") != std::string::npos || b == "IOWaitFrac") {
+    trait = "storage intensity";
+  } else if (b.find("Occupancy") != std::string::npos ||
+             b.find("Containers") != std::string::npos || b == "FreeVCPUs" ||
+             b == "CPU_UtilFrac" || b == "VCPUsBusy") {
+    trait = "CPU occupancy";
+  } else if (b.find("DRAM") != std::string::npos ||
+             b.find("PageFaults") != std::string::npos) {
+    trait = "DRAM footprint";
+  } else if (b.find("Power") != std::string::npos ||
+             b.find("Temperature") != std::string::npos ||
+             b.find("Fan") != std::string::npos) {
+    trait = "power draw";
+  } else {
+    trait = b;  // fall back to the raw name
+  }
+  return who + " " + trait + (positive ? " ↑" : " ↓");
+}
+
+}  // namespace
+
+std::vector<PcInterpretation> interpret_components(
+    const ml::Pca& pca, const std::vector<std::size_t>& kept_columns,
+    const metrics::MetricCatalog& catalog, std::size_t num_components,
+    PcLabelerConfig config) {
+  ensure(pca.fitted(), "interpret_components: PCA not fitted");
+  ensure(kept_columns.size() == pca.dimension(),
+         "interpret_components: kept_columns must match the PCA dimension");
+  ensure(num_components <= pca.dimension(),
+         "interpret_components: more components than the PCA has");
+
+  std::vector<PcInterpretation> out;
+  out.reserve(num_components);
+  for (std::size_t comp = 0; comp < num_components; ++comp) {
+    PcInterpretation interp;
+    interp.component = comp;
+    interp.explained_variance_ratio = pca.explained_variance_ratio()[comp];
+
+    // Rank variables by |loading|.
+    std::vector<std::size_t> order(pca.dimension());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return std::abs(pca.loading(a, comp)) > std::abs(pca.loading(b, comp));
+    });
+
+    std::vector<std::string> phrases;
+    for (const std::size_t var : order) {
+      if (interp.top_contributors.size() >= config.max_contributors) break;
+      const double loading = pca.loading(var, comp);
+      if (std::abs(loading) < config.min_abs_loading) break;
+      const metrics::MetricInfo& info = catalog.info(kept_columns[var]);
+      interp.top_contributors.push_back(PcContributor{var, info.name, loading});
+      // Avoid repeating the same phrase (several raw metrics map to one trait).
+      const std::string phrase = phrase_for(info, loading > 0.0);
+      if (std::find(phrases.begin(), phrases.end(), phrase) == phrases.end()) {
+        phrases.push_back(phrase);
+      }
+    }
+
+    std::string label;
+    for (std::size_t i = 0; i < phrases.size() && i < 3; ++i) {
+      if (i != 0) label += " + ";
+      label += phrases[i];
+    }
+    if (label.empty()) label = "(diffuse: no dominant raw metric)";
+    interp.label = std::move(label);
+    out.push_back(std::move(interp));
+  }
+  return out;
+}
+
+}  // namespace flare::core

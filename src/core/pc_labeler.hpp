@@ -1,0 +1,45 @@
+// Automatic PC interpretation (paper §4.3 / Fig. 8).
+//
+// The paper manually labels each principal component from its strongest
+// signed raw-metric loadings ("HP job: more LLC misses + machine: frontend
+// efficient ..."). This labeller mechanises that: it reports the top signed
+// contributors per PC and composes a human-readable phrase from the metric
+// names, levels and signs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/metric_catalog.hpp"
+#include "ml/pca.hpp"
+
+namespace flare::core {
+
+struct PcContributor {
+  std::size_t column = 0;   ///< column in the refined (post-filter) matrix
+  std::string metric_name;  ///< fully qualified raw metric name
+  double loading = 0.0;     ///< signed weight on the PC
+};
+
+struct PcInterpretation {
+  std::size_t component = 0;
+  double explained_variance_ratio = 0.0;
+  std::vector<PcContributor> top_contributors;  ///< by |loading|, descending
+  std::string label;                            ///< composed phrase
+};
+
+struct PcLabelerConfig {
+  std::size_t max_contributors = 6;
+  /// Contributors below this |loading| are omitted ("we omit the metrics
+  /// with small weights" — Fig. 8 caption).
+  double min_abs_loading = 0.15;
+};
+
+/// Interprets the first `num_components` PCs of a fitted PCA whose input
+/// columns are `kept_columns` of `catalog`.
+[[nodiscard]] std::vector<PcInterpretation> interpret_components(
+    const ml::Pca& pca, const std::vector<std::size_t>& kept_columns,
+    const metrics::MetricCatalog& catalog, std::size_t num_components,
+    PcLabelerConfig config = {});
+
+}  // namespace flare::core

@@ -1,0 +1,100 @@
+#include "core/pipeline.hpp"
+
+#include "util/error.hpp"
+
+namespace flare::core {
+
+FlarePipeline::FlarePipeline(FlareConfig config, const dcsim::JobCatalog& catalog)
+    : config_(std::move(config)),
+      catalog_(catalog),
+      model_(catalog_, config_.model),
+      impact_(config_.machine, catalog_, config_.model),
+      replayer_(impact_) {}
+
+const metrics::MetricCatalog& resolve_schema(MetricSchema schema) {
+  switch (schema) {
+    case MetricSchema::kStandard:
+      return metrics::MetricCatalog::standard();
+    case MetricSchema::kWithJobMix:
+      return metrics::MetricCatalog::standard_with_job_mix();
+    case MetricSchema::kTemporal: {
+      static const metrics::MetricCatalog kCatalog =
+          metrics::MetricCatalog::with_temporal_stddev(
+              metrics::MetricCatalog::standard());
+      return kCatalog;
+    }
+    case MetricSchema::kWithJobMixTemporal: {
+      static const metrics::MetricCatalog kCatalog =
+          metrics::MetricCatalog::with_temporal_stddev(
+              metrics::MetricCatalog::standard_with_job_mix());
+      return kCatalog;
+    }
+  }
+  ensure(false, "resolve_schema: unknown schema selector");
+  return metrics::MetricCatalog::standard();  // unreachable
+}
+
+void FlarePipeline::fit(const dcsim::ScenarioSet& set) {
+  ensure(!set.scenarios.empty(), "FlarePipeline::fit: empty scenario set");
+  set_ = set;
+  const Profiler profiler(model_, config_.profiler);
+  database_ = std::make_unique<metrics::MetricDatabase>(
+      profiler.profile(set_, config_.machine, resolve_schema(config_.schema)));
+  const Analyzer analyzer(config_.analyzer);
+  analysis_ = std::make_unique<AnalysisResult>(analyzer.analyze(*database_));
+  scheduler_weights_.clear();
+}
+
+FeatureEstimate FlarePipeline::evaluate(const Feature& feature) {
+  ensure(fitted(), "FlarePipeline::evaluate: call fit() first");
+  const FlareEstimator estimator(*analysis_, set_, replayer_);
+  return estimator.estimate(feature);
+}
+
+ValidatedFeatureEstimate FlarePipeline::evaluate_with_validation(
+    const Feature& feature) {
+  ensure(fitted(), "FlarePipeline::evaluate_with_validation: call fit() first");
+  const FlareEstimator estimator(*analysis_, set_, replayer_);
+  return estimator.estimate_with_validation(feature);
+}
+
+PerJobEstimate FlarePipeline::evaluate_per_job(const Feature& feature,
+                                               dcsim::JobType job) {
+  ensure(fitted(), "FlarePipeline::evaluate_per_job: call fit() first");
+  const FlareEstimator estimator(*analysis_, set_, replayer_);
+  return estimator.estimate_per_job(feature, job);
+}
+
+void FlarePipeline::apply_scheduler_change(const std::vector<double>& new_weights) {
+  ensure(fitted(), "FlarePipeline::apply_scheduler_change: call fit() first");
+  const Analyzer analyzer(config_.analyzer);
+  *analysis_ = analyzer.recluster(*analysis_, new_weights);
+  scheduler_weights_ = new_weights;
+  // Estimation must also see the new frequencies.
+  for (std::size_t i = 0; i < set_.scenarios.size(); ++i) {
+    set_.scenarios[i].observation_weight = new_weights[i];
+  }
+}
+
+const metrics::MetricDatabase& FlarePipeline::database() const {
+  ensure(fitted(), "FlarePipeline::database: call fit() first");
+  return *database_;
+}
+
+const AnalysisResult& FlarePipeline::analysis() const {
+  ensure(fitted(), "FlarePipeline::analysis: call fit() first");
+  return *analysis_;
+}
+
+const dcsim::ScenarioSet& FlarePipeline::scenario_set() const {
+  ensure(fitted(), "FlarePipeline::scenario_set: call fit() first");
+  return set_;
+}
+
+const ImpactModel& FlarePipeline::impact_model() const { return impact_; }
+
+std::size_t FlarePipeline::scenario_replays() const {
+  return replayer_.distinct_scenario_replays();
+}
+
+}  // namespace flare::core

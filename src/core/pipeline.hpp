@@ -1,0 +1,94 @@
+// FlarePipeline — the end-to-end facade and the library's primary entry
+// point. One object owns the four steps of §4:
+//
+//   FlarePipeline flare(config);
+//   flare.fit(scenario_set);                       // profile + analyze
+//   auto est = flare.evaluate(feature_dvfs_cap()); // replay representatives
+//
+// plus the §5.5 heterogeneous-shape and §5.6 scheduler-change workflows.
+#pragma once
+
+#include <memory>
+
+#include "core/analyzer.hpp"
+#include "core/estimator.hpp"
+#include "core/impact.hpp"
+#include "core/profiler.hpp"
+#include "core/replayer.hpp"
+#include "dcsim/interference_model.hpp"
+
+namespace flare::core {
+
+/// Which raw-metric schema the Profiler collects.
+enum class MetricSchema : unsigned char {
+  kStandard,            ///< the Fig. 6 two-level schema (paper default)
+  kWithJobMix,          ///< + per-job mix columns (§5.3 per-job accuracy opt-in)
+  kTemporal,            ///< + per-metric temporal stddev columns (§4.1 note)
+  kWithJobMixTemporal,  ///< both enrichments
+};
+
+struct FlareConfig {
+  dcsim::MachineConfig machine;  ///< the datacenter's (and testbed's) shape
+  dcsim::ModelOptions model;
+  ProfilerConfig profiler;
+  AnalyzerConfig analyzer;
+  MetricSchema schema = MetricSchema::kStandard;
+
+  FlareConfig() : machine(dcsim::default_machine()) {}
+};
+
+/// Resolves a schema selector to its (long-lived) catalog.
+[[nodiscard]] const metrics::MetricCatalog& resolve_schema(MetricSchema schema);
+
+class FlarePipeline {
+ public:
+  explicit FlarePipeline(FlareConfig config = {},
+                         const dcsim::JobCatalog& catalog =
+                             dcsim::default_job_catalog());
+
+  /// Steps 1–3: profile every scenario, refine, PCA, cluster, extract
+  /// representatives. Must be called before any evaluation.
+  void fit(const dcsim::ScenarioSet& set);
+
+  /// Step 4: estimate a feature's comprehensive HP impact.
+  [[nodiscard]] FeatureEstimate evaluate(const Feature& feature);
+
+  /// Step 4 with an uncertainty band (one extra replay per cluster; see
+  /// FlareEstimator::estimate_with_validation).
+  [[nodiscard]] ValidatedFeatureEstimate evaluate_with_validation(
+      const Feature& feature);
+
+  /// Step 4, per-job variant (§5.3).
+  [[nodiscard]] PerJobEstimate evaluate_per_job(const Feature& feature,
+                                                dcsim::JobType job);
+
+  /// §5.6: the scheduler changed the scenario frequencies — re-derive the
+  /// representatives from step 3 without re-profiling. `new_weights` is the
+  /// per-scenario observation weight under the new scheduler (0 = no longer
+  /// occurs), indexed like the fitted ScenarioSet.
+  void apply_scheduler_change(const std::vector<double>& new_weights);
+
+  [[nodiscard]] bool fitted() const { return analysis_ != nullptr; }
+  [[nodiscard]] const metrics::MetricDatabase& database() const;
+  [[nodiscard]] const AnalysisResult& analysis() const;
+  [[nodiscard]] const dcsim::ScenarioSet& scenario_set() const;
+  [[nodiscard]] const ImpactModel& impact_model() const;
+  [[nodiscard]] const FlareConfig& config() const { return config_; }
+
+  /// Evaluation-cost ledger: distinct scenarios replayed on the testbed.
+  [[nodiscard]] std::size_t scenario_replays() const;
+
+ private:
+  FlareConfig config_;
+  dcsim::JobCatalog catalog_;
+  dcsim::InterferenceModel model_;
+  ImpactModel impact_;
+  Replayer replayer_;
+
+  dcsim::ScenarioSet set_;
+  std::unique_ptr<metrics::MetricDatabase> database_;
+  std::unique_ptr<AnalysisResult> analysis_;
+  std::vector<double> scheduler_weights_;  ///< §5.6 override (empty = original)
+};
+
+}  // namespace flare::core

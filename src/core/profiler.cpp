@@ -1,0 +1,115 @@
+#include "core/profiler.hpp"
+
+#include "stats/descriptive.hpp"
+#include "util/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace flare::core {
+namespace {
+
+/// How a (possibly stddev-enriched, §4.1) schema maps onto the base metrics
+/// the counter synthesizer produces.
+struct SchemaPlan {
+  metrics::MetricCatalog base_catalog;      ///< non-derived metrics, dense
+  std::vector<std::size_t> base_to_schema;  ///< base column -> schema column
+  /// (schema column of the _Std metric, base column it derives from)
+  std::vector<std::pair<std::size_t, std::size_t>> stddev_columns;
+};
+
+SchemaPlan plan_for(const metrics::MetricCatalog& schema) {
+  std::vector<metrics::MetricInfo> base_metrics;
+  std::vector<std::size_t> base_to_schema;
+  for (const metrics::MetricInfo& m : schema.metrics()) {
+    if (metrics::MetricCatalog::is_stddev_column(m)) continue;
+    metrics::MetricInfo copy = m;
+    copy.index = base_metrics.size();
+    base_to_schema.push_back(m.index);
+    base_metrics.push_back(std::move(copy));
+  }
+  SchemaPlan plan{metrics::MetricCatalog(std::move(base_metrics)),
+                  std::move(base_to_schema),
+                  {}};
+  for (const metrics::MetricInfo& m : schema.metrics()) {
+    if (!metrics::MetricCatalog::is_stddev_column(m)) continue;
+    const std::string source = m.name.substr(0, m.name.size() - 4);  // strip _Std
+    const auto base_index = plan.base_catalog.index_of(source);
+    ensure(base_index.has_value(),
+           "Profiler: stddev column '" + m.name + "' has no source metric");
+    plan.stddev_columns.emplace_back(m.index, *base_index);
+  }
+  return plan;
+}
+
+metrics::MetricRow profile_one(const dcsim::InterferenceModel& model,
+                               const ProfilerConfig& config,
+                               const dcsim::ColocationScenario& scenario,
+                               const dcsim::MachineConfig& machine,
+                               const metrics::MetricCatalog& schema,
+                               const SchemaPlan& plan) {
+  metrics::MetricRow row;
+  row.scenario_id = scenario.id;
+  row.scenario_key = scenario.mix.key();
+  row.observation_weight = scenario.observation_weight;
+  row.values.assign(schema.size(), 0.0);
+
+  // Stream the periodic samples through per-metric accumulators: means for
+  // the base columns, stddevs for the §4.1 temporal-enrichment columns.
+  std::vector<stats::RunningStats> per_metric(plan.base_catalog.size());
+  for (int s = 0; s < config.samples_per_scenario; ++s) {
+    const std::uint64_t stream = util::hash_mix(
+        config.noise_stream, scenario.id * 1000 + static_cast<std::uint64_t>(s));
+    const dcsim::ScenarioPerformance perf =
+        model.evaluate(machine, scenario.mix, stream);
+    const std::vector<double> sample = dcsim::synthesize_counters(
+        perf, model.catalog(), plan.base_catalog, config.counters, stream);
+    for (std::size_t i = 0; i < sample.size(); ++i) per_metric[i].add(sample[i]);
+  }
+  for (std::size_t i = 0; i < per_metric.size(); ++i) {
+    row.values[plan.base_to_schema[i]] = per_metric[i].mean();
+  }
+  for (const auto& [schema_col, base_col] : plan.stddev_columns) {
+    row.values[schema_col] = per_metric[base_col].stddev();
+  }
+  return row;
+}
+
+}  // namespace
+
+Profiler::Profiler(const dcsim::InterferenceModel& model, ProfilerConfig config)
+    : model_(&model), config_(config) {
+  ensure(config_.samples_per_scenario >= 1,
+         "Profiler: samples_per_scenario must be >= 1");
+}
+
+metrics::MetricRow Profiler::profile_scenario(
+    const dcsim::ColocationScenario& scenario, const dcsim::MachineConfig& machine,
+    const metrics::MetricCatalog& schema) const {
+  return profile_one(*model_, config_, scenario, machine, schema, plan_for(schema));
+}
+
+metrics::MetricDatabase Profiler::profile(const dcsim::ScenarioSet& set,
+                                          const dcsim::MachineConfig& machine,
+                                          const metrics::MetricCatalog& schema) const {
+  ensure(!set.scenarios.empty(), "Profiler::profile: empty scenario set");
+  const SchemaPlan plan = plan_for(schema);
+  metrics::MetricDatabase db(schema);
+  if (config_.threads == 1) {
+    for (const dcsim::ColocationScenario& scenario : set.scenarios) {
+      db.add_row(profile_one(*model_, config_, scenario, machine, schema, plan));
+    }
+    return db;
+  }
+  // Parallel path: rows are computed into fixed slots (pure functions of the
+  // scenario), then appended in order — bit-identical to the sequential path.
+  std::vector<metrics::MetricRow> rows(set.scenarios.size());
+  util::ThreadPool pool(config_.threads);
+  util::parallel_for(pool, set.scenarios.size(), [&](std::size_t i) {
+    rows[i] =
+        profile_one(*model_, config_, set.scenarios[i], machine, schema, plan);
+  });
+  for (metrics::MetricRow& row : rows) db.add_row(std::move(row));
+  return db;
+}
+
+}  // namespace flare::core

@@ -1,0 +1,55 @@
+// FLARE step 1 (§4.2): the Profiler daemon.
+//
+// In the paper this is a per-machine daemon that periodically samples perf
+// counters, top-down events and /proc, and writes averaged rows into a
+// relational database. Here it drives the interference model once per
+// sampling period per scenario and averages the synthesized counter rows —
+// the same averaging semantics ("for each job in each scenario, we log the
+// average performance and resource metrics").
+#pragma once
+
+#include <cstdint>
+
+#include "dcsim/counters.hpp"
+#include "dcsim/interference_model.hpp"
+#include "dcsim/scenario.hpp"
+#include "metrics/metric_database.hpp"
+
+namespace flare::core {
+
+struct ProfilerConfig {
+  /// Sampling periods averaged per scenario (the daemon's periodic reads).
+  int samples_per_scenario = 4;
+  dcsim::CounterOptions counters;
+  /// Base noise stream; each (scenario, sample) gets an independent stream.
+  std::uint64_t noise_stream = 0x0D47A;  // datacenter measurement context
+  /// Worker threads for profile(): 1 = sequential (default), 0 = one per
+  /// hardware thread. Rows are written by index, so results are identical
+  /// regardless of the thread count.
+  std::size_t threads = 1;
+};
+
+class Profiler {
+ public:
+  explicit Profiler(const dcsim::InterferenceModel& model, ProfilerConfig config = {});
+  /// The Profiler keeps a reference to the model; a temporary would dangle.
+  explicit Profiler(dcsim::InterferenceModel&& model, ProfilerConfig config = {}) =
+      delete;
+
+  /// Profiles every scenario of the set on `machine` and returns the filled
+  /// metric database (rows in scenario order, observation weights copied).
+  [[nodiscard]] metrics::MetricDatabase profile(
+      const dcsim::ScenarioSet& set, const dcsim::MachineConfig& machine,
+      const metrics::MetricCatalog& schema = metrics::MetricCatalog::standard()) const;
+
+  /// Profiles a single scenario (one averaged row).
+  [[nodiscard]] metrics::MetricRow profile_scenario(
+      const dcsim::ColocationScenario& scenario, const dcsim::MachineConfig& machine,
+      const metrics::MetricCatalog& schema) const;
+
+ private:
+  const dcsim::InterferenceModel* model_;  ///< non-owning
+  ProfilerConfig config_;
+};
+
+}  // namespace flare::core

@@ -1,0 +1,27 @@
+#include "core/replayer.hpp"
+
+namespace flare::core {
+
+Replayer::Replayer(const ImpactModel& impact) : impact_(&impact) {}
+
+void Replayer::bill(std::size_t scenario_id, const std::string& feature_name) {
+  billed_.emplace(scenario_id, feature_name);
+  ++total_;
+}
+
+double Replayer::replay_scenario_impact(const dcsim::ColocationScenario& scenario,
+                                        const Feature& feature) {
+  bill(scenario.id, feature.name());
+  return impact_->scenario_impact_pct(scenario.mix, feature,
+                                      MeasurementContext::kTestbed);
+}
+
+double Replayer::replay_job_impact(dcsim::JobType type,
+                                   const dcsim::ColocationScenario& scenario,
+                                   const Feature& feature) {
+  bill(scenario.id, feature.name());
+  return impact_->job_impact_pct(type, scenario.mix, feature,
+                                 MeasurementContext::kTestbed);
+}
+
+}  // namespace flare::core

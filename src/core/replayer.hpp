@@ -1,0 +1,55 @@
+// FLARE step 4 substrate (§4.5): the Replayer.
+//
+// The Replayer reconstructs a job co-location scenario on the load-testing
+// testbed ("executing the jobs with the recorded commands and options") with
+// and without the candidate feature, and measures the impact. It also keeps
+// the cost ledger: evaluation cost is proportional to the number of distinct
+// scenarios reconstructed (§5.4), which is what the 50×/10× overhead claims
+// count.
+#pragma once
+
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/impact.hpp"
+
+namespace flare::core {
+
+class Replayer {
+ public:
+  /// The testbed is the ImpactModel's baseline machine; features are applied
+  /// on top of it per replay.
+  explicit Replayer(const ImpactModel& impact);
+  /// The Replayer keeps a reference to the impact model; a temporary would dangle.
+  explicit Replayer(ImpactModel&& impact) = delete;
+
+  /// Scenario-level HP impact (percent MIPS reduction) measured on the
+  /// testbed. Each distinct (scenario, feature) pair is billed once.
+  [[nodiscard]] double replay_scenario_impact(const dcsim::ColocationScenario& scenario,
+                                              const Feature& feature);
+
+  /// Per-job impact within the scenario; the mix must contain `type`.
+  [[nodiscard]] double replay_job_impact(dcsim::JobType type,
+                                         const dcsim::ColocationScenario& scenario,
+                                         const Feature& feature);
+
+  /// Distinct scenarios reconstructed so far (the evaluation cost).
+  [[nodiscard]] std::size_t distinct_scenario_replays() const {
+    return billed_.size();
+  }
+
+  /// Total replay invocations (a scenario reused across features re-bills).
+  [[nodiscard]] std::size_t total_replays() const { return total_; }
+
+  [[nodiscard]] const ImpactModel& impact() const { return *impact_; }
+
+ private:
+  void bill(std::size_t scenario_id, const std::string& feature_name);
+
+  const ImpactModel* impact_;  ///< non-owning
+  std::set<std::pair<std::size_t, std::string>> billed_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace flare::core

@@ -1,0 +1,40 @@
+// Raw-counter synthesis: turns an evaluated scenario into the two-level raw
+// metric row of the standard catalog — the simulated equivalent of the
+// Profiler daemon reading perf counters, top-down events, and /proc.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcsim/interference_model.hpp"
+#include "metrics/metric_catalog.hpp"
+
+namespace flare::dcsim {
+
+struct CounterOptions {
+  /// Per-metric multiplicative measurement noise (σ of log); models sensor
+  /// and sampling jitter on top of the performance model's own noise.
+  double measurement_noise_sigma = 0.025;
+  /// Per-scenario, per-metric-family jitter (σ of log): workload phases and
+  /// input dependence move whole metric families (branching, i-cache, TLB,
+  /// I/O, ...) together but independently of each other. This is what gives
+  /// real monitoring data its many weakly-coupled dimensions — without it a
+  /// handful of PCs would explain everything, which no datacenter shows.
+  double family_jitter_sigma = 0.08;
+  /// Finer-grained latent phase factors: small groups of related counters
+  /// (hash-assigned) share a per-scenario factor below the family level —
+  /// e.g. TLB behaviour moves with the page-walk phase, not with every cache
+  /// counter. Gives the PCA spectrum its realistic long middle tail.
+  double subgroup_jitter_sigma = 0.05;
+  int subgroup_count = 14;
+  bool enable_noise = true;
+};
+
+/// Synthesises the catalog-ordered raw metric vector for one evaluated
+/// scenario. Deterministic per (performance, noise_stream).
+[[nodiscard]] std::vector<double> synthesize_counters(
+    const ScenarioPerformance& performance, const JobCatalog& catalog,
+    const metrics::MetricCatalog& schema, CounterOptions options = {},
+    std::uint64_t noise_stream = 0);
+
+}  // namespace flare::dcsim

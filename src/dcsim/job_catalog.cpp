@@ -1,0 +1,148 @@
+#include "dcsim/job_catalog.hpp"
+
+#include "util/error.hpp"
+
+namespace flare::dcsim {
+namespace {
+
+JobProfile make(JobType type, std::string configuration, double dram_gb,
+                double cpu_utilization, double base_cpi, double frontend_bound,
+                double bad_speculation, double llc_apki, double mrc_half_mb,
+                double mrc_steepness, double min_miss_ratio, double working_set_mb,
+                double mlp, double smt_yield, double branch_mpki, double l1i_mpki,
+                double network_mbps, double disk_iops) {
+  JobProfile p;
+  p.type = type;
+  p.high_priority = is_high_priority(type);
+  p.configuration = std::move(configuration);
+  p.vcpus = 4;
+  p.dram_gb = dram_gb;
+  p.cpu_utilization = cpu_utilization;
+  p.base_cpi = base_cpi;
+  p.frontend_bound = frontend_bound;
+  p.bad_speculation = bad_speculation;
+  p.llc_apki = llc_apki;
+  p.mrc_half_mb = mrc_half_mb;
+  p.mrc_steepness = mrc_steepness;
+  p.min_miss_ratio = min_miss_ratio;
+  p.working_set_mb = working_set_mb;
+  p.mlp = mlp;
+  p.smt_yield = smt_yield;
+  p.branch_mpki = branch_mpki;
+  p.l1i_mpki = l1i_mpki;
+  p.network_mbps = network_mbps;
+  p.disk_iops = disk_iops;
+  return p;
+}
+
+}  // namespace
+
+JobCatalog::JobCatalog() {
+  using JT = JobType;
+  // HP services (CloudSuite). Calibration notes:
+  //  - WSC/WSV: large instruction footprints -> high frontend_bound & l1i_mpki.
+  //  - GA/IA: Spark executors pin their cores, big LLC appetite, high MLP.
+  //  - DC: memcached — random access over a 4 GB value store gives a flat
+  //    miss-ratio curve (high floor) and heavy network traffic at low CPU.
+  //  - MS: Nginx streaming — network-dominated, small cache footprint.
+  profiles_[job_index(JT::kDataAnalytics)] = make(
+      JT::kDataAnalytics,
+      "Apache Hadoop with Mahout; 4 maps, 4 reduces, TrainNB phase; "
+      "1 vCPU & 4GB DRAM per mapper/reducer",
+      16.0, 0.90, 0.90, 0.10, 0.06, 18.0, 6.0, 1.0, 0.12, 28.0, 2.5, 0.62, 6.0,
+      8.0, 40.0, 150.0);
+  profiles_[job_index(JT::kDataCaching)] = make(
+      JT::kDataCaching,
+      "memcached; 4 threads, 4GB working set, target QPS 100K",
+      4.5, 0.75, 1.10, 0.18, 0.05, 22.0, 12.0, 0.7, 0.35, 40.0, 3.5, 0.68, 4.0,
+      14.0, 600.0, 20.0);
+  profiles_[job_index(JT::kDataServing)] = make(
+      JT::kDataServing,
+      "Apache Cassandra; 20 threads, 16GB DRAM",
+      16.0, 0.85, 1.00, 0.15, 0.06, 20.0, 10.0, 0.8, 0.25, 36.0, 3.0, 0.64, 5.0,
+      12.0, 300.0, 800.0);
+  profiles_[job_index(JT::kGraphAnalytics)] = make(
+      JT::kGraphAnalytics,
+      "Apache Spark; 4 vCPU & 4GB DRAM for executor",
+      4.0, 0.95, 0.80, 0.07, 0.05, 30.0, 16.0, 0.9, 0.20, 48.0, 4.5, 0.60, 4.0,
+      4.0, 80.0, 60.0);
+  profiles_[job_index(JT::kInMemoryAnalytics)] = make(
+      JT::kInMemoryAnalytics,
+      "Apache Spark; 4 vCPU & 4GB DRAM for executor",
+      4.0, 0.92, 0.75, 0.08, 0.06, 24.0, 10.0, 1.0, 0.15, 34.0, 4.0, 0.61, 5.0,
+      5.0, 60.0, 40.0);
+  profiles_[job_index(JT::kMediaStreaming)] = make(
+      JT::kMediaStreaming,
+      "Nginx; 4 threads, 50 connections, dataset scaled",
+      3.0, 0.60, 1.30, 0.22, 0.04, 8.0, 2.0, 0.8, 0.30, 10.0, 2.0, 0.70, 3.0,
+      10.0, 2000.0, 400.0);
+  profiles_[job_index(JT::kWebSearch)] = make(
+      JT::kWebSearch,
+      "Apache Solr; 12GB DRAM, Tomcat manages # threads",
+      12.0, 0.85, 1.20, 0.28, 0.07, 14.0, 8.0, 0.9, 0.15, 26.0, 2.2, 0.66, 7.0,
+      22.0, 150.0, 100.0);
+  profiles_[job_index(JT::kWebServing)] = make(
+      JT::kWebServing,
+      "MySQL, memcached, Nginx, PHP; default MySQL/Nginx with 2GB memory; "
+      "2 threads & 2GB DRAM for memcached; 5 threads for PHP",
+      6.0, 0.75, 1.40, 0.30, 0.08, 12.0, 4.0, 0.8, 0.20, 18.0, 1.8, 0.69, 9.0,
+      25.0, 250.0, 120.0);
+
+  // LP batch (SPEC CPU2006, four copies per 4-vCPU container).
+  profiles_[job_index(JT::kLpPerlbench)] = make(
+      JT::kLpPerlbench, "Four copies of 400.perlbench in a 4 vCPU container",
+      1.5, 1.0, 0.65, 0.12, 0.09, 6.0, 1.5, 1.2, 0.05, 4.0, 1.8, 0.64, 11.0, 6.0,
+      0.0, 5.0);
+  profiles_[job_index(JT::kLpSjeng)] = make(
+      JT::kLpSjeng, "Four copies of 458.sjeng in a 4 vCPU container",
+      0.7, 1.0, 0.70, 0.08, 0.12, 3.0, 0.8, 1.2, 0.05, 2.0, 1.5, 0.63, 14.0, 1.0,
+      0.0, 2.0);
+  profiles_[job_index(JT::kLpLibquantum)] = make(
+      JT::kLpLibquantum, "Four copies of 462.libquantum in a 4 vCPU container",
+      0.4, 1.0, 0.55, 0.02, 0.02, 35.0, 20.0, 0.5, 0.75, 16.0, 8.0, 0.55, 2.0,
+      0.5, 0.0, 2.0);
+  profiles_[job_index(JT::kLpXalancbmk)] = make(
+      JT::kLpXalancbmk, "Four copies of 483.xalancbmk in a 4 vCPU container",
+      1.7, 1.0, 0.80, 0.15, 0.07, 16.0, 5.0, 1.0, 0.10, 10.0, 2.5, 0.62, 8.0,
+      9.0, 0.0, 3.0);
+  profiles_[job_index(JT::kLpOmnetpp)] = make(
+      JT::kLpOmnetpp, "Four copies of 471.omnetpp in a 4 vCPU container",
+      0.7, 1.0, 0.90, 0.10, 0.06, 21.0, 9.0, 0.8, 0.15, 14.0, 1.6, 0.60, 6.0,
+      3.0, 0.0, 2.0);
+  profiles_[job_index(JT::kLpMcf)] = make(
+      JT::kLpMcf, "Four copies of 429.mcf in a 4 vCPU container",
+      6.8, 1.0, 0.85, 0.03, 0.05, 45.0, 14.0, 0.7, 0.30, 36.0, 2.8, 0.55, 9.0,
+      0.5, 0.0, 2.0);
+
+  // Nominal request service times for the latency-sensitive services
+  // (uncontended, baseline machine). Batch/analytics jobs keep 0 (no SLO).
+  profiles_[job_index(JT::kDataCaching)].base_service_ms = 0.3;    // memcached
+  profiles_[job_index(JT::kDataServing)].base_service_ms = 6.0;    // Cassandra
+  profiles_[job_index(JT::kMediaStreaming)].base_service_ms = 12.0;
+  profiles_[job_index(JT::kWebSearch)].base_service_ms = 25.0;
+  profiles_[job_index(JT::kWebServing)].base_service_ms = 40.0;
+
+  // Floating-point mix: the Spark analytics executors and libquantum are the
+  // FP-heavy jobs of the population.
+  profiles_[job_index(JT::kGraphAnalytics)].fp_fraction = 0.35;
+  profiles_[job_index(JT::kInMemoryAnalytics)].fp_fraction = 0.40;
+  profiles_[job_index(JT::kDataAnalytics)].fp_fraction = 0.25;
+  profiles_[job_index(JT::kLpLibquantum)].fp_fraction = 0.45;
+  profiles_[job_index(JT::kLpMcf)].fp_fraction = 0.02;
+  profiles_[job_index(JT::kLpSjeng)].fp_fraction = 0.01;
+}
+
+const JobProfile& JobCatalog::profile(JobType type) const {
+  return profiles_[job_index(type)];
+}
+
+void JobCatalog::set_profile(const JobProfile& profile) {
+  profiles_[job_index(profile.type)] = profile;
+}
+
+const JobCatalog& default_job_catalog() {
+  static const JobCatalog kCatalog;
+  return kCatalog;
+}
+
+}  // namespace flare::dcsim

@@ -1,0 +1,31 @@
+// The catalog of all job profiles (paper Table 3).
+#pragma once
+
+#include <array>
+
+#include "dcsim/job_profile.hpp"
+
+namespace flare::dcsim {
+
+class JobCatalog {
+ public:
+  /// Builds the calibrated default catalog.
+  JobCatalog();
+
+  [[nodiscard]] const JobProfile& profile(JobType type) const;
+
+  [[nodiscard]] const std::array<JobProfile, kNumJobTypes>& profiles() const {
+    return profiles_;
+  }
+
+  /// Replaces a profile — used by tests and what-if studies.
+  void set_profile(const JobProfile& profile);
+
+ private:
+  std::array<JobProfile, kNumJobTypes> profiles_;
+};
+
+/// Shared immutable default catalog (the common case throughout the library).
+[[nodiscard]] const JobCatalog& default_job_catalog();
+
+}  // namespace flare::dcsim

@@ -1,0 +1,50 @@
+#include "dcsim/job_types.hpp"
+
+#include "util/error.hpp"
+
+namespace flare::dcsim {
+namespace {
+
+constexpr std::array<std::string_view, kNumJobTypes> kCodes = {
+    "DA",        "DC",    "DS",         "GA",        "IA",      "MS",  "WSC",
+    "WSV",       "perlbench", "sjeng", "libquantum", "xalancbmk", "omnetpp", "mcf"};
+
+constexpr std::array<std::string_view, kNumJobTypes> kNames = {
+    "Data Analytics",     "Data Caching",     "Data Serving",
+    "Graph Analytics",    "In-memory Analytics", "Media Streaming",
+    "Web Search",         "Web Serving",      "400.perlbench",
+    "458.sjeng",          "462.libquantum",   "483.xalancbmk",
+    "471.omnetpp",        "429.mcf"};
+
+}  // namespace
+
+const std::array<JobType, kNumJobTypes>& all_job_types() {
+  static const std::array<JobType, kNumJobTypes> kAll = [] {
+    std::array<JobType, kNumJobTypes> a{};
+    for (std::size_t i = 0; i < kNumJobTypes; ++i) a[i] = static_cast<JobType>(i);
+    return a;
+  }();
+  return kAll;
+}
+
+const std::array<JobType, kNumHpJobTypes>& hp_job_types() {
+  static const std::array<JobType, kNumHpJobTypes> kHp = [] {
+    std::array<JobType, kNumHpJobTypes> a{};
+    for (std::size_t i = 0; i < kNumHpJobTypes; ++i) a[i] = static_cast<JobType>(i);
+    return a;
+  }();
+  return kHp;
+}
+
+std::string_view job_code(JobType type) { return kCodes[job_index(type)]; }
+
+std::string_view job_name(JobType type) { return kNames[job_index(type)]; }
+
+JobType job_type_from_code(std::string_view code) {
+  for (std::size_t i = 0; i < kNumJobTypes; ++i) {
+    if (kCodes[i] == code) return static_cast<JobType>(i);
+  }
+  throw ParseError("unknown job code: '" + std::string(code) + "'");
+}
+
+}  // namespace flare::dcsim

@@ -1,0 +1,60 @@
+// The job population of the simulated datacenter (paper Table 3).
+//
+// High-Priority (HP) jobs model the eight CloudSuite services; Low-Priority
+// (LP) jobs model the six SPEC CPU2006 benchmarks the paper runs on free
+// quota. Every job is deployed as 4-vCPU container instances.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace flare::dcsim {
+
+enum class JobType : std::uint8_t {
+  // CloudSuite HP services.
+  kDataAnalytics,      // DA  — Hadoop + Mahout
+  kDataCaching,        // DC  — memcached
+  kDataServing,        // DS  — Cassandra
+  kGraphAnalytics,     // GA  — Spark
+  kInMemoryAnalytics,  // IA  — Spark
+  kMediaStreaming,     // MS  — Nginx
+  kWebSearch,          // WSC — Solr
+  kWebServing,         // WSV — LAMP stack
+  // SPEC CPU2006 LP batch jobs (four copies per container).
+  kLpPerlbench,
+  kLpSjeng,
+  kLpLibquantum,
+  kLpXalancbmk,
+  kLpOmnetpp,
+  kLpMcf,
+};
+
+inline constexpr std::size_t kNumJobTypes = 14;
+inline constexpr std::size_t kNumHpJobTypes = 8;
+
+/// All job types, HP first, in stable order.
+[[nodiscard]] const std::array<JobType, kNumJobTypes>& all_job_types();
+
+/// The eight HP job types in stable order (DA, DC, DS, GA, IA, MS, WSC, WSV).
+[[nodiscard]] const std::array<JobType, kNumHpJobTypes>& hp_job_types();
+
+[[nodiscard]] constexpr std::size_t job_index(JobType type) {
+  return static_cast<std::size_t>(type);
+}
+
+[[nodiscard]] constexpr bool is_high_priority(JobType type) {
+  return job_index(type) < kNumHpJobTypes;
+}
+
+/// Short code used in figures: "DA", "DC", ..., "perlbench", ...
+[[nodiscard]] std::string_view job_code(JobType type);
+
+/// Human-readable name, e.g. "Data Analytics".
+[[nodiscard]] std::string_view job_name(JobType type);
+
+/// Parses a short code back to a JobType; throws ParseError on unknown codes.
+[[nodiscard]] JobType job_type_from_code(std::string_view code);
+
+}  // namespace flare::dcsim

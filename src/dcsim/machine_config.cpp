@@ -1,0 +1,51 @@
+#include "dcsim/machine_config.hpp"
+
+namespace flare::dcsim {
+
+MachineConfig default_machine() {
+  MachineConfig m;
+  m.name = "default";
+  m.sockets = 2;
+  m.physical_cores_per_socket = 12;  // 24 vCPUs/socket with 2-way SMT
+  m.scheduled_threads_per_core = 2;
+  m.dram_gb = 256.0;
+  m.smt_enabled = true;
+  m.llc_mb_per_socket = 30.0;
+  m.min_freq_ghz = 1.2;
+  m.max_freq_ghz = 2.9;
+  m.mem_channels_per_socket = 4;
+  m.mem_bw_gbps_per_channel = 19.2;
+  m.mem_latency_ns = 85.0;
+  m.network_gbps = 10.0;
+  m.disk_kiops = 89.0;
+  m.cpu_model = "Intel Xeon E5-2650 v4";
+  m.dram_model = "256GB DDR4 2400MHz";
+  m.disk_model = "Intel 730 Series SSD (SATA 6Gb/s)";
+  m.nic_model = "Intel X710 10Gbps Ethernet";
+  return m;
+}
+
+MachineConfig small_machine() {
+  MachineConfig m;
+  m.name = "small";
+  m.sockets = 2;
+  m.physical_cores_per_socket = 8;  // 16 vCPUs/socket with 2-way SMT
+  m.scheduled_threads_per_core = 2;
+  m.dram_gb = 128.0;
+  m.smt_enabled = true;
+  m.llc_mb_per_socket = 20.0;  // E5-2640 v3
+  m.min_freq_ghz = 1.2;
+  m.max_freq_ghz = 2.6;
+  m.mem_channels_per_socket = 4;
+  m.mem_bw_gbps_per_channel = 17.0;  // DDR4-2133
+  m.mem_latency_ns = 90.0;
+  m.network_gbps = 10.0;
+  m.disk_kiops = 90.0;
+  m.cpu_model = "Intel Xeon E5-2640 v3";
+  m.dram_model = "128GB DDR4 2133MHz";
+  m.disk_model = "Samsung 850 SSD";
+  m.nic_model = "Intel 82599ES 10Gb";
+  return m;
+}
+
+}  // namespace flare::dcsim

@@ -1,0 +1,75 @@
+// Machine shapes (paper Table 2 "Default" and Table 5 "Small").
+//
+// A MachineConfig carries both the *scheduling shape* (vCPU and DRAM quota
+// the job-submission system packs against) and the *microarchitectural knobs*
+// the interference model consumes (LLC capacity, frequency range, SMT,
+// memory bandwidth/latency). Features (Table 4) mutate the knobs but never
+// the scheduling shape — exactly the paper's "features which do not change
+// the datacenter machine's shape" scope (§2).
+#pragma once
+
+#include <string>
+
+namespace flare::dcsim {
+
+struct MachineConfig {
+  std::string name = "default";
+
+  // --- Scheduling shape (fixed per machine type) ---
+  int sockets = 2;
+  int physical_cores_per_socket = 12;
+  /// Hardware threads per core exposed to the scheduler. The paper's
+  /// machines always *schedule* 2-way (24 vCPUs/socket on the Default shape)
+  /// even when the SMT feature is disabled; disabling SMT makes the OS
+  /// time-share vCPUs instead of changing the container packing.
+  int scheduled_threads_per_core = 2;
+  double dram_gb = 256.0;
+
+  // --- Feature-adjustable knobs ---
+  bool smt_enabled = true;           ///< Feature 3 toggles this
+  double llc_mb_per_socket = 30.0;   ///< Feature 1 shrinks this (Intel CAT)
+  double min_freq_ghz = 1.2;
+  double max_freq_ghz = 2.9;         ///< Feature 2 caps this (DVFS policy)
+
+  // --- Fixed microarchitectural parameters ---
+  int mem_channels_per_socket = 4;
+  double mem_bw_gbps_per_channel = 19.2;  ///< DDR4-2400: 8B × 2.4 GT/s
+  double mem_latency_ns = 85.0;           ///< unloaded round trip
+  double network_gbps = 10.0;
+  double disk_kiops = 89.0;
+  std::string cpu_model = "Intel Xeon E5-2650 v4";
+  std::string dram_model = "256GB DDR4 2400MHz";
+  std::string disk_model = "Intel 730 Series SSD (SATA 6Gb/s)";
+  std::string nic_model = "Intel X710 10Gbps Ethernet";
+
+  /// vCPUs the scheduler packs containers against (48 on the Default shape).
+  [[nodiscard]] int scheduling_vcpus() const {
+    return sockets * physical_cores_per_socket * scheduled_threads_per_core;
+  }
+
+  /// Physical cores across all sockets.
+  [[nodiscard]] int total_cores() const { return sockets * physical_cores_per_socket; }
+
+  /// Hardware contexts actually available to run threads simultaneously:
+  /// 2 per core with SMT on, 1 per core with SMT off.
+  [[nodiscard]] int hardware_threads() const {
+    return total_cores() * (smt_enabled ? 2 : 1);
+  }
+
+  [[nodiscard]] double total_llc_mb() const { return llc_mb_per_socket * sockets; }
+
+  [[nodiscard]] double total_mem_bw_gbps() const {
+    return static_cast<double>(sockets * mem_channels_per_socket) *
+           mem_bw_gbps_per_channel;
+  }
+
+  [[nodiscard]] bool operator==(const MachineConfig&) const = default;
+};
+
+/// Table 2 machine: Intel Xeon E5-2650 v4, 2 sockets × 24 vCPUs, 256 GB.
+[[nodiscard]] MachineConfig default_machine();
+
+/// Table 5 "Small" machine: Intel Xeon E5-2640 v3, 2 sockets × 16 vCPUs, 128 GB.
+[[nodiscard]] MachineConfig small_machine();
+
+}  // namespace flare::dcsim

@@ -1,0 +1,75 @@
+#include "dcsim/scenario.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace flare::dcsim {
+
+void JobMix::remove(JobType type, int n) {
+  int& slot = instances[job_index(type)];
+  ensure(slot >= n, "JobMix::remove: removing more instances than present");
+  slot -= n;
+}
+
+int JobMix::total_instances() const {
+  int total = 0;
+  for (const int n : instances) total += n;
+  return total;
+}
+
+int JobMix::hp_instances() const {
+  int total = 0;
+  for (std::size_t i = 0; i < kNumHpJobTypes; ++i) total += instances[i];
+  return total;
+}
+
+int JobMix::lp_instances() const { return total_instances() - hp_instances(); }
+
+std::string JobMix::key() const {
+  std::string out;
+  for (std::size_t i = 0; i < kNumJobTypes; ++i) {
+    if (instances[i] == 0) continue;
+    if (!out.empty()) out += ',';
+    out += job_code(static_cast<JobType>(i));
+    out += ':';
+    out += std::to_string(instances[i]);
+  }
+  return out;
+}
+
+JobMix JobMix::from_key(std::string_view key) {
+  JobMix mix;
+  if (util::trim(key).empty()) return mix;
+  for (const std::string& part : util::split(key, ',')) {
+    const std::vector<std::string> kv = util::split(part, ':');
+    if (kv.size() != 2) {
+      throw ParseError("JobMix::from_key: malformed entry '" + part + "'");
+    }
+    const JobType type = job_type_from_code(util::trim(kv[0]));
+    const long long count = util::parse_int(kv[1]);
+    if (count <= 0) {
+      throw ParseError("JobMix::from_key: non-positive count in '" + part + "'");
+    }
+    mix.add(type, static_cast<int>(count));
+  }
+  return mix;
+}
+
+double ScenarioSet::total_weight() const {
+  double total = 0.0;
+  for (const ColocationScenario& s : scenarios) total += s.observation_weight;
+  return total;
+}
+
+std::vector<double> ScenarioSet::normalized_weights() const {
+  const double total = total_weight();
+  ensure(total > 0.0, "ScenarioSet::normalized_weights: zero total weight");
+  std::vector<double> weights;
+  weights.reserve(scenarios.size());
+  for (const ColocationScenario& s : scenarios) {
+    weights.push_back(s.observation_weight / total);
+  }
+  return weights;
+}
+
+}  // namespace flare::dcsim

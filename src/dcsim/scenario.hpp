@@ -1,0 +1,65 @@
+// Job co-location scenarios — FLARE's basic unit of evaluation (§4.1):
+// "every new combination of jobs [on one machine] defines a new scenario".
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dcsim/job_types.hpp"
+
+namespace flare::dcsim {
+
+/// The multiset of 4-vCPU container instances sharing one machine.
+struct JobMix {
+  std::array<int, kNumJobTypes> instances{};  ///< count per job type
+
+  [[nodiscard]] int count(JobType type) const { return instances[job_index(type)]; }
+  void add(JobType type, int n = 1) { instances[job_index(type)] += n; }
+  void remove(JobType type, int n = 1);
+
+  [[nodiscard]] int total_instances() const;
+  [[nodiscard]] int hp_instances() const;
+  [[nodiscard]] int lp_instances() const;
+  [[nodiscard]] bool empty() const { return total_instances() == 0; }
+
+  /// vCPUs consumed (4 per instance).
+  [[nodiscard]] int vcpus() const { return total_instances() * 4; }
+  [[nodiscard]] int hp_vcpus() const { return hp_instances() * 4; }
+  [[nodiscard]] int lp_vcpus() const { return lp_instances() * 4; }
+
+  /// Canonical textual key, e.g. "DA:2,DC:1,mcf:3" — used for deduplication
+  /// and trace round-trips. Empty mix yields "".
+  [[nodiscard]] std::string key() const;
+
+  /// Parses a key produced by `key()`; throws ParseError on malformed input.
+  [[nodiscard]] static JobMix from_key(std::string_view key);
+
+  [[nodiscard]] bool operator==(const JobMix&) const = default;
+};
+
+/// A deduplicated scenario observed in the (simulated) datacenter, together
+/// with how often it was observed. The observation weight is the total
+/// machine-time spent in the mix — scenarios seen longer/more often matter
+/// more when summarising the datacenter.
+struct ColocationScenario {
+  std::size_t id = 0;          ///< dense index within a ScenarioSet
+  JobMix mix;
+  double observation_weight = 1.0;
+  std::string machine_type = "default";
+};
+
+/// The profiled population of scenarios for one machine shape.
+struct ScenarioSet {
+  std::vector<ColocationScenario> scenarios;
+  std::string machine_type = "default";
+
+  [[nodiscard]] std::size_t size() const { return scenarios.size(); }
+  [[nodiscard]] double total_weight() const;
+
+  /// Normalised observation weights (sum to 1).
+  [[nodiscard]] std::vector<double> normalized_weights() const;
+};
+
+}  // namespace flare::dcsim

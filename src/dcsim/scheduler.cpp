@@ -1,0 +1,79 @@
+#include "dcsim/scheduler.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace flare::dcsim {
+
+Scheduler::Scheduler(const MachineConfig& machine, int num_machines,
+                     const JobCatalog& catalog, PlacementPolicy policy)
+    : config_(machine), catalog_(catalog), policy_(policy) {
+  ensure(num_machines > 0, "Scheduler: need at least one machine");
+  machines_.resize(static_cast<std::size_t>(num_machines));
+  for (int i = 0; i < num_machines; ++i) machines_[static_cast<std::size_t>(i)].id = i;
+}
+
+double Scheduler::used_dram_gb(int id) const {
+  const MachineState& m = machine(id);
+  double used = 0.0;
+  for (const JobType type : all_job_types()) {
+    used += catalog_.profile(type).dram_gb * m.mix.count(type);
+  }
+  return used;
+}
+
+bool Scheduler::fits(int id, JobType type) const {
+  const MachineState& m = machine(id);
+  const JobProfile& p = catalog_.profile(type);
+  if (m.used_vcpus() + p.vcpus > config_.scheduling_vcpus()) return false;
+  if (used_dram_gb(id) + p.dram_gb > config_.dram_gb) return false;
+  return true;
+}
+
+std::optional<int> Scheduler::place(JobType type) {
+  int chosen = -1;
+  double chosen_util = policy_ == PlacementPolicy::kBestFit
+                           ? -1.0
+                           : std::numeric_limits<double>::max();
+  for (const MachineState& m : machines_) {
+    if (!fits(m.id, type)) continue;
+    const double util = static_cast<double>(m.used_vcpus()) /
+                        static_cast<double>(config_.scheduling_vcpus());
+    switch (policy_) {
+      case PlacementPolicy::kLeastUtilized:
+        if (util < chosen_util) {
+          chosen_util = util;
+          chosen = m.id;
+        }
+        break;
+      case PlacementPolicy::kFirstFit:
+        if (chosen < 0) chosen = m.id;
+        break;
+      case PlacementPolicy::kBestFit:
+        if (util > chosen_util) {
+          chosen_util = util;
+          chosen = m.id;
+        }
+        break;
+    }
+    if (policy_ == PlacementPolicy::kFirstFit && chosen >= 0) break;
+  }
+  if (chosen < 0) {
+    ++denials_;
+    return std::nullopt;
+  }
+  machines_[static_cast<std::size_t>(chosen)].mix.add(type);
+  ++placements_;
+  return chosen;
+}
+
+void Scheduler::remove(int machine_id, JobType type) {
+  machines_.at(static_cast<std::size_t>(machine_id)).mix.remove(type);
+}
+
+const MachineState& Scheduler::machine(int id) const {
+  return machines_.at(static_cast<std::size_t>(id));
+}
+
+}  // namespace flare::dcsim

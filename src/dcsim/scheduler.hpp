@@ -1,0 +1,67 @@
+// The cluster scheduler (paper §5.1): greedy least-utilised placement of
+// 4-vCPU containers, no resource overcommit, denial when saturated.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dcsim/job_catalog.hpp"
+#include "dcsim/machine_config.hpp"
+#include "dcsim/scenario.hpp"
+
+namespace flare::dcsim {
+
+/// One machine's live state inside the scheduler.
+struct MachineState {
+  int id = 0;
+  JobMix mix;
+
+  [[nodiscard]] int used_vcpus() const { return mix.vcpus(); }
+};
+
+/// Placement policies. The paper's datacenter uses least-utilised greedy
+/// load balancing; the alternatives exist for the §5.6 scheduler-change
+/// workflow (a new scheduler reshapes the colocation landscape).
+enum class PlacementPolicy : unsigned char {
+  kLeastUtilized,  ///< paper default: pick the emptiest machine
+  kFirstFit,       ///< pack low machine ids first (consolidating scheduler)
+  kBestFit,        ///< pick the fullest machine that still has room
+};
+
+class Scheduler {
+ public:
+  Scheduler(const MachineConfig& machine, int num_machines,
+            const JobCatalog& catalog = default_job_catalog(),
+            PlacementPolicy policy = PlacementPolicy::kLeastUtilized);
+
+  /// Places one instance; returns the machine id, or nullopt when every
+  /// machine lacks vCPU or DRAM headroom (a scheduling denial).
+  [[nodiscard]] std::optional<int> place(JobType type);
+
+  /// Removes one instance of `type` from machine `machine_id`.
+  void remove(int machine_id, JobType type);
+
+  [[nodiscard]] const std::vector<MachineState>& machines() const { return machines_; }
+  [[nodiscard]] const MachineState& machine(int id) const;
+  [[nodiscard]] const MachineConfig& machine_config() const { return config_; }
+
+  [[nodiscard]] std::size_t denials() const { return denials_; }
+  [[nodiscard]] std::size_t placements() const { return placements_; }
+
+  /// Whether `type` fits on machine `id` under the no-overcommit rule
+  /// (both vCPU quota and DRAM must have headroom).
+  [[nodiscard]] bool fits(int id, JobType type) const;
+
+  /// DRAM currently reserved on machine `id` (GB).
+  [[nodiscard]] double used_dram_gb(int id) const;
+
+ private:
+  MachineConfig config_;
+  JobCatalog catalog_;
+  PlacementPolicy policy_;
+  std::vector<MachineState> machines_;
+  std::size_t denials_ = 0;
+  std::size_t placements_ = 0;
+};
+
+}  // namespace flare::dcsim

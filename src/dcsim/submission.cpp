@@ -1,0 +1,175 @@
+#include "dcsim/submission.hpp"
+
+#include <map>
+#include <queue>
+#include <string>
+
+#include "stats/rng.hpp"
+#include "util/error.hpp"
+
+namespace flare::dcsim {
+namespace {
+
+struct Departure {
+  double time = 0.0;
+  std::uint64_t seq = 0;  ///< tie-break for determinism
+  int machine_id = 0;
+  JobType type = JobType::kDataAnalytics;
+
+  [[nodiscard]] bool operator>(const Departure& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+/// Accumulates observed machine-time per distinct mix.
+class ScenarioRecorder {
+ public:
+  /// Credits `mix` with `duration` hours of observation.
+  void observe(const JobMix& mix, double duration) {
+    if (duration <= 0.0 || mix.empty()) return;
+    if (mix.hp_instances() == 0) return;  // performance is defined on HP jobs
+    const std::string key = mix.key();
+    auto [it, inserted] = index_.try_emplace(key, scenarios_.size());
+    if (inserted) {
+      ColocationScenario s;
+      s.id = scenarios_.size();
+      s.mix = mix;
+      s.observation_weight = duration;
+      scenarios_.push_back(std::move(s));
+    } else {
+      scenarios_[it->second].observation_weight += duration;
+    }
+  }
+
+  [[nodiscard]] std::size_t distinct() const { return scenarios_.size(); }
+  [[nodiscard]] std::vector<ColocationScenario> take() { return std::move(scenarios_); }
+
+ private:
+  std::map<std::string, std::size_t> index_;
+  std::vector<ColocationScenario> scenarios_;
+};
+
+std::vector<double> default_hp_weights() {
+  // Mildly skewed: serving-tier services outnumber analytics in production.
+  return {1.0, 1.6, 1.2, 0.8, 0.9, 1.1, 1.3, 1.5};
+}
+
+std::vector<double> default_lp_weights() { return {1.0, 0.8, 0.9, 1.0, 0.9, 1.1}; }
+
+}  // namespace
+
+ScenarioSet generate_scenario_set(const SubmissionConfig& config,
+                                  const MachineConfig& machine,
+                                  const JobCatalog& catalog, SubmissionStats* stats) {
+  ensure(config.num_machines > 0, "generate_scenario_set: need machines");
+  ensure(config.arrivals_per_hour > 0.0, "generate_scenario_set: need arrivals");
+  ensure(config.hp_fraction >= 0.0 && config.hp_fraction <= 1.0,
+         "generate_scenario_set: hp_fraction must be in [0, 1]");
+  ensure(config.max_instances_per_submission >= 1,
+         "generate_scenario_set: max_instances_per_submission must be >= 1");
+
+  const std::vector<double> hp_weights = config.hp_type_weights.empty()
+                                             ? default_hp_weights()
+                                             : config.hp_type_weights;
+  const std::vector<double> lp_weights = config.lp_type_weights.empty()
+                                             ? default_lp_weights()
+                                             : config.lp_type_weights;
+  ensure(hp_weights.size() == kNumHpJobTypes,
+         "generate_scenario_set: hp_type_weights must have 8 entries");
+  ensure(lp_weights.size() == kNumJobTypes - kNumHpJobTypes,
+         "generate_scenario_set: lp_type_weights must have 6 entries");
+
+  stats::Rng rng(config.seed);
+  Scheduler scheduler(machine, config.num_machines, catalog, config.policy);
+  ScenarioRecorder recorder;
+
+  // Per-machine observation bookkeeping: when a machine's mix changes we
+  // credit the old mix with the elapsed interval.
+  std::vector<double> interval_start(static_cast<std::size_t>(config.num_machines), 0.0);
+  std::vector<JobMix> current_mix(static_cast<std::size_t>(config.num_machines));
+
+  auto on_mix_change = [&](int machine_id, double now) {
+    const auto idx = static_cast<std::size_t>(machine_id);
+    recorder.observe(current_mix[idx], now - interval_start[idx]);
+    current_mix[idx] = scheduler.machine(machine_id).mix;
+    interval_start[idx] = now;
+  };
+
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>> departures;
+  std::uint64_t seq = 0;
+  double now = 0.0;
+  double next_arrival = rng.exponential(config.arrivals_per_hour);
+  std::size_t submissions = 0;
+  double occupancy_time_integral = 0.0;  // ∫ busy_vcpus dt
+  double last_event_time = 0.0;
+
+  const auto account_occupancy = [&](double t) {
+    int busy = 0;
+    for (const MachineState& m : scheduler.machines()) busy += m.used_vcpus();
+    occupancy_time_integral += static_cast<double>(busy) * (t - last_event_time);
+    last_event_time = t;
+  };
+
+  while (recorder.distinct() < config.target_distinct_scenarios &&
+         now < config.max_sim_hours) {
+    const bool depart_first =
+        !departures.empty() && departures.top().time <= next_arrival;
+    if (depart_first) {
+      const Departure d = departures.top();
+      departures.pop();
+      account_occupancy(d.time);
+      now = d.time;
+      scheduler.remove(d.machine_id, d.type);
+      on_mix_change(d.machine_id, now);
+      continue;
+    }
+
+    account_occupancy(next_arrival);
+    now = next_arrival;
+    next_arrival = now + rng.exponential(config.arrivals_per_hour);
+    ++submissions;
+
+    // Draw the job: priority class, type, scale-out width, duration.
+    const bool hp = rng.uniform() < config.hp_fraction;
+    const JobType type =
+        hp ? static_cast<JobType>(rng.weighted_index(hp_weights))
+           : static_cast<JobType>(kNumHpJobTypes + rng.weighted_index(lp_weights));
+    const int instances = static_cast<int>(rng.uniform_int(
+        1, static_cast<std::uint64_t>(config.max_instances_per_submission)));
+    const double duration =
+        config.min_duration_hours + rng.exponential(1.0 / config.mean_extra_duration_hours);
+
+    for (int i = 0; i < instances; ++i) {
+      const std::optional<int> placed = scheduler.place(type);
+      if (!placed.has_value()) break;  // denial: drop the remaining copies
+      on_mix_change(*placed, now);
+      departures.push(Departure{now + duration, seq++, *placed, type});
+    }
+  }
+
+  // Close the books on every machine's final interval.
+  for (int m = 0; m < config.num_machines; ++m) {
+    recorder.observe(current_mix[static_cast<std::size_t>(m)],
+                     now - interval_start[static_cast<std::size_t>(m)]);
+  }
+  account_occupancy(now);
+
+  if (stats != nullptr) {
+    stats->submissions = submissions;
+    stats->placements = scheduler.placements();
+    stats->denials = scheduler.denials();
+    stats->simulated_hours = now;
+    const double capacity =
+        static_cast<double>(config.num_machines * machine.scheduling_vcpus());
+    stats->mean_cpu_occupancy =
+        now > 0.0 ? occupancy_time_integral / (capacity * now) : 0.0;
+  }
+
+  ScenarioSet set;
+  set.machine_type = machine.name;
+  set.scenarios = recorder.take();
+  return set;
+}
+
+}  // namespace flare::dcsim

@@ -1,0 +1,60 @@
+// The job-submission system (paper §5.1): simulated users submit HP and LP
+// jobs as container instances with Poisson arrivals and random durations
+// (≥ 30 minutes), producing the diverse colocation landscape of Fig. 3a.
+//
+// Running the discrete-event loop and deduplicating every observed machine
+// mix yields the ScenarioSet FLARE profiles — the paper's 895 scenarios.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dcsim/machine_config.hpp"
+#include "dcsim/scenario.hpp"
+#include "dcsim/scheduler.hpp"
+
+namespace flare::dcsim {
+
+struct SubmissionConfig {
+  std::uint64_t seed = 7;
+  int num_machines = 8;  ///< one rack reproduces behaviours; two model clients
+
+  /// Stop once this many distinct scenarios (with ≥ 1 HP instance) exist.
+  std::size_t target_distinct_scenarios = 895;
+  /// Hard stop (simulated hours) even if the target was not reached.
+  double max_sim_hours = 40000.0;
+
+  double arrivals_per_hour = 13.0;
+  double min_duration_hours = 0.5;        ///< "each job runs for at least 30 min"
+  double mean_extra_duration_hours = 1.0; ///< exponential tail beyond the minimum
+  int max_instances_per_submission = 6;   ///< scale-out copies per request
+
+  /// Probability a submission is a High-Priority service (vs LP batch).
+  double hp_fraction = 0.65;
+
+  /// Relative submission weights. Empty -> defaults (mildly non-uniform, the
+  /// way production job populations skew).
+  std::vector<double> hp_type_weights;
+  std::vector<double> lp_type_weights;
+
+  PlacementPolicy policy = PlacementPolicy::kLeastUtilized;
+};
+
+struct SubmissionStats {
+  std::size_t submissions = 0;
+  std::size_t placements = 0;
+  std::size_t denials = 0;
+  double simulated_hours = 0.0;
+  double mean_cpu_occupancy = 0.0;  ///< time-averaged vCPU occupancy fraction
+};
+
+/// Runs the simulation and returns every distinct scenario containing at
+/// least one HP instance, weighted by total observed machine-time.
+/// Scenario ids are dense and ordered by first observation.
+[[nodiscard]] ScenarioSet generate_scenario_set(const SubmissionConfig& config,
+                                                const MachineConfig& machine,
+                                                const JobCatalog& catalog =
+                                                    default_job_catalog(),
+                                                SubmissionStats* stats = nullptr);
+
+}  // namespace flare::dcsim

@@ -1,0 +1,51 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace flare::linalg {
+
+Matrix cholesky_lower(const Matrix& a) {
+  ensure(a.rows() == a.cols(), "cholesky_lower: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        ensure_numeric(sum > 0.0, "cholesky_lower: matrix is not positive definite");
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b) {
+  ensure(b.size() == a.rows(), "cholesky_solve: rhs size mismatch");
+  const Matrix l = cholesky_lower(a);
+  const std::size_t n = l.rows();
+
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Backward substitution: Lᵀ x = y.
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+}  // namespace flare::linalg

@@ -1,0 +1,17 @@
+// Cholesky factorisation — used by the simulator's correlated-noise
+// generator and handy for SPD solves.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace flare::linalg {
+
+/// Lower-triangular L with L Lᵀ = a. Throws NumericalError when `a` is not
+/// (numerically) positive definite.
+[[nodiscard]] Matrix cholesky_lower(const Matrix& a);
+
+/// Solves a x = b for SPD `a` via Cholesky (forward + backward substitution).
+[[nodiscard]] std::vector<double> cholesky_solve(const Matrix& a,
+                                                 std::span<const double> b);
+
+}  // namespace flare::linalg

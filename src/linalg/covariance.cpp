@@ -1,0 +1,43 @@
+#include "linalg/covariance.hpp"
+
+#include "util/error.hpp"
+
+namespace flare::linalg {
+
+std::vector<double> column_means(const Matrix& data) {
+  ensure(data.rows() > 0, "column_means: empty matrix");
+  std::vector<double> means(data.cols(), 0.0);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const auto row = data.row(r);
+    for (std::size_t c = 0; c < data.cols(); ++c) means[c] += row[c];
+  }
+  for (double& m : means) m /= static_cast<double>(data.rows());
+  return means;
+}
+
+Matrix covariance_matrix(const Matrix& data) {
+  ensure(data.rows() >= 2, "covariance_matrix: need at least two observations");
+  const std::vector<double> means = column_means(data);
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  Matrix cov(d, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = data.row(r);
+    for (std::size_t i = 0; i < d; ++i) {
+      const double di = row[i] - means[i];
+      for (std::size_t j = i; j < d; ++j) {
+        cov(i, j) += di * (row[j] - means[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  }
+  return cov;
+}
+
+}  // namespace flare::linalg

@@ -1,0 +1,14 @@
+// Sample covariance of a data matrix (rows = observations, cols = variables).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace flare::linalg {
+
+/// Column means of a data matrix.
+[[nodiscard]] std::vector<double> column_means(const Matrix& data);
+
+/// Unbiased (n-1) sample covariance matrix; data must have >= 2 rows.
+[[nodiscard]] Matrix covariance_matrix(const Matrix& data);
+
+}  // namespace flare::linalg

@@ -1,0 +1,26 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// PCA (FLARE §4.3) needs all eigenpairs of a ~112 × 112 covariance matrix.
+// Jacobi is exact enough (machine precision), simple, and at this size runs
+// in milliseconds — no need for Householder/QR machinery.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace flare::linalg {
+
+struct SymmetricEigenResult {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> eigenvalues;
+  /// Column j of this matrix is the unit eigenvector for eigenvalues[j].
+  Matrix eigenvectors;
+};
+
+/// Decomposes a symmetric matrix. Throws NumericalError if `a` is not square
+/// or the sweep limit is exceeded (practically unreachable for symmetric
+/// input), and std::invalid_argument if `a` is materially non-symmetric.
+[[nodiscard]] SymmetricEigenResult symmetric_eigen(const Matrix& a,
+                                                   int max_sweeps = 64,
+                                                   double tolerance = 1e-12);
+
+}  // namespace flare::linalg

@@ -1,0 +1,45 @@
+#include "metrics/metric_database.hpp"
+
+#include "util/error.hpp"
+
+namespace flare::metrics {
+
+MetricDatabase::MetricDatabase(const MetricCatalog& catalog) : catalog_(&catalog) {}
+
+void MetricDatabase::add_row(MetricRow row) {
+  ensure(row.values.size() == catalog_->size(),
+         "MetricDatabase::add_row: value count does not match catalog");
+  rows_.push_back(std::move(row));
+}
+
+const MetricRow& MetricDatabase::row(std::size_t index) const {
+  ensure(index < rows_.size(), "MetricDatabase::row: index out of range");
+  return rows_[index];
+}
+
+linalg::Matrix MetricDatabase::to_matrix() const {
+  ensure(!rows_.empty(), "MetricDatabase::to_matrix: empty database");
+  linalg::Matrix m(rows_.size(), catalog_->size());
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    m.set_row(r, rows_[r].values);
+  }
+  return m;
+}
+
+std::vector<double> MetricDatabase::column(std::string_view name) const {
+  const auto index = catalog_->index_of(name);
+  ensure(index.has_value(), "MetricDatabase::column: unknown metric name");
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const MetricRow& r : rows_) out.push_back(r.values[*index]);
+  return out;
+}
+
+std::vector<double> MetricDatabase::weights() const {
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const MetricRow& r : rows_) out.push_back(r.observation_weight);
+  return out;
+}
+
+}  // namespace flare::metrics

@@ -1,0 +1,49 @@
+// The "relational database" of §4.2: one row of raw metrics per profiled
+// job co-location scenario.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "metrics/metric_catalog.hpp"
+
+namespace flare::metrics {
+
+/// One profiled scenario: its identity plus its raw metric row.
+struct MetricRow {
+  std::size_t scenario_id = 0;
+  std::string scenario_key;       ///< JobMix::key() of the scenario
+  double observation_weight = 1.0;
+  std::vector<double> values;     ///< catalog-ordered raw metrics
+};
+
+class MetricDatabase {
+ public:
+  explicit MetricDatabase(const MetricCatalog& catalog = MetricCatalog::standard());
+
+  /// Appends a row; `values` must match the catalog size.
+  void add_row(MetricRow row);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_metrics() const { return catalog_->size(); }
+  [[nodiscard]] const MetricCatalog& catalog() const { return *catalog_; }
+
+  [[nodiscard]] const MetricRow& row(std::size_t index) const;
+  [[nodiscard]] const std::vector<MetricRow>& rows() const { return rows_; }
+
+  /// Dense scenarios × metrics matrix (analysis input).
+  [[nodiscard]] linalg::Matrix to_matrix() const;
+
+  /// One metric across all rows, by fully qualified name.
+  [[nodiscard]] std::vector<double> column(std::string_view name) const;
+
+  /// Observation weights in row order.
+  [[nodiscard]] std::vector<double> weights() const;
+
+ private:
+  const MetricCatalog* catalog_;  ///< non-owning; catalogs are long-lived
+  std::vector<MetricRow> rows_;
+};
+
+}  // namespace flare::metrics

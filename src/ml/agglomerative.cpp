@@ -1,0 +1,117 @@
+#include "ml/agglomerative.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace flare::ml {
+namespace {
+
+/// Lance–Williams coefficients give each linkage as an update rule:
+/// d(i∪j, k) = αi d(i,k) + αj d(j,k) + β d(i,j) + γ |d(i,k) − d(j,k)|.
+struct LanceWilliams {
+  double ai, aj, beta, gamma;
+};
+
+LanceWilliams coefficients(Linkage linkage, double ni, double nj, double nk) {
+  switch (linkage) {
+    case Linkage::kWard: {
+      const double total = ni + nj + nk;
+      return {(ni + nk) / total, (nj + nk) / total, -nk / total, 0.0};
+    }
+    case Linkage::kAverage:
+      return {ni / (ni + nj), nj / (ni + nj), 0.0, 0.0};
+    case Linkage::kComplete:
+      return {0.5, 0.5, 0.0, 0.5};
+    case Linkage::kSingle:
+      return {0.5, 0.5, 0.0, -0.5};
+  }
+  ensure(false, "agglomerative: unknown linkage");
+  return {};
+}
+
+}  // namespace
+
+AgglomerativeResult agglomerative_cluster(const linalg::Matrix& data, std::size_t k,
+                                          Linkage linkage) {
+  const std::size_t n = data.rows();
+  ensure(k >= 1 && k <= n, "agglomerative_cluster: invalid cluster count");
+
+  // Active cluster bookkeeping. Each row starts as its own cluster.
+  std::vector<bool> active(n, true);
+  std::vector<double> size(n, 1.0);
+  std::vector<std::vector<std::size_t>> members(n);
+  for (std::size_t i = 0; i < n; ++i) members[i] = {i};
+
+  // Pairwise squared distances (Ward works on squared Euclidean).
+  linalg::Matrix dist(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = linalg::squared_distance(data.row(i), data.row(j));
+      dist(i, j) = d;
+      dist(j, i) = d;
+    }
+  }
+
+  std::size_t clusters = n;
+  while (clusters > k) {
+    // Find the closest active pair.
+    double best = std::numeric_limits<double>::max();
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (dist(i, j) < best) {
+          best = dist(i, j);
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    // Merge bj into bi; update distances via Lance–Williams.
+    for (std::size_t m = 0; m < n; ++m) {
+      if (!active[m] || m == bi || m == bj) continue;
+      const LanceWilliams lw = coefficients(linkage, size[bi], size[bj], size[m]);
+      const double updated = lw.ai * dist(bi, m) + lw.aj * dist(bj, m) +
+                             lw.beta * dist(bi, bj) +
+                             lw.gamma * std::abs(dist(bi, m) - dist(bj, m));
+      dist(bi, m) = updated;
+      dist(m, bi) = updated;
+    }
+    size[bi] += size[bj];
+    members[bi].insert(members[bi].end(), members[bj].begin(), members[bj].end());
+    members[bj].clear();
+    active[bj] = false;
+    --clusters;
+  }
+
+  // Compact to ids [0, k) in first-seen order for determinism.
+  AgglomerativeResult result;
+  result.assignment.assign(n, 0);
+  result.cluster_sizes.clear();
+  result.centroids = linalg::Matrix(k, data.cols());
+  std::size_t next_id = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    for (const std::size_t row : members[i]) result.assignment[row] = next_id;
+    result.cluster_sizes.push_back(members[i].size());
+    for (const std::size_t row : members[i]) {
+      const auto r = data.row(row);
+      for (std::size_t c = 0; c < data.cols(); ++c) {
+        result.centroids(next_id, c) += r[c];
+      }
+    }
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      result.centroids(next_id, c) /= static_cast<double>(members[i].size());
+    }
+    ++next_id;
+  }
+  return result;
+}
+
+}  // namespace flare::ml

@@ -1,0 +1,36 @@
+// Agglomerative (hierarchical) clustering with Ward linkage.
+//
+// FLARE §4.4 notes that "alternatives (e.g., hierarchical clustering of
+// [74, 80]) can also be applied" in place of K-means; this implementation
+// backs that claim and serves as an ablation comparator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace flare::ml {
+
+enum class Linkage : unsigned char {
+  kWard,      ///< minimises within-cluster variance increase (default)
+  kAverage,   ///< UPGMA mean pairwise distance
+  kComplete,  ///< farthest-pair distance
+  kSingle,    ///< nearest-pair distance
+};
+
+struct AgglomerativeResult {
+  std::vector<std::size_t> assignment;  ///< cluster id per row, ids in [0, k)
+  std::vector<std::size_t> cluster_sizes;
+  /// Centroid (mean) of each cluster — lets callers reuse the K-means
+  /// representative-selection machinery unchanged.
+  linalg::Matrix centroids;
+};
+
+/// Cuts the merge tree at `k` clusters. Lance–Williams updates, O(n²) memory
+/// and O(n³) time worst case — fine for ≤ a few thousand scenarios.
+[[nodiscard]] AgglomerativeResult agglomerative_cluster(const linalg::Matrix& data,
+                                                        std::size_t k,
+                                                        Linkage linkage = Linkage::kWard);
+
+}  // namespace flare::ml

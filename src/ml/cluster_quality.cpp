@@ -1,0 +1,70 @@
+#include "ml/cluster_quality.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace flare::ml {
+
+double sum_squared_errors(const linalg::Matrix& data, const linalg::Matrix& centroids,
+                          const std::vector<std::size_t>& assignment) {
+  ensure(assignment.size() == data.rows(), "sum_squared_errors: assignment size");
+  double sse = 0.0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    ensure(assignment[i] < centroids.rows(), "sum_squared_errors: bad cluster id");
+    sse += linalg::squared_distance(data.row(i), centroids.row(assignment[i]));
+  }
+  return sse;
+}
+
+std::vector<double> silhouette_samples(const linalg::Matrix& data,
+                                       const std::vector<std::size_t>& assignment,
+                                       std::size_t num_clusters) {
+  const std::size_t n = data.rows();
+  ensure(assignment.size() == n, "silhouette_samples: assignment size");
+  ensure(num_clusters >= 2, "silhouette_samples: need at least two clusters");
+
+  std::vector<std::size_t> sizes(num_clusters, 0);
+  for (const std::size_t c : assignment) {
+    ensure(c < num_clusters, "silhouette_samples: bad cluster id");
+    ++sizes[c];
+  }
+
+  std::vector<double> scores(n, 0.0);
+  // For each point, accumulate its mean distance to every cluster.
+  std::vector<double> cluster_dist(num_clusters);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sizes[assignment[i]] <= 1) {
+      scores[i] = 0.0;  // singleton convention
+      continue;
+    }
+    std::fill(cluster_dist.begin(), cluster_dist.end(), 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      cluster_dist[assignment[j]] +=
+          std::sqrt(linalg::squared_distance(data.row(i), data.row(j)));
+    }
+    const std::size_t own = assignment[i];
+    const double a = cluster_dist[own] / static_cast<double>(sizes[own] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < num_clusters; ++c) {
+      if (c == own || sizes[c] == 0) continue;
+      b = std::min(b, cluster_dist[c] / static_cast<double>(sizes[c]));
+    }
+    const double denom = std::max(a, b);
+    scores[i] = denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return scores;
+}
+
+double silhouette_score(const linalg::Matrix& data,
+                        const std::vector<std::size_t>& assignment,
+                        std::size_t num_clusters) {
+  const std::vector<double> samples = silhouette_samples(data, assignment, num_clusters);
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  return samples.empty() ? 0.0 : sum / static_cast<double>(samples.size());
+}
+
+}  // namespace flare::ml

@@ -1,0 +1,26 @@
+// Clustering quality measures used to choose the cluster count
+// (FLARE §4.4 / Fig. 9): Sum of Squared Errors (elbow) and Silhouette Score.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace flare::ml {
+
+/// Sum over points of squared distance to the centroid of their cluster.
+[[nodiscard]] double sum_squared_errors(const linalg::Matrix& data,
+                                        const linalg::Matrix& centroids,
+                                        const std::vector<std::size_t>& assignment);
+
+/// Mean silhouette over all points, in [-1, 1]. Points in singleton clusters
+/// contribute 0 (the standard convention). O(n²) pairwise distances — fine
+/// for the ~895-scenario scale this library targets.
+[[nodiscard]] double silhouette_score(const linalg::Matrix& data,
+                                      const std::vector<std::size_t>& assignment,
+                                      std::size_t num_clusters);
+
+/// Per-point silhouette values (same conventions as silhouette_score).
+[[nodiscard]] std::vector<double> silhouette_samples(
+    const linalg::Matrix& data, const std::vector<std::size_t>& assignment,
+    std::size_t num_clusters);
+
+}  // namespace flare::ml

@@ -1,0 +1,240 @@
+#include "ml/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "stats/rng.hpp"
+#include "util/error.hpp"
+
+namespace flare::ml {
+namespace {
+
+using linalg::Matrix;
+using linalg::squared_distance;
+
+/// Picks initial centroids with the k-means++ D² distribution (optionally
+/// weighted by per-point importance).
+Matrix init_kmeanspp(const Matrix& data, std::size_t k,
+                     const std::vector<double>& weights, stats::Rng& rng) {
+  const std::size_t n = data.rows();
+  Matrix centroids(k, data.cols());
+  std::vector<double> d2(n, std::numeric_limits<double>::max());
+  const auto w = [&](std::size_t i) { return weights.empty() ? 1.0 : weights[i]; };
+
+  std::size_t first = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+  if (!weights.empty()) first = rng.weighted_index(weights);
+  centroids.set_row(0, data.row(first));
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], squared_distance(data.row(i), centroids.row(c - 1)));
+      total += d2[i] * w(i);
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.uniform() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= d2[i] * w(i);
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      // All points identical to existing centroids; any choice works.
+      chosen = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    }
+    centroids.set_row(c, data.row(chosen));
+  }
+  return centroids;
+}
+
+/// Picks k distinct random data points as initial centroids.
+Matrix init_random(const Matrix& data, std::size_t k, stats::Rng& rng) {
+  const std::vector<std::size_t> picks = rng.sample_without_replacement(data.rows(), k);
+  Matrix centroids(k, data.cols());
+  for (std::size_t c = 0; c < k; ++c) centroids.set_row(c, data.row(picks[c]));
+  return centroids;
+}
+
+struct LloydOutcome {
+  Matrix centroids;
+  std::vector<std::size_t> assignment;
+  double sse = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+LloydOutcome run_lloyd(const Matrix& data, Matrix centroids, const KMeansParams& params) {
+  const std::size_t n = data.rows();
+  const std::size_t k = params.k;
+  const std::size_t dim = data.cols();
+  const auto w = [&](std::size_t i) {
+    return params.weights.empty() ? 1.0 : params.weights[i];
+  };
+
+  LloydOutcome out;
+  out.assignment.assign(n, 0);
+
+  for (int iter = 0; iter < params.max_iterations; ++iter) {
+    // Assignment step.
+    out.sse = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(data.row(i), centroids.row(c));
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      out.assignment[i] = best_c;
+      out.sse += best * w(i);
+    }
+
+    // Update step (weighted means when point weights are given).
+    Matrix next(k, dim);
+    std::vector<std::size_t> counts(k, 0);
+    std::vector<double> mass(k, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = out.assignment[i];
+      ++counts[c];
+      mass[c] += w(i);
+      const auto row = data.row(i);
+      for (std::size_t j = 0; j < dim; ++j) next(c, j) += row[j] * w(i);
+    }
+
+    // Repair empty clusters: move their centroid to the point currently
+    // farthest from its assigned centroid (splits the worst-fit region).
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] > 0 && mass[c] > 0.0) {
+        for (std::size_t j = 0; j < dim; ++j) {
+          next(c, j) /= mass[c];
+        }
+        continue;
+      }
+      double worst = -1.0;
+      std::size_t worst_i = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d =
+            squared_distance(data.row(i), centroids.row(out.assignment[i]));
+        if (d > worst) {
+          worst = d;
+          worst_i = i;
+        }
+      }
+      next.set_row(c, data.row(worst_i));
+    }
+
+    // Convergence: total squared centroid movement.
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      movement += squared_distance(next.row(c), centroids.row(c));
+    }
+    centroids = std::move(next);
+    out.iterations = iter + 1;
+    if (movement <= params.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+
+  // Final assignment against the final centroids (keeps sse consistent).
+  out.sse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double d = squared_distance(data.row(i), centroids.row(c));
+      if (d < best) {
+        best = d;
+        best_c = c;
+      }
+    }
+    out.assignment[i] = best_c;
+    out.sse += best * w(i);
+  }
+  out.centroids = std::move(centroids);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> KMeansResult::members_of(std::size_t c) const {
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] == c) members.push_back(i);
+  }
+  return members;
+}
+
+std::size_t KMeansResult::nearest_member(const linalg::Matrix& data,
+                                         std::size_t c) const {
+  ensure(c < centroids.rows(), "KMeansResult::nearest_member: cluster out of range");
+  double best = std::numeric_limits<double>::max();
+  std::size_t best_i = assignment.size();  // sentinel
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] != c) continue;
+    const double d = squared_distance(data.row(i), centroids.row(c));
+    if (d < best) {
+      best = d;
+      best_i = i;
+    }
+  }
+  ensure(best_i < assignment.size(), "KMeansResult::nearest_member: empty cluster");
+  return best_i;
+}
+
+std::vector<std::size_t> KMeansResult::members_by_distance(const linalg::Matrix& data,
+                                                           std::size_t c) const {
+  std::vector<std::size_t> members = members_of(c);
+  std::vector<double> dist(members.size());
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    dist[m] = squared_distance(data.row(members[m]), centroids.row(c));
+  }
+  std::vector<std::size_t> order(members.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return dist[a] < dist[b]; });
+  std::vector<std::size_t> sorted(members.size());
+  for (std::size_t m = 0; m < members.size(); ++m) sorted[m] = members[order[m]];
+  return sorted;
+}
+
+KMeansResult kmeans(const linalg::Matrix& data, const KMeansParams& params) {
+  ensure(params.k >= 1, "kmeans: k must be at least 1");
+  ensure(data.rows() >= params.k, "kmeans: k exceeds the number of points");
+  ensure(params.max_iterations > 0, "kmeans: max_iterations must be positive");
+  ensure(params.restarts > 0, "kmeans: restarts must be positive");
+  ensure(params.weights.empty() || params.weights.size() == data.rows(),
+         "kmeans: weights must be empty or match the point count");
+  for (const double w : params.weights) {
+    ensure(w >= 0.0, "kmeans: weights must be non-negative");
+  }
+
+  stats::Rng rng(params.seed);
+  std::optional<LloydOutcome> best;
+  for (int r = 0; r < params.restarts; ++r) {
+    stats::Rng restart_rng = rng.fork(static_cast<std::uint64_t>(r));
+    Matrix init = params.init == KMeansInit::kKMeansPlusPlus
+                      ? init_kmeanspp(data, params.k, params.weights, restart_rng)
+                      : init_random(data, params.k, restart_rng);
+    LloydOutcome outcome = run_lloyd(data, std::move(init), params);
+    if (!best.has_value() || outcome.sse < best->sse) best = std::move(outcome);
+  }
+
+  KMeansResult result;
+  result.centroids = std::move(best->centroids);
+  result.assignment = std::move(best->assignment);
+  result.sse = best->sse;
+  result.iterations = best->iterations;
+  result.converged = best->converged;
+  result.cluster_sizes.assign(params.k, 0);
+  for (const std::size_t c : result.assignment) ++result.cluster_sizes[c];
+  return result;
+}
+
+}  // namespace flare::ml

@@ -1,0 +1,58 @@
+// K-means clustering (FLARE §4.4) with k-means++ seeding and best-of-N
+// restarts. The paper groups 895 whitened scenario vectors into 18 clusters
+// and takes the member nearest each centroid as the representative scenario.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace flare::ml {
+
+enum class KMeansInit : std::uint8_t {
+  kKMeansPlusPlus,  ///< D² weighted seeding (default; the robust choice)
+  kRandomPoints,    ///< uniform sample of data points (ablation baseline)
+};
+
+struct KMeansParams {
+  std::size_t k = 8;
+  int max_iterations = 300;
+  int restarts = 8;              ///< independent inits; the lowest-SSE run wins
+  double tolerance = 1e-7;       ///< stop when centroid movement² falls below
+  std::uint64_t seed = 42;
+  KMeansInit init = KMeansInit::kKMeansPlusPlus;
+  /// Optional per-point weights (e.g. scenario observation time). Empty =
+  /// unweighted (the paper's design). When set, centroids are weighted means,
+  /// SSE is weighted, and k-means++ seeding draws by weight × D².
+  std::vector<double> weights;
+};
+
+struct KMeansResult {
+  linalg::Matrix centroids;            ///< k × dim
+  std::vector<std::size_t> assignment; ///< cluster id per input row
+  std::vector<std::size_t> cluster_sizes;
+  double sse = 0.0;                    ///< sum of squared point-to-centroid distances
+  int iterations = 0;                  ///< Lloyd iterations of the winning restart
+  bool converged = false;
+
+  /// Indices of the rows belonging to cluster `c`.
+  [[nodiscard]] std::vector<std::size_t> members_of(std::size_t c) const;
+
+  /// Row index of the member nearest the centroid of cluster `c` —
+  /// FLARE's representative scenario for that cluster.
+  [[nodiscard]] std::size_t nearest_member(const linalg::Matrix& data,
+                                           std::size_t c) const;
+
+  /// Members of `c` ordered by increasing distance from its centroid —
+  /// used by the per-job estimator's "next nearest scenario" walk (§5.3).
+  [[nodiscard]] std::vector<std::size_t> members_by_distance(
+      const linalg::Matrix& data, std::size_t c) const;
+};
+
+/// Runs Lloyd's algorithm. Throws std::invalid_argument when k is zero or
+/// exceeds the number of rows. Empty clusters are repaired by re-seeding the
+/// centroid at the point farthest from its assigned centroid.
+[[nodiscard]] KMeansResult kmeans(const linalg::Matrix& data, const KMeansParams& params);
+
+}  // namespace flare::ml

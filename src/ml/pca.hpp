@@ -1,0 +1,61 @@
+// Principal Component Analysis (FLARE §4.3).
+//
+// The paper standardises the refined metrics, extracts PCs via the covariance
+// eigendecomposition, keeps enough components to explain 95 % of variance
+// (18 in their datacenter), and then *interprets* each PC through its signed
+// loadings (Fig. 8). This class exposes exactly those pieces: scores,
+// explained-variance ratios, and per-component loadings.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace flare::ml {
+
+class Pca {
+ public:
+  /// Fits on a data matrix (rows = observations). The input is expected to be
+  /// standardised already (the Analyzer composes Standardizer -> Pca).
+  void fit(const linalg::Matrix& data);
+
+  /// Projects data onto the principal axes: scores = (x - mean) · V.
+  /// Returns all components; callers slice with `num_components_for`.
+  [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& data) const;
+
+  /// Projects onto the first `k` components only.
+  [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& data,
+                                         std::size_t k) const;
+
+  /// Reconstructs data from the first `k` components (lossy if k < dim).
+  [[nodiscard]] linalg::Matrix inverse_transform(const linalg::Matrix& scores) const;
+
+  /// Fraction of total variance captured by each component, descending.
+  [[nodiscard]] const std::vector<double>& explained_variance_ratio() const;
+
+  /// Cumulative explained variance after the first `k` components.
+  [[nodiscard]] double cumulative_explained_variance(std::size_t k) const;
+
+  /// Smallest k whose cumulative explained variance reaches `target`
+  /// (e.g. 0.95 -> 18 components in the paper).
+  [[nodiscard]] std::size_t num_components_for(double target) const;
+
+  /// Loading of original variable `var` on component `comp` — the signed
+  /// weight used for Fig. 8-style interpretation.
+  [[nodiscard]] double loading(std::size_t var, std::size_t comp) const;
+
+  /// Full loading matrix (variables × components, columns are unit vectors).
+  [[nodiscard]] const linalg::Matrix& components() const;
+
+  /// Raw eigenvalues of the covariance matrix, descending.
+  [[nodiscard]] const std::vector<double>& eigenvalues() const;
+
+  [[nodiscard]] std::size_t dimension() const { return mean_.size(); }
+  [[nodiscard]] bool fitted() const { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  linalg::Matrix components_;  // dim × dim, column j = j-th axis
+  std::vector<double> eigenvalues_;
+  std::vector<double> explained_ratio_;
+};
+
+}  // namespace flare::ml

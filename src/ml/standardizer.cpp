@@ -1,0 +1,56 @@
+#include "ml/standardizer.hpp"
+
+#include <cmath>
+
+#include "linalg/covariance.hpp"
+#include "util/error.hpp"
+
+namespace flare::ml {
+
+void Standardizer::fit(const linalg::Matrix& data) {
+  ensure(data.rows() >= 1, "Standardizer::fit: empty data");
+  means_ = linalg::column_means(data);
+  scales_.assign(data.cols(), 1.0);
+  if (data.rows() < 2) return;  // single row: keep unit scales
+  for (std::size_t c = 0; c < data.cols(); ++c) {
+    double sum_sq = 0.0;
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      const double d = data(r, c) - means_[c];
+      sum_sq += d * d;
+    }
+    const double sd = std::sqrt(sum_sq / static_cast<double>(data.rows() - 1));
+    scales_[c] = sd > 0.0 ? sd : 1.0;
+  }
+}
+
+linalg::Matrix Standardizer::transform(const linalg::Matrix& data) const {
+  ensure(fitted(), "Standardizer::transform: not fitted");
+  ensure(data.cols() == means_.size(), "Standardizer::transform: column mismatch");
+  linalg::Matrix out(data.rows(), data.cols());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      out(r, c) = (data(r, c) - means_[c]) / scales_[c];
+    }
+  }
+  return out;
+}
+
+linalg::Matrix Standardizer::fit_transform(const linalg::Matrix& data) {
+  fit(data);
+  return transform(data);
+}
+
+linalg::Matrix Standardizer::inverse_transform(const linalg::Matrix& data) const {
+  ensure(fitted(), "Standardizer::inverse_transform: not fitted");
+  ensure(data.cols() == means_.size(),
+         "Standardizer::inverse_transform: column mismatch");
+  linalg::Matrix out(data.rows(), data.cols());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      out(r, c) = data(r, c) * scales_[c] + means_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace flare::ml

@@ -1,0 +1,54 @@
+#include "ml/whitener.hpp"
+
+#include <cmath>
+
+#include "linalg/covariance.hpp"
+#include "util/error.hpp"
+
+namespace flare::ml {
+
+void Whitener::fit(const linalg::Matrix& scores) {
+  ensure(scores.rows() >= 2, "Whitener::fit: need at least two rows");
+  means_ = linalg::column_means(scores);
+  scales_.assign(scores.cols(), 1.0);
+  for (std::size_t c = 0; c < scores.cols(); ++c) {
+    double sum_sq = 0.0;
+    for (std::size_t r = 0; r < scores.rows(); ++r) {
+      const double d = scores(r, c) - means_[c];
+      sum_sq += d * d;
+    }
+    const double sd = std::sqrt(sum_sq / static_cast<double>(scores.rows() - 1));
+    scales_[c] = sd > 0.0 ? sd : 1.0;
+  }
+}
+
+linalg::Matrix Whitener::transform(const linalg::Matrix& scores) const {
+  ensure(fitted(), "Whitener::transform: not fitted");
+  ensure(scores.cols() == means_.size(), "Whitener::transform: column mismatch");
+  linalg::Matrix out(scores.rows(), scores.cols());
+  for (std::size_t r = 0; r < scores.rows(); ++r) {
+    for (std::size_t c = 0; c < scores.cols(); ++c) {
+      out(r, c) = (scores(r, c) - means_[c]) / scales_[c];
+    }
+  }
+  return out;
+}
+
+linalg::Matrix Whitener::fit_transform(const linalg::Matrix& scores) {
+  fit(scores);
+  return transform(scores);
+}
+
+linalg::Matrix Whitener::inverse_transform(const linalg::Matrix& white) const {
+  ensure(fitted(), "Whitener::inverse_transform: not fitted");
+  ensure(white.cols() == means_.size(), "Whitener::inverse_transform: column mismatch");
+  linalg::Matrix out(white.rows(), white.cols());
+  for (std::size_t r = 0; r < white.rows(); ++r) {
+    for (std::size_t c = 0; c < white.cols(); ++c) {
+      out(r, c) = white(r, c) * scales_[c] + means_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace flare::ml

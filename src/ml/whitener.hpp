@@ -1,0 +1,29 @@
+// Whitening of PC scores (FLARE §4.4: "normalize all the selected PCs to have
+// zero mean and unit variance ... to make each PC retain the same amount of
+// information" before clustering). Since PC scores are already zero-mean and
+// uncorrelated, whitening reduces to per-column scaling by 1/σ — but we keep
+// a full fit/transform API so the pipeline stays explicit and testable.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace flare::ml {
+
+class Whitener {
+ public:
+  void fit(const linalg::Matrix& scores);
+
+  [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& scores) const;
+  [[nodiscard]] linalg::Matrix fit_transform(const linalg::Matrix& scores);
+  [[nodiscard]] linalg::Matrix inverse_transform(const linalg::Matrix& white) const;
+
+  [[nodiscard]] bool fitted() const { return !means_.empty(); }
+  [[nodiscard]] const std::vector<double>& means() const { return means_; }
+  [[nodiscard]] const std::vector<double>& scales() const { return scales_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> scales_;
+};
+
+}  // namespace flare::ml

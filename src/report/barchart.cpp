@@ -1,0 +1,60 @@
+#include "report/barchart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace flare::report {
+
+BarChart::BarChart(std::string title, int max_width)
+    : title_(std::move(title)), max_width_(max_width) {
+  ensure(max_width_ >= 4, "BarChart: max_width too small");
+}
+
+void BarChart::add(Bar bar) { bars_.push_back(std::move(bar)); }
+
+void BarChart::add(std::string label, double value, std::string annotation) {
+  bars_.push_back(Bar{std::move(label), value, std::move(annotation)});
+}
+
+void BarChart::print(std::ostream& out) const {
+  out << title_ << '\n';
+  if (bars_.empty()) {
+    out << "  (no data)\n";
+    return;
+  }
+  double peak = 0.0;
+  std::size_t label_width = 0;
+  for (const Bar& b : bars_) {
+    peak = std::max(peak, std::abs(b.value));
+    label_width = std::max(label_width, b.label.size());
+  }
+  for (const Bar& b : bars_) {
+    const int len =
+        peak > 0.0 ? static_cast<int>(std::round(std::abs(b.value) / peak *
+                                                 max_width_))
+                   : 0;
+    out << "  " << b.label << std::string(label_width - b.label.size(), ' ')
+        << " |" << std::string(static_cast<std::size_t>(len), '#')
+        << (b.value < 0.0 ? "  (neg) " : " ") << util::format_double(b.value, 2);
+    if (!b.annotation.empty()) out << "  " << b.annotation;
+    out << '\n';
+  }
+}
+
+void print_series(std::ostream& out, const std::string& title,
+                  const std::vector<std::pair<double, double>>& points,
+                  const std::string& x_label, const std::string& y_label,
+                  int decimals) {
+  out << title << '\n';
+  out << "  " << x_label << " -> " << y_label << '\n';
+  for (const auto& [x, y] : points) {
+    out << "  " << util::format_double(x, 0) << ", "
+        << util::format_double(y, decimals) << '\n';
+  }
+}
+
+}  // namespace flare::report

@@ -1,0 +1,38 @@
+// Horizontal ASCII bar charts — terminal renderings of the paper's figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flare::report {
+
+struct Bar {
+  std::string label;
+  double value = 0.0;
+  std::string annotation;  ///< optional suffix, e.g. "±1.2"
+};
+
+class BarChart {
+ public:
+  explicit BarChart(std::string title, int max_width = 50);
+
+  void add(Bar bar);
+  void add(std::string label, double value, std::string annotation = "");
+
+  /// Renders bars scaled to the max |value|; negatives render leftward.
+  void print(std::ostream& out) const;
+
+ private:
+  std::string title_;
+  int max_width_;
+  std::vector<Bar> bars_;
+};
+
+/// Quick one-series x/y print (for curves like Fig. 7 / Fig. 9 / Fig. 13).
+void print_series(std::ostream& out, const std::string& title,
+                  const std::vector<std::pair<double, double>>& points,
+                  const std::string& x_label, const std::string& y_label,
+                  int decimals = 3);
+
+}  // namespace flare::report

@@ -1,0 +1,58 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace flare::report {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), alignment_(headers_.size(), Align::kRight) {
+  ensure(!headers_.empty(), "AsciiTable: need at least one column");
+  alignment_[0] = Align::kLeft;  // first column is usually a label
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  ensure(cells.size() == headers_.size(), "AsciiTable::add_row: cell count mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::cell(double value, int decimals) {
+  return util::format_double(value, decimals);
+}
+
+void AsciiTable::set_alignment(std::size_t column, Align align) {
+  ensure(column < alignment_.size(), "AsciiTable::set_alignment: column out of range");
+  alignment_[column] = align;
+}
+
+void AsciiTable::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << "  ";
+      const std::size_t pad = width[c] - cells[c].size();
+      if (alignment_[c] == Align::kRight) out << std::string(pad, ' ');
+      out << cells[c];
+      if (alignment_[c] == Align::kLeft) out << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w;
+  out << std::string(total + 2 * (headers_.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace flare::report

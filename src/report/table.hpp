@@ -1,0 +1,36 @@
+// ASCII table rendering for the bench harnesses (the "same rows the paper
+// reports" output format).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flare::report {
+
+enum class Align : unsigned char { kLeft, kRight };
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `decimals` digits.
+  static std::string cell(double value, int decimals = 2);
+
+  void set_alignment(std::size_t column, Align align);
+
+  /// Renders with a header rule and column padding.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> alignment_;
+};
+
+}  // namespace flare::report

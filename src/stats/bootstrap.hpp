@@ -1,0 +1,32 @@
+// Bootstrap confidence intervals; used for sampling-baseline error bars
+// (paper Fig. 12b reports 95% confidence intervals for random sampling).
+#pragma once
+
+#include <span>
+
+#include "stats/rng.hpp"
+
+namespace flare::stats {
+
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point = 0.0;  ///< point estimate (mean of the data)
+
+  [[nodiscard]] double width() const { return upper - lower; }
+  [[nodiscard]] bool contains(double value) const {
+    return value >= lower && value <= upper;
+  }
+};
+
+/// Percentile-bootstrap CI of the mean.
+/// `confidence` in (0, 1); `resamples` bootstrap iterations.
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(std::span<const double> values,
+                                                   double confidence, int resamples,
+                                                   Rng& rng);
+
+/// Normal-approximation CI of the mean (mean ± z * s/sqrt(n)).
+[[nodiscard]] ConfidenceInterval normal_mean_ci(std::span<const double> values,
+                                                double confidence);
+
+}  // namespace flare::stats

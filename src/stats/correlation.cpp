@@ -1,0 +1,65 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace flare::stats {
+namespace {
+
+/// Fractional ranks with ties averaged, e.g. [10, 20, 20] -> [1, 2.5, 2.5].
+std::vector<double> fractional_ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  ensure(x.size() == y.size(), "pearson: size mismatch");
+  ensure(x.size() >= 2, "pearson: need at least two samples");
+  const double n = static_cast<double>(x.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  const double r = sxy / std::sqrt(sxx * syy);
+  return std::clamp(r, -1.0, 1.0);
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  ensure(x.size() == y.size(), "spearman: size mismatch");
+  const std::vector<double> rx = fractional_ranks(x);
+  const std::vector<double> ry = fractional_ranks(y);
+  return pearson(rx, ry);
+}
+
+}  // namespace flare::stats

@@ -1,0 +1,15 @@
+// Correlation measures used by the metric-refinement step (FLARE §4.2).
+#pragma once
+
+#include <span>
+
+namespace flare::stats {
+
+/// Pearson product-moment correlation in [-1, 1].
+/// Returns 0 when either input is constant (correlation undefined).
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson over fractional ranks, ties averaged).
+[[nodiscard]] double spearman(std::span<const double> x, std::span<const double> y);
+
+}  // namespace flare::stats

@@ -1,0 +1,73 @@
+// Deterministic, portable random number generation.
+//
+// Everything in this reproduction that is "random" (job arrivals, durations,
+// sampling trials, k-means initialisation, measurement noise) flows through
+// this generator so that runs are bit-reproducible across platforms. The
+// standard library engines are portable, but the *distributions* are not, so
+// we implement the distributions we need ourselves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace flare::stats {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality, tiny state.
+/// Seeded via splitmix64 so that nearby seeds give uncorrelated streams.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull);
+
+  /// UniformRandomBitGenerator interface.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive), unbiased via rejection.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Standard normal via Box–Muller (deterministic, portable).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate);
+
+  /// Index drawn from the (unnormalised, non-negative) weights.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(0, i - 1));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// k distinct indices from [0, n), order randomised (reservoir-free).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Derives an independent child stream (for per-scenario noise etc.).
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace flare::stats

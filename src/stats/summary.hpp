@@ -1,0 +1,47 @@
+// Distribution summaries used when reporting sampling-trial spreads
+// (paper Fig. 12a shows violin + box plots of 1000 sampling trials).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace flare::stats {
+
+/// Classic five-number summary plus mean, for box plots.
+struct BoxSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+
+  [[nodiscard]] double iqr() const { return q3 - q1; }
+};
+
+[[nodiscard]] BoxSummary box_summary(std::span<const double> values);
+
+/// Discretised density — the violin-plot body. `bin_centers[i]` has
+/// normalised density `densities[i]` (max bin == 1).
+struct ViolinSummary {
+  BoxSummary box;
+  std::vector<double> bin_centers;
+  std::vector<double> densities;
+};
+
+/// Histogram-based violin with `bins` bins over [min, max].
+[[nodiscard]] ViolinSummary violin_summary(std::span<const double> values, int bins);
+
+/// Fixed-width histogram.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+
+  [[nodiscard]] std::size_t total() const;
+  [[nodiscard]] double bin_width() const;
+};
+
+[[nodiscard]] Histogram histogram(std::span<const double> values, int bins);
+
+}  // namespace flare::stats

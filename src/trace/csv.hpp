@@ -1,0 +1,24 @@
+// Minimal RFC-4180-ish CSV reading/writing for trace persistence.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flare::trace {
+
+/// Quotes a field when it contains separators, quotes or newlines.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Writes one CSV record (with trailing newline).
+void write_csv_row(std::ostream& out, const std::vector<std::string>& fields);
+
+/// Parses one CSV record (handles quoted fields with embedded commas/quotes).
+/// Throws flare::ParseError on malformed quoting.
+[[nodiscard]] std::vector<std::string> parse_csv_row(const std::string& line);
+
+/// Reads all non-empty lines of a file; throws flare::ParseError when the
+/// file cannot be opened.
+[[nodiscard]] std::vector<std::string> read_lines(const std::string& path);
+
+}  // namespace flare::trace

@@ -1,0 +1,68 @@
+#include "trace/metric_io.hpp"
+
+#include <fstream>
+
+#include "trace/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace flare::trace {
+
+void save_metric_database(const metrics::MetricDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  ensure(static_cast<bool>(out), "save_metric_database: cannot open file: " + path);
+
+  std::vector<std::string> header = {"scenario_id", "scenario_key",
+                                     "observation_weight"};
+  for (const metrics::MetricInfo& m : db.catalog().metrics()) header.push_back(m.name);
+  write_csv_row(out, header);
+
+  for (const metrics::MetricRow& row : db.rows()) {
+    std::vector<std::string> fields = {std::to_string(row.scenario_id),
+                                       row.scenario_key,
+                                       util::format_double_exact(row.observation_weight)};
+    for (const double v : row.values) {
+      fields.push_back(util::format_double_exact(v));
+    }
+    write_csv_row(out, fields);
+  }
+  ensure(static_cast<bool>(out), "save_metric_database: write failed: " + path);
+}
+
+metrics::MetricDatabase load_metric_database(const std::string& path,
+                                             const metrics::MetricCatalog& catalog) {
+  const std::vector<std::string> lines = read_lines(path);
+  if (lines.empty()) throw ParseError("load_metric_database: empty file: " + path);
+
+  const std::vector<std::string> header = parse_csv_row(lines.front());
+  if (header.size() != 3 + catalog.size()) {
+    throw ParseError("load_metric_database: column count does not match catalog");
+  }
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (header[3 + i] != catalog.info(i).name) {
+      throw ParseError("load_metric_database: metric column mismatch at '" +
+                       header[3 + i] + "'");
+    }
+  }
+
+  metrics::MetricDatabase db(catalog);
+  for (std::size_t l = 1; l < lines.size(); ++l) {
+    const std::vector<std::string> fields = parse_csv_row(lines[l]);
+    if (fields.size() != header.size()) {
+      throw ParseError("load_metric_database: bad field count at line " +
+                       std::to_string(l + 1));
+    }
+    metrics::MetricRow row;
+    row.scenario_id = static_cast<std::size_t>(util::parse_int(fields[0]));
+    row.scenario_key = fields[1];
+    row.observation_weight = util::parse_double(fields[2]);
+    row.values.reserve(catalog.size());
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      row.values.push_back(util::parse_double(fields[3 + i]));
+    }
+    db.add_row(std::move(row));
+  }
+  return db;
+}
+
+}  // namespace flare::trace

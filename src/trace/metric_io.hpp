@@ -1,0 +1,20 @@
+// Metric-database persistence: archives a profiled database (the Profiler's
+// "relational database" of §4.2) to CSV and restores it against a catalog.
+#pragma once
+
+#include <string>
+
+#include "metrics/metric_database.hpp"
+
+namespace flare::trace {
+
+/// Writes the database: header is scenario_id,scenario_key,weight,<metrics…>.
+void save_metric_database(const metrics::MetricDatabase& db, const std::string& path);
+
+/// Restores a database written by `save_metric_database`. The file's metric
+/// columns must exactly match `catalog`'s names and order.
+[[nodiscard]] metrics::MetricDatabase load_metric_database(
+    const std::string& path,
+    const metrics::MetricCatalog& catalog = metrics::MetricCatalog::standard());
+
+}  // namespace flare::trace

@@ -1,0 +1,56 @@
+#include "trace/scenario_io.hpp"
+
+#include <fstream>
+
+#include "trace/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace flare::trace {
+namespace {
+constexpr const char* kHeader = "scenario_id,machine_type,observation_weight,job_mix";
+}
+
+void save_scenario_set(const dcsim::ScenarioSet& set, const std::string& path) {
+  std::ofstream out(path);
+  ensure(static_cast<bool>(out), "save_scenario_set: cannot open file: " + path);
+  out << kHeader << '\n';
+  for (const dcsim::ColocationScenario& s : set.scenarios) {
+    write_csv_row(out, {std::to_string(s.id), s.machine_type,
+                        util::format_double_exact(s.observation_weight), s.mix.key()});
+  }
+  ensure(static_cast<bool>(out), "save_scenario_set: write failed: " + path);
+}
+
+dcsim::ScenarioSet load_scenario_set(const std::string& path) {
+  const std::vector<std::string> lines = read_lines(path);
+  if (lines.empty() || lines.front() != kHeader) {
+    throw ParseError("load_scenario_set: missing or wrong header in " + path);
+  }
+  dcsim::ScenarioSet set;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::vector<std::string> fields = parse_csv_row(lines[i]);
+    if (fields.size() != 4) {
+      throw ParseError("load_scenario_set: expected 4 fields at line " +
+                       std::to_string(i + 1));
+    }
+    dcsim::ColocationScenario s;
+    s.id = static_cast<std::size_t>(util::parse_int(fields[0]));
+    s.machine_type = fields[1];
+    s.observation_weight = util::parse_double(fields[2]);
+    if (s.observation_weight < 0.0) {
+      throw ParseError("load_scenario_set: negative weight at line " +
+                       std::to_string(i + 1));
+    }
+    s.mix = dcsim::JobMix::from_key(fields[3]);
+    if (s.id != set.scenarios.size()) {
+      throw ParseError("load_scenario_set: non-dense scenario ids at line " +
+                       std::to_string(i + 1));
+    }
+    set.scenarios.push_back(std::move(s));
+  }
+  if (!set.scenarios.empty()) set.machine_type = set.scenarios.front().machine_type;
+  return set;
+}
+
+}  // namespace flare::trace

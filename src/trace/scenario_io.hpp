@@ -1,0 +1,19 @@
+// Scenario-trace persistence: a ScenarioSet round-trips through a CSV with a
+// cluster-trace-like schema (id, machine_type, weight, mix key), so profiled
+// datacenters can be archived and re-analysed without re-simulation.
+#pragma once
+
+#include <string>
+
+#include "dcsim/scenario.hpp"
+
+namespace flare::trace {
+
+/// Writes the set to `path` (header + one row per scenario).
+void save_scenario_set(const dcsim::ScenarioSet& set, const std::string& path);
+
+/// Reads a set written by `save_scenario_set`. Throws flare::ParseError on
+/// malformed files; validates ids are dense and weights non-negative.
+[[nodiscard]] dcsim::ScenarioSet load_scenario_set(const std::string& path);
+
+}  // namespace flare::trace

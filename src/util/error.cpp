@@ -1,0 +1,17 @@
+#include "util/error.hpp"
+
+namespace flare {
+
+void ensure(bool condition, std::string_view message) {
+  if (!condition) {
+    throw std::invalid_argument(std::string(message));
+  }
+}
+
+void ensure_numeric(bool condition, std::string_view message) {
+  if (!condition) {
+    throw NumericalError(std::string(message));
+  }
+}
+
+}  // namespace flare

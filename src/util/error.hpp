@@ -1,0 +1,47 @@
+// Error-handling primitives shared across all FLARE modules.
+//
+// We follow the C++ Core Guidelines (E.2/E.3): errors that a caller could not
+// have prevented are reported via exceptions; precondition violations inside
+// the library throw `std::invalid_argument` through `ensure()` so that callers
+// get an actionable message instead of UB.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace flare {
+
+/// Base class for all errors raised by the FLARE library.
+class FlareError : public std::runtime_error {
+ public:
+  explicit FlareError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an input file / trace cannot be parsed.
+class ParseError : public FlareError {
+ public:
+  explicit ParseError(const std::string& what) : FlareError(what) {}
+};
+
+/// Raised when a numerical routine fails to converge or is ill-conditioned.
+class NumericalError : public FlareError {
+ public:
+  explicit NumericalError(const std::string& what) : FlareError(what) {}
+};
+
+/// Raised when the datacenter simulator is asked to do something impossible
+/// (e.g. schedule onto a saturated machine with overcommit disabled).
+class CapacityError : public FlareError {
+ public:
+  explicit CapacityError(const std::string& what) : FlareError(what) {}
+};
+
+/// Throws `std::invalid_argument` with `message` when `condition` is false.
+/// Used to validate preconditions at public API boundaries.
+void ensure(bool condition, std::string_view message);
+
+/// Throws `NumericalError` with `message` when `condition` is false.
+void ensure_numeric(bool condition, std::string_view message);
+
+}  // namespace flare

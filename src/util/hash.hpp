@@ -1,0 +1,33 @@
+// Stable (cross-run, cross-platform) hashing used to derive deterministic
+// per-scenario noise seeds. std::hash is not guaranteed stable, so we keep a
+// small FNV-1a implementation of our own.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace flare::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// 64-bit FNV-1a over a byte string.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view bytes,
+                                            std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Mixes an integer into an existing hash (splitmix64 finalizer).
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t hash, std::uint64_t value) {
+  std::uint64_t z = hash + 0x9e3779b97f4a7c15ull + value;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace flare::util

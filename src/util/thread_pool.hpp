@@ -1,0 +1,52 @@
+// A minimal fixed-size thread pool.
+//
+// The FLARE pipeline evaluates hundreds of independent colocation scenarios;
+// `parallel_for` lets the Profiler and baselines use every available core
+// while keeping results deterministic (work is indexed, not racing).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace flare::util {
+
+class ThreadPool {
+ public:
+  /// Creates `thread_count` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; it may run on any worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs `body(i)` for every i in [0, count) across the pool and waits.
+/// `body` must be safe to call concurrently for distinct indices.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace flare::util

@@ -1,0 +1,24 @@
+// Wall-clock timing helpers used by the cost-accounting benches.
+#pragma once
+
+#include <chrono>
+
+namespace flare::util {
+
+/// Monotonic stopwatch. Started on construction; `elapsed_seconds()` reads it.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace flare::util

@@ -1,0 +1,97 @@
+#include "baselines/canary_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/full_evaluator.hpp"
+#include "tests/core/test_env.hpp"
+
+namespace flare::baselines {
+namespace {
+
+class CanaryTest : public ::testing::Test {
+ protected:
+  CanaryTest()
+      : impact_(dcsim::default_machine()),
+        truth_(impact_, core::testing::small_scenario_set()),
+        canary_(impact_, core::testing::small_scenario_set()) {}
+
+  core::ImpactModel impact_;
+  FullDatacenterEvaluator truth_;
+  CanaryClusterEvaluator canary_;
+};
+
+TEST_F(CanaryTest, GrowsUntilTargetCiIsMet) {
+  CanaryConfig config;
+  config.target_ci_halfwidth_pp = 0.5;
+  const CanaryResult r = canary_.evaluate(core::feature_smt_off(), config);
+  EXPECT_TRUE(r.target_met);
+  EXPECT_LE(r.achieved_ci_halfwidth, 0.5 * 1.05);
+  EXPECT_GE(r.canary_size, config.pilot_size);
+}
+
+TEST_F(CanaryTest, TighterTargetsNeedBiggerCanaries) {
+  CanaryConfig loose, tight;
+  loose.target_ci_halfwidth_pp = 2.0;
+  tight.target_ci_halfwidth_pp = 0.25;
+  const CanaryResult r_loose = canary_.evaluate(core::feature_smt_off(), loose);
+  const CanaryResult r_tight = canary_.evaluate(core::feature_smt_off(), tight);
+  EXPECT_GT(r_tight.canary_size, r_loose.canary_size);
+}
+
+TEST_F(CanaryTest, EstimateApproachesTruthAtTightTargets) {
+  CanaryConfig config;
+  config.target_ci_halfwidth_pp = 0.25;
+  const double dc = truth_.evaluate(core::feature_dvfs_cap()).impact_pct;
+  const CanaryResult r = canary_.evaluate(core::feature_dvfs_cap(), config);
+  EXPECT_LT(std::abs(r.impact_pct - dc), 0.6);
+}
+
+TEST_F(CanaryTest, MaxSizeCapsGrowthAndReportsMiss) {
+  CanaryConfig config;
+  config.target_ci_halfwidth_pp = 0.0001;  // unreachable
+  config.max_size = 40;
+  const CanaryResult r = canary_.evaluate(core::feature_smt_off(), config);
+  EXPECT_EQ(r.canary_size, 40u);
+  EXPECT_FALSE(r.target_met);
+}
+
+TEST_F(CanaryTest, DeterministicPerSeed) {
+  CanaryConfig config;
+  const CanaryResult a = canary_.evaluate(core::feature_cache_sizing(), config);
+  const CanaryResult b = canary_.evaluate(core::feature_cache_sizing(), config);
+  EXPECT_DOUBLE_EQ(a.impact_pct, b.impact_pct);
+  EXPECT_EQ(a.canary_size, b.canary_size);
+  config.seed = 123;
+  const CanaryResult c = canary_.evaluate(core::feature_cache_sizing(), config);
+  EXPECT_NE(a.impact_pct, c.impact_pct);
+}
+
+TEST_F(CanaryTest, LowVarianceFeaturesNeedSmallCanaries) {
+  // Feature 2 (DVFS) has lower inter-scenario variance than Feature 3 (SMT):
+  // the self-sizing canary should reflect that in its cost.
+  CanaryConfig config;
+  config.target_ci_halfwidth_pp = 0.3;
+  const CanaryResult dvfs = canary_.evaluate(core::feature_dvfs_cap(), config);
+  const CanaryResult smt = canary_.evaluate(core::feature_smt_off(), config);
+  EXPECT_LT(dvfs.canary_size, smt.canary_size);
+}
+
+TEST_F(CanaryTest, ValidatesConfig) {
+  CanaryConfig bad;
+  bad.target_ci_halfwidth_pp = 0.0;
+  EXPECT_THROW((void)canary_.evaluate(core::feature_smt_off(), bad),
+               std::invalid_argument);
+  bad = CanaryConfig{};
+  bad.pilot_size = 1;
+  EXPECT_THROW((void)canary_.evaluate(core::feature_smt_off(), bad),
+               std::invalid_argument);
+  bad = CanaryConfig{};
+  bad.max_size = bad.pilot_size - 1;
+  EXPECT_THROW((void)canary_.evaluate(core::feature_smt_off(), bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flare::baselines

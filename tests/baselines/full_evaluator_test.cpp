@@ -1,0 +1,80 @@
+#include "baselines/full_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/core/test_env.hpp"
+
+namespace flare::baselines {
+namespace {
+
+class FullEvaluatorTest : public ::testing::Test {
+ protected:
+  FullEvaluatorTest()
+      : impact_(dcsim::default_machine()),
+        truth_(impact_, core::testing::small_scenario_set()) {}
+
+  core::ImpactModel impact_;
+  FullDatacenterEvaluator truth_;
+};
+
+TEST_F(FullEvaluatorTest, EvaluatesEveryScenario) {
+  const FullEvaluationResult r = truth_.evaluate(core::feature_dvfs_cap());
+  EXPECT_EQ(r.per_scenario_impact.size(), core::testing::small_scenario_set().size());
+  EXPECT_EQ(r.scenario_evaluations, core::testing::small_scenario_set().size());
+  EXPECT_GT(r.impact_pct, 0.0);
+  EXPECT_GT(r.impact_stddev, 0.0) << "scenarios must react differently (Fig. 3b)";
+}
+
+TEST_F(FullEvaluatorTest, ImpactIsWithinPerScenarioRange) {
+  const FullEvaluationResult r = truth_.evaluate(core::feature_cache_sizing());
+  double lo = 1e300, hi = -1e300;
+  for (const double v : r.per_scenario_impact) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GE(r.impact_pct, lo);
+  EXPECT_LE(r.impact_pct, hi);
+}
+
+TEST_F(FullEvaluatorTest, WeightsMatter) {
+  // Evaluating with uniform weights differs from observation weights.
+  dcsim::ScenarioSet uniform = core::testing::small_scenario_set();
+  for (auto& s : uniform.scenarios) s.observation_weight = 1.0;
+  const FullDatacenterEvaluator uniform_truth(impact_, uniform);
+  const double weighted = truth_.evaluate(core::feature_smt_off()).impact_pct;
+  const double unweighted = uniform_truth.evaluate(core::feature_smt_off()).impact_pct;
+  EXPECT_NE(weighted, unweighted);
+  EXPECT_NEAR(weighted, unweighted, 5.0);
+}
+
+TEST_F(FullEvaluatorTest, PerJobEvaluationCountsInstanceWeights) {
+  const FullJobEvaluationResult r =
+      truth_.evaluate_job(core::feature_dvfs_cap(), dcsim::JobType::kDataCaching);
+  EXPECT_GT(r.scenarios_with_job, 0u);
+  EXPECT_LT(r.scenarios_with_job, core::testing::small_scenario_set().size());
+  EXPECT_GT(r.impact_pct, 0.0);
+}
+
+TEST_F(FullEvaluatorTest, PerJobThrowsForAbsentJob) {
+  // Construct a set without web search.
+  dcsim::ScenarioSet set;
+  dcsim::ColocationScenario s;
+  s.mix.add(dcsim::JobType::kDataCaching, 1);
+  set.scenarios.push_back(s);
+  const FullDatacenterEvaluator t(impact_, set);
+  EXPECT_THROW(t.evaluate_job(core::feature_dvfs_cap(), dcsim::JobType::kWebSearch),
+               std::invalid_argument);
+}
+
+TEST_F(FullEvaluatorTest, RejectsEmptySet) {
+  EXPECT_THROW(FullDatacenterEvaluator(impact_, dcsim::ScenarioSet{}),
+               std::invalid_argument);
+}
+
+TEST_F(FullEvaluatorTest, BaselineFeatureHasNearZeroTruth) {
+  const FullEvaluationResult r = truth_.evaluate(core::baseline_feature());
+  EXPECT_NEAR(r.impact_pct, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace flare::baselines

@@ -1,0 +1,68 @@
+#include "baselines/loadtest_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/full_evaluator.hpp"
+#include "tests/core/test_env.hpp"
+
+namespace flare::baselines {
+namespace {
+
+class LoadTestTest : public ::testing::Test {
+ protected:
+  core::ImpactModel impact_{dcsim::default_machine()};
+  LoadTestingEvaluator loadtest_{impact_};
+};
+
+TEST_F(LoadTestTest, PopulatesUpToTheVcpuOrDramLimit) {
+  // sjeng: 0.7 GB, vCPU-bound -> 12 instances on 48 vCPUs.
+  EXPECT_EQ(loadtest_.populated_instances(dcsim::JobType::kLpSjeng), 12);
+  // DA: 16 GB -> DRAM allows 16, vCPU allows 12 -> 12.
+  EXPECT_EQ(loadtest_.populated_instances(dcsim::JobType::kDataAnalytics), 12);
+}
+
+TEST_F(LoadTestTest, MeasuresFeatureImpact) {
+  const LoadTestResult r =
+      loadtest_.evaluate_job(core::feature_dvfs_cap(), dcsim::JobType::kWebSearch);
+  EXPECT_GT(r.impact_pct, 0.0);
+  EXPECT_GT(r.baseline_mips, r.feature_mips);
+  EXPECT_EQ(r.instances, 12);
+  EXPECT_EQ(r.job, dcsim::JobType::kWebSearch);
+}
+
+TEST_F(LoadTestTest, BaselineFeatureHasNearZeroImpact) {
+  const LoadTestResult r =
+      loadtest_.evaluate_job(core::baseline_feature(), dcsim::JobType::kDataCaching);
+  EXPECT_NEAR(r.impact_pct, 0.0, 1e-9);
+}
+
+TEST_F(LoadTestTest, DeviatesFromDatacenterTruthForCacheSizing) {
+  // The paper's core motivation (Fig. 2): colocation-unaware load testing
+  // mis-estimates the in-datacenter impact for at least some services.
+  const FullDatacenterEvaluator truth(impact_, core::testing::small_scenario_set());
+  double worst_gap = 0.0;
+  for (const dcsim::JobType job : dcsim::hp_job_types()) {
+    const double lt =
+        loadtest_.evaluate_job(core::feature_cache_sizing(), job).impact_pct;
+    const double dc =
+        truth.evaluate_job(core::feature_cache_sizing(), job).impact_pct;
+    worst_gap = std::max(worst_gap, std::abs(lt - dc));
+  }
+  EXPECT_GT(worst_gap, 2.0) << "load testing should visibly mispredict";
+}
+
+TEST_F(LoadTestTest, HomogeneousMachineSelfInterferes) {
+  // Populating N copies is NOT the same as running alone: the copies contend.
+  dcsim::JobMix solo;
+  solo.add(dcsim::JobType::kGraphAnalytics, 1);
+  const double alone =
+      impact_.evaluate(solo, dcsim::default_machine(), core::MeasurementContext::kTestbed)
+          .job(dcsim::JobType::kGraphAnalytics)
+          .mips_per_instance;
+  const LoadTestResult r =
+      loadtest_.evaluate_job(core::baseline_feature(), dcsim::JobType::kGraphAnalytics);
+  EXPECT_LT(r.baseline_mips, alone);
+}
+
+}  // namespace
+}  // namespace flare::baselines

@@ -1,0 +1,128 @@
+#include "baselines/sampling_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/full_evaluator.hpp"
+#include "tests/core/test_env.hpp"
+
+namespace flare::baselines {
+namespace {
+
+class SamplingTest : public ::testing::Test {
+ protected:
+  SamplingTest()
+      : impact_(dcsim::default_machine()),
+        truth_(impact_, core::testing::small_scenario_set()),
+        sampling_(impact_, core::testing::small_scenario_set()),
+        true_impact_(truth_.evaluate(core::feature_dvfs_cap()).impact_pct) {}
+
+  static SamplingConfig config(std::size_t n, int trials = 200) {
+    SamplingConfig c;
+    c.sample_size = n;
+    c.trials = trials;
+    return c;
+  }
+
+  core::ImpactModel impact_;
+  FullDatacenterEvaluator truth_;
+  RandomSamplingEvaluator sampling_;
+  double true_impact_;
+};
+
+TEST_F(SamplingTest, ProducesOneEstimatePerTrial) {
+  const SamplingResult r =
+      sampling_.evaluate(core::feature_dvfs_cap(), config(10, 123), true_impact_);
+  EXPECT_EQ(r.trial_estimates.size(), 123u);
+  EXPECT_EQ(r.scenario_evaluations_per_trial, 10u);
+}
+
+TEST_F(SamplingTest, IsUnbiasedOnAverage) {
+  const SamplingResult r =
+      sampling_.evaluate(core::feature_dvfs_cap(), config(18, 2000), true_impact_);
+  EXPECT_NEAR(r.mean_estimate, true_impact_, 0.3);
+  EXPECT_TRUE(r.ci95.contains(r.mean_estimate));
+}
+
+TEST_F(SamplingTest, ErrorShrinksWithSampleSize) {
+  const SamplingResult small =
+      sampling_.evaluate(core::feature_dvfs_cap(), config(5, 500), true_impact_);
+  const SamplingResult large =
+      sampling_.evaluate(core::feature_dvfs_cap(), config(80, 500), true_impact_);
+  EXPECT_LT(large.p95_abs_error, small.p95_abs_error);
+  EXPECT_LT(large.distribution.iqr(), small.distribution.iqr());
+}
+
+TEST_F(SamplingTest, ErrorsAreAgainstProvidedTruth) {
+  const SamplingResult r =
+      sampling_.evaluate(core::feature_dvfs_cap(), config(10, 100), true_impact_);
+  EXPECT_DOUBLE_EQ(r.true_impact_pct, true_impact_);
+  EXPECT_GE(r.max_abs_error, r.p95_abs_error);
+  EXPECT_GE(r.p95_abs_error, 0.0);
+}
+
+TEST_F(SamplingTest, DeterministicPerSeed) {
+  const SamplingResult a =
+      sampling_.evaluate(core::feature_smt_off(), config(12, 50), true_impact_);
+  const SamplingResult b =
+      sampling_.evaluate(core::feature_smt_off(), config(12, 50), true_impact_);
+  EXPECT_EQ(a.trial_estimates, b.trial_estimates);
+}
+
+TEST_F(SamplingTest, WithoutReplacementMode) {
+  SamplingConfig c = config(20, 100);
+  c.with_replacement = false;
+  const SamplingResult r =
+      sampling_.evaluate(core::feature_dvfs_cap(), c, true_impact_);
+  EXPECT_EQ(r.trial_estimates.size(), 100u);
+  // Full-population sample without replacement has zero variance... only when
+  // n == population; here just sanity-check the spread is finite.
+  EXPECT_GE(r.distribution.max, r.distribution.min);
+}
+
+TEST_F(SamplingTest, FullPopulationWithoutReplacementStillVariesOnlyByWeighting) {
+  SamplingConfig c = config(core::testing::small_scenario_set().size(), 20);
+  c.with_replacement = false;
+  const SamplingResult r =
+      sampling_.evaluate(core::feature_dvfs_cap(), c, true_impact_);
+  // Every trial sees every scenario: estimates agree up to summation order.
+  for (const double e : r.trial_estimates) {
+    EXPECT_NEAR(e, r.trial_estimates.front(), 1e-9);
+  }
+}
+
+TEST_F(SamplingTest, PerJobSampling) {
+  const double job_truth =
+      truth_.evaluate_job(core::feature_dvfs_cap(), dcsim::JobType::kDataCaching)
+          .impact_pct;
+  const SamplingResult r = sampling_.evaluate_job(
+      core::feature_dvfs_cap(), dcsim::JobType::kDataCaching, config(10, 500),
+      job_truth);
+  EXPECT_NEAR(r.mean_estimate, job_truth, 1.5);
+}
+
+TEST_F(SamplingTest, PerJobThrowsForAbsentJob) {
+  dcsim::ScenarioSet set;
+  dcsim::ColocationScenario s;
+  s.mix.add(dcsim::JobType::kDataCaching, 1);
+  set.scenarios.push_back(s);
+  const RandomSamplingEvaluator sampler(impact_, set);
+  EXPECT_THROW(sampler.evaluate_job(core::feature_dvfs_cap(),
+                                    dcsim::JobType::kWebSearch, config(1, 10), 0.0),
+               std::invalid_argument);
+}
+
+TEST_F(SamplingTest, ValidatesConfig) {
+  EXPECT_THROW(
+      sampling_.evaluate(core::feature_dvfs_cap(), config(0, 10), true_impact_),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sampling_.evaluate(core::feature_dvfs_cap(), config(10, 0), true_impact_),
+      std::invalid_argument);
+  SamplingConfig too_big = config(100000, 10);
+  too_big.with_replacement = false;
+  EXPECT_THROW(sampling_.evaluate(core::feature_dvfs_cap(), too_big, true_impact_),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flare::baselines

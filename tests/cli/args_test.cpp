@@ -1,0 +1,85 @@
+#include "cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace flare::cli {
+namespace {
+
+Args parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v = {"flare"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return Args::parse(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, ParsesCommandAndOptions) {
+  const Args args = parse({"simulate", "--out", "x.csv", "--scenarios", "100"});
+  EXPECT_EQ(args.command(), "simulate");
+  EXPECT_EQ(args.require_string("out"), "x.csv");
+  EXPECT_EQ(args.get_int("scenarios", 0), 100);
+  args.reject_unconsumed();
+}
+
+TEST(Args, FlagsTakeNoValue) {
+  const Args args = parse({"evaluate", "--truth", "--per-job"});
+  EXPECT_TRUE(args.get_flag("truth"));
+  EXPECT_TRUE(args.get_flag("per-job"));
+  EXPECT_FALSE(args.get_flag("sampling"));
+  args.reject_unconsumed();
+}
+
+TEST(Args, DefaultsApplyWhenAbsent) {
+  const Args args = parse({"profile"});
+  EXPECT_EQ(args.get_string("machine", "default"), "default");
+  EXPECT_EQ(args.get_int("samples", 4), 4);
+  EXPECT_DOUBLE_EQ(args.get_double("threshold", 0.5), 0.5);
+}
+
+TEST(Args, TypedParsing) {
+  const Args args = parse({"x", "--ratio", "0.25", "--count", "-3"});
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 0.25);
+  EXPECT_EQ(args.get_int("count", 0), -3);
+}
+
+TEST(Args, RejectsMissingCommand) {
+  const char* argv[] = {"flare"};
+  EXPECT_THROW(Args::parse(1, argv), ParseError);
+}
+
+TEST(Args, RejectsBareTokens) {
+  EXPECT_THROW(parse({"simulate", "orphan"}), ParseError);
+  EXPECT_THROW(parse({"simulate", "-x", "1"}), ParseError);
+}
+
+TEST(Args, RejectsDuplicates) {
+  EXPECT_THROW(parse({"x", "--a", "1", "--a", "2"}), ParseError);
+}
+
+TEST(Args, RequireStringThrowsWhenMissing) {
+  const Args args = parse({"simulate"});
+  EXPECT_THROW((void)args.require_string("out"), ParseError);
+}
+
+TEST(Args, ValueOptionUsedAsFlagThrows) {
+  const Args args = parse({"x", "--out"});
+  EXPECT_THROW((void)args.require_string("out"), ParseError);
+}
+
+TEST(Args, FlagUsedWithValueThrows) {
+  const Args args = parse({"x", "--truth", "yes"});
+  EXPECT_THROW((void)args.get_flag("truth"), ParseError);
+}
+
+TEST(Args, RejectUnconsumedCatchesTypos) {
+  const Args args = parse({"simulate", "--scenarois", "100"});
+  EXPECT_THROW(args.reject_unconsumed(), ParseError);
+}
+
+TEST(Args, MalformedNumbersThrow) {
+  const Args args = parse({"x", "--n", "ten"});
+  EXPECT_THROW((void)args.get_int("n", 0), ParseError);
+}
+
+}  // namespace
+}  // namespace flare::cli

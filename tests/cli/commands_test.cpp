@@ -1,0 +1,127 @@
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace flare::cli {
+namespace {
+
+int run(std::initializer_list<const char*> argv, std::string* out_text = nullptr,
+        std::string* err_text = nullptr) {
+  std::vector<const char*> v = {"flare"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  std::ostringstream out, err;
+  const int code = run_cli(static_cast<int>(v.size()), v.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return code;
+}
+
+class CliWorkflowTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::remove(scenarios_.c_str());
+    std::remove(metrics_.c_str());
+  }
+  std::string scenarios_ = ::testing::TempDir() + "/cli_scenarios.csv";
+  std::string metrics_ = ::testing::TempDir() + "/cli_metrics.csv";
+};
+
+TEST_F(CliWorkflowTest, SimulateProfileAnalyzeEvaluate) {
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--scenarios", "120"},
+                &out),
+            0);
+  EXPECT_NE(out.find("distinct co-location scenarios"), std::string::npos);
+  std::ifstream check(scenarios_);
+  EXPECT_TRUE(check.good());
+
+  ASSERT_EQ(run({"profile", "--scenarios", scenarios_.c_str(), "--out",
+                 metrics_.c_str(), "--samples", "2"},
+                &out),
+            0);
+  EXPECT_NE(out.find("122 raw metrics"), std::string::npos);
+
+  ASSERT_EQ(run({"analyze", "--metrics", metrics_.c_str(), "--clusters", "6"},
+                &out),
+            0);
+  EXPECT_NE(out.find("clusters: 6"), std::string::npos);
+  EXPECT_NE(out.find("PC0"), std::string::npos);
+  EXPECT_NE(out.find("representative"), std::string::npos);
+
+  ASSERT_EQ(run({"evaluate", "--scenarios", scenarios_.c_str(), "--feature",
+                 "feature2", "--clusters", "6", "--truth"},
+                &out),
+            0);
+  EXPECT_NE(out.find("FLARE estimate"), std::string::npos);
+  EXPECT_NE(out.find("full-datacenter truth"), std::string::npos);
+}
+
+TEST_F(CliWorkflowTest, EvaluateWithCustomKnobsAndPerJob) {
+  ASSERT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--scenarios", "100"}),
+            0);
+  std::string out;
+  ASSERT_EQ(run({"evaluate", "--scenarios", scenarios_.c_str(), "--feature",
+                 "fmax=2.0,llc=20", "--clusters", "5", "--per-job"},
+                &out),
+            0);
+  EXPECT_NE(out.find("custom:fmax=2.0,llc=20"), std::string::npos);
+  EXPECT_NE(out.find("per-HP-job impacts"), std::string::npos);
+  EXPECT_NE(out.find("WSC"), std::string::npos);
+}
+
+TEST_F(CliWorkflowTest, AnalyzeAblationFlags) {
+  ASSERT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--scenarios", "80"}), 0);
+  ASSERT_EQ(run({"profile", "--scenarios", scenarios_.c_str(), "--out",
+                 metrics_.c_str()}),
+            0);
+  std::string out;
+  ASSERT_EQ(run({"analyze", "--metrics", metrics_.c_str(), "--clusters", "4",
+                 "--ward", "--no-whiten", "--no-refine"},
+                &out),
+            0);
+  EXPECT_NE(out.find("0 correlation duplicates"), std::string::npos);
+}
+
+TEST(CliErrors, UnknownCommand) {
+  std::string err;
+  EXPECT_EQ(run({"frobnicate"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliErrors, MissingRequiredOption) {
+  std::string err;
+  EXPECT_EQ(run({"simulate"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("--out"), std::string::npos);
+}
+
+TEST(CliErrors, TypoedOptionIsRejected) {
+  std::string err;
+  EXPECT_EQ(run({"simulate", "--out", "/tmp/x.csv", "--scenarois", "10"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("unknown option"), std::string::npos);
+  std::remove("/tmp/x.csv");
+}
+
+TEST(CliErrors, MissingInputFile) {
+  std::string err;
+  EXPECT_EQ(run({"profile", "--scenarios", "/no/such.csv", "--out", "/tmp/y.csv"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+TEST(CliHelp, PrintsUsage) {
+  std::string out;
+  EXPECT_EQ(run({"help"}, &out), 0);
+  EXPECT_NE(out.find("simulate"), std::string::npos);
+  EXPECT_NE(out.find("evaluate"), std::string::npos);
+  EXPECT_NE(out.find("feature SPEC"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flare::cli

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "cli/commands.hpp"
+
+namespace flare::cli {
+namespace {
+
+int run(std::initializer_list<const char*> argv, std::string* out_text = nullptr,
+        std::string* err_text = nullptr) {
+  std::vector<const char*> v = {"flare"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  std::ostringstream out, err;
+  const int code = run_cli(static_cast<int>(v.size()), v.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return code;
+}
+
+class DriftCommandTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two honest draws of the same datacenter.
+    ASSERT_EQ(run({"simulate", "--out", sc_a_.c_str(), "--scenarios", "120"}), 0);
+    ASSERT_EQ(run({"simulate", "--out", sc_b_.c_str(), "--scenarios", "120",
+                   "--seed", "99"}),
+              0);
+    ASSERT_EQ(run({"profile", "--scenarios", sc_a_.c_str(), "--out",
+                   mx_a_.c_str()}),
+              0);
+    ASSERT_EQ(run({"profile", "--scenarios", sc_b_.c_str(), "--out",
+                   mx_b_.c_str(), "--seed", "5555"}),
+              0);
+  }
+  void TearDown() override {
+    for (const std::string& p : {sc_a_, sc_b_, mx_a_, mx_b_}) {
+      std::remove(p.c_str());
+    }
+  }
+  std::string sc_a_ = ::testing::TempDir() + "/drift_sc_a.csv";
+  std::string sc_b_ = ::testing::TempDir() + "/drift_sc_b.csv";
+  std::string mx_a_ = ::testing::TempDir() + "/drift_mx_a.csv";
+  std::string mx_b_ = ::testing::TempDir() + "/drift_mx_b.csv";
+};
+
+TEST_F(DriftCommandTest, SameDistributionReadsValid) {
+  std::string out;
+  ASSERT_EQ(run({"drift", "--baseline", mx_a_.c_str(), "--fresh", mx_b_.c_str(),
+                 "--clusters", "6"},
+                &out),
+            0);
+  EXPECT_NE(out.find("verdict: valid"), std::string::npos) << out;
+  EXPECT_NE(out.find("distance scale"), std::string::npos);
+}
+
+TEST_F(DriftCommandTest, ThresholdsAreTunable) {
+  std::string out;
+  // An absurdly strict refit ratio forces the refit verdict on honest data.
+  ASSERT_EQ(run({"drift", "--baseline", mx_a_.c_str(), "--fresh", mx_b_.c_str(),
+                 "--clusters", "6", "--refit-ratio", "1.01"},
+                &out),
+            0);
+  EXPECT_NE(out.find("verdict: refit"), std::string::npos) << out;
+  EXPECT_NE(out.find("§5.5"), std::string::npos);
+}
+
+TEST_F(DriftCommandTest, MissingFilesAreReported) {
+  std::string err;
+  EXPECT_EQ(run({"drift", "--baseline", "/no/such.csv", "--fresh", mx_b_.c_str()},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+TEST_F(DriftCommandTest, AppearsInHelp) {
+  std::string out;
+  ASSERT_EQ(run({"help"}, &out), 0);
+  EXPECT_NE(out.find("drift"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flare::cli

@@ -1,0 +1,70 @@
+#include "cli/feature_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace flare::cli {
+namespace {
+
+TEST(FeatureSpec, ParsesTable4Presets) {
+  EXPECT_EQ(parse_feature("feature1").name(), "feature1-cache-sizing");
+  EXPECT_EQ(parse_feature("feature2").name(), "feature2-dvfs-cap");
+  EXPECT_EQ(parse_feature("feature3").name(), "feature3-smt-off");
+  EXPECT_EQ(parse_feature("baseline").name(), "baseline");
+  // Friendly aliases.
+  EXPECT_EQ(parse_feature("cache").name(), "feature1-cache-sizing");
+  EXPECT_EQ(parse_feature("dvfs").name(), "feature2-dvfs-cap");
+  EXPECT_EQ(parse_feature("smt").name(), "feature3-smt-off");
+}
+
+TEST(FeatureSpec, ParsesSingleKnob) {
+  const core::Feature f = parse_feature("fmax=2.0");
+  const dcsim::MachineConfig m = f.apply(dcsim::default_machine());
+  EXPECT_DOUBLE_EQ(m.max_freq_ghz, 2.0);
+  EXPECT_DOUBLE_EQ(m.llc_mb_per_socket, 30.0);
+}
+
+TEST(FeatureSpec, ParsesKnobCombination) {
+  const core::Feature f = parse_feature("fmax=2.2,llc=18,smt=off,memlat=95");
+  const dcsim::MachineConfig m = f.apply(dcsim::default_machine());
+  EXPECT_DOUBLE_EQ(m.max_freq_ghz, 2.2);
+  EXPECT_DOUBLE_EQ(m.llc_mb_per_socket, 18.0);
+  EXPECT_FALSE(m.smt_enabled);
+  EXPECT_DOUBLE_EQ(m.mem_latency_ns, 95.0);
+}
+
+TEST(FeatureSpec, SmtOnKnob) {
+  dcsim::MachineConfig no_smt = dcsim::default_machine();
+  no_smt.smt_enabled = false;
+  EXPECT_TRUE(parse_feature("smt=on").apply(no_smt).smt_enabled);
+}
+
+TEST(FeatureSpec, TrimsWhitespace) {
+  const core::Feature f = parse_feature("  fmin=1.5 , llc=24  ");
+  const dcsim::MachineConfig m = f.apply(dcsim::default_machine());
+  EXPECT_DOUBLE_EQ(m.min_freq_ghz, 1.5);
+  EXPECT_DOUBLE_EQ(m.llc_mb_per_socket, 24.0);
+}
+
+TEST(FeatureSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW((void)parse_feature("nope"), ParseError);
+  EXPECT_THROW((void)parse_feature("fmax"), ParseError);
+  EXPECT_THROW((void)parse_feature("fmax=abc"), ParseError);
+  EXPECT_THROW((void)parse_feature("smt=maybe"), ParseError);
+  EXPECT_THROW((void)parse_feature("cores=32"), ParseError);
+  EXPECT_THROW((void)parse_feature("fmax=2.0=3.0"), ParseError);
+}
+
+TEST(FeatureSpec, RejectsNonPositiveValues) {
+  EXPECT_THROW((void)parse_feature("fmax=0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_feature("llc=-5"), std::invalid_argument);
+  EXPECT_THROW((void)parse_feature("memlat=0"), std::invalid_argument);
+}
+
+TEST(FeatureSpec, CustomFeatureNameEncodesKnobs) {
+  EXPECT_EQ(parse_feature("fmax=2.0").name(), "custom:fmax=2.0");
+}
+
+}  // namespace
+}  // namespace flare::cli

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/commands.hpp"
+
+namespace flare::cli {
+namespace {
+
+int run(std::initializer_list<const char*> argv, std::string* out_text = nullptr,
+        std::string* err_text = nullptr) {
+  std::vector<const char*> v = {"flare"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  std::ostringstream out, err;
+  const int code = run_cli(static_cast<int>(v.size()), v.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return code;
+}
+
+class ReportCommandTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--scenarios", "100"}),
+              0);
+  }
+  void TearDown() override {
+    std::remove(scenarios_.c_str());
+    std::remove(report_.c_str());
+  }
+  std::string read_report() const {
+    std::ifstream in(report_);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+  std::string scenarios_ = ::testing::TempDir() + "/report_scenarios.csv";
+  std::string report_ = ::testing::TempDir() + "/report.md";
+};
+
+TEST_F(ReportCommandTest, WritesDefaultThreeFeatureReport) {
+  std::string out;
+  ASSERT_EQ(run({"report", "--scenarios", scenarios_.c_str(), "--out",
+                 report_.c_str(), "--clusters", "6"},
+                &out),
+            0);
+  EXPECT_NE(out.find("evaluated 3 feature(s)"), std::string::npos);
+  const std::string md = read_report();
+  EXPECT_NE(md.find("# FLARE feature-evaluation report"), std::string::npos);
+  EXPECT_NE(md.find("feature1-cache-sizing"), std::string::npos);
+  EXPECT_NE(md.find("feature2-dvfs-cap"), std::string::npos);
+  EXPECT_NE(md.find("feature3-smt-off"), std::string::npos);
+  EXPECT_NE(md.find("## Representative scenarios"), std::string::npos);
+  EXPECT_EQ(md.find("datacenter truth"), std::string::npos)
+      << "truth column only with --truth";
+}
+
+TEST_F(ReportCommandTest, CustomFeaturesAndTruth) {
+  ASSERT_EQ(run({"report", "--scenarios", scenarios_.c_str(), "--out",
+                 report_.c_str(), "--clusters", "5", "--truth", "--features",
+                 "feature2;fmax=2.0,llc=20"}),
+            0);
+  const std::string md = read_report();
+  EXPECT_NE(md.find("custom:fmax=2.0,llc=20"), std::string::npos);
+  EXPECT_NE(md.find("datacenter truth"), std::string::npos);
+  EXPECT_NE(md.find("abs. error"), std::string::npos);
+  EXPECT_EQ(md.find("feature1-cache-sizing"), std::string::npos);
+}
+
+TEST_F(ReportCommandTest, RejectsEmptyFeatureList) {
+  std::string err;
+  EXPECT_EQ(run({"report", "--scenarios", scenarios_.c_str(), "--out",
+                 report_.c_str(), "--features", ";"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("no features"), std::string::npos);
+}
+
+TEST_F(ReportCommandTest, RejectsUnwritableOutput) {
+  std::string err;
+  EXPECT_EQ(run({"report", "--scenarios", scenarios_.c_str(), "--out",
+                 "/nonexistent/dir/report.md", "--clusters", "4"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flare::cli

@@ -1,0 +1,247 @@
+#include "core/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "stats/descriptive.hpp"
+#include "tests/core/test_env.hpp"
+
+namespace flare::core {
+namespace {
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  // Fit once for the whole suite via the shared environment.
+  const AnalysisResult& analysis_ = testing::fitted_pipeline().analysis();
+  const metrics::MetricDatabase& db_ = testing::fitted_pipeline().database();
+};
+
+TEST_F(AnalyzerTest, RefinementDropsConstantAndDuplicateColumns) {
+  EXPECT_LT(analysis_.kept_columns.size(), db_.num_metrics());
+  EXPECT_FALSE(analysis_.refinement.drops.empty());
+  EXPECT_FALSE(analysis_.constant_columns.empty())
+      << "Freq_GHz is constant on a homogeneous fleet";
+  // Kept + dropped partitions the catalog.
+  std::set<std::size_t> seen(analysis_.kept_columns.begin(),
+                             analysis_.kept_columns.end());
+  for (const auto& d : analysis_.refinement.drops) {
+    EXPECT_TRUE(seen.insert(d.dropped_column).second);
+    EXPECT_EQ(seen.count(d.kept_column), 1u) << "drops must reference kept columns";
+  }
+  for (const std::size_t c : analysis_.constant_columns) {
+    EXPECT_TRUE(seen.insert(c).second);
+  }
+  EXPECT_EQ(seen.size(), db_.num_metrics());
+}
+
+TEST_F(AnalyzerTest, RefinementKeepsMostOfTheSchema) {
+  // Paper: 100+ -> 85. We accept a broad band around that ratio.
+  const double kept_ratio = static_cast<double>(analysis_.kept_columns.size()) /
+                            static_cast<double>(db_.num_metrics());
+  EXPECT_GT(kept_ratio, 0.5);
+  EXPECT_LT(kept_ratio, 0.95);
+}
+
+TEST_F(AnalyzerTest, PcaReachesVarianceTarget) {
+  EXPECT_GE(analysis_.pca.cumulative_explained_variance(analysis_.num_components),
+            0.95);
+  if (analysis_.num_components > 1) {
+    EXPECT_LT(analysis_.pca.cumulative_explained_variance(
+                  analysis_.num_components - 1),
+              0.95);
+  }
+}
+
+TEST_F(AnalyzerTest, InterpretationsCoverSelectedComponents) {
+  ASSERT_EQ(analysis_.interpretations.size(), analysis_.num_components);
+  for (std::size_t i = 0; i < analysis_.interpretations.size(); ++i) {
+    const PcInterpretation& pc = analysis_.interpretations[i];
+    EXPECT_EQ(pc.component, i);
+    EXPECT_FALSE(pc.label.empty());
+    EXPECT_GT(pc.explained_variance_ratio, 0.0);
+  }
+}
+
+TEST_F(AnalyzerTest, ClusterSpaceIsWhite) {
+  for (std::size_t c = 0; c < analysis_.cluster_space.cols(); ++c) {
+    const auto col = analysis_.cluster_space.column(c);
+    EXPECT_NEAR(stats::mean(col), 0.0, 1e-8);
+    EXPECT_NEAR(stats::variance(col), 1.0, 1e-8);
+  }
+}
+
+TEST_F(AnalyzerTest, ClusteringPartitionsAllScenarios) {
+  EXPECT_EQ(analysis_.chosen_k, 8u);  // fixed in the test config
+  EXPECT_EQ(analysis_.clustering.assignment.size(), db_.num_rows());
+  std::size_t total = 0;
+  for (const std::size_t s : analysis_.clustering.cluster_sizes) total += s;
+  EXPECT_EQ(total, db_.num_rows());
+}
+
+TEST_F(AnalyzerTest, RepresentativesBelongToTheirClusters) {
+  ASSERT_EQ(analysis_.representatives.size(), analysis_.chosen_k);
+  for (std::size_t c = 0; c < analysis_.chosen_k; ++c) {
+    const std::size_t rep = analysis_.representatives[c];
+    EXPECT_EQ(analysis_.clustering.assignment[rep], c);
+    EXPECT_EQ(rep, analysis_.clustering.nearest_member(analysis_.cluster_space, c));
+  }
+}
+
+TEST_F(AnalyzerTest, ClusterWeightsFormADistribution) {
+  double sum = 0.0;
+  for (const double w : analysis_.cluster_weights) {
+    EXPECT_GE(w, 0.0);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(AnalyzerTest, MembersByDistanceStartsAtRepresentative) {
+  for (std::size_t c = 0; c < analysis_.chosen_k; ++c) {
+    const auto ordered = analysis_.members_by_distance(c);
+    ASSERT_FALSE(ordered.empty());
+    EXPECT_EQ(ordered.front(), analysis_.representatives[c]);
+  }
+}
+
+TEST(AnalyzerSweep, QualityCurveHasMonotoneSse) {
+  AnalyzerConfig config;
+  config.fixed_clusters = 6;
+  config.min_clusters = 2;
+  config.max_clusters = 12;
+  config.compute_quality_curve = true;
+  const Analyzer analyzer(config);
+  const dcsim::InterferenceModel model;
+  const Profiler profiler(model);
+  const auto db =
+      profiler.profile(testing::small_scenario_set(), dcsim::default_machine());
+  const AnalysisResult result = analyzer.analyze(db);
+  ASSERT_EQ(result.quality_curve.size(), 11u);
+  for (std::size_t i = 1; i < result.quality_curve.size(); ++i) {
+    // K-means SSE decreases (weakly, allowing local-optimum jitter) with k.
+    EXPECT_LT(result.quality_curve[i].sse, result.quality_curve[i - 1].sse * 1.05);
+    EXPECT_GE(result.quality_curve[i].silhouette, -1.0);
+    EXPECT_LE(result.quality_curve[i].silhouette, 1.0);
+  }
+}
+
+TEST(AnalyzerAblation, SkippingRefinementStillWorks) {
+  AnalyzerConfig config = testing::small_flare_config().analyzer;
+  config.use_correlation_filter = false;
+  const Analyzer analyzer(config);
+  const AnalysisResult result = analyzer.analyze(testing::fitted_pipeline().database());
+  EXPECT_TRUE(result.refinement.drops.empty());
+  EXPECT_GT(result.kept_columns.size(),
+            testing::fitted_pipeline().analysis().kept_columns.size());
+  EXPECT_EQ(result.representatives.size(), result.chosen_k);
+}
+
+TEST(AnalyzerAblation, UnwhitenedClusteringWorks) {
+  AnalyzerConfig config = testing::small_flare_config().analyzer;
+  config.whiten = false;
+  const Analyzer analyzer(config);
+  const AnalysisResult result = analyzer.analyze(testing::fitted_pipeline().database());
+  // Without whitening the first PC dominates: column variances differ.
+  const double v0 = stats::variance(result.cluster_space.column(0));
+  const double vl = stats::variance(
+      result.cluster_space.column(result.cluster_space.cols() - 1));
+  EXPECT_GT(v0, vl * 2.0);
+}
+
+TEST(AnalyzerAblation, WardAgglomerativeAlternative) {
+  AnalyzerConfig config = testing::small_flare_config().analyzer;
+  config.algorithm = ClusterAlgorithm::kWardAgglomerative;
+  const Analyzer analyzer(config);
+  const AnalysisResult result = analyzer.analyze(testing::fitted_pipeline().database());
+  EXPECT_EQ(result.chosen_k, 8u);
+  std::size_t total = 0;
+  for (const std::size_t s : result.clustering.cluster_sizes) total += s;
+  EXPECT_EQ(total, testing::fitted_pipeline().database().num_rows());
+  // Representatives still valid members.
+  for (std::size_t c = 0; c < result.chosen_k; ++c) {
+    EXPECT_EQ(result.clustering.assignment[result.representatives[c]], c);
+  }
+}
+
+TEST(AnalyzerRecluster, ReweightingMovesClusterWeights) {
+  const Analyzer analyzer(testing::small_flare_config().analyzer);
+  const AnalysisResult& base = testing::fitted_pipeline().analysis();
+  // Concentrate all weight on the members of cluster 0.
+  std::vector<double> weights(base.cluster_space.rows(), 0.0);
+  for (const std::size_t m : base.clustering.members_of(0)) weights[m] = 1.0;
+  const AnalysisResult result = analyzer.recluster(base, weights);
+  double sum = 0.0;
+  for (const double w : result.cluster_weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Representatives must be scenarios that still occur.
+  for (std::size_t c = 0; c < result.chosen_k; ++c) {
+    if (result.cluster_weights[c] > 0.0) {
+      EXPECT_GT(weights[result.representatives[c]], 0.0);
+    }
+  }
+}
+
+TEST(AnalyzerRecluster, ValidatesWeights) {
+  const Analyzer analyzer(testing::small_flare_config().analyzer);
+  const AnalysisResult& base = testing::fitted_pipeline().analysis();
+  EXPECT_THROW(analyzer.recluster(base, {1.0, 2.0}), std::invalid_argument);
+  std::vector<double> negative(base.cluster_space.rows(), 1.0);
+  negative[0] = -1.0;
+  EXPECT_THROW(analyzer.recluster(base, negative), std::invalid_argument);
+  const std::vector<double> zeros(base.cluster_space.rows(), 0.0);
+  EXPECT_THROW(analyzer.recluster(base, zeros), std::invalid_argument);
+}
+
+TEST(AnalyzerSuggestK, FindsTheSseElbow) {
+  // Steep SSE drop until k=6, then flat; silhouette flat. The Fig. 9
+  // "diminishing returns" rule should land at (or just past) the elbow.
+  std::vector<ClusterQualityPoint> curve;
+  for (std::size_t k = 2; k <= 20; ++k) {
+    ClusterQualityPoint p;
+    p.k = k;
+    p.sse = k < 6 ? 1000.0 - 150.0 * static_cast<double>(k)
+                  : 120.0 - 2.0 * static_cast<double>(k);
+    p.silhouette = 0.3;
+    curve.push_back(p);
+  }
+  const std::size_t k = Analyzer::suggest_k(curve, 0.05);
+  EXPECT_GE(k, 5u);
+  EXPECT_LE(k, 12u);
+}
+
+TEST(AnalyzerSuggestK, SilhouetteBreaksTiesPastTheElbow) {
+  // Same elbow, but a clear silhouette peak at k=9 within the window.
+  std::vector<ClusterQualityPoint> curve;
+  for (std::size_t k = 2; k <= 20; ++k) {
+    ClusterQualityPoint p;
+    p.k = k;
+    p.sse = k < 6 ? 1000.0 - 150.0 * static_cast<double>(k)
+                  : 120.0 - 2.0 * static_cast<double>(k);
+    p.silhouette = k == 9 ? 0.9 : 0.2;
+    curve.push_back(p);
+  }
+  EXPECT_EQ(Analyzer::suggest_k(curve, 0.05), 9u);
+}
+
+TEST(AnalyzerSuggestK, HandlesTinyCurves) {
+  ClusterQualityPoint p;
+  p.k = 4;
+  EXPECT_EQ(Analyzer::suggest_k({p}, 0.05), 4u);
+}
+
+TEST(AnalyzerConfigValidation, RejectsBadRanges) {
+  AnalyzerConfig bad;
+  bad.variance_target = 0.0;
+  EXPECT_THROW(Analyzer{bad}, std::invalid_argument);
+  bad = AnalyzerConfig{};
+  bad.min_clusters = 1;
+  EXPECT_THROW(Analyzer{bad}, std::invalid_argument);
+  bad = AnalyzerConfig{};
+  bad.max_clusters = 1;
+  EXPECT_THROW(Analyzer{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flare::core

@@ -1,0 +1,145 @@
+#include "core/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/full_evaluator.hpp"
+#include "core/replayer.hpp"
+#include "tests/core/test_env.hpp"
+
+namespace flare::core {
+namespace {
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  EstimatorTest()
+      : impact_(dcsim::default_machine()),
+        replayer_(impact_),
+        estimator_(testing::fitted_pipeline().analysis(),
+                   testing::small_scenario_set(), replayer_) {}
+
+  ImpactModel impact_;
+  Replayer replayer_;
+  FlareEstimator estimator_;
+};
+
+TEST_F(EstimatorTest, EstimateIsWeightedAverageOfClusterImpacts) {
+  const FeatureEstimate est = estimator_.estimate(feature_dvfs_cap());
+  double weighted = 0.0, weight_sum = 0.0;
+  for (const ClusterImpact& ci : est.per_cluster) {
+    weighted += ci.weight * ci.impact_pct;
+    weight_sum += ci.weight;
+  }
+  EXPECT_NEAR(est.impact_pct, weighted, 1e-9);
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+}
+
+TEST_F(EstimatorTest, UsesTheAnalysisRepresentatives) {
+  const auto& analysis = testing::fitted_pipeline().analysis();
+  const FeatureEstimate est = estimator_.estimate(feature_cache_sizing());
+  ASSERT_EQ(est.per_cluster.size(), analysis.chosen_k);
+  for (std::size_t c = 0; c < analysis.chosen_k; ++c) {
+    EXPECT_EQ(est.per_cluster[c].representative_scenario,
+              analysis.representatives[c]);
+    EXPECT_DOUBLE_EQ(est.per_cluster[c].weight, analysis.cluster_weights[c]);
+  }
+}
+
+TEST_F(EstimatorTest, CostIsOneReplayPerCluster) {
+  const FeatureEstimate est = estimator_.estimate(feature_smt_off());
+  EXPECT_EQ(est.scenario_replays, testing::fitted_pipeline().analysis().chosen_k);
+  // Re-estimating the same feature re-uses the billed replays.
+  const FeatureEstimate again = estimator_.estimate(feature_smt_off());
+  EXPECT_EQ(again.scenario_replays, 0u);
+}
+
+TEST_F(EstimatorTest, BaselineFeatureEstimatesNearZero) {
+  const FeatureEstimate est = estimator_.estimate(baseline_feature());
+  EXPECT_NEAR(est.impact_pct, 0.0, 1e-9);
+}
+
+TEST_F(EstimatorTest, PerJobEstimateOnlyUsesScenariosContainingTheJob) {
+  const dcsim::JobType job = dcsim::JobType::kDataCaching;
+  const PerJobEstimate est = estimator_.estimate_per_job(feature_dvfs_cap(), job);
+  const auto& set = testing::small_scenario_set();
+  double weight_sum = 0.0;
+  for (const auto& maybe_ci : est.per_cluster) {
+    if (!maybe_ci.has_value()) continue;
+    EXPECT_GT(set.scenarios[maybe_ci->representative_scenario].mix.count(job), 0);
+    weight_sum += maybe_ci->weight;
+  }
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+  EXPECT_GT(est.impact_pct, 0.0);
+}
+
+TEST_F(EstimatorTest, PerJobWalksToNearestMemberWithTheJob) {
+  const auto& analysis = testing::fitted_pipeline().analysis();
+  const auto& set = testing::small_scenario_set();
+  const dcsim::JobType job = dcsim::JobType::kMediaStreaming;
+  const PerJobEstimate est = estimator_.estimate_per_job(feature_cache_sizing(), job);
+  for (std::size_t c = 0; c < analysis.chosen_k; ++c) {
+    if (!est.per_cluster[c].has_value()) continue;
+    const std::size_t chosen = est.per_cluster[c]->representative_scenario;
+    // No member closer to the centroid contains the job.
+    for (const std::size_t m : analysis.members_by_distance(c)) {
+      if (m == chosen) break;
+      EXPECT_EQ(set.scenarios[m].mix.count(job), 0);
+    }
+  }
+}
+
+TEST_F(EstimatorTest, PerJobEstimatesForEveryHpService) {
+  for (const dcsim::JobType job : dcsim::hp_job_types()) {
+    const PerJobEstimate est = estimator_.estimate_per_job(feature_dvfs_cap(), job);
+    EXPECT_TRUE(std::isfinite(est.impact_pct)) << dcsim::job_code(job);
+    EXPECT_EQ(est.job, job);
+  }
+}
+
+TEST_F(EstimatorTest, ValidatedEstimateBandCoversPointEstimate) {
+  const ValidatedFeatureEstimate v =
+      estimator_.estimate_with_validation(feature_dvfs_cap());
+  EXPECT_GE(v.uncertainty_pp, 0.0);
+  EXPECT_LE(v.lower(), v.estimate.impact_pct);
+  EXPECT_GE(v.upper(), v.estimate.impact_pct);
+  // The validation probe agrees with the primary estimate at the pp scale
+  // (clusters are homogeneous).
+  EXPECT_NEAR(v.validation_impact_pct, v.estimate.impact_pct, 5.0);
+}
+
+TEST_F(EstimatorTest, ValidationDoublesTheReplayBudgetAtMost) {
+  Replayer fresh(impact_);
+  const FlareEstimator estimator(testing::fitted_pipeline().analysis(),
+                                 testing::small_scenario_set(), fresh);
+  (void)estimator.estimate_with_validation(feature_smt_off());
+  EXPECT_LE(fresh.distinct_scenario_replays(),
+            2 * testing::fitted_pipeline().analysis().chosen_k);
+  EXPECT_GT(fresh.distinct_scenario_replays(),
+            testing::fitted_pipeline().analysis().chosen_k);
+}
+
+TEST_F(EstimatorTest, ValidatedBandUsuallyCoversTheTruth) {
+  // Not a guarantee (the band is a representative-choice sensitivity, not a
+  // statistical CI), but it should cover the truth for these features.
+  const baselines::FullDatacenterEvaluator truth(impact_,
+                                                 core::testing::small_scenario_set());
+  int covered = 0;
+  for (const Feature& f : standard_features()) {
+    const ValidatedFeatureEstimate v = estimator_.estimate_with_validation(f);
+    const double dc = truth.evaluate(f).impact_pct;
+    if (dc >= v.lower() - 0.25 && dc <= v.upper() + 0.25) ++covered;
+  }
+  EXPECT_GE(covered, 2);
+}
+
+TEST_F(EstimatorTest, ValidatesAnalysisMatchesSet) {
+  dcsim::ScenarioSet truncated = testing::small_scenario_set();
+  truncated.scenarios.pop_back();
+  EXPECT_THROW(FlareEstimator(testing::fitted_pipeline().analysis(), truncated,
+                              replayer_),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flare::core

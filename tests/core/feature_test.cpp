@@ -1,0 +1,81 @@
+#include "core/feature.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flare::core {
+namespace {
+
+TEST(Feature, BaselineIsIdentity) {
+  const Feature f = baseline_feature();
+  EXPECT_EQ(f.apply(dcsim::default_machine()), dcsim::default_machine());
+  EXPECT_EQ(f.name(), "baseline");
+}
+
+TEST(Feature, CacheSizingMatchesTable4) {
+  const dcsim::MachineConfig m = feature_cache_sizing().apply(dcsim::default_machine());
+  EXPECT_DOUBLE_EQ(m.llc_mb_per_socket, 12.0);
+  // Everything else untouched.
+  EXPECT_DOUBLE_EQ(m.max_freq_ghz, 2.9);
+  EXPECT_TRUE(m.smt_enabled);
+}
+
+TEST(Feature, DvfsCapMatchesTable4) {
+  const dcsim::MachineConfig m = feature_dvfs_cap().apply(dcsim::default_machine());
+  EXPECT_DOUBLE_EQ(m.max_freq_ghz, 1.8);
+  EXPECT_DOUBLE_EQ(m.min_freq_ghz, 1.2);
+  EXPECT_DOUBLE_EQ(m.llc_mb_per_socket, 30.0);
+}
+
+TEST(Feature, SmtOffMatchesTable4) {
+  const dcsim::MachineConfig m = feature_smt_off().apply(dcsim::default_machine());
+  EXPECT_FALSE(m.smt_enabled);
+  EXPECT_EQ(m.scheduling_vcpus(), dcsim::default_machine().scheduling_vcpus())
+      << "the SMT feature must not change the scheduling shape";
+}
+
+TEST(Feature, ScalesProportionallyOnSmallShape) {
+  const dcsim::MachineConfig small = dcsim::small_machine();
+  EXPECT_NEAR(feature_cache_sizing().apply(small).llc_mb_per_socket,
+              small.llc_mb_per_socket * 0.4, 1e-12);
+  EXPECT_NEAR(feature_dvfs_cap().apply(small).max_freq_ghz,
+              small.max_freq_ghz * 1.8 / 2.9, 1e-12);
+}
+
+TEST(Feature, StandardFeaturesAreTheTableFour) {
+  const std::vector<Feature> features = standard_features();
+  ASSERT_EQ(features.size(), 3u);
+  EXPECT_EQ(features[0].name(), "feature1-cache-sizing");
+  EXPECT_EQ(features[1].name(), "feature2-dvfs-cap");
+  EXPECT_EQ(features[2].name(), "feature3-smt-off");
+  for (const Feature& f : features) EXPECT_FALSE(f.description().empty());
+}
+
+TEST(Feature, RejectsShapeChangingTransformations) {
+  const Feature bad_cores("more-cores", "adds cores", [](dcsim::MachineConfig m) {
+    m.physical_cores_per_socket += 4;
+    return m;
+  });
+  EXPECT_THROW(bad_cores.apply(dcsim::default_machine()), std::invalid_argument);
+
+  const Feature bad_dram("more-dram", "adds DRAM", [](dcsim::MachineConfig m) {
+    m.dram_gb *= 2.0;
+    return m;
+  });
+  EXPECT_THROW(bad_dram.apply(dcsim::default_machine()), std::invalid_argument);
+}
+
+TEST(Feature, RejectsNullApply) {
+  EXPECT_THROW(Feature("x", "y", nullptr), std::invalid_argument);
+}
+
+TEST(Feature, CustomFeatureComposes) {
+  const Feature quieter("quiet-memory", "slower DRAM", [](dcsim::MachineConfig m) {
+    m.mem_latency_ns *= 1.2;
+    return m;
+  });
+  const dcsim::MachineConfig m = quieter.apply(dcsim::default_machine());
+  EXPECT_NEAR(m.mem_latency_ns, 102.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace flare::core

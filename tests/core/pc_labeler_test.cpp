@@ -1,0 +1,95 @@
+#include "core/pc_labeler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/core/test_env.hpp"
+
+namespace flare::core {
+namespace {
+
+class PcLabelerTest : public ::testing::Test {
+ protected:
+  const AnalysisResult& analysis_ = testing::fitted_pipeline().analysis();
+  const metrics::MetricCatalog& catalog_ =
+      testing::fitted_pipeline().database().catalog();
+};
+
+TEST_F(PcLabelerTest, ContributorsSortedByAbsoluteLoading) {
+  for (const PcInterpretation& pc : analysis_.interpretations) {
+    for (std::size_t i = 1; i < pc.top_contributors.size(); ++i) {
+      EXPECT_GE(std::abs(pc.top_contributors[i - 1].loading),
+                std::abs(pc.top_contributors[i].loading));
+    }
+  }
+}
+
+TEST_F(PcLabelerTest, ContributorNamesAreRealMetrics) {
+  for (const PcInterpretation& pc : analysis_.interpretations) {
+    for (const PcContributor& c : pc.top_contributors) {
+      EXPECT_TRUE(catalog_.index_of(c.metric_name).has_value()) << c.metric_name;
+    }
+  }
+}
+
+TEST_F(PcLabelerTest, RespectsMaxContributorsAndThreshold) {
+  PcLabelerConfig config;
+  config.max_contributors = 3;
+  config.min_abs_loading = 0.2;
+  const auto interps =
+      interpret_components(analysis_.pca, analysis_.kept_columns, catalog_,
+                           analysis_.num_components, config);
+  for (const PcInterpretation& pc : interps) {
+    EXPECT_LE(pc.top_contributors.size(), 3u);
+    for (const PcContributor& c : pc.top_contributors) {
+      EXPECT_GE(std::abs(c.loading), 0.2);
+    }
+  }
+}
+
+TEST_F(PcLabelerTest, LabelsMentionLevelAndDirection) {
+  // Fig. 8 labels combine the level (HP vs machine) with a signed trait.
+  bool saw_hp = false, saw_machine = false, saw_up = false, saw_down = false;
+  for (const PcInterpretation& pc : analysis_.interpretations) {
+    if (pc.label.find("HP") != std::string::npos) saw_hp = true;
+    if (pc.label.find("machine") != std::string::npos) saw_machine = true;
+    if (pc.label.find("↑") != std::string::npos) saw_up = true;
+    if (pc.label.find("↓") != std::string::npos) saw_down = true;
+  }
+  EXPECT_TRUE(saw_hp);
+  EXPECT_TRUE(saw_machine);
+  EXPECT_TRUE(saw_up);
+  EXPECT_TRUE(saw_down);
+}
+
+TEST_F(PcLabelerTest, ExplainedVarianceMatchesPca) {
+  for (const PcInterpretation& pc : analysis_.interpretations) {
+    EXPECT_DOUBLE_EQ(pc.explained_variance_ratio,
+                     analysis_.pca.explained_variance_ratio()[pc.component]);
+  }
+}
+
+TEST_F(PcLabelerTest, ValidatesArguments) {
+  const std::vector<std::size_t> wrong_columns = {0, 1};
+  EXPECT_THROW(interpret_components(analysis_.pca, wrong_columns, catalog_, 2),
+               std::invalid_argument);
+  EXPECT_THROW(interpret_components(analysis_.pca, analysis_.kept_columns, catalog_,
+                                    analysis_.pca.dimension() + 1),
+               std::invalid_argument);
+  const ml::Pca unfitted;
+  EXPECT_THROW(interpret_components(unfitted, analysis_.kept_columns, catalog_, 1),
+               std::invalid_argument);
+}
+
+TEST_F(PcLabelerTest, DiffusePcGetsFallbackLabel) {
+  PcLabelerConfig config;
+  config.min_abs_loading = 0.999;  // nothing qualifies
+  const auto interps = interpret_components(
+      analysis_.pca, analysis_.kept_columns, catalog_, 1, config);
+  EXPECT_EQ(interps[0].label, "(diffuse: no dominant raw metric)");
+  EXPECT_TRUE(interps[0].top_contributors.empty());
+}
+
+}  // namespace
+}  // namespace flare::core

@@ -1,0 +1,65 @@
+#include "core/replayer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flare::core {
+namespace {
+
+dcsim::ColocationScenario scenario_with(std::size_t id) {
+  dcsim::ColocationScenario s;
+  s.id = id;
+  s.mix.add(dcsim::JobType::kDataServing, 2);
+  s.mix.add(dcsim::JobType::kLpXalancbmk, 3);
+  return s;
+}
+
+class ReplayerTest : public ::testing::Test {
+ protected:
+  ImpactModel impact_{dcsim::default_machine()};
+  Replayer replayer_{impact_};
+};
+
+TEST_F(ReplayerTest, BillsDistinctScenarioFeaturePairsOnce) {
+  const dcsim::ColocationScenario a = scenario_with(1);
+  const dcsim::ColocationScenario b = scenario_with(2);
+  (void)replayer_.replay_scenario_impact(a, feature_dvfs_cap());
+  (void)replayer_.replay_scenario_impact(a, feature_dvfs_cap());  // same pair
+  (void)replayer_.replay_scenario_impact(b, feature_dvfs_cap());
+  (void)replayer_.replay_scenario_impact(a, feature_smt_off());   // new feature
+  EXPECT_EQ(replayer_.distinct_scenario_replays(), 3u);
+  EXPECT_EQ(replayer_.total_replays(), 4u);
+}
+
+TEST_F(ReplayerTest, ScenarioImpactMatchesImpactModelInTestbedContext) {
+  const dcsim::ColocationScenario s = scenario_with(7);
+  const double via_replayer = replayer_.replay_scenario_impact(s, feature_dvfs_cap());
+  const double direct = impact_.scenario_impact_pct(s.mix, feature_dvfs_cap(),
+                                                    MeasurementContext::kTestbed);
+  EXPECT_DOUBLE_EQ(via_replayer, direct);
+}
+
+TEST_F(ReplayerTest, JobImpactMatchesImpactModel) {
+  const dcsim::ColocationScenario s = scenario_with(9);
+  const double via_replayer = replayer_.replay_job_impact(
+      dcsim::JobType::kDataServing, s, feature_cache_sizing());
+  const double direct =
+      impact_.job_impact_pct(dcsim::JobType::kDataServing, s.mix,
+                             feature_cache_sizing(), MeasurementContext::kTestbed);
+  EXPECT_DOUBLE_EQ(via_replayer, direct);
+  EXPECT_EQ(replayer_.distinct_scenario_replays(), 1u);
+}
+
+TEST_F(ReplayerTest, JobImpactRequiresJobPresence) {
+  const dcsim::ColocationScenario s = scenario_with(11);
+  EXPECT_THROW(replayer_.replay_job_impact(dcsim::JobType::kWebSearch, s,
+                                           feature_dvfs_cap()),
+               std::invalid_argument);
+}
+
+TEST_F(ReplayerTest, FreshReplayerHasZeroCost) {
+  EXPECT_EQ(replayer_.distinct_scenario_replays(), 0u);
+  EXPECT_EQ(replayer_.total_replays(), 0u);
+}
+
+}  // namespace
+}  // namespace flare::core

@@ -1,0 +1,163 @@
+#include "dcsim/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace flare::dcsim {
+namespace {
+
+ModelOptions noiseless_model() {
+  ModelOptions o;
+  o.enable_noise = false;
+  return o;
+}
+
+CounterOptions noiseless_counters() {
+  CounterOptions o;
+  o.enable_noise = false;
+  return o;
+}
+
+class CountersTest : public ::testing::Test {
+ protected:
+  CountersTest() : model_(default_job_catalog(), noiseless_model()) {
+    mix_.add(JobType::kDataCaching, 2);
+    mix_.add(JobType::kGraphAnalytics, 1);
+    mix_.add(JobType::kLpMcf, 3);
+    perf_ = model_.evaluate(machine_, mix_);
+  }
+
+  double metric(const std::vector<double>& row, std::string_view name) const {
+    const auto idx = schema_.index_of(name);
+    EXPECT_TRUE(idx.has_value()) << name;
+    return row[*idx];
+  }
+
+  MachineConfig machine_ = default_machine();
+  InterferenceModel model_;
+  JobMix mix_;
+  ScenarioPerformance perf_;
+  const metrics::MetricCatalog& schema_ = metrics::MetricCatalog::standard();
+};
+
+TEST_F(CountersTest, ProducesEveryCatalogMetric) {
+  const auto row = synthesize_counters(perf_, default_job_catalog(), schema_,
+                                       noiseless_counters());
+  EXPECT_EQ(row.size(), schema_.size());
+  for (const double v : row) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST_F(CountersTest, OccupancyMetricsAreExact) {
+  const auto row = synthesize_counters(perf_, default_job_catalog(), schema_,
+                                       noiseless_counters());
+  EXPECT_DOUBLE_EQ(metric(row, "Machine.TotalOccupancy_vCPU"), 24.0);
+  EXPECT_DOUBLE_EQ(metric(row, "Machine.HPOccupancy_vCPU"), 12.0);
+  EXPECT_DOUBLE_EQ(metric(row, "Machine.LPOccupancy_vCPU"), 12.0);
+  EXPECT_DOUBLE_EQ(metric(row, "Machine.FreeVCPUs"), 24.0);
+  EXPECT_DOUBLE_EQ(metric(row, "Machine.NumContainers"), 6.0);
+  EXPECT_DOUBLE_EQ(metric(row, "Machine.NumHPContainers"), 3.0);
+}
+
+TEST_F(CountersTest, OccupancyMetricsExactEvenWithNoise) {
+  CounterOptions noisy;
+  noisy.enable_noise = true;
+  const auto row = synthesize_counters(perf_, default_job_catalog(), schema_, noisy);
+  EXPECT_DOUBLE_EQ(metric(row, "Machine.TotalOccupancy_vCPU"), 24.0);
+  EXPECT_DOUBLE_EQ(metric(row, "Machine.NumContainers"), 6.0);
+}
+
+TEST_F(CountersTest, TwoLevelSemantics) {
+  const auto row = synthesize_counters(perf_, default_job_catalog(), schema_,
+                                       noiseless_counters());
+  // Machine MIPS includes the LP jobs; HP MIPS does not.
+  EXPECT_GT(metric(row, "Machine.MIPS"), metric(row, "HP.MIPS"));
+  EXPECT_NEAR(metric(row, "Machine.MIPS"), perf_.total_mips, 1e-6);
+  EXPECT_NEAR(metric(row, "HP.MIPS"), perf_.hp_mips, 1e-6);
+  // LP jobs (SPEC) move no network traffic: levels agree there.
+  EXPECT_NEAR(metric(row, "Machine.Network_Mbps"), metric(row, "HP.Network_Mbps"),
+              1e-9);
+}
+
+TEST_F(CountersTest, DesignedDuplicatesHoldExactly) {
+  const auto row = synthesize_counters(perf_, default_job_catalog(), schema_,
+                                       noiseless_counters());
+  EXPECT_NEAR(metric(row, "Machine.InstrPerSec"),
+              metric(row, "Machine.MIPS") * 1e6, 1e-3);
+  EXPECT_NEAR(metric(row, "HP.LLC_HitRatio"), 1.0 - metric(row, "HP.LLC_MissRatio"),
+              1e-12);
+  EXPECT_NEAR(metric(row, "Machine.MemBW_BytesPerSec"),
+              metric(row, "Machine.MemBW_GBps") * 1e9, 1.0);
+  EXPECT_NEAR(metric(row, "Machine.MemReadBW_GBps") +
+                  metric(row, "Machine.MemWriteBW_GBps"),
+              metric(row, "Machine.MemBW_GBps"), 1e-9);
+  EXPECT_NEAR(metric(row, "HP.L2_MPKI"), 1.15 * metric(row, "HP.LLC_APKI"), 1e-9);
+  EXPECT_NEAR(metric(row, "Machine.TD_BackendBound"),
+              metric(row, "Machine.TD_BackendMem") +
+                  metric(row, "Machine.TD_BackendCore"),
+              1e-9);
+  EXPECT_NEAR(metric(row, "Machine.SoftIRQPerSec"),
+              0.6 * metric(row, "Machine.IRQPerSec"), 1e-9);
+}
+
+TEST_F(CountersTest, UtilisationFractionsInRange) {
+  const auto row = synthesize_counters(perf_, default_job_catalog(), schema_,
+                                       noiseless_counters());
+  for (const char* name :
+       {"Machine.CPU_UtilFrac", "HP.CPU_UtilFrac", "Machine.DRAM_UtilFrac",
+        "Machine.SMTSharedFrac", "Machine.TD_Retiring", "HP.TD_Retiring"}) {
+    EXPECT_GE(metric(row, name), 0.0) << name;
+    EXPECT_LE(metric(row, name), 1.0 + 1e-9) << name;
+  }
+}
+
+TEST_F(CountersTest, NoiseIsDeterministicPerStream) {
+  CounterOptions noisy;
+  const auto a = synthesize_counters(perf_, default_job_catalog(), schema_, noisy, 3);
+  const auto b = synthesize_counters(perf_, default_job_catalog(), schema_, noisy, 3);
+  const auto c = synthesize_counters(perf_, default_job_catalog(), schema_, noisy, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(CountersTest, FamilyJitterMovesFamiliesTogether) {
+  CounterOptions jitter_only;
+  jitter_only.measurement_noise_sigma = 0.0;
+  jitter_only.subgroup_jitter_sigma = 0.0;
+  jitter_only.family_jitter_sigma = 0.3;
+  const auto clean = synthesize_counters(perf_, default_job_catalog(), schema_,
+                                         noiseless_counters());
+  const auto jittered =
+      synthesize_counters(perf_, default_job_catalog(), schema_, jitter_only, 5);
+  // Within the Network family at one level, the multiplicative factor is
+  // identical for every metric.
+  const double f1 =
+      metric(jittered, "Machine.Network_Mbps") / metric(clean, "Machine.Network_Mbps");
+  const double f2 = metric(jittered, "Machine.NetworkUtilFrac") /
+                    metric(clean, "Machine.NetworkUtilFrac");
+  EXPECT_NEAR(f1, f2, 1e-9);
+  EXPECT_NE(std::abs(f1 - 1.0), 0.0);  // jitter did something
+}
+
+TEST_F(CountersTest, HpLevelOfMachineOnlyMetricsDoesNotExist) {
+  EXPECT_FALSE(schema_.index_of("HP.TotalOccupancy_vCPU").has_value());
+  EXPECT_FALSE(schema_.index_of("HP.Power_W").has_value());
+  EXPECT_TRUE(schema_.index_of("Machine.Power_W").has_value());
+}
+
+TEST_F(CountersTest, PhysicalPlausibility) {
+  const auto row = synthesize_counters(perf_, default_job_catalog(), schema_,
+                                       noiseless_counters());
+  // Power between idle floor and a dual-socket ceiling.
+  EXPECT_GT(metric(row, "Machine.Power_W"), 75.0);
+  EXPECT_LT(metric(row, "Machine.Power_W"), 400.0);
+  EXPECT_GT(metric(row, "Machine.Temperature_C"), 30.0);
+  EXPECT_LT(metric(row, "Machine.Temperature_C"), 95.0);
+  EXPECT_LE(metric(row, "Machine.LLC_Occupancy_MB"),
+            machine_.total_llc_mb() + 1e-9);
+  EXPECT_GT(metric(row, "Machine.IPC"), 0.1);
+  EXPECT_LT(metric(row, "Machine.IPC"), 4.0);
+}
+
+}  // namespace
+}  // namespace flare::dcsim

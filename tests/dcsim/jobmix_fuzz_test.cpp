@@ -1,0 +1,66 @@
+// Fuzz-ish robustness tests: JobMix::from_key must either parse or throw
+// ParseError — never crash or silently mis-parse — for arbitrary byte soup,
+// and must round-trip every randomly generated valid mix.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dcsim/scenario.hpp"
+#include "stats/rng.hpp"
+#include "util/error.hpp"
+
+namespace flare::dcsim {
+namespace {
+
+TEST(JobMixFuzz, RandomByteSoupNeverCrashes) {
+  stats::Rng rng(2024);
+  const std::string alphabet = "ABCDEFabcdef0123456789:,;.-_ \tmcfDAWSV";
+  int parsed = 0, rejected = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string soup;
+    const std::size_t len = rng.uniform_int(0, 24);
+    for (std::size_t i = 0; i < len; ++i) {
+      soup += alphabet[rng.uniform_int(0, alphabet.size() - 1)];
+    }
+    try {
+      const JobMix mix = JobMix::from_key(soup);
+      ++parsed;
+      // Anything that parses must re-serialise to a canonical key that
+      // parses back to the same mix.
+      EXPECT_EQ(JobMix::from_key(mix.key()), mix);
+    } catch (const ParseError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 2000);
+  EXPECT_GT(rejected, 0) << "the soup should hit plenty of invalid keys";
+}
+
+TEST(JobMixFuzz, RandomValidMixesRoundTrip) {
+  stats::Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    JobMix mix;
+    const int kinds = static_cast<int>(rng.uniform_int(0, 6));
+    for (int i = 0; i < kinds; ++i) {
+      mix.add(static_cast<JobType>(rng.uniform_int(0, kNumJobTypes - 1)),
+              static_cast<int>(rng.uniform_int(1, 9)));
+    }
+    const JobMix reparsed = JobMix::from_key(mix.key());
+    EXPECT_EQ(reparsed, mix);
+    EXPECT_EQ(reparsed.key(), mix.key());
+  }
+}
+
+TEST(JobMixFuzz, WhitespaceTolerantKeys) {
+  EXPECT_EQ(JobMix::from_key(" DA:1 , mcf:2 ").count(JobType::kLpMcf), 2);
+}
+
+TEST(JobMixFuzz, OverflowishCountsAreAccepted) {
+  // Parsing large counts must not UB; downstream capacity checks reject them.
+  const JobMix mix = JobMix::from_key("DA:100000");
+  EXPECT_EQ(mix.count(JobType::kDataAnalytics), 100000);
+  EXPECT_EQ(mix.vcpus(), 400000);
+}
+
+}  // namespace
+}  // namespace flare::dcsim

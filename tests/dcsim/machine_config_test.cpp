@@ -1,0 +1,55 @@
+#include "dcsim/machine_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flare::dcsim {
+namespace {
+
+TEST(MachineConfig, DefaultMatchesTable2) {
+  const MachineConfig m = default_machine();
+  EXPECT_EQ(m.cpu_model, "Intel Xeon E5-2650 v4");
+  EXPECT_EQ(m.sockets, 2);
+  // "24 vCPUs per socket" = 12 cores × 2-way SMT.
+  EXPECT_EQ(m.scheduling_vcpus(), 48);
+  EXPECT_EQ(m.total_cores(), 24);
+  EXPECT_DOUBLE_EQ(m.dram_gb, 256.0);
+  EXPECT_DOUBLE_EQ(m.llc_mb_per_socket, 30.0);
+  EXPECT_DOUBLE_EQ(m.min_freq_ghz, 1.2);
+  EXPECT_DOUBLE_EQ(m.max_freq_ghz, 2.9);
+  EXPECT_TRUE(m.smt_enabled);
+}
+
+TEST(MachineConfig, SmallMatchesTable5) {
+  const MachineConfig m = small_machine();
+  EXPECT_EQ(m.cpu_model, "Intel Xeon E5-2640 v3");
+  // "16 vCPUs per socket" = 8 cores × 2-way SMT.
+  EXPECT_EQ(m.scheduling_vcpus(), 32);
+  EXPECT_DOUBLE_EQ(m.dram_gb, 128.0);
+  EXPECT_LT(m.total_llc_mb(), default_machine().total_llc_mb());
+}
+
+TEST(MachineConfig, HardwareThreadsFollowSmt) {
+  MachineConfig m = default_machine();
+  EXPECT_EQ(m.hardware_threads(), 48);
+  m.smt_enabled = false;
+  EXPECT_EQ(m.hardware_threads(), 24);
+  // Scheduling shape is unchanged by the SMT knob.
+  EXPECT_EQ(m.scheduling_vcpus(), 48);
+}
+
+TEST(MachineConfig, AggregateCapacities) {
+  const MachineConfig m = default_machine();
+  EXPECT_DOUBLE_EQ(m.total_llc_mb(), 60.0);
+  // 2 sockets × 4 channels × 19.2 GB/s.
+  EXPECT_DOUBLE_EQ(m.total_mem_bw_gbps(), 153.6);
+}
+
+TEST(MachineConfig, EqualityIsStructural) {
+  EXPECT_EQ(default_machine(), default_machine());
+  MachineConfig changed = default_machine();
+  changed.llc_mb_per_socket = 12.0;
+  EXPECT_NE(changed, default_machine());
+}
+
+}  // namespace
+}  // namespace flare::dcsim

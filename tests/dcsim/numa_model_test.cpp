@@ -1,0 +1,112 @@
+// Tests for the opt-in socket-aware (NUMA) resource model.
+#include <gtest/gtest.h>
+
+#include "dcsim/interference_model.hpp"
+
+namespace flare::dcsim {
+namespace {
+
+ModelOptions pooled() {
+  ModelOptions o;
+  o.enable_noise = false;
+  return o;
+}
+
+ModelOptions numa() {
+  ModelOptions o = pooled();
+  o.socket_aware = true;
+  return o;
+}
+
+JobMix mix_of(std::initializer_list<std::pair<JobType, int>> items) {
+  JobMix mix;
+  for (const auto& [type, count] : items) mix.add(type, count);
+  return mix;
+}
+
+TEST(NumaModel, DefaultIsPooled) {
+  EXPECT_FALSE(ModelOptions{}.socket_aware);
+}
+
+TEST(NumaModel, SingleInstanceSeesOneSocketOfCache) {
+  const InterferenceModel pooled_model(default_job_catalog(), pooled());
+  const InterferenceModel numa_model(default_job_catalog(), numa());
+  const JobMix solo = mix_of({{JobType::kGraphAnalytics, 1}});
+  const auto p = pooled_model.evaluate(default_machine(), solo);
+  const auto n = numa_model.evaluate(default_machine(), solo);
+  // Pooled: min(ws, 60 MB) = 48 MB. NUMA: min(ws, 30 MB per socket) = 30 MB.
+  EXPECT_NEAR(p.job(JobType::kGraphAnalytics).cache_mb_per_instance, 48.0, 1e-9);
+  EXPECT_NEAR(n.job(JobType::kGraphAnalytics).cache_mb_per_instance, 30.0, 1e-9);
+  EXPECT_LT(n.job(JobType::kGraphAnalytics).mips_per_instance,
+            p.job(JobType::kGraphAnalytics).mips_per_instance);
+}
+
+TEST(NumaModel, BalancedSpreadIsolatesCacheHogsFromHalfTheMachine) {
+  // 2 cache hogs + 2 light jobs: NUMA puts one hog per socket, so each hog
+  // contends with one light job over 30 MB instead of everything over 60 MB.
+  const InterferenceModel pooled_model(default_job_catalog(), pooled());
+  const InterferenceModel numa_model(default_job_catalog(), numa());
+  const JobMix mix = mix_of({{JobType::kLpMcf, 2}, {JobType::kMediaStreaming, 2}});
+  const auto p = pooled_model.evaluate(default_machine(), mix);
+  const auto n = numa_model.evaluate(default_machine(), mix);
+  // Conservation still holds per socket: total allocation <= machine LLC.
+  double p_cache = 0.0, n_cache = 0.0;
+  for (const auto& j : p.jobs) p_cache += j.cache_mb_per_instance * j.instances;
+  for (const auto& j : n.jobs) n_cache += j.cache_mb_per_instance * j.instances;
+  EXPECT_LE(p_cache, default_machine().total_llc_mb() + 1e-9);
+  EXPECT_LE(n_cache, default_machine().total_llc_mb() + 1e-9);
+  // Both models keep every throughput positive/finite.
+  for (const auto& j : n.jobs) EXPECT_GT(j.mips_per_instance, 0.0);
+}
+
+TEST(NumaModel, CrowdedSocketsRaiseLocalBandwidthPressure) {
+  // Seven bandwidth hogs: pooled sees one big pipe; NUMA gives the 4-hog
+  // socket a harder time than the 3-hog one, raising the weighted multiplier.
+  const InterferenceModel pooled_model(default_job_catalog(), pooled());
+  const InterferenceModel numa_model(default_job_catalog(), numa());
+  const JobMix mix = mix_of({{JobType::kLpLibquantum, 7}});
+  const auto p = pooled_model.evaluate(default_machine(), mix);
+  const auto n = numa_model.evaluate(default_machine(), mix);
+  EXPECT_GE(n.mem_latency_multiplier, p.mem_latency_multiplier - 0.05);
+  EXPECT_GT(n.mem_latency_multiplier, 1.0);
+}
+
+TEST(NumaModel, PooledAndNumaAgreeWhenResourcesAreUnstressed) {
+  const InterferenceModel pooled_model(default_job_catalog(), pooled());
+  const InterferenceModel numa_model(default_job_catalog(), numa());
+  const JobMix light = mix_of({{JobType::kMediaStreaming, 2}});
+  const double p = pooled_model.evaluate(default_machine(), light).hp_mips;
+  const double n = numa_model.evaluate(default_machine(), light).hp_mips;
+  EXPECT_NEAR(n / p, 1.0, 0.05);
+}
+
+TEST(NumaModel, DeterministicAssignment) {
+  const InterferenceModel numa_model(default_job_catalog(), numa());
+  const JobMix mix = mix_of({{JobType::kDataServing, 3}, {JobType::kLpMcf, 2}});
+  const auto a = numa_model.evaluate(default_machine(), mix);
+  const auto b = numa_model.evaluate(default_machine(), mix);
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].mips_per_instance, b.jobs[i].mips_per_instance);
+    EXPECT_DOUBLE_EQ(a.jobs[i].cache_mb_per_instance,
+                     b.jobs[i].cache_mb_per_instance);
+  }
+}
+
+TEST(NumaModel, FullPipelineWorksSocketAware) {
+  // The whole FLARE flow is model-agnostic: inherent MIPS, impacts and
+  // counters stay consistent under the NUMA option.
+  const InterferenceModel numa_model(default_job_catalog(), numa());
+  const double inherent =
+      numa_model.inherent_mips(default_machine(), JobType::kWebSearch);
+  EXPECT_GT(inherent, 0.0);
+  const JobMix mix = mix_of({{JobType::kWebSearch, 2}, {JobType::kLpOmnetpp, 4}});
+  const auto perf = numa_model.evaluate(default_machine(), mix);
+  for (const auto& j : perf.jobs) {
+    const double td = j.td_frontend + j.td_bad_speculation + j.td_retiring +
+                      j.td_backend_mem + j.td_backend_core;
+    EXPECT_NEAR(td, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace flare::dcsim

@@ -1,0 +1,63 @@
+// Cost-accounting integration tests: the §5.4 overhead claims depend on the
+// replay ledger being exact, so pin its semantics across every workflow.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "tests/core/test_env.hpp"
+
+namespace flare {
+namespace {
+
+TEST(CostAccounting, ThreeFeatureCampaignCostsThreeK) {
+  core::FlarePipeline pipeline(core::testing::small_flare_config());
+  pipeline.fit(core::testing::small_scenario_set());
+  for (const core::Feature& f : core::standard_features()) {
+    (void)pipeline.evaluate(f);
+  }
+  // Representatives differ per feature only in the feature applied; each
+  // (scenario, feature) pair bills once -> 3 × k.
+  EXPECT_EQ(pipeline.scenario_replays(),
+            3 * pipeline.analysis().chosen_k);
+}
+
+TEST(CostAccounting, RepeatedCampaignsAreFree) {
+  core::FlarePipeline pipeline(core::testing::small_flare_config());
+  pipeline.fit(core::testing::small_scenario_set());
+  (void)pipeline.evaluate(core::feature_dvfs_cap());
+  const std::size_t after_first = pipeline.scenario_replays();
+  for (int i = 0; i < 5; ++i) (void)pipeline.evaluate(core::feature_dvfs_cap());
+  EXPECT_EQ(pipeline.scenario_replays(), after_first);
+}
+
+TEST(CostAccounting, PerJobWalksAddOnlyNewScenarios) {
+  core::FlarePipeline pipeline(core::testing::small_flare_config());
+  pipeline.fit(core::testing::small_scenario_set());
+  (void)pipeline.evaluate(core::feature_dvfs_cap());
+  const std::size_t all_job_cost = pipeline.scenario_replays();
+  // Per-job estimation may walk to non-representative members; the marginal
+  // cost is bounded by one extra scenario per cluster per job.
+  (void)pipeline.evaluate_per_job(core::feature_dvfs_cap(),
+                                  dcsim::JobType::kMediaStreaming);
+  EXPECT_LE(pipeline.scenario_replays(),
+            all_job_cost + pipeline.analysis().chosen_k);
+  EXPECT_GE(pipeline.scenario_replays(), all_job_cost);
+}
+
+TEST(CostAccounting, ValidationCampaignStaysUnderTwoK) {
+  core::FlarePipeline pipeline(core::testing::small_flare_config());
+  pipeline.fit(core::testing::small_scenario_set());
+  (void)pipeline.evaluate_with_validation(core::feature_smt_off());
+  EXPECT_LE(pipeline.scenario_replays(), 2 * pipeline.analysis().chosen_k);
+}
+
+TEST(CostAccounting, SchedulerChangeDoesNotBillProfiling) {
+  core::FlarePipeline pipeline(core::testing::small_flare_config());
+  pipeline.fit(core::testing::small_scenario_set());
+  std::vector<double> weights(core::testing::small_scenario_set().size(), 1.0);
+  pipeline.apply_scheduler_change(weights);
+  EXPECT_EQ(pipeline.scenario_replays(), 0u)
+      << "re-clustering must not touch the testbed";
+}
+
+}  // namespace
+}  // namespace flare

@@ -1,0 +1,69 @@
+// §5.5 workflow: heterogeneous machine shapes need per-shape representatives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/full_evaluator.hpp"
+#include "core/pipeline.hpp"
+#include "dcsim/submission.hpp"
+
+namespace flare {
+namespace {
+
+dcsim::ScenarioSet shape_set(const dcsim::MachineConfig& machine,
+                             std::size_t target) {
+  dcsim::SubmissionConfig sub;
+  sub.target_distinct_scenarios = target;
+  return dcsim::generate_scenario_set(sub, machine);
+}
+
+TEST(Heterogeneous, DefaultScenariosOftenDoNotFitTheSmallShape) {
+  // Fig. 14a: a ~70%-occupancy default-shape scenario saturates (or exceeds)
+  // the small machine, so identical reproduction is impossible.
+  const dcsim::ScenarioSet default_set = shape_set(dcsim::default_machine(), 300);
+  const int small_capacity = dcsim::small_machine().scheduling_vcpus();
+  std::size_t overflow = 0;
+  for (const auto& s : default_set.scenarios) {
+    if (s.mix.vcpus() > small_capacity) ++overflow;
+  }
+  EXPECT_GT(overflow, default_set.size() / 20)
+      << "a visible fraction of default scenarios cannot run on the small shape";
+}
+
+TEST(Heterogeneous, PerShapeRepresentativesTrackEachShape) {
+  // Fig. 14b: re-deriving representatives on the new shape restores accuracy.
+  for (const dcsim::MachineConfig& machine :
+       {dcsim::default_machine(), dcsim::small_machine()}) {
+    const dcsim::ScenarioSet set = shape_set(machine, 300);
+    core::FlareConfig config;
+    config.machine = machine;
+    config.analyzer.fixed_clusters = 12;
+    config.analyzer.compute_quality_curve = false;
+    core::FlarePipeline pipeline(config);
+    pipeline.fit(set);
+    const baselines::FullDatacenterEvaluator truth(pipeline.impact_model(), set);
+    const core::FeatureEstimate est = pipeline.evaluate(core::feature_dvfs_cap());
+    const double true_impact = truth.evaluate(core::feature_dvfs_cap()).impact_pct;
+    EXPECT_LT(std::abs(est.impact_pct - true_impact), 1.5) << machine.name;
+  }
+}
+
+TEST(Heterogeneous, ShapesReactDifferentlyToTheSameFeature) {
+  // The small machine (smaller LLC, lower clock ceiling) responds with its
+  // own magnitude — the reason one representative set cannot serve both.
+  const dcsim::ScenarioSet default_set = shape_set(dcsim::default_machine(), 250);
+  const dcsim::ScenarioSet small_set = shape_set(dcsim::small_machine(), 250);
+  const core::ImpactModel default_impact{dcsim::default_machine()};
+  const core::ImpactModel small_impact{dcsim::small_machine()};
+  const double d =
+      baselines::FullDatacenterEvaluator(default_impact, default_set)
+          .evaluate(core::feature_cache_sizing())
+          .impact_pct;
+  const double s = baselines::FullDatacenterEvaluator(small_impact, small_set)
+                       .evaluate(core::feature_cache_sizing())
+                       .impact_pct;
+  EXPECT_GT(std::abs(d - s), 0.5);
+}
+
+}  // namespace
+}  // namespace flare

@@ -1,0 +1,184 @@
+// Property-based sweeps: invariants that must hold for every seed, machine
+// shape, and feature intensity — not just the default configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/full_evaluator.hpp"
+#include "core/pipeline.hpp"
+#include "dcsim/submission.hpp"
+#include "stats/rng.hpp"
+
+namespace flare {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sweep 1: the end-to-end pipeline across submission seeds.
+// ---------------------------------------------------------------------------
+
+class PipelineSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSeedSweep, EstimateInvariantsHoldForEveryLandscape) {
+  dcsim::SubmissionConfig sub;
+  sub.seed = GetParam();
+  sub.target_distinct_scenarios = 150;
+  const dcsim::ScenarioSet set =
+      dcsim::generate_scenario_set(sub, dcsim::default_machine());
+
+  core::FlareConfig config;
+  config.analyzer.fixed_clusters = 8;
+  config.analyzer.compute_quality_curve = false;
+  core::FlarePipeline pipeline(config);
+  pipeline.fit(set);
+
+  const baselines::FullDatacenterEvaluator truth(pipeline.impact_model(), set);
+  for (const core::Feature& f : core::standard_features()) {
+    const core::FeatureEstimate est = pipeline.evaluate(f);
+    // Cost is always exactly k replays.
+    EXPECT_EQ(est.scenario_replays, 8u);
+    // The weighted estimate lies within the replayed impacts' range.
+    double lo = 1e300, hi = -1e300;
+    for (const core::ClusterImpact& ci : est.per_cluster) {
+      lo = std::min(lo, ci.impact_pct);
+      hi = std::max(hi, ci.impact_pct);
+    }
+    EXPECT_GE(est.impact_pct, lo - 1e-9);
+    EXPECT_LE(est.impact_pct, hi + 1e-9);
+    // And lands within a sane distance of the truth on every landscape.
+    const double dc = truth.evaluate(f).impact_pct;
+    EXPECT_LT(std::abs(est.impact_pct - dc), 3.0)
+        << f.name() << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeedSweep,
+                         ::testing::Values(1, 7, 13, 101, 9999));
+
+// ---------------------------------------------------------------------------
+// Sweep 2: the interference model across machine shapes.
+// ---------------------------------------------------------------------------
+
+class ShapeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShapeSweep, ModelInvariantsHoldOnBothShapes) {
+  const dcsim::MachineConfig machine =
+      GetParam() == 0 ? dcsim::default_machine() : dcsim::small_machine();
+  const dcsim::InterferenceModel model;
+  stats::Rng rng(42);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random feasible mix.
+    dcsim::JobMix mix;
+    const int slots = machine.scheduling_vcpus() / 4;
+    const int instances = 1 + static_cast<int>(rng.uniform_int(0, slots - 1));
+    for (int i = 0; i < instances; ++i) {
+      mix.add(static_cast<dcsim::JobType>(
+          rng.uniform_int(0, dcsim::kNumJobTypes - 1)));
+    }
+    const dcsim::ScenarioPerformance perf = model.evaluate(machine, mix, trial);
+
+    // Cache conservation.
+    double cache = 0.0;
+    for (const auto& j : perf.jobs) cache += j.cache_mb_per_instance * j.instances;
+    EXPECT_LE(cache, machine.total_llc_mb() + 1e-9);
+
+    // Throughputs positive and finite; speed factors in (0, 1].
+    for (const auto& j : perf.jobs) {
+      EXPECT_GT(j.mips_per_instance, 0.0);
+      EXPECT_TRUE(std::isfinite(j.mips_per_instance));
+      EXPECT_GT(j.core_speed_factor, 0.0);
+      EXPECT_LE(j.core_speed_factor, 1.0);
+      EXPECT_GE(j.llc_miss_ratio, 0.0);
+      EXPECT_LE(j.llc_miss_ratio, 1.0);
+    }
+    // Network never exceeds the NIC.
+    EXPECT_LE(perf.network_mbps, machine.network_gbps * 1000.0 + 1e-6);
+    // Latency multiplier within the configured band.
+    EXPECT_GE(perf.mem_latency_multiplier, 1.0);
+    EXPECT_LE(perf.mem_latency_multiplier,
+              model.options().max_latency_multiplier + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeSweep, ::testing::Values(0, 1));
+
+// ---------------------------------------------------------------------------
+// Sweep 3: feature intensity is monotone — deeper knobs hurt (weakly) more.
+// ---------------------------------------------------------------------------
+
+class CacheIntensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CacheIntensitySweep, SmallerCacheNeverHelps) {
+  static const core::ImpactModel impact{dcsim::default_machine()};
+  dcsim::JobMix mix;
+  mix.add(dcsim::JobType::kGraphAnalytics, 3);
+  mix.add(dcsim::JobType::kLpMcf, 4);
+  mix.add(dcsim::JobType::kWebSearch, 2);
+
+  const double llc = GetParam();
+  const core::Feature shrink(
+      "llc", "shrink", [llc](dcsim::MachineConfig m) {
+        m.llc_mb_per_socket = llc;
+        return m;
+      });
+  const core::Feature shrink_more(
+      "llc2", "shrink more", [llc](dcsim::MachineConfig m) {
+        m.llc_mb_per_socket = llc * 0.75;
+        return m;
+      });
+  const double impact_a = impact.scenario_impact_pct(
+      mix, shrink, core::MeasurementContext::kTestbed);
+  const double impact_b = impact.scenario_impact_pct(
+      mix, shrink_more, core::MeasurementContext::kTestbed);
+  EXPECT_GE(impact_b, impact_a - 0.35)
+      << "shrinking further must not (materially) help; llc=" << llc;
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheIntensitySweep,
+                         ::testing::Values(24.0, 18.0, 12.0, 8.0, 4.0));
+
+class FrequencyIntensitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FrequencyIntensitySweep, LowerCeilingMonotonicallyHurts) {
+  static const core::ImpactModel impact{dcsim::default_machine()};
+  dcsim::JobMix mix;
+  mix.add(dcsim::JobType::kInMemoryAnalytics, 4);
+  mix.add(dcsim::JobType::kLpSjeng, 3);
+
+  const double fmax = GetParam();
+  const auto cap = [](double ghz) {
+    return core::Feature("cap", "cap", [ghz](dcsim::MachineConfig m) {
+      m.max_freq_ghz = ghz;
+      return m;
+    });
+  };
+  const double a = impact.scenario_impact_pct(mix, cap(fmax),
+                                              core::MeasurementContext::kTestbed);
+  const double b = impact.scenario_impact_pct(mix, cap(fmax - 0.2),
+                                              core::MeasurementContext::kTestbed);
+  EXPECT_GT(b, a) << "a lower frequency ceiling must cost more; fmax=" << fmax;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ceilings, FrequencyIntensitySweep,
+                         ::testing::Values(2.7, 2.4, 2.1, 1.8, 1.5));
+
+// ---------------------------------------------------------------------------
+// Sweep 4: scenario generation scales with the requested target.
+// ---------------------------------------------------------------------------
+
+class TargetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TargetSweep, GeneratorReachesEveryTarget) {
+  dcsim::SubmissionConfig sub;
+  sub.target_distinct_scenarios = GetParam();
+  const dcsim::ScenarioSet set =
+      dcsim::generate_scenario_set(sub, dcsim::default_machine());
+  EXPECT_GE(set.size(), GetParam());
+  EXPECT_LT(set.size(), GetParam() + 60) << "overshoot should be bounded";
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, TargetSweep,
+                         ::testing::Values(25, 100, 400, 895));
+
+}  // namespace
+}  // namespace flare

@@ -1,0 +1,69 @@
+// Archival integration: a profiled datacenter round-trips through CSV and
+// re-analysis reproduces the original representatives and estimates.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "dcsim/submission.hpp"
+#include "trace/metric_io.hpp"
+#include "trace/scenario_io.hpp"
+
+namespace flare {
+namespace {
+
+TEST(TraceRoundTrip, ScenarioSetSurvivesArchival) {
+  dcsim::SubmissionConfig sub;
+  sub.target_distinct_scenarios = 120;
+  const dcsim::ScenarioSet original =
+      dcsim::generate_scenario_set(sub, dcsim::default_machine());
+
+  const std::string path = ::testing::TempDir() + "/roundtrip_scenarios.csv";
+  trace::save_scenario_set(original, path);
+  const dcsim::ScenarioSet loaded = trace::load_scenario_set(path);
+  std::remove(path.c_str());
+
+  core::FlareConfig config;
+  config.analyzer.fixed_clusters = 6;
+  config.analyzer.compute_quality_curve = false;
+
+  core::FlarePipeline from_original(config);
+  from_original.fit(original);
+  core::FlarePipeline from_loaded(config);
+  from_loaded.fit(loaded);
+
+  EXPECT_EQ(from_original.analysis().representatives,
+            from_loaded.analysis().representatives);
+  EXPECT_NEAR(from_original.evaluate(core::feature_dvfs_cap()).impact_pct,
+              from_loaded.evaluate(core::feature_dvfs_cap()).impact_pct, 1e-6);
+}
+
+TEST(TraceRoundTrip, MetricDatabaseSurvivesArchival) {
+  dcsim::SubmissionConfig sub;
+  sub.target_distinct_scenarios = 60;
+  const dcsim::ScenarioSet set =
+      dcsim::generate_scenario_set(sub, dcsim::default_machine());
+  const dcsim::InterferenceModel model;
+  const core::Profiler profiler(model);
+  const metrics::MetricDatabase db = profiler.profile(set, dcsim::default_machine());
+
+  const std::string path = ::testing::TempDir() + "/roundtrip_metrics.csv";
+  trace::save_metric_database(db, path);
+  const metrics::MetricDatabase loaded = trace::load_metric_database(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.num_rows(), db.num_rows());
+  // Analyzing the loaded copy gives the identical clustering (the CSV stores
+  // doubles exactly via shortest-round-trip formatting).
+  core::AnalyzerConfig cfg;
+  cfg.fixed_clusters = 5;
+  cfg.compute_quality_curve = false;
+  const core::Analyzer analyzer(cfg);
+  const auto a = analyzer.analyze(db);
+  const auto b = analyzer.analyze(loaded);
+  EXPECT_EQ(a.clustering.assignment, b.clustering.assignment);
+  EXPECT_EQ(a.representatives, b.representatives);
+}
+
+}  // namespace
+}  // namespace flare

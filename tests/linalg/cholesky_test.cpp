@@ -1,0 +1,77 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+#include "util/error.hpp"
+
+namespace flare::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  }
+  // AᵀA + n·I is SPD.
+  Matrix spd = a.transposed().multiply(a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(Cholesky, FactorReproducesMatrix) {
+  const Matrix spd = random_spd(8, 1);
+  const Matrix l = cholesky_lower(spd);
+  EXPECT_LT(l.multiply(l.transposed()).max_abs_diff(spd), 1e-9);
+}
+
+TEST(Cholesky, FactorIsLowerTriangular) {
+  const Matrix l = cholesky_lower(random_spd(6, 2));
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+    EXPECT_GT(l(i, i), 0.0);
+  }
+}
+
+TEST(Cholesky, IdentityFactorsToIdentity) {
+  const Matrix l = cholesky_lower(Matrix::identity(4));
+  EXPECT_LT(l.max_abs_diff(Matrix::identity(4)), 1e-14);
+}
+
+TEST(Cholesky, KnownTwoByTwo) {
+  // [[4,2],[2,5]] -> L = [[2,0],[1,2]]
+  const Matrix m = Matrix::from_rows({{4, 2}, {2, 5}});
+  const Matrix l = cholesky_lower(m);
+  EXPECT_NEAR(l(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l(1, 1), 2.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  const Matrix indef = Matrix::from_rows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_lower(indef), NumericalError);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(cholesky_lower(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(CholeskySolve, SolvesLinearSystem) {
+  const Matrix spd = random_spd(10, 3);
+  stats::Rng rng(4);
+  std::vector<double> x_true(10);
+  for (double& v : x_true) v = rng.normal();
+  const std::vector<double> b = spd.multiply(x_true);
+  const std::vector<double> x = cholesky_solve(spd, b);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(CholeskySolve, ValidatesRhsSize) {
+  const Matrix spd = random_spd(3, 5);
+  EXPECT_THROW(cholesky_solve(spd, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flare::linalg

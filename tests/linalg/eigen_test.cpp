@@ -1,0 +1,131 @@
+#include "linalg/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace flare::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.normal();
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+TEST(SymmetricEigen, DiagonalMatrixEigenvaluesSortedDescending) {
+  Matrix d(3, 3);
+  d(0, 0) = 1.0;
+  d(1, 1) = 5.0;
+  d(2, 2) = 3.0;
+  const auto result = symmetric_eigen(d);
+  EXPECT_NEAR(result.eigenvalues[0], 5.0, 1e-10);
+  EXPECT_NEAR(result.eigenvalues[1], 3.0, 1e-10);
+  EXPECT_NEAR(result.eigenvalues[2], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  const Matrix m = Matrix::from_rows({{2, 1}, {1, 2}});
+  const auto result = symmetric_eigen(m);
+  EXPECT_NEAR(result.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(result.eigenvalues[1], 1.0, 1e-10);
+  // Eigenvector of 3 is (1,1)/√2 up to sign.
+  EXPECT_NEAR(std::abs(result.eigenvectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(SymmetricEigen, ReconstructsOriginalMatrix) {
+  const Matrix m = random_symmetric(12, 77);
+  const auto [values, vectors] = symmetric_eigen(m);
+  // A == V diag(λ) Vᵀ
+  Matrix lambda(12, 12);
+  for (std::size_t i = 0; i < 12; ++i) lambda(i, i) = values[i];
+  const Matrix rebuilt = vectors.multiply(lambda).multiply(vectors.transposed());
+  EXPECT_LT(rebuilt.max_abs_diff(m), 1e-8);
+}
+
+TEST(SymmetricEigen, EigenvectorsAreOrthonormal) {
+  const Matrix m = random_symmetric(10, 5);
+  const auto result = symmetric_eigen(m);
+  const Matrix vtv =
+      result.eigenvectors.transposed().multiply(result.eigenvectors);
+  EXPECT_LT(vtv.max_abs_diff(Matrix::identity(10)), 1e-9);
+}
+
+TEST(SymmetricEigen, SatisfiesEigenEquation) {
+  const Matrix m = random_symmetric(8, 9);
+  const auto result = symmetric_eigen(m);
+  for (std::size_t j = 0; j < 8; ++j) {
+    const std::vector<double> v = result.eigenvectors.column(j);
+    const std::vector<double> mv = m.multiply(v);
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_NEAR(mv[i], result.eigenvalues[j] * v[i], 1e-8);
+    }
+  }
+}
+
+TEST(SymmetricEigen, TraceEqualsEigenvalueSum) {
+  const Matrix m = random_symmetric(15, 3);
+  const auto result = symmetric_eigen(m);
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < 15; ++i) trace += m(i, i);
+  for (const double ev : result.eigenvalues) sum += ev;
+  EXPECT_NEAR(trace, sum, 1e-8);
+}
+
+TEST(SymmetricEigen, OneByOne) {
+  Matrix m(1, 1);
+  m(0, 0) = 4.0;
+  const auto result = symmetric_eigen(m);
+  EXPECT_DOUBLE_EQ(result.eigenvalues[0], 4.0);
+  EXPECT_NEAR(std::abs(result.eigenvectors(0, 0)), 1.0, 1e-12);
+}
+
+TEST(SymmetricEigen, RejectsNonSquareAndAsymmetric) {
+  EXPECT_THROW(symmetric_eigen(Matrix(2, 3)), std::invalid_argument);
+  const Matrix asym = Matrix::from_rows({{1, 2}, {0, 1}});
+  EXPECT_THROW(symmetric_eigen(asym), std::invalid_argument);
+}
+
+TEST(SymmetricEigen, HandlesRepeatedEigenvalues) {
+  const Matrix id2 = Matrix::identity(4) * 2.0;
+  const auto result = symmetric_eigen(id2);
+  for (const double ev : result.eigenvalues) EXPECT_NEAR(ev, 2.0, 1e-10);
+  const Matrix vtv =
+      result.eigenvectors.transposed().multiply(result.eigenvectors);
+  EXPECT_LT(vtv.max_abs_diff(Matrix::identity(4)), 1e-9);
+}
+
+TEST(SymmetricEigen, HandlesZeroMatrix) {
+  const auto result = symmetric_eigen(Matrix(3, 3));
+  for (const double ev : result.eigenvalues) EXPECT_DOUBLE_EQ(ev, 0.0);
+}
+
+class EigenSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenSizeSweep, ReconstructionHoldsAcrossSizes) {
+  const std::size_t n = GetParam();
+  const Matrix m = random_symmetric(n, 100 + n);
+  const auto [values, vectors] = symmetric_eigen(m);
+  Matrix lambda(n, n);
+  for (std::size_t i = 0; i < n; ++i) lambda(i, i) = values[i];
+  const Matrix rebuilt = vectors.multiply(lambda).multiply(vectors.transposed());
+  EXPECT_LT(rebuilt.max_abs_diff(m), 1e-7);
+  // Eigenvalues are sorted descending.
+  for (std::size_t i = 1; i < n; ++i) EXPECT_GE(values[i - 1], values[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+}  // namespace
+}  // namespace flare::linalg

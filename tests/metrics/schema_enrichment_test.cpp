@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "metrics/metric_catalog.hpp"
+
+namespace flare::metrics {
+namespace {
+
+TEST(JobMixSchema, AddsOneColumnPerJobType) {
+  const MetricCatalog& base = MetricCatalog::standard();
+  const MetricCatalog& enriched = MetricCatalog::standard_with_job_mix();
+  EXPECT_EQ(enriched.size(), base.size() + 14);
+  EXPECT_TRUE(enriched.index_of("Machine.Mix_DA_Instances").has_value());
+  EXPECT_TRUE(enriched.index_of("Machine.Mix_mcf_Instances").has_value());
+  EXPECT_FALSE(base.index_of("Machine.Mix_DA_Instances").has_value());
+}
+
+TEST(JobMixSchema, MixColumnsAreMachineLevelOccupancy) {
+  const MetricCatalog& enriched = MetricCatalog::standard_with_job_mix();
+  const auto idx = enriched.index_of("Machine.Mix_WSC_Instances");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(enriched.info(*idx).level, MetricLevel::kMachine);
+  EXPECT_EQ(enriched.info(*idx).category, MetricCategory::kOccupancy);
+}
+
+TEST(TemporalSchema, DoublesTheColumnCount) {
+  const MetricCatalog& base = MetricCatalog::standard();
+  const MetricCatalog enriched = MetricCatalog::with_temporal_stddev(base);
+  EXPECT_EQ(enriched.size(), 2 * base.size());
+  EXPECT_TRUE(enriched.index_of("HP.IPC_Std").has_value());
+  EXPECT_TRUE(enriched.index_of("Machine.MIPS_Std").has_value());
+}
+
+TEST(TemporalSchema, EveryStdColumnHasASource) {
+  const MetricCatalog enriched =
+      MetricCatalog::with_temporal_stddev(MetricCatalog::standard());
+  for (const MetricInfo& m : enriched.metrics()) {
+    if (!MetricCatalog::is_stddev_column(m)) continue;
+    const std::string source = m.name.substr(0, m.name.size() - 4);
+    EXPECT_TRUE(enriched.index_of(source).has_value()) << m.name;
+  }
+}
+
+TEST(TemporalSchema, DoubleEnrichmentIsRejected) {
+  const MetricCatalog once =
+      MetricCatalog::with_temporal_stddev(MetricCatalog::standard());
+  EXPECT_THROW((void)MetricCatalog::with_temporal_stddev(once),
+               std::invalid_argument);
+}
+
+TEST(TemporalSchema, IsStddevColumnDetection) {
+  MetricInfo plain;
+  plain.name = "HP.IPC";
+  EXPECT_FALSE(MetricCatalog::is_stddev_column(plain));
+  MetricInfo std_col;
+  std_col.name = "HP.IPC_Std";
+  EXPECT_TRUE(MetricCatalog::is_stddev_column(std_col));
+}
+
+TEST(TemporalSchema, ComposesWithJobMix) {
+  const MetricCatalog both =
+      MetricCatalog::with_temporal_stddev(MetricCatalog::standard_with_job_mix());
+  EXPECT_TRUE(both.index_of("Machine.Mix_DA_Instances_Std").has_value());
+  EXPECT_EQ(both.size(), 2 * MetricCatalog::standard_with_job_mix().size());
+}
+
+}  // namespace
+}  // namespace flare::metrics

@@ -1,0 +1,102 @@
+#include "ml/agglomerative.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/cluster_quality.hpp"
+#include "stats/rng.hpp"
+
+namespace flare::ml {
+namespace {
+
+using linalg::Matrix;
+
+Matrix blobs3(std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Matrix m(60, 2);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < 20; ++i) {
+      m(c * 20 + i, 0) = 12.0 * static_cast<double>(c) + rng.normal(0.0, 0.4);
+      m(c * 20 + i, 1) = rng.normal(0.0, 0.4);
+    }
+  }
+  return m;
+}
+
+TEST(Agglomerative, WardRecoversBlobs) {
+  const Matrix data = blobs3(1);
+  const AgglomerativeResult r = agglomerative_cluster(data, 3, Linkage::kWard);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const std::size_t label = r.assignment[c * 20];
+    for (std::size_t i = 1; i < 20; ++i) EXPECT_EQ(r.assignment[c * 20 + i], label);
+  }
+  const std::set<std::size_t> labels(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(Agglomerative, ClusterSizesSumToN) {
+  const Matrix data = blobs3(2);
+  const AgglomerativeResult r = agglomerative_cluster(data, 4);
+  std::size_t total = 0;
+  for (const std::size_t s : r.cluster_sizes) total += s;
+  EXPECT_EQ(total, data.rows());
+  EXPECT_EQ(r.cluster_sizes.size(), 4u);
+}
+
+TEST(Agglomerative, CentroidsAreClusterMeans) {
+  const Matrix data = blobs3(3);
+  const AgglomerativeResult r = agglomerative_cluster(data, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    double sx = 0.0, sy = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      if (r.assignment[i] != c) continue;
+      sx += data(i, 0);
+      sy += data(i, 1);
+      ++n;
+    }
+    EXPECT_NEAR(r.centroids(c, 0), sx / static_cast<double>(n), 1e-9);
+    EXPECT_NEAR(r.centroids(c, 1), sy / static_cast<double>(n), 1e-9);
+  }
+}
+
+TEST(Agglomerative, KOneMergesEverything) {
+  const Matrix data = blobs3(4);
+  const AgglomerativeResult r = agglomerative_cluster(data, 1);
+  for (const std::size_t a : r.assignment) EXPECT_EQ(a, 0u);
+}
+
+TEST(Agglomerative, KEqualsNKeepsSingletons) {
+  const Matrix data = blobs3(5);
+  const AgglomerativeResult r = agglomerative_cluster(data, data.rows());
+  const std::set<std::size_t> labels(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(labels.size(), data.rows());
+}
+
+TEST(Agglomerative, ValidatesK) {
+  const Matrix data = blobs3(6);
+  EXPECT_THROW(agglomerative_cluster(data, 0), std::invalid_argument);
+  EXPECT_THROW(agglomerative_cluster(data, data.rows() + 1), std::invalid_argument);
+}
+
+TEST(Agglomerative, AllLinkagesProduceValidPartitions) {
+  const Matrix data = blobs3(7);
+  for (const Linkage l :
+       {Linkage::kWard, Linkage::kAverage, Linkage::kComplete, Linkage::kSingle}) {
+    const AgglomerativeResult r = agglomerative_cluster(data, 3, l);
+    std::size_t total = 0;
+    for (const std::size_t s : r.cluster_sizes) total += s;
+    EXPECT_EQ(total, data.rows());
+    for (const std::size_t a : r.assignment) EXPECT_LT(a, 3u);
+  }
+}
+
+TEST(Agglomerative, WardQualityComparableOnSeparatedData) {
+  const Matrix data = blobs3(8);
+  const AgglomerativeResult r = agglomerative_cluster(data, 3, Linkage::kWard);
+  EXPECT_GT(silhouette_score(data, r.assignment, 3), 0.8);
+}
+
+}  // namespace
+}  // namespace flare::ml

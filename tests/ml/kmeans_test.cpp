@@ -1,0 +1,285 @@
+#include "ml/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "linalg/covariance.hpp"
+#include "ml/cluster_quality.hpp"
+#include "stats/rng.hpp"
+
+namespace flare::ml {
+namespace {
+
+using linalg::Matrix;
+
+/// `k` well-separated Gaussian blobs in 2-D.
+Matrix blobs(std::size_t per_cluster, std::size_t k, double separation,
+             std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Matrix m(per_cluster * k, 2);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double cx = separation * static_cast<double>(c);
+    const double cy = separation * static_cast<double>(c % 2);
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      m(c * per_cluster + i, 0) = cx + rng.normal(0.0, 0.3);
+      m(c * per_cluster + i, 1) = cy + rng.normal(0.0, 0.3);
+    }
+  }
+  return m;
+}
+
+KMeansParams params_with_k(std::size_t k, std::uint64_t seed = 42) {
+  KMeansParams p;
+  p.k = k;
+  p.seed = seed;
+  return p;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  const Matrix data = blobs(50, 4, 10.0, 1);
+  const KMeansResult result = kmeans(data, params_with_k(4));
+  // All points of each generated blob share an assigned cluster.
+  for (std::size_t c = 0; c < 4; ++c) {
+    const std::size_t first = result.assignment[c * 50];
+    for (std::size_t i = 1; i < 50; ++i) {
+      EXPECT_EQ(result.assignment[c * 50 + i], first);
+    }
+  }
+  // And the four blobs get four distinct labels.
+  const std::set<std::size_t> labels(result.assignment.begin(),
+                                     result.assignment.end());
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(KMeans, SseConsistentWithAssignment) {
+  const Matrix data = blobs(30, 3, 8.0, 2);
+  const KMeansResult result = kmeans(data, params_with_k(3));
+  EXPECT_NEAR(result.sse,
+              sum_squared_errors(data, result.centroids, result.assignment), 1e-9);
+}
+
+TEST(KMeans, ClusterSizesSumToN) {
+  const Matrix data = blobs(25, 5, 6.0, 3);
+  const KMeansResult result = kmeans(data, params_with_k(5));
+  std::size_t total = 0;
+  for (const std::size_t s : result.cluster_sizes) total += s;
+  EXPECT_EQ(total, data.rows());
+}
+
+TEST(KMeans, DeterministicPerSeed) {
+  const Matrix data = blobs(40, 3, 5.0, 4);
+  const KMeansResult a = kmeans(data, params_with_k(3, 7));
+  const KMeansResult b = kmeans(data, params_with_k(3, 7));
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.sse, b.sse);
+}
+
+TEST(KMeans, SseDecreasesWithMoreClusters) {
+  const Matrix data = blobs(30, 6, 3.0, 5);
+  double prev = 1e300;
+  for (const std::size_t k : {2u, 4u, 8u, 16u}) {
+    const KMeansResult r = kmeans(data, params_with_k(k));
+    EXPECT_LE(r.sse, prev + 1e-9);
+    prev = r.sse;
+  }
+}
+
+TEST(KMeans, KEqualsNGivesZeroSse) {
+  const Matrix data = blobs(3, 3, 10.0, 6);  // 9 points
+  const KMeansResult r = kmeans(data, params_with_k(9));
+  EXPECT_NEAR(r.sse, 0.0, 1e-12);
+  for (const std::size_t s : r.cluster_sizes) EXPECT_EQ(s, 1u);
+}
+
+TEST(KMeans, KOneGivesGlobalCentroid) {
+  const Matrix data = blobs(50, 2, 4.0, 7);
+  const KMeansResult r = kmeans(data, params_with_k(1));
+  const auto means = linalg::column_means(data);
+  EXPECT_NEAR(r.centroids(0, 0), means[0], 1e-9);
+  EXPECT_NEAR(r.centroids(0, 1), means[1], 1e-9);
+}
+
+TEST(KMeans, KMeansPlusPlusBeatsOrMatchesRandomInit) {
+  const Matrix data = blobs(40, 8, 4.0, 8);
+  KMeansParams pp = params_with_k(8);
+  pp.restarts = 1;
+  KMeansParams rnd = pp;
+  rnd.init = KMeansInit::kRandomPoints;
+  double pp_sse = 0.0, rnd_sse = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    pp.seed = seed;
+    rnd.seed = seed;
+    pp_sse += kmeans(data, pp).sse;
+    rnd_sse += kmeans(data, rnd).sse;
+  }
+  EXPECT_LE(pp_sse, rnd_sse * 1.05);
+}
+
+TEST(KMeans, HandlesDuplicatePoints) {
+  Matrix data(10, 2, 1.0);  // all identical
+  const KMeansResult r = kmeans(data, params_with_k(3));
+  EXPECT_NEAR(r.sse, 0.0, 1e-12);
+  std::size_t total = 0;
+  for (const std::size_t s : r.cluster_sizes) total += s;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(KMeans, ValidatesArguments) {
+  const Matrix data = blobs(10, 2, 5.0, 9);
+  EXPECT_THROW(kmeans(data, params_with_k(0)), std::invalid_argument);
+  EXPECT_THROW(kmeans(data, params_with_k(21)), std::invalid_argument);
+  KMeansParams bad = params_with_k(2);
+  bad.max_iterations = 0;
+  EXPECT_THROW(kmeans(data, bad), std::invalid_argument);
+  bad = params_with_k(2);
+  bad.restarts = 0;
+  EXPECT_THROW(kmeans(data, bad), std::invalid_argument);
+}
+
+TEST(KMeansResult, MembersOfPartitionTheData) {
+  const Matrix data = blobs(20, 3, 6.0, 10);
+  const KMeansResult r = kmeans(data, params_with_k(3));
+  std::set<std::size_t> all;
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (const std::size_t m : r.members_of(c)) {
+      EXPECT_TRUE(all.insert(m).second) << "point in two clusters";
+      EXPECT_EQ(r.assignment[m], c);
+    }
+  }
+  EXPECT_EQ(all.size(), data.rows());
+}
+
+TEST(KMeansResult, NearestMemberIsClosestToCentroid) {
+  const Matrix data = blobs(30, 2, 8.0, 11);
+  const KMeansResult r = kmeans(data, params_with_k(2));
+  for (std::size_t c = 0; c < 2; ++c) {
+    const std::size_t nearest = r.nearest_member(data, c);
+    const double d_near =
+        linalg::squared_distance(data.row(nearest), r.centroids.row(c));
+    for (const std::size_t m : r.members_of(c)) {
+      EXPECT_LE(d_near,
+                linalg::squared_distance(data.row(m), r.centroids.row(c)) + 1e-12);
+    }
+  }
+}
+
+TEST(KMeansResult, MembersByDistanceIsSortedAndComplete) {
+  const Matrix data = blobs(25, 3, 7.0, 12);
+  const KMeansResult r = kmeans(data, params_with_k(3));
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto ordered = r.members_by_distance(data, c);
+    EXPECT_EQ(ordered.size(), r.cluster_sizes[c]);
+    double prev = -1.0;
+    for (const std::size_t m : ordered) {
+      const double d = linalg::squared_distance(data.row(m), r.centroids.row(c));
+      EXPECT_GE(d, prev - 1e-12);
+      prev = d;
+    }
+    if (!ordered.empty()) {
+      EXPECT_EQ(ordered.front(), r.nearest_member(data, c));
+    }
+  }
+}
+
+TEST(WeightedKMeans, CentroidsAreWeightedMeans) {
+  // Two points, one cluster: the centroid is the weighted mean.
+  Matrix data(2, 1);
+  data(0, 0) = 0.0;
+  data(1, 0) = 10.0;
+  KMeansParams p = params_with_k(1);
+  p.weights = {1.0, 3.0};
+  const KMeansResult r = kmeans(data, p);
+  EXPECT_NEAR(r.centroids(0, 0), 7.5, 1e-9);
+}
+
+TEST(WeightedKMeans, ZeroWeightPointsDoNotPullCentroids) {
+  const Matrix data = blobs(30, 2, 10.0, 21);
+  KMeansParams weighted = params_with_k(2);
+  weighted.weights.assign(60, 1.0);
+  // Add an outlier with zero weight.
+  Matrix with_outlier(61, 2);
+  for (std::size_t i = 0; i < 60; ++i) with_outlier.set_row(i, data.row(i));
+  with_outlier(60, 0) = 1000.0;
+  with_outlier(60, 1) = 1000.0;
+  weighted.weights.push_back(0.0);
+  weighted.k = 2;
+  const KMeansResult r = kmeans(with_outlier, weighted);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_LT(r.centroids(c, 0), 100.0) << "zero-weight outlier moved a centroid";
+  }
+}
+
+TEST(WeightedKMeans, UniformWeightsMatchUnweightedUpToRelabeling) {
+  const Matrix data = blobs(25, 3, 8.0, 22);
+  KMeansParams plain = params_with_k(3);
+  KMeansParams uniform = params_with_k(3);
+  uniform.weights.assign(data.rows(), 2.0);
+  const KMeansResult a = kmeans(data, plain);
+  const KMeansResult b = kmeans(data, uniform);
+  // Same partition (labels may permute because the seeding streams differ).
+  std::map<std::size_t, std::size_t> label_map;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const auto [it, inserted] = label_map.emplace(a.assignment[i], b.assignment[i]);
+    EXPECT_EQ(it->second, b.assignment[i]) << "partition mismatch at point " << i;
+  }
+  EXPECT_NEAR(b.sse, 2.0 * a.sse, 1e-6 * a.sse);
+}
+
+TEST(WeightedKMeans, HeavyRegionAttractsMoreCentroids) {
+  // 1-D: heavy mass at 0, light at 10..14; with k=3 the heavy side should
+  // not be starved.
+  Matrix data(25, 1);
+  KMeansParams p = params_with_k(3);
+  for (std::size_t i = 0; i < 20; ++i) {
+    data(i, 0) = static_cast<double>(i) * 0.1;  // dense 0..2
+    p.weights.push_back(100.0);
+  }
+  for (std::size_t i = 20; i < 25; ++i) {
+    data(i, 0) = 10.0 + static_cast<double>(i - 20);
+    p.weights.push_back(0.01);
+  }
+  const KMeansResult r = kmeans(data, p);
+  int centroids_in_heavy = 0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    if (r.centroids(c, 0) < 5.0) ++centroids_in_heavy;
+  }
+  EXPECT_GE(centroids_in_heavy, 2);
+}
+
+TEST(WeightedKMeans, ValidatesWeights) {
+  const Matrix data = blobs(10, 2, 5.0, 23);
+  KMeansParams p = params_with_k(2);
+  p.weights = {1.0};  // wrong size
+  EXPECT_THROW(kmeans(data, p), std::invalid_argument);
+  p.weights.assign(data.rows(), 1.0);
+  p.weights[0] = -1.0;
+  EXPECT_THROW(kmeans(data, p), std::invalid_argument);
+}
+
+class KMeansPropertySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KMeansPropertySweep, InvariantsAcrossK) {
+  const std::size_t k = GetParam();
+  const Matrix data = blobs(20, 6, 3.0, 13);
+  const KMeansResult r = kmeans(data, params_with_k(k));
+  // Every point assigned to its nearest centroid (Lloyd fixed point).
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const double assigned =
+        linalg::squared_distance(data.row(i), r.centroids.row(r.assignment[i]));
+    for (std::size_t c = 0; c < k; ++c) {
+      EXPECT_LE(assigned,
+                linalg::squared_distance(data.row(i), r.centroids.row(c)) + 1e-9);
+    }
+  }
+  // No empty clusters after repair.
+  for (const std::size_t s : r.cluster_sizes) EXPECT_GT(s, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansPropertySweep,
+                         ::testing::Values(2, 3, 5, 8, 13, 18, 30));
+
+}  // namespace
+}  // namespace flare::ml

@@ -1,0 +1,89 @@
+#include "ml/whitener.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/pca.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace flare::ml {
+namespace {
+
+using linalg::Matrix;
+
+Matrix scaled_data(std::size_t rows, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Matrix m(rows, 3);
+  for (std::size_t r = 0; r < rows; ++r) {
+    m(r, 0) = rng.normal(0.0, 100.0);
+    m(r, 1) = rng.normal(5.0, 0.01);
+    m(r, 2) = rng.normal(-2.0, 1.0);
+  }
+  return m;
+}
+
+TEST(Whitener, OutputColumnsHaveUnitVariance) {
+  Whitener w;
+  const Matrix white = w.fit_transform(scaled_data(500, 1));
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto col = white.column(c);
+    EXPECT_NEAR(stats::mean(col), 0.0, 1e-10);
+    EXPECT_NEAR(stats::variance(col), 1.0, 1e-10);
+  }
+}
+
+TEST(Whitener, EqualInformationAcrossWildlyDifferentScales) {
+  // The motivating property (§4.4): a 100x-scale column must not dominate.
+  Whitener w;
+  const Matrix white = w.fit_transform(scaled_data(1000, 2));
+  EXPECT_NEAR(stats::variance(white.column(0)), stats::variance(white.column(1)),
+              1e-9);
+}
+
+TEST(Whitener, InverseTransformRoundTrips) {
+  Whitener w;
+  const Matrix data = scaled_data(100, 3);
+  const Matrix white = w.fit_transform(data);
+  EXPECT_LT(w.inverse_transform(white).max_abs_diff(data), 1e-9);
+}
+
+TEST(Whitener, AfterPcaScoresAreWhite) {
+  stats::Rng rng(4);
+  Matrix data(800, 4);
+  for (std::size_t r = 0; r < 800; ++r) {
+    const double shared = rng.normal(0.0, 5.0);
+    for (std::size_t c = 0; c < 4; ++c) data(r, c) = shared + rng.normal();
+  }
+  Pca pca;
+  pca.fit(data);
+  Whitener w;
+  const Matrix white = w.fit_transform(pca.transform(data));
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(stats::variance(white.column(c)), 1.0, 1e-9);
+  }
+}
+
+TEST(Whitener, ValidatesPreconditions) {
+  Whitener w;
+  EXPECT_FALSE(w.fitted());
+  EXPECT_THROW(w.transform(Matrix(1, 1)), std::invalid_argument);
+  EXPECT_THROW(w.fit(Matrix(1, 2)), std::invalid_argument);
+  w.fit(scaled_data(10, 5));
+  EXPECT_TRUE(w.fitted());
+  EXPECT_THROW(w.transform(Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Whitener, ConstantColumnStaysFinite) {
+  Matrix data(20, 2);
+  stats::Rng rng(6);
+  for (std::size_t r = 0; r < 20; ++r) {
+    data(r, 0) = rng.normal();
+    data(r, 1) = 3.0;
+  }
+  Whitener w;
+  const Matrix white = w.fit_transform(data);
+  for (std::size_t r = 0; r < 20; ++r) EXPECT_DOUBLE_EQ(white(r, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace flare::ml

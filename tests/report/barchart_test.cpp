@@ -1,0 +1,80 @@
+#include "report/barchart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace flare::report {
+namespace {
+
+TEST(BarChart, RendersTitleLabelsAndBars) {
+  BarChart chart("My chart", 20);
+  chart.add("big", 10.0);
+  chart.add("small", 5.0, "±0.5");
+  std::ostringstream out;
+  chart.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("My chart"), std::string::npos);
+  EXPECT_NE(text.find("big"), std::string::npos);
+  EXPECT_NE(text.find("±0.5"), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(BarChart, BarLengthProportionalToValue) {
+  BarChart chart("c", 40);
+  chart.add("full", 8.0);
+  chart.add("half", 4.0);
+  std::ostringstream out;
+  chart.print(out);
+  std::istringstream lines(out.str());
+  std::string title, full, half;
+  std::getline(lines, title);
+  std::getline(lines, full);
+  std::getline(lines, half);
+  const auto hashes = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '#');
+  };
+  EXPECT_EQ(hashes(full), 40);
+  EXPECT_EQ(hashes(half), 20);
+}
+
+TEST(BarChart, EmptyChartSaysNoData) {
+  BarChart chart("empty");
+  std::ostringstream out;
+  chart.print(out);
+  EXPECT_NE(out.str().find("(no data)"), std::string::npos);
+}
+
+TEST(BarChart, NegativeValuesAreFlagged) {
+  BarChart chart("c");
+  chart.add("down", -3.0);
+  std::ostringstream out;
+  chart.print(out);
+  EXPECT_NE(out.str().find("(neg)"), std::string::npos);
+}
+
+TEST(BarChart, AllZeroValuesRenderWithoutBars) {
+  BarChart chart("c");
+  chart.add("zero", 0.0);
+  std::ostringstream out;
+  chart.print(out);
+  EXPECT_EQ(out.str().find('#'), std::string::npos);
+}
+
+TEST(BarChart, ValidatesWidth) {
+  EXPECT_THROW(BarChart("x", 1), std::invalid_argument);
+}
+
+TEST(PrintSeries, EmitsEveryPoint) {
+  std::ostringstream out;
+  print_series(out, "curve", {{1.0, 0.5}, {2.0, 0.25}}, "k", "sse", 2);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("curve"), std::string::npos);
+  EXPECT_NE(text.find("k -> sse"), std::string::npos);
+  EXPECT_NE(text.find("1, 0.50"), std::string::npos);
+  EXPECT_NE(text.find("2, 0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flare::report

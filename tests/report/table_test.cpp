@@ -1,0 +1,65 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace flare::report {
+namespace {
+
+TEST(AsciiTable, RendersHeaderRuleAndRows) {
+  AsciiTable table({"name", "value"});
+  table.add_row({"alpha", "1.00"});
+  table.add_row({"beta", "2.50"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(AsciiTable, PadsColumnsToWidestCell) {
+  AsciiTable table({"a", "b"});
+  table.add_row({"verylongcell", "x"});
+  std::ostringstream out;
+  table.print(out);
+  // Header line padded to the cell width -> both lines equally long.
+  std::istringstream lines(out.str());
+  std::string header, rule, row;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row);
+  EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(AsciiTable, CellFormatsDoubles) {
+  EXPECT_EQ(AsciiTable::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::cell(-1.0, 0), "-1");
+}
+
+TEST(AsciiTable, ValidatesArity) {
+  AsciiTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+  EXPECT_THROW(table.set_alignment(5, Align::kLeft), std::invalid_argument);
+}
+
+TEST(AsciiTable, AlignmentControlsPaddingSide) {
+  AsciiTable table({"label", "num"});
+  table.set_alignment(1, Align::kRight);
+  table.add_row({"x", "7"});
+  std::ostringstream out;
+  table.print(out);
+  std::istringstream lines(out.str());
+  std::string header, rule, row;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row);
+  // Right-aligned "7" under 3-wide "num" ends the line.
+  EXPECT_EQ(row.back(), '7');
+}
+
+}  // namespace
+}  // namespace flare::report

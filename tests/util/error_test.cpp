@@ -1,0 +1,35 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flare {
+namespace {
+
+TEST(Ensure, PassesWhenConditionHolds) { EXPECT_NO_THROW(ensure(true, "ok")); }
+
+TEST(Ensure, ThrowsInvalidArgumentWithMessage) {
+  try {
+    ensure(false, "the message");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "the message");
+  }
+}
+
+TEST(EnsureNumeric, ThrowsNumericalError) {
+  EXPECT_NO_THROW(ensure_numeric(true, "ok"));
+  EXPECT_THROW(ensure_numeric(false, "bad"), NumericalError);
+}
+
+TEST(ErrorHierarchy, AllDeriveFromFlareError) {
+  EXPECT_THROW(throw ParseError("x"), FlareError);
+  EXPECT_THROW(throw NumericalError("x"), FlareError);
+  EXPECT_THROW(throw CapacityError("x"), FlareError);
+}
+
+TEST(ErrorHierarchy, FlareErrorIsRuntimeError) {
+  EXPECT_THROW(throw FlareError("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace flare

@@ -1,0 +1,39 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace flare::util {
+namespace {
+
+TEST(Fnv1a, IsDeterministic) { EXPECT_EQ(fnv1a("hello"), fnv1a("hello")); }
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a 64-bit of the empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), kFnvOffsetBasis);
+}
+
+TEST(Fnv1a, DifferentInputsDiffer) {
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_NE(fnv1a("ab"), fnv1a("ba"));
+}
+
+TEST(Fnv1a, SeedChangesResult) { EXPECT_NE(fnv1a("x", 1), fnv1a("x", 2)); }
+
+TEST(Fnv1a, IsConstexpr) {
+  static_assert(fnv1a("compile-time") != 0);
+  SUCCEED();
+}
+
+TEST(HashMix, Deterministic) { EXPECT_EQ(hash_mix(1, 2), hash_mix(1, 2)); }
+
+TEST(HashMix, SpreadsNearbyInputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(hash_mix(42, i));
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions among consecutive streams
+}
+
+}  // namespace
+}  // namespace flare::util

@@ -1,0 +1,67 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace flare::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, hits.size(), [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+  SUCCEED();
+}
+
+TEST(ParallelFor, ResultsAreDeterministicByIndex) {
+  ThreadPool pool(4);
+  std::vector<double> out(100, 0.0);
+  parallel_for(pool, out.size(),
+               [&out](std::size_t i) { out[i] = static_cast<double>(i) * 2.0; });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace flare::util

@@ -1,0 +1,33 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace flare::util {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = watch.elapsed_seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // generous: CI machines stall
+}
+
+TEST(Stopwatch, IsMonotone) {
+  Stopwatch watch;
+  const double first = watch.elapsed_seconds();
+  const double second = watch.elapsed_seconds();
+  EXPECT_GE(second, first);
+}
+
+TEST(Stopwatch, RestartResetsTheOrigin) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.restart();
+  EXPECT_LT(watch.elapsed_seconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace flare::util
