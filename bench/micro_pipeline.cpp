@@ -7,6 +7,7 @@
 #include "ml/cluster_quality.hpp"
 #include "ml/kmeans.hpp"
 #include "ml/pca.hpp"
+#include "stats/rng.hpp"
 
 namespace {
 
@@ -15,6 +16,50 @@ using namespace flare;
 const bench::Environment& env() {
   static const bench::Environment kEnv = bench::make_environment();
   return kEnv;
+}
+
+// --- Analyzer-kernel fixtures (paper scale n=895 and a 10× stress size) ---
+
+constexpr std::size_t kBlobDims = 18;   // whitened cluster-space width
+constexpr std::size_t kBlobCenters = 18;
+
+/// Synthetic Gaussian blobs shaped like the whitened cluster space.
+linalg::Matrix make_blobs(std::size_t n) {
+  const stats::Rng rng(0xB10B5);
+  stats::Rng centers_rng = rng.fork(0);
+  linalg::Matrix centers(kBlobCenters, kBlobDims);
+  for (std::size_t c = 0; c < kBlobCenters; ++c) {
+    for (std::size_t d = 0; d < kBlobDims; ++d) {
+      centers(c, d) = centers_rng.normal(0.0, 4.0);
+    }
+  }
+  stats::Rng points_rng = rng.fork(1);
+  linalg::Matrix data(n, kBlobDims);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = i % kBlobCenters;
+    for (std::size_t d = 0; d < kBlobDims; ++d) {
+      data(i, d) = centers(c, d) + points_rng.normal();
+    }
+  }
+  return data;
+}
+
+const linalg::Matrix& blob_data(std::size_t n) {
+  static const linalg::Matrix kSmall = make_blobs(895);
+  static const linalg::Matrix kLarge = make_blobs(8950);
+  return n == 895 ? kSmall : kLarge;
+}
+
+const std::vector<std::size_t>& blob_assignment(std::size_t n) {
+  static const auto assign = [](std::size_t rows) {
+    ml::KMeansParams params;
+    params.k = kBlobCenters;
+    params.restarts = 1;
+    return ml::kmeans(blob_data(rows), params).assignment;
+  };
+  static const std::vector<std::size_t> kSmall = assign(895);
+  static const std::vector<std::size_t> kLarge = assign(8950);
+  return n == 895 ? kSmall : kLarge;
 }
 
 void BM_ScenarioEvaluation(benchmark::State& state) {
@@ -78,6 +123,99 @@ void BM_Silhouette18(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Silhouette18);
+
+// --- Analyzer perf kernels: the Fig. 9 k-sweep and its two ingredients ---
+
+/// The pre-optimisation sweep: per-k naive Lloyd + uncached O(n²·dim)
+/// silhouette recomputed from raw data for every candidate k.
+void BM_KSweepSerialNaive(benchmark::State& state) {
+  const linalg::Matrix& space = blob_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    double checksum = 0.0;
+    for (std::size_t k = 2; k <= 24; ++k) {
+      ml::KMeansParams params;
+      params.k = k;
+      params.prune = false;
+      const ml::KMeansResult kr = ml::kmeans(space, params);
+      checksum += kr.sse + ml::silhouette_score(space, kr.assignment, k);
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+}
+BENCHMARK(BM_KSweepSerialNaive)->Arg(895)->Unit(benchmark::kMillisecond);
+
+/// The optimised sweep: one shared pairwise-distance matrix + pruned Lloyd.
+/// Produces bit-identical SSE/silhouette values to BM_KSweepSerialNaive.
+void BM_KSweepPrunedCached(benchmark::State& state) {
+  const linalg::Matrix& space = blob_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    double checksum = 0.0;
+    const ml::PairwiseDistances distances = ml::pairwise_distances(space);
+    for (std::size_t k = 2; k <= 24; ++k) {
+      ml::KMeansParams params;
+      params.k = k;
+      const ml::KMeansResult kr = ml::kmeans(space, params);
+      checksum += kr.sse + ml::silhouette_score(distances, kr.assignment, k);
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+}
+BENCHMARK(BM_KSweepPrunedCached)->Arg(895)->Unit(benchmark::kMillisecond);
+
+void BM_LloydNaive(benchmark::State& state) {
+  const linalg::Matrix& space = blob_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ml::KMeansParams params;
+    params.k = 18;
+    params.restarts = 1;
+    params.max_iterations = 20;
+    params.prune = false;
+    benchmark::DoNotOptimize(ml::kmeans(space, params));
+  }
+}
+BENCHMARK(BM_LloydNaive)->Arg(895)->Arg(8950)->Unit(benchmark::kMillisecond);
+
+void BM_LloydPruned(benchmark::State& state) {
+  const linalg::Matrix& space = blob_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ml::KMeansParams params;
+    params.k = 18;
+    params.restarts = 1;
+    params.max_iterations = 20;
+    benchmark::DoNotOptimize(ml::kmeans(space, params));
+  }
+}
+BENCHMARK(BM_LloydPruned)->Arg(895)->Arg(8950)->Unit(benchmark::kMillisecond);
+
+void BM_PairwiseDistances(benchmark::State& state) {
+  const linalg::Matrix& space = blob_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::pairwise_distances(space));
+  }
+}
+BENCHMARK(BM_PairwiseDistances)->Arg(895)->Arg(8950)->Unit(benchmark::kMillisecond);
+
+void BM_SilhouetteUncached(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix& space = blob_data(n);
+  const std::vector<std::size_t>& assignment = blob_assignment(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ml::silhouette_score(space, assignment, kBlobCenters));
+  }
+}
+BENCHMARK(BM_SilhouetteUncached)->Arg(895)->Arg(8950)->Unit(benchmark::kMillisecond);
+
+void BM_SilhouetteCached(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const ml::PairwiseDistances distances = ml::pairwise_distances(blob_data(n));
+  const std::vector<std::size_t>& assignment = blob_assignment(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ml::silhouette_score(distances, assignment, kBlobCenters));
+  }
+}
+BENCHMARK(BM_SilhouetteCached)->Arg(895)->Arg(8950)->Unit(benchmark::kMillisecond);
 
 void BM_FullPipelineFit(benchmark::State& state) {
   for (auto _ : state) {

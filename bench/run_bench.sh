@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs the Analyzer performance benchmarks and records the evidence for the
+# k-sweep speedup target (serial naive sweep vs pruned+cached sweep) as JSON.
+#
+# Usage: bench/run_bench.sh [build-dir]
+#
+# Writes BENCH_analyzer.json at the repo root (google-benchmark JSON format,
+# filtered to the Analyzer kernels). Re-run after touching src/ml or
+# src/core/analyzer.cpp and commit the refreshed numbers alongside the change.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+bench_bin="${build_dir}/bench/micro_pipeline"
+
+if [[ ! -x "${bench_bin}" ]]; then
+  echo "error: ${bench_bin} not found — build first:" >&2
+  echo "  cmake -B \"${build_dir}\" -S \"${repo_root}\" && cmake --build \"${build_dir}\" -j" >&2
+  exit 1
+fi
+
+filter='BM_KSweep|BM_Lloyd|BM_PairwiseDistances|BM_Silhouette(Un)?[Cc]ached'
+out="${repo_root}/BENCH_analyzer.json"
+
+"${bench_bin}" \
+  --benchmark_filter="${filter}" \
+  --benchmark_repetitions="${BENCH_REPETITIONS:-3}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out="${out}" \
+  --benchmark_out_format=json
+
+echo "wrote ${out}"
+
+# Print the headline ratio (median naive sweep / median optimised sweep).
+python3 - "${out}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+medians = {b["name"]: b["real_time"] for b in report["benchmarks"]
+           if b.get("aggregate_name") == "median"}
+naive = medians.get("BM_KSweepSerialNaive/895_median")
+fast = medians.get("BM_KSweepPrunedCached/895_median")
+if naive and fast:
+    print(f"k-sweep n=895: naive {naive:.0f} ms -> optimised {fast:.0f} ms "
+          f"({naive / fast:.1f}x)")
+EOF

@@ -31,6 +31,13 @@ dcsim::MachineConfig machine_by_name(const std::string& name) {
   throw ParseError("unknown machine shape '" + name + "' (default|small)");
 }
 
+/// Shared --threads knob: 1 = serial (default), 0 = all hardware threads.
+std::size_t threads_from(const Args& args) {
+  const long long threads = args.get_int("threads", 1);
+  ensure(threads >= 0, "--threads must be >= 0 (0 = all hardware threads)");
+  return static_cast<std::size_t>(threads);
+}
+
 core::AnalyzerConfig analyzer_config_from(const Args& args) {
   core::AnalyzerConfig config;
   const long long clusters = args.get_int("clusters", 18);
@@ -44,6 +51,7 @@ core::AnalyzerConfig analyzer_config_from(const Args& args) {
   }
   if (args.get_flag("no-whiten")) config.whiten = false;
   if (args.get_flag("no-refine")) config.use_correlation_filter = false;
+  config.threads = threads_from(args);
   return config;
 }
 
@@ -83,6 +91,7 @@ int run_profile(const Args& args, std::ostream& out) {
   config.samples_per_scenario = static_cast<int>(args.get_int("samples", 4));
   config.noise_stream = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<long long>(config.noise_stream)));
+  config.threads = threads_from(args);
   const core::MetricSchema schema =
       schema_by_name(args.get_string("schema", "standard"));
   args.reject_unconsumed();
@@ -153,6 +162,8 @@ int run_evaluate(const Args& args, std::ostream& out) {
   config.machine = machine;
   config.analyzer = analyzer_config_from(args);
   config.schema = schema_by_name(args.get_string("schema", "standard"));
+  config.threads = threads_from(args);
+  config.profiler.threads = config.threads;
   const bool per_job = args.get_flag("per-job");
   const bool with_truth = args.get_flag("truth");
   const bool with_sampling = args.get_flag("sampling");
@@ -226,14 +237,15 @@ int run_help(std::ostream& out) {
          "           [--seed S] [--machines M]\n"
          "      simulate a datacenter and archive its co-location scenarios\n"
          "  profile --scenarios F.csv --out M.csv [--machine ...]\n"
-         "          [--samples K] [--seed S] [--schema NAME]\n"
+         "          [--samples K] [--seed S] [--schema NAME] [--threads T]\n"
          "      collect the two-level raw metric database for every scenario\n"
          "  analyze --metrics M.csv [--clusters K | --auto-k] [--quality-curve]\n"
          "          [--ward] [--no-whiten] [--no-refine] [--schema NAME]\n"
+         "          [--threads T]\n"
          "      refinement -> PCA -> clustering -> representative scenarios\n"
          "  evaluate --scenarios F.csv --feature SPEC [--machine ...]\n"
          "           [--clusters K] [--per-job] [--truth] [--sampling]\n"
-         "           [--schema NAME]\n"
+         "           [--schema NAME] [--threads T]\n"
          "      estimate a feature's fleet impact from the representatives\n"
          "  drift --baseline M.csv --fresh M2.csv [--clusters K]\n"
          "        [--refit-ratio R] [--reweight-shift S]\n"
@@ -247,7 +259,9 @@ int run_help(std::ostream& out) {
          "  temporal (§4.1 stddev columns) | job-mix-temporal\n"
          "feature SPEC: feature1|feature2|feature3|baseline, or knobs like\n"
          "  'fmax=2.0,llc=20,smt=off' (fmax/fmin GHz, llc MB/socket,\n"
-         "  smt on|off, memlat ns)\n";
+         "  smt on|off, memlat ns)\n"
+         "threads T: worker threads (1 = serial, 0 = all hardware threads);\n"
+         "  results are identical for every value\n";
   return 0;
 }
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "ml/cluster_quality.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace flare::core {
 namespace {
@@ -32,7 +34,9 @@ std::vector<std::size_t> non_constant_columns(const linalg::Matrix& data,
 }
 
 /// Adapts a Ward clustering into the KMeansResult shape so downstream code
-/// (representative selection, weights) is algorithm-agnostic.
+/// (representative selection, weights) is algorithm-agnostic. Fills
+/// point_distances so nearest_member/members_by_distance skip the rescan,
+/// exactly as the K-means path does.
 ml::KMeansResult adapt_ward(const linalg::Matrix& space, std::size_t k) {
   const ml::AgglomerativeResult ward =
       ml::agglomerative_cluster(space, k, ml::Linkage::kWard);
@@ -40,10 +44,24 @@ ml::KMeansResult adapt_ward(const linalg::Matrix& space, std::size_t k) {
   result.centroids = ward.centroids;
   result.assignment = ward.assignment;
   result.cluster_sizes = ward.cluster_sizes;
-  result.sse = ml::sum_squared_errors(space, ward.centroids, ward.assignment);
+  result.point_distances.resize(space.rows());
+  result.sse = 0.0;
+  for (std::size_t i = 0; i < space.rows(); ++i) {
+    const double d = linalg::squared_distance(
+        space.row(i), result.centroids.row(result.assignment[i]));
+    result.point_distances[i] = d;
+    result.sse += d;
+  }
   result.iterations = 0;
   result.converged = true;
   return result;
+}
+
+/// nullptr = run inline; otherwise an owned pool sized by the `threads` knob
+/// (0 = one worker per hardware thread).
+std::unique_ptr<util::ThreadPool> make_pool(std::size_t threads) {
+  if (threads == 1) return nullptr;
+  return std::make_unique<util::ThreadPool>(threads);
 }
 
 }  // namespace
@@ -62,6 +80,12 @@ Analyzer::Analyzer(AnalyzerConfig config) : config_(std::move(config)) {
 }
 
 AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db) const {
+  const std::unique_ptr<util::ThreadPool> pool = make_pool(config_.threads);
+  return analyze(db, pool.get());
+}
+
+AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db,
+                                 util::ThreadPool* pool) const {
   ensure(db.num_rows() >= config_.min_clusters,
          "Analyzer::analyze: fewer scenarios than clusters");
   AnalysisResult result;
@@ -91,7 +115,7 @@ AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db) const {
 
   // --- High-level metric construction (§4.3) ---
   const linalg::Matrix standardized = result.standardizer.fit_transform(refined);
-  result.pca.fit(standardized);
+  result.pca.fit(standardized, pool);
   result.num_components = result.pca.num_components_for(config_.variance_target);
   result.interpretations =
       interpret_components(result.pca, result.kept_columns, db.catalog(),
@@ -113,26 +137,39 @@ AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db) const {
   if (config_.weight_clustering_by_observation) {
     base_params.weights = db.weights();
   }
+  const std::size_t k_lo = config_.min_clusters;
   const std::size_t k_hi =
       std::min(config_.max_clusters, result.cluster_space.rows() - 1);
   const bool sweep = config_.compute_quality_curve || !config_.fixed_clusters;
-  for (std::size_t k = config_.min_clusters; sweep && k <= k_hi; ++k) {
-    ml::KMeansResult kr;
-    if (config_.algorithm == ClusterAlgorithm::kKMeans) {
-      ml::KMeansParams params = base_params;
-      params.k = k;
-      kr = ml::kmeans(result.cluster_space, params);
-    } else {
-      kr = adapt_ward(result.cluster_space, k);
-    }
-    ClusterQualityPoint point;
-    point.k = k;
-    point.sse = kr.sse;
-    point.silhouette = ml::silhouette_score(result.cluster_space, kr.assignment, k);
-    result.quality_curve.push_back(point);
-    if (config_.fixed_clusters.has_value() && k == *config_.fixed_clusters) {
-      result.clustering = std::move(kr);
-    }
+  if (sweep && k_hi >= k_lo) {
+    // Every sweep point scores the SAME fixed point set, so the O(n²·dim)
+    // pairwise distances are computed once and shared across all k. Sweep
+    // points are independent: each task owns its quality_curve slot, and at
+    // most one task (k == fixed_clusters) writes the kept clustering. The
+    // per-k kmeans runs inline in its task (nested pool use is forbidden).
+    const ml::PairwiseDistances distances =
+        ml::pairwise_distances(result.cluster_space, pool);
+    result.quality_curve.assign(k_hi - k_lo + 1, ClusterQualityPoint{});
+    ml::KMeansResult kept;
+    util::maybe_parallel_for(pool, result.quality_curve.size(), [&](std::size_t idx) {
+      const std::size_t k = k_lo + idx;
+      ml::KMeansResult kr;
+      if (config_.algorithm == ClusterAlgorithm::kKMeans) {
+        ml::KMeansParams params = base_params;
+        params.k = k;
+        kr = ml::kmeans(result.cluster_space, params);
+      } else {
+        kr = adapt_ward(result.cluster_space, k);
+      }
+      ClusterQualityPoint& point = result.quality_curve[idx];
+      point.k = k;
+      point.sse = kr.sse;
+      point.silhouette = ml::silhouette_score(distances, kr.assignment, k);
+      if (config_.fixed_clusters.has_value() && k == *config_.fixed_clusters) {
+        kept = std::move(kr);
+      }
+    });
+    result.clustering = std::move(kept);
   }
 
   result.chosen_k = config_.fixed_clusters.has_value()
@@ -144,7 +181,7 @@ AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db) const {
     if (config_.algorithm == ClusterAlgorithm::kKMeans) {
       ml::KMeansParams params = base_params;
       params.k = result.chosen_k;
-      result.clustering = ml::kmeans(result.cluster_space, params);
+      result.clustering = ml::kmeans(result.cluster_space, params, pool);
     } else {
       result.clustering = adapt_ward(result.cluster_space, result.chosen_k);
     }
@@ -171,6 +208,13 @@ AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db) const {
 
 AnalysisResult Analyzer::recluster(const AnalysisResult& base,
                                    const std::vector<double>& new_weights) const {
+  const std::unique_ptr<util::ThreadPool> pool = make_pool(config_.threads);
+  return recluster(base, new_weights, pool.get());
+}
+
+AnalysisResult Analyzer::recluster(const AnalysisResult& base,
+                                   const std::vector<double>& new_weights,
+                                   util::ThreadPool* pool) const {
   ensure(new_weights.size() == base.cluster_space.rows(),
          "Analyzer::recluster: weight count must match scenario count");
   double total = 0.0;
@@ -187,7 +231,7 @@ AnalysisResult Analyzer::recluster(const AnalysisResult& base,
     ml::KMeansParams params = config_.kmeans;
     params.k = base.chosen_k;
     if (config_.weight_clustering_by_observation) params.weights = new_weights;
-    result.clustering = ml::kmeans(result.cluster_space, params);
+    result.clustering = ml::kmeans(result.cluster_space, params, pool);
   } else {
     result.clustering = adapt_ward(result.cluster_space, base.chosen_k);
   }

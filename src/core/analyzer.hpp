@@ -51,6 +51,12 @@ struct AnalyzerConfig {
   bool compute_quality_curve = true;
   ml::KMeansParams kmeans;              ///< k is overwritten per sweep point
 
+  /// Worker threads for analyze()/recluster() when no shared pool is passed:
+  /// 1 = run inline (default), 0 = one per hardware thread. Results are
+  /// bit-identical for every value — parallel loops write index-addressed
+  /// slots and reductions happen serially in index order.
+  std::size_t threads = 1;
+
   PcLabelerConfig labeler;
 };
 
@@ -94,8 +100,17 @@ class Analyzer {
  public:
   explicit Analyzer(AnalyzerConfig config = {});
 
-  /// Runs the full analysis over a profiled metric database.
+  /// Runs the full analysis over a profiled metric database. Builds a
+  /// private pool when config().threads != 1 (see the pool overload).
   [[nodiscard]] AnalysisResult analyze(const metrics::MetricDatabase& db) const;
+
+  /// Same, on a caller-owned pool (FlarePipeline shares one pool across
+  /// profiling and analysis). nullptr = run inline. The pool accelerates the
+  /// PCA covariance, the pairwise-distance matrix shared by the k-sweep, the
+  /// per-k sweep points, and K-means restarts; outputs are bit-identical to
+  /// the serial path for every thread count.
+  [[nodiscard]] AnalysisResult analyze(const metrics::MetricDatabase& db,
+                                       util::ThreadPool* pool) const;
 
   /// Re-clusters an existing analysis under new scenario weights without
   /// re-profiling — the §5.6 scheduler-change workflow ("derive new
@@ -104,6 +119,11 @@ class Analyzer {
   /// representative extraction re-run over the re-weighted population.
   [[nodiscard]] AnalysisResult recluster(const AnalysisResult& base,
                                          const std::vector<double>& new_weights) const;
+
+  /// Pool-sharing overload of recluster (nullptr = run inline).
+  [[nodiscard]] AnalysisResult recluster(const AnalysisResult& base,
+                                         const std::vector<double>& new_weights,
+                                         util::ThreadPool* pool) const;
 
   [[nodiscard]] const AnalyzerConfig& config() const { return config_; }
 

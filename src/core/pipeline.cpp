@@ -4,12 +4,29 @@
 
 namespace flare::core {
 
+namespace {
+
+// Eagerly built at load time (not lazy statics): resolve_schema can be hit
+// concurrently from pool workers, and eager init keeps it a pure read with no
+// first-call guard on the hot path.
+const metrics::MetricCatalog kTemporalCatalog =
+    metrics::MetricCatalog::with_temporal_stddev(
+        metrics::MetricCatalog::standard());
+const metrics::MetricCatalog kJobMixTemporalCatalog =
+    metrics::MetricCatalog::with_temporal_stddev(
+        metrics::MetricCatalog::standard_with_job_mix());
+
+}  // namespace
+
 FlarePipeline::FlarePipeline(FlareConfig config, const dcsim::JobCatalog& catalog)
     : config_(std::move(config)),
       catalog_(catalog),
       model_(catalog_, config_.model),
       impact_(config_.machine, catalog_, config_.model),
-      replayer_(impact_) {}
+      replayer_(impact_),
+      pool_(config_.threads != 1
+                ? std::make_unique<util::ThreadPool>(config_.threads)
+                : nullptr) {}
 
 const metrics::MetricCatalog& resolve_schema(MetricSchema schema) {
   switch (schema) {
@@ -17,18 +34,10 @@ const metrics::MetricCatalog& resolve_schema(MetricSchema schema) {
       return metrics::MetricCatalog::standard();
     case MetricSchema::kWithJobMix:
       return metrics::MetricCatalog::standard_with_job_mix();
-    case MetricSchema::kTemporal: {
-      static const metrics::MetricCatalog kCatalog =
-          metrics::MetricCatalog::with_temporal_stddev(
-              metrics::MetricCatalog::standard());
-      return kCatalog;
-    }
-    case MetricSchema::kWithJobMixTemporal: {
-      static const metrics::MetricCatalog kCatalog =
-          metrics::MetricCatalog::with_temporal_stddev(
-              metrics::MetricCatalog::standard_with_job_mix());
-      return kCatalog;
-    }
+    case MetricSchema::kTemporal:
+      return kTemporalCatalog;
+    case MetricSchema::kWithJobMixTemporal:
+      return kJobMixTemporalCatalog;
   }
   ensure(false, "resolve_schema: unknown schema selector");
   return metrics::MetricCatalog::standard();  // unreachable
@@ -38,10 +47,11 @@ void FlarePipeline::fit(const dcsim::ScenarioSet& set) {
   ensure(!set.scenarios.empty(), "FlarePipeline::fit: empty scenario set");
   set_ = set;
   const Profiler profiler(model_, config_.profiler);
-  database_ = std::make_unique<metrics::MetricDatabase>(
-      profiler.profile(set_, config_.machine, resolve_schema(config_.schema)));
+  database_ = std::make_unique<metrics::MetricDatabase>(profiler.profile(
+      set_, config_.machine, resolve_schema(config_.schema), pool_.get()));
   const Analyzer analyzer(config_.analyzer);
-  analysis_ = std::make_unique<AnalysisResult>(analyzer.analyze(*database_));
+  analysis_ =
+      std::make_unique<AnalysisResult>(analyzer.analyze(*database_, pool_.get()));
   scheduler_weights_.clear();
 }
 
@@ -68,7 +78,7 @@ PerJobEstimate FlarePipeline::evaluate_per_job(const Feature& feature,
 void FlarePipeline::apply_scheduler_change(const std::vector<double>& new_weights) {
   ensure(fitted(), "FlarePipeline::apply_scheduler_change: call fit() first");
   const Analyzer analyzer(config_.analyzer);
-  *analysis_ = analyzer.recluster(*analysis_, new_weights);
+  *analysis_ = analyzer.recluster(*analysis_, new_weights, pool_.get());
   scheduler_weights_ = new_weights;
   // Estimation must also see the new frequencies.
   for (std::size_t i = 0; i < set_.scenarios.size(); ++i) {

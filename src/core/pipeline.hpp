@@ -16,6 +16,7 @@
 #include "core/profiler.hpp"
 #include "core/replayer.hpp"
 #include "dcsim/interference_model.hpp"
+#include "util/thread_pool.hpp"
 
 namespace flare::core {
 
@@ -33,6 +34,12 @@ struct FlareConfig {
   ProfilerConfig profiler;
   AnalyzerConfig analyzer;
   MetricSchema schema = MetricSchema::kStandard;
+
+  /// Worker threads for the pipeline's shared pool: 1 = run inline (default),
+  /// 0 = one per hardware thread. The pool is owned by FlarePipeline and
+  /// shared across profiling and analysis; results are bit-identical for
+  /// every value (see DESIGN.md "Performance & threading model").
+  std::size_t threads = 1;
 
   FlareConfig() : machine(dcsim::default_machine()) {}
 };
@@ -84,6 +91,7 @@ class FlarePipeline {
   dcsim::InterferenceModel model_;
   ImpactModel impact_;
   Replayer replayer_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< non-null when threads != 1
 
   dcsim::ScenarioSet set_;
   std::unique_ptr<metrics::MetricDatabase> database_;

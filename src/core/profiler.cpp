@@ -1,5 +1,7 @@
 #include "core/profiler.hpp"
 
+#include <memory>
+
 #include "stats/descriptive.hpp"
 #include "util/thread_pool.hpp"
 #include "util/error.hpp"
@@ -90,21 +92,20 @@ metrics::MetricRow Profiler::profile_scenario(
 
 metrics::MetricDatabase Profiler::profile(const dcsim::ScenarioSet& set,
                                           const dcsim::MachineConfig& machine,
-                                          const metrics::MetricCatalog& schema) const {
+                                          const metrics::MetricCatalog& schema,
+                                          util::ThreadPool* shared_pool) const {
   ensure(!set.scenarios.empty(), "Profiler::profile: empty scenario set");
   const SchemaPlan plan = plan_for(schema);
   metrics::MetricDatabase db(schema);
-  if (config_.threads == 1) {
-    for (const dcsim::ColocationScenario& scenario : set.scenarios) {
-      db.add_row(profile_one(*model_, config_, scenario, machine, schema, plan));
-    }
-    return db;
+  std::unique_ptr<util::ThreadPool> owned;
+  if (shared_pool == nullptr && config_.threads != 1) {
+    owned = std::make_unique<util::ThreadPool>(config_.threads);
+    shared_pool = owned.get();
   }
-  // Parallel path: rows are computed into fixed slots (pure functions of the
-  // scenario), then appended in order — bit-identical to the sequential path.
+  // Rows are computed into fixed slots (pure functions of the scenario), then
+  // appended in order — bit-identical to the sequential path.
   std::vector<metrics::MetricRow> rows(set.scenarios.size());
-  util::ThreadPool pool(config_.threads);
-  util::parallel_for(pool, set.scenarios.size(), [&](std::size_t i) {
+  util::maybe_parallel_for(shared_pool, set.scenarios.size(), [&](std::size_t i) {
     rows[i] =
         profile_one(*model_, config_, set.scenarios[i], machine, schema, plan);
   });

@@ -15,6 +15,10 @@
 #include "dcsim/scenario.hpp"
 #include "metrics/metric_database.hpp"
 
+namespace flare::util {
+class ThreadPool;
+}  // namespace flare::util
+
 namespace flare::core {
 
 struct ProfilerConfig {
@@ -38,9 +42,14 @@ class Profiler {
 
   /// Profiles every scenario of the set on `machine` and returns the filled
   /// metric database (rows in scenario order, observation weights copied).
+  /// With `shared_pool`, scenarios run on the caller's pool (FlarePipeline
+  /// shares one pool across profiling and analysis) and `threads` is ignored;
+  /// otherwise a private pool is built when `threads != 1`. Rows are written
+  /// by index, so every path produces identical output.
   [[nodiscard]] metrics::MetricDatabase profile(
       const dcsim::ScenarioSet& set, const dcsim::MachineConfig& machine,
-      const metrics::MetricCatalog& schema = metrics::MetricCatalog::standard()) const;
+      const metrics::MetricCatalog& schema = metrics::MetricCatalog::standard(),
+      util::ThreadPool* shared_pool = nullptr) const;
 
   /// Profiles a single scenario (one averaged row).
   [[nodiscard]] metrics::MetricRow profile_scenario(

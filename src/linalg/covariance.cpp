@@ -1,6 +1,7 @@
 #include "linalg/covariance.hpp"
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace flare::linalg {
 
@@ -15,27 +16,29 @@ std::vector<double> column_means(const Matrix& data) {
   return means;
 }
 
-Matrix covariance_matrix(const Matrix& data) {
+Matrix covariance_matrix(const Matrix& data, util::ThreadPool* pool) {
   ensure(data.rows() >= 2, "covariance_matrix: need at least two observations");
   const std::vector<double> means = column_means(data);
   const std::size_t n = data.rows();
   const std::size_t d = data.cols();
+  const double denom = static_cast<double>(n - 1);
   Matrix cov(d, d);
-  for (std::size_t r = 0; r < n; ++r) {
-    const auto row = data.row(r);
-    for (std::size_t i = 0; i < d; ++i) {
-      const double di = row[i] - means[i];
+  // Each task owns a band of output rows i and scans all observations for
+  // them, so no partial matrices or cross-thread reductions are needed.
+  util::maybe_parallel_for(pool, d, [&](std::size_t i) {
+    double* out = &cov(i, i);
+    const double mi = means[i];
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto row = data.row(r);
+      const double di = row[i] - mi;
       for (std::size_t j = i; j < d; ++j) {
-        cov(i, j) += di * (row[j] - means[j]);
+        out[j - i] += di * (row[j] - means[j]);
       }
     }
-  }
-  const double denom = static_cast<double>(n - 1);
+    for (std::size_t j = i; j < d; ++j) out[j - i] /= denom;
+  });
   for (std::size_t i = 0; i < d; ++i) {
-    for (std::size_t j = i; j < d; ++j) {
-      cov(i, j) /= denom;
-      cov(j, i) = cov(i, j);
-    }
+    for (std::size_t j = i + 1; j < d; ++j) cov(j, i) = cov(i, j);
   }
   return cov;
 }

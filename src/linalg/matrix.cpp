@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace flare::linalg {
 
@@ -83,19 +84,21 @@ Matrix Matrix::transposed() const {
   return t;
 }
 
-Matrix Matrix::multiply(const Matrix& other) const {
+Matrix Matrix::multiply(const Matrix& other, util::ThreadPool* pool) const {
   ensure(cols_ == other.rows_, "Matrix::multiply: inner dimension mismatch");
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order keeps the inner loop contiguous for both operands.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = (*this)(i, k);
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        out(i, j) += aik * other(k, j);
-      }
+  // Transposing B makes every (i, j) inner product stream two contiguous
+  // rows, which beats the strided i-k-j walk once B stops fitting in cache.
+  const Matrix bt = other.transposed();
+  util::maybe_parallel_for(pool, rows_, [&](std::size_t i) {
+    const auto a = row(i);
+    for (std::size_t j = 0; j < bt.rows_; ++j) {
+      const auto b = bt.row(j);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) sum += a[k] * b[k];
+      out(i, j) = sum;
     }
-  }
+  });
   return out;
 }
 

@@ -9,6 +9,10 @@
 #include <span>
 #include <vector>
 
+namespace flare::util {
+class ThreadPool;
+}
+
 namespace flare::linalg {
 
 class Matrix {
@@ -57,8 +61,13 @@ class Matrix {
 
   [[nodiscard]] Matrix transposed() const;
 
-  /// Matrix product; cols() must equal other.rows().
-  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+  /// Matrix product; cols() must equal other.rows(). Works on a transposed
+  /// copy of `other` so both inner loops stream contiguous memory, and
+  /// optionally computes output rows in parallel on `pool` (each output
+  /// element sums over k in ascending order regardless, so the result is
+  /// identical for every thread count).
+  [[nodiscard]] Matrix multiply(const Matrix& other,
+                                util::ThreadPool* pool = nullptr) const;
 
   /// Matrix–vector product; x.size() must equal cols().
   [[nodiscard]] std::vector<double> multiply(std::span<const double> x) const;

@@ -9,12 +9,12 @@
 
 namespace flare::ml {
 
-void Pca::fit(const linalg::Matrix& data) {
+void Pca::fit(const linalg::Matrix& data, util::ThreadPool* pool) {
   ensure(data.rows() >= 2, "Pca::fit: need at least two observations");
   ensure(data.cols() >= 1, "Pca::fit: need at least one variable");
 
   mean_ = linalg::column_means(data);
-  const linalg::Matrix cov = linalg::covariance_matrix(data);
+  const linalg::Matrix cov = linalg::covariance_matrix(data, pool);
   linalg::SymmetricEigenResult eig = linalg::symmetric_eigen(cov);
 
   // Covariance matrices are PSD; clamp tiny negative round-off.

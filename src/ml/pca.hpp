@@ -15,7 +15,9 @@ class Pca {
  public:
   /// Fits on a data matrix (rows = observations). The input is expected to be
   /// standardised already (the Analyzer composes Standardizer -> Pca).
-  void fit(const linalg::Matrix& data);
+  /// `pool` parallelises the covariance rank-k update; results are identical
+  /// for every thread count (see linalg::covariance_matrix).
+  void fit(const linalg::Matrix& data, util::ThreadPool* pool = nullptr);
 
   /// Projects data onto the principal axes: scores = (x - mean) · V.
   /// Returns all components; callers slice with `num_components_for`.

@@ -1,8 +1,17 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "util/error.hpp"
+
 namespace flare::util {
+namespace {
+
+/// The pool whose worker_loop is running on this thread, if any.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t thread_count) {
   if (thread_count == 0) {
@@ -24,6 +33,8 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+bool ThreadPool::on_worker_thread() const { return t_worker_pool == this; }
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -34,17 +45,21 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
+  ensure(!on_worker_thread(),
+         "ThreadPool::wait_idle: called from a worker of this pool (nested "
+         "parallel_for?) — the caller's own task would never drain");
   std::unique_lock<std::mutex> lock(mutex_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 void ThreadPool::worker_loop() {
+  t_worker_pool = this;
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_available_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // stopping_ with drained queue
+      if (tasks_.empty()) break;  // stopping_ with drained queue
       task = std::move(tasks_.front());
       tasks_.pop();
     }
@@ -55,12 +70,24 @@ void ThreadPool::worker_loop() {
       if (in_flight_ == 0) all_done_.notify_all();
     }
   }
+  t_worker_pool = nullptr;
 }
 
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body) {
-  for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([&body, i] { body(i); });
+  if (count == 0) return;
+  ensure(!pool.on_worker_thread(),
+         "parallel_for: nested call from a worker of the same pool would "
+         "deadlock; run the inner loop inline (pass pool = nullptr)");
+  // ~4 chunks per worker balances load (tail chunks fill idle workers)
+  // against per-task overhead (each submit is one lock + one allocation).
+  const std::size_t chunks = std::min(count, pool.thread_count() * 4);
+  const std::size_t grain = (count + chunks - 1) / chunks;
+  for (std::size_t begin = 0; begin < count; begin += grain) {
+    const std::size_t end = std::min(begin + grain, count);
+    pool.submit([&body, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
   }
   pool.wait_idle();
 }

@@ -1,8 +1,21 @@
 // A minimal fixed-size thread pool.
 //
-// The FLARE pipeline evaluates hundreds of independent colocation scenarios;
-// `parallel_for` lets the Profiler and baselines use every available core
-// while keeping results deterministic (work is indexed, not racing).
+// The FLARE pipeline evaluates hundreds of independent colocation scenarios
+// and sweeps dozens of independent cluster counts; `parallel_for` lets the
+// Profiler, Analyzer and baselines use every available core while keeping
+// results deterministic (work is indexed, not racing).
+//
+// Threading model (see DESIGN.md "Performance & threading model"):
+//  - One pool is created at the top of a computation (FlarePipeline owns one
+//    when FlareConfig::threads != 1) and passed down by pointer; callees
+//    treat nullptr as "run inline on the calling thread".
+//  - Nested data parallelism is forbidden: a task running on a pool worker
+//    must not call parallel_for on the same pool (the inner wait_idle would
+//    wait for the caller's own task and deadlock). parallel_for and
+//    wait_idle `ensure`-reject this instead of hanging.
+//  - Every parallel loop in the library writes to disjoint, index-addressed
+//    slots; any floating-point reduction is then performed serially in index
+//    order, so results are bit-identical for every thread count.
 #pragma once
 
 #include <condition_variable>
@@ -27,10 +40,16 @@ class ThreadPool {
   /// Enqueues a task; it may run on any worker.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Must not be called from
+  /// one of this pool's own workers (the caller's task would count itself as
+  /// in flight forever) — such calls throw instead of deadlocking.
   void wait_idle();
 
   [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// True when the calling thread is one of this pool's workers. Used to
+  /// reject nested parallel_for, which would deadlock in wait_idle.
+  [[nodiscard]] bool on_worker_thread() const;
 
  private:
   void worker_loop();
@@ -45,8 +64,25 @@ class ThreadPool {
 };
 
 /// Runs `body(i)` for every i in [0, count) across the pool and waits.
-/// `body` must be safe to call concurrently for distinct indices.
+/// `body` must be safe to call concurrently for distinct indices. Work is
+/// submitted as ~4×thread_count contiguous chunks (not one task per index),
+/// so per-task queue/allocation overhead is amortised over the chunk.
+/// Throws when called from a worker of `pool` (nested use deadlocks).
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& body);
+
+/// Like parallel_for, but runs inline on the calling thread when `pool` is
+/// nullptr or single-threaded — the "optional shared pool" convention used
+/// across the library. A template so the serial path inlines `body` into the
+/// loop (the hot kernels live in these lambdas) instead of paying a
+/// std::function indirection per index.
+template <typename Body>
+void maybe_parallel_for(ThreadPool* pool, std::size_t count, const Body& body) {
+  if (pool == nullptr || pool->thread_count() == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  parallel_for(*pool, count, body);
+}
 
 }  // namespace flare::util

@@ -231,6 +231,45 @@ TEST(AnalyzerSuggestK, HandlesTinyCurves) {
   EXPECT_EQ(Analyzer::suggest_k({p}, 0.05), 4u);
 }
 
+// ISSUE determinism criterion: the full analysis — sweep, clustering,
+// representatives — must be bit-identical for every thread count.
+TEST(AnalyzerDeterminism, IdenticalForEveryThreadCount) {
+  AnalyzerConfig config = testing::small_flare_config().analyzer;
+  config.fixed_clusters = 6;
+  config.compute_quality_curve = true;
+  config.max_clusters = 10;  // keep the sweep small; 2..10 still exercises it
+  config.threads = 1;
+  const metrics::MetricDatabase& db = testing::fitted_pipeline().database();
+  const AnalysisResult serial = Analyzer(config).analyze(db);
+  ASSERT_EQ(serial.quality_curve.size(), 9u);
+
+  for (const std::size_t threads : {2u, 8u}) {
+    config.threads = threads;
+    const AnalysisResult parallel = Analyzer(config).analyze(db);
+    EXPECT_EQ(parallel.representatives, serial.representatives);
+    EXPECT_EQ(parallel.clustering.assignment, serial.clustering.assignment);
+    EXPECT_EQ(parallel.clustering.sse, serial.clustering.sse);
+    EXPECT_EQ(parallel.clustering.point_distances,
+              serial.clustering.point_distances);
+    EXPECT_EQ(parallel.cluster_weights, serial.cluster_weights);
+    EXPECT_EQ(parallel.chosen_k, serial.chosen_k);
+    ASSERT_EQ(parallel.quality_curve.size(), serial.quality_curve.size());
+    for (std::size_t i = 0; i < serial.quality_curve.size(); ++i) {
+      EXPECT_EQ(parallel.quality_curve[i].k, serial.quality_curve[i].k);
+      EXPECT_EQ(parallel.quality_curve[i].sse, serial.quality_curve[i].sse);
+      EXPECT_EQ(parallel.quality_curve[i].silhouette,
+                serial.quality_curve[i].silhouette);
+    }
+    // PCA feeds the cluster space; its covariance is parallelised too.
+    ASSERT_EQ(parallel.cluster_space.rows(), serial.cluster_space.rows());
+    for (std::size_t i = 0; i < serial.cluster_space.rows(); ++i) {
+      for (std::size_t j = 0; j < serial.cluster_space.cols(); ++j) {
+        ASSERT_EQ(parallel.cluster_space(i, j), serial.cluster_space(i, j));
+      }
+    }
+  }
+}
+
 TEST(AnalyzerConfigValidation, RejectsBadRanges) {
   AnalyzerConfig bad;
   bad.variance_target = 0.0;

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "ml/kmeans.hpp"
 #include "stats/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace flare::ml {
 namespace {
@@ -137,6 +140,70 @@ TEST(QualityCurve, KMeansSilhouettePeaksAtTrueK) {
     }
   }
   EXPECT_EQ(best_k, 3u);
+}
+
+// --- Determinism of the cached / parallel silhouette paths (ISSUE: the
+// --- shared distance matrix and the thread pool must not change any bit).
+
+TEST(PairwiseDistances, MatchesOnTheFlyDistancesExactly) {
+  const Matrix data = two_blobs(4.0, 21);
+  const PairwiseDistances d = pairwise_distances(data);
+  ASSERT_EQ(d.size(), data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    EXPECT_EQ(d(i, i), 0.0);
+    for (std::size_t j = 0; j < data.rows(); ++j) {
+      EXPECT_EQ(d(i, j),
+                std::sqrt(linalg::squared_distance(data.row(i), data.row(j))));
+      EXPECT_EQ(d(i, j), d(j, i));
+    }
+  }
+}
+
+TEST(PairwiseDistances, ParallelMatchesSerialExactly) {
+  const Matrix data = two_blobs(3.0, 22);
+  const PairwiseDistances serial = pairwise_distances(data);
+  for (const std::size_t threads : {2u, 8u}) {
+    util::ThreadPool pool(threads);
+    const PairwiseDistances parallel = pairwise_distances(data, &pool);
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      for (std::size_t j = 0; j < data.rows(); ++j) {
+        ASSERT_EQ(parallel(i, j), serial(i, j));
+      }
+    }
+  }
+}
+
+TEST(Silhouette, CachedMatchesUncachedExactly) {
+  const Matrix data = two_blobs(2.5, 23);  // overlapping blobs: messy labels
+  for (const std::size_t k : {2u, 3u, 5u}) {
+    KMeansParams p;
+    p.k = k;
+    const KMeansResult r = kmeans(data, p);
+    const PairwiseDistances d = pairwise_distances(data);
+    // Bitwise: the sweep swaps the uncached overload for the cached one and
+    // the reported curve must not change at all.
+    EXPECT_EQ(silhouette_score(d, r.assignment, k),
+              silhouette_score(data, r.assignment, k));
+    EXPECT_EQ(silhouette_samples(d, r.assignment, k),
+              silhouette_samples(data, r.assignment, k));
+  }
+}
+
+TEST(Silhouette, ParallelMatchesSerialExactly) {
+  const Matrix data = two_blobs(2.5, 24);
+  KMeansParams p;
+  p.k = 4;
+  const KMeansResult r = kmeans(data, p);
+  const double serial_score = silhouette_score(data, r.assignment, 4);
+  const std::vector<double> serial_samples =
+      silhouette_samples(data, r.assignment, 4);
+  for (const std::size_t threads : {2u, 8u}) {
+    util::ThreadPool pool(threads);
+    EXPECT_EQ(silhouette_score(data, r.assignment, 4, &pool), serial_score);
+    EXPECT_EQ(silhouette_samples(data, r.assignment, 4, &pool), serial_samples);
+    const PairwiseDistances d = pairwise_distances(data, &pool);
+    EXPECT_EQ(silhouette_score(d, r.assignment, 4, &pool), serial_score);
+  }
 }
 
 }  // namespace

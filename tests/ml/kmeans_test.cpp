@@ -9,6 +9,7 @@
 #include "linalg/covariance.hpp"
 #include "ml/cluster_quality.hpp"
 #include "stats/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace flare::ml {
 namespace {
@@ -280,6 +281,123 @@ TEST_P(KMeansPropertySweep, InvariantsAcrossK) {
 
 INSTANTIATE_TEST_SUITE_P(Ks, KMeansPropertySweep,
                          ::testing::Values(2, 3, 5, 8, 13, 18, 30));
+
+// --- Determinism of the optimised paths (ISSUE: pruning + threading must be
+// --- bit-identical to the original serial naive Lloyd, not merely close).
+
+/// Unstructured random data (no blob structure) — the hardest case for the
+/// triangle-inequality bounds because centroids stay close together.
+Matrix random_cloud(std::size_t n, std::size_t dims, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Matrix m(n, dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < dims; ++j) m(i, j) = rng.normal(0.0, 2.0);
+  }
+  return m;
+}
+
+void expect_bitwise_equal(const KMeansResult& a, const KMeansResult& b) {
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.cluster_sizes, b.cluster_sizes);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  // Bitwise, not NEAR: the pruned/parallel paths must reproduce the exact
+  // doubles of the serial naive path.
+  EXPECT_EQ(a.sse, b.sse);
+  ASSERT_EQ(a.centroids.rows(), b.centroids.rows());
+  for (std::size_t c = 0; c < a.centroids.rows(); ++c) {
+    for (std::size_t j = 0; j < a.centroids.cols(); ++j) {
+      ASSERT_EQ(a.centroids(c, j), b.centroids(c, j)) << "centroid " << c;
+    }
+  }
+  ASSERT_EQ(a.point_distances.size(), b.point_distances.size());
+  for (std::size_t i = 0; i < a.point_distances.size(); ++i) {
+    ASSERT_EQ(a.point_distances[i], b.point_distances[i]) << "point " << i;
+  }
+}
+
+TEST(KMeansDeterminism, PrunedMatchesNaiveExactlyOnRandomInputs) {
+  for (const std::uint64_t seed : {1u, 7u, 99u, 1234u}) {
+    for (const std::size_t dims : {2u, 7u, 18u}) {
+      for (const std::size_t k : {2u, 5u, 12u}) {
+        const Matrix data = random_cloud(160, dims, seed);
+        KMeansParams naive = params_with_k(k, seed);
+        naive.prune = false;
+        KMeansParams pruned = params_with_k(k, seed);
+        pruned.prune = true;
+        expect_bitwise_equal(kmeans(data, pruned), kmeans(data, naive));
+      }
+    }
+  }
+}
+
+TEST(KMeansDeterminism, PrunedMatchesNaiveOnClusteredAndWeightedInputs) {
+  const Matrix data = blobs(40, 6, 4.0, 17);
+  KMeansParams naive = params_with_k(6, 17);
+  naive.weights.assign(data.rows(), 1.0);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    naive.weights[i] = 0.5 + static_cast<double>(i % 7);
+  }
+  KMeansParams pruned = naive;
+  naive.prune = false;
+  pruned.prune = true;
+  expect_bitwise_equal(kmeans(data, pruned), kmeans(data, naive));
+}
+
+TEST(KMeansDeterminism, PrunedHandlesDuplicatePoints) {
+  // Duplicate rows force zero distances and duplicate centroids — the d == 0
+  // tie edge of the pruned scan.
+  Matrix data(30, 3);
+  stats::Rng rng(5);
+  for (std::size_t i = 0; i < 10; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      const double v = rng.normal();
+      data(i, j) = v;
+      data(10 + i, j) = v;  // exact duplicate
+      data(20 + i, j) = rng.normal(8.0, 0.1);
+    }
+  }
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    KMeansParams naive = params_with_k(k, 3);
+    naive.prune = false;
+    KMeansParams pruned = params_with_k(k, 3);
+    expect_bitwise_equal(kmeans(data, pruned), kmeans(data, naive));
+  }
+}
+
+TEST(KMeansDeterminism, IdenticalForEveryThreadCount) {
+  const Matrix data = random_cloud(200, 9, 31);
+  const KMeansParams p = params_with_k(7, 31);
+  const KMeansResult serial = kmeans(data, p);
+  for (const std::size_t threads : {2u, 8u}) {
+    util::ThreadPool pool(threads);
+    expect_bitwise_equal(kmeans(data, p, &pool), serial);
+  }
+}
+
+TEST(KMeansDeterminism, PointDistancesMatchRecomputation) {
+  const Matrix data = blobs(25, 4, 5.0, 11);
+  const KMeansResult r = kmeans(data, params_with_k(4, 11));
+  ASSERT_EQ(r.point_distances.size(), data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    EXPECT_EQ(r.point_distances[i],
+              linalg::squared_distance(data.row(i),
+                                       r.centroids.row(r.assignment[i])));
+  }
+}
+
+TEST(KMeansDeterminism, NearestMemberUsesCachedDistances) {
+  const Matrix data = blobs(25, 4, 5.0, 19);
+  const KMeansResult r = kmeans(data, params_with_k(4, 19));
+  for (std::size_t c = 0; c < 4; ++c) {
+    const std::size_t nearest = r.nearest_member(data, c);
+    EXPECT_EQ(r.assignment[nearest], c);
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      if (r.assignment[i] != c) continue;
+      EXPECT_LE(r.point_distances[nearest], r.point_distances[i]);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace flare::ml

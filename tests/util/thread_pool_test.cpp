@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace flare::util {
@@ -61,6 +63,77 @@ TEST(ParallelFor, ResultsAreDeterministicByIndex) {
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 2.0);
   }
+}
+
+TEST(ParallelFor, ChunksAmortiseSubmissionOverhead) {
+  // With chunked submission the task count is bounded by 4×threads even when
+  // the index count is far larger; every index still runs exactly once.
+  ThreadPool pool(2);
+  constexpr std::size_t kCount = 10'000;
+  std::vector<unsigned char> hit(kCount, 0);
+  parallel_for(pool, kCount, [&hit](std::size_t i) { ++hit[i]; });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hit[i], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, CountSmallerThanChunkBoundStillCoversAllIndices) {
+  ThreadPool pool(8);  // 4×8 = 32 possible chunks > 5 indices
+  std::vector<std::atomic<int>> hits(5);
+  parallel_for(pool, hits.size(), [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, NestedCallFromWorkerThrowsInsteadOfDeadlocking) {
+  ThreadPool pool(2);
+  std::atomic<bool> threw{false};
+  pool.submit([&pool, &threw] {
+    try {
+      parallel_for(pool, 4, [](std::size_t) {});
+    } catch (const std::exception&) {
+      threw.store(true);
+    }
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(ParallelFor, WaitIdleFromWorkerThrowsInsteadOfDeadlocking) {
+  ThreadPool pool(2);
+  std::atomic<bool> threw{false};
+  pool.submit([&pool, &threw] {
+    try {
+      pool.wait_idle();
+    } catch (const std::exception&) {
+      threw.store(true);
+    }
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(MaybeParallelFor, NullPoolRunsInlineOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ran_on(8);
+  maybe_parallel_for(nullptr, ran_on.size(), [&ran_on, caller](std::size_t i) {
+    ran_on[i] = std::this_thread::get_id();
+    EXPECT_EQ(ran_on[i], caller);
+  });
+  for (const auto id : ran_on) EXPECT_EQ(id, caller);
+}
+
+TEST(MaybeParallelFor, PoolPathMatchesInlinePath) {
+  ThreadPool pool(4);
+  std::vector<double> serial(300, 0.0);
+  std::vector<double> parallel(300, 0.0);
+  const auto body = [](std::vector<double>& out, std::size_t i) {
+    out[i] = std::sin(static_cast<double>(i)) * 3.0;
+  };
+  maybe_parallel_for(nullptr, serial.size(),
+                     [&](std::size_t i) { body(serial, i); });
+  maybe_parallel_for(&pool, parallel.size(),
+                     [&](std::size_t i) { body(parallel, i); });
+  EXPECT_EQ(serial, parallel);  // bitwise: same indices, same arithmetic
 }
 
 }  // namespace
