@@ -217,6 +217,71 @@ void BM_SilhouetteCached(benchmark::State& state) {
 }
 BENCHMARK(BM_SilhouetteCached)->Arg(895)->Arg(8950)->Unit(benchmark::kMillisecond);
 
+// --- Incremental ingest vs full refit (paper scale n≈895, batch=32) ---
+
+constexpr std::size_t kIngestBatch = 32;
+
+struct IngestFixture {
+  dcsim::ScenarioSet base;   ///< the fitted population (n - 32 scenarios)
+  dcsim::ScenarioSet batch;  ///< the 32 freshly observed scenarios
+};
+
+const IngestFixture& ingest_fixture() {
+  static const IngestFixture kFixture = [] {
+    IngestFixture f;
+    const dcsim::ScenarioSet& all = env().set;
+    f.base.machine_type = all.machine_type;
+    f.batch.machine_type = all.machine_type;
+    const std::size_t split = all.size() - kIngestBatch;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      (i < split ? f.base : f.batch).scenarios.push_back(all.scenarios[i]);
+    }
+    return f;
+  }();
+  return kFixture;
+}
+
+core::FlareConfig ingest_config() {
+  core::FlareConfig config;
+  config.analyzer.compute_quality_curve = false;
+  return config;
+}
+
+/// The incremental data plane: kValid verdict → project + assign the 32 new
+/// rows into the fitted space; zero stages re-run. Thresholds force kValid so
+/// both benchmarks profile the identical batch and differ only in the action.
+void BM_IngestIncremental(benchmark::State& state) {
+  const IngestFixture& f = ingest_fixture();
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::FlareConfig config = ingest_config();
+    config.drift.refit_distance_ratio = 1e6;
+    config.drift.refit_coverage_fraction = 1.0;
+    config.drift.reweight_threshold = 1.0;
+    core::FlarePipeline pipeline(config);
+    pipeline.fit(f.base);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(pipeline.ingest(f.batch));
+  }
+}
+BENCHMARK(BM_IngestIncremental)->Iterations(5)->Unit(benchmark::kMillisecond);
+
+/// The same batch absorbed with a forced full (warm-started) refit over the
+/// combined population — what every ingest would cost without the staged
+/// incremental path.
+void BM_IngestFullRefit(benchmark::State& state) {
+  const IngestFixture& f = ingest_fixture();
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::FlarePipeline pipeline(ingest_config());
+    pipeline.fit(f.base);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        pipeline.ingest(f.batch, core::RefitPolicy::kAlways));
+  }
+}
+BENCHMARK(BM_IngestFullRefit)->Iterations(5)->Unit(benchmark::kMillisecond);
+
 void BM_FullPipelineFit(benchmark::State& state) {
   for (auto _ : state) {
     core::FlareConfig config;

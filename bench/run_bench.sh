@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Runs the Analyzer performance benchmarks and records the evidence for the
-# k-sweep speedup target (serial naive sweep vs pruned+cached sweep) as JSON.
+# k-sweep speedup target (serial naive sweep vs pruned+cached sweep) and the
+# incremental-ingest speedup target (kValid ingest vs forced full refit) as
+# JSON.
 #
 # Usage: bench/run_bench.sh [build-dir]
 #
-# Writes BENCH_analyzer.json at the repo root (google-benchmark JSON format,
-# filtered to the Analyzer kernels). Re-run after touching src/ml or
-# src/core/analyzer.cpp and commit the refreshed numbers alongside the change.
+# Writes BENCH_analyzer.json and BENCH_ingest.json at the repo root
+# (google-benchmark JSON format). Re-run after touching src/ml, src/core, or
+# the ingest path and commit the refreshed numbers alongside the change.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -44,4 +46,33 @@ fast = medians.get("BM_KSweepPrunedCached/895_median")
 if naive and fast:
     print(f"k-sweep n=895: naive {naive:.0f} ms -> optimised {fast:.0f} ms "
           f"({naive / fast:.1f}x)")
+EOF
+
+# Incremental data plane: absorb one 32-scenario batch into the fitted
+# ~895-scenario population — assign-only ingest vs forced full refit.
+ingest_out="${repo_root}/BENCH_ingest.json"
+
+"${bench_bin}" \
+  --benchmark_filter='BM_Ingest' \
+  --benchmark_repetitions="${BENCH_REPETITIONS:-3}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out="${ingest_out}" \
+  --benchmark_out_format=json
+
+echo "wrote ${ingest_out}"
+
+python3 - "${ingest_out}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+medians = {}
+for b in report["benchmarks"]:
+    if b.get("aggregate_name") == "median":
+        medians[b["name"].split("/")[0]] = b["real_time"]
+fast = medians.get("BM_IngestIncremental")
+refit = medians.get("BM_IngestFullRefit")
+if fast and refit:
+    print(f"ingest batch=32: incremental {fast:.1f} ms vs full refit "
+          f"{refit:.0f} ms ({refit / fast:.1f}x)")
 EOF

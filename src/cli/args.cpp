@@ -7,7 +7,11 @@ namespace flare::cli {
 
 Args Args::parse(int argc, const char* const* argv) {
   Args args;
-  if (argc < 2) throw ParseError("missing command (try: flare help)");
+  if (argc < 2) {
+    throw ParseError(
+        "missing command (expected simulate|profile|analyze|evaluate|report|"
+        "drift|ingest|help)");
+  }
   args.command_ = argv[1];
   int i = 2;
   while (i < argc) {

@@ -5,6 +5,7 @@
 
 #include "baselines/full_evaluator.hpp"
 #include "baselines/sampling_evaluator.hpp"
+#include "cli/config_args.hpp"
 #include "cli/feature_spec.hpp"
 #include "core/pipeline.hpp"
 #include "dcsim/submission.hpp"
@@ -14,48 +15,6 @@
 #include "util/error.hpp"
 
 namespace flare::cli {
-namespace {
-
-core::MetricSchema schema_by_name(const std::string& name) {
-  if (name == "standard") return core::MetricSchema::kStandard;
-  if (name == "job-mix") return core::MetricSchema::kWithJobMix;
-  if (name == "temporal") return core::MetricSchema::kTemporal;
-  if (name == "job-mix-temporal") return core::MetricSchema::kWithJobMixTemporal;
-  throw ParseError("unknown schema '" + name +
-                   "' (standard|job-mix|temporal|job-mix-temporal)");
-}
-
-dcsim::MachineConfig machine_by_name(const std::string& name) {
-  if (name == "default") return dcsim::default_machine();
-  if (name == "small") return dcsim::small_machine();
-  throw ParseError("unknown machine shape '" + name + "' (default|small)");
-}
-
-/// Shared --threads knob: 1 = serial (default), 0 = all hardware threads.
-std::size_t threads_from(const Args& args) {
-  const long long threads = args.get_int("threads", 1);
-  ensure(threads >= 0, "--threads must be >= 0 (0 = all hardware threads)");
-  return static_cast<std::size_t>(threads);
-}
-
-core::AnalyzerConfig analyzer_config_from(const Args& args) {
-  core::AnalyzerConfig config;
-  const long long clusters = args.get_int("clusters", 18);
-  ensure(clusters >= 2, "--clusters must be >= 2");
-  config.fixed_clusters = static_cast<std::size_t>(clusters);
-  if (args.get_flag("auto-k")) config.fixed_clusters = std::nullopt;
-  config.compute_quality_curve =
-      args.get_flag("quality-curve") || !config.fixed_clusters.has_value();
-  if (args.get_flag("ward")) {
-    config.algorithm = core::ClusterAlgorithm::kWardAgglomerative;
-  }
-  if (args.get_flag("no-whiten")) config.whiten = false;
-  if (args.get_flag("no-refine")) config.use_correlation_filter = false;
-  config.threads = threads_from(args);
-  return config;
-}
-
-}  // namespace
 
 int run_simulate(const Args& args, std::ostream& out) {
   const std::string out_path = args.require_string("out");
@@ -250,6 +209,13 @@ int run_help(std::ostream& out) {
          "  drift --baseline M.csv --fresh M2.csv [--clusters K]\n"
          "        [--refit-ratio R] [--reweight-shift S]\n"
          "      triage representative validity: valid | reweight | refit\n"
+         "  ingest --scenarios F.csv --batch B.csv\n"
+         "         [--refit-policy auto|never|always] [--commit]\n"
+         "         [--metrics M.csv] [--machine ...] [--clusters K]\n"
+         "         [--samples K] [--seed S] [--schema NAME] [--threads T]\n"
+         "      absorb a batch of fresh scenarios with the cheapest sound\n"
+         "      action for its drift verdict; --commit appends the batch to\n"
+         "      the scenario CSV (and its profiled rows to --metrics)\n"
          "  report --scenarios F.csv --out R.md [--features LIST] [--truth]\n"
          "         [--machine ...] [--clusters K]\n"
          "      write a Markdown evaluation report; LIST is ';'-separated\n"
@@ -276,8 +242,11 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     if (command == "evaluate") return run_evaluate(args, out);
     if (command == "report") return run_report(args, out);
     if (command == "drift") return run_drift(args, out);
+    if (command == "ingest") return run_ingest(args, out);
     if (command == "help" || command == "--help") return run_help(out);
-    throw ParseError("unknown command '" + command + "' (try: flare help)");
+    throw ParseError("unknown command '" + command +
+                     "' (expected simulate|profile|analyze|evaluate|report|"
+                     "drift|ingest|help)");
   } catch (const std::exception& e) {
     err << "flare: " << e.what() << "\n";
     return 2;

@@ -14,6 +14,9 @@
 //                  [--features "feature1;fmax=2.0,llc=20"] [--truth]
 //   flare drift    --baseline metrics.csv --fresh new_metrics.csv
 //                  [--clusters K] [--refit-ratio R] [--reweight-shift S]
+//   flare ingest   --scenarios scenarios.csv --batch batch.csv
+//                  [--refit-policy auto|never|always] [--commit]
+//                  [--metrics metrics.csv] [--machine ...] [--clusters K]
 //   flare help
 #pragma once
 
@@ -29,6 +32,7 @@ namespace flare::cli {
 [[nodiscard]] int run_evaluate(const Args& args, std::ostream& out);
 [[nodiscard]] int run_report(const Args& args, std::ostream& out);
 [[nodiscard]] int run_drift(const Args& args, std::ostream& out);
+[[nodiscard]] int run_ingest(const Args& args, std::ostream& out);
 [[nodiscard]] int run_help(std::ostream& out);
 
 /// Dispatches to the command; converts flare errors into exit code 2 with a

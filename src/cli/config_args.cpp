@@ -1,0 +1,45 @@
+#include "cli/config_args.hpp"
+
+#include "util/error.hpp"
+
+namespace flare::cli {
+
+core::MetricSchema schema_by_name(const std::string& name) {
+  if (name == "standard") return core::MetricSchema::kStandard;
+  if (name == "job-mix") return core::MetricSchema::kWithJobMix;
+  if (name == "temporal") return core::MetricSchema::kTemporal;
+  if (name == "job-mix-temporal") return core::MetricSchema::kWithJobMixTemporal;
+  throw ParseError("unknown schema '" + name +
+                   "' (standard|job-mix|temporal|job-mix-temporal)");
+}
+
+dcsim::MachineConfig machine_by_name(const std::string& name) {
+  if (name == "default") return dcsim::default_machine();
+  if (name == "small") return dcsim::small_machine();
+  throw ParseError("unknown machine shape '" + name + "' (default|small)");
+}
+
+std::size_t threads_from(const Args& args) {
+  const long long threads = args.get_int("threads", 1);
+  ensure(threads >= 0, "--threads must be >= 0 (0 = all hardware threads)");
+  return static_cast<std::size_t>(threads);
+}
+
+core::AnalyzerConfig analyzer_config_from(const Args& args) {
+  core::AnalyzerConfig config;
+  const long long clusters = args.get_int("clusters", 18);
+  ensure(clusters >= 2, "--clusters must be >= 2");
+  config.fixed_clusters = static_cast<std::size_t>(clusters);
+  if (args.get_flag("auto-k")) config.fixed_clusters = std::nullopt;
+  config.compute_quality_curve =
+      args.get_flag("quality-curve") || !config.fixed_clusters.has_value();
+  if (args.get_flag("ward")) {
+    config.algorithm = core::ClusterAlgorithm::kWardAgglomerative;
+  }
+  if (args.get_flag("no-whiten")) config.whiten = false;
+  if (args.get_flag("no-refine")) config.use_correlation_filter = false;
+  config.threads = threads_from(args);
+  return config;
+}
+
+}  // namespace flare::cli

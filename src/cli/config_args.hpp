@@ -1,0 +1,27 @@
+// Shared option parsers for the `flare` commands: the --machine/--schema
+// name maps plus the analyzer and --threads knobs that several commands
+// accept with identical spellings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "cli/args.hpp"
+#include "core/analyzer.hpp"
+#include "core/pipeline.hpp"
+#include "dcsim/machine_config.hpp"
+
+namespace flare::cli {
+
+[[nodiscard]] core::MetricSchema schema_by_name(const std::string& name);
+
+[[nodiscard]] dcsim::MachineConfig machine_by_name(const std::string& name);
+
+/// Shared --threads knob: 1 = serial (default), 0 = all hardware threads.
+[[nodiscard]] std::size_t threads_from(const Args& args);
+
+/// Shared analyzer knobs: --clusters/--auto-k, --quality-curve, --ward,
+/// --no-whiten, --no-refine, --threads.
+[[nodiscard]] core::AnalyzerConfig analyzer_config_from(const Args& args);
+
+}  // namespace flare::cli

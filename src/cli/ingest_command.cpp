@@ -1,0 +1,102 @@
+// `flare ingest`: fit a baseline population, then feed it one batch of
+// freshly observed scenarios. The batch is profiled, drift-classified, and
+// absorbed with the cheapest sound action (assign / reweight / warm refit);
+// the printed stage re-run counts show what the incremental data plane
+// actually recomputed.
+#include <ostream>
+
+#include "cli/commands.hpp"
+#include "cli/config_args.hpp"
+#include "core/pipeline.hpp"
+#include "trace/metric_io.hpp"
+#include "trace/scenario_io.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace flare::cli {
+namespace {
+
+core::RefitPolicy refit_policy_by_name(const std::string& name) {
+  if (name == "auto") return core::RefitPolicy::kAuto;
+  if (name == "never") return core::RefitPolicy::kNever;
+  if (name == "always") return core::RefitPolicy::kAlways;
+  throw ParseError("unknown refit policy '" + name + "' (auto|never|always)");
+}
+
+}  // namespace
+
+int run_ingest(const Args& args, std::ostream& out) {
+  const std::string scenarios_path = args.require_string("scenarios");
+  const std::string batch_path = args.require_string("batch");
+  const core::RefitPolicy policy =
+      refit_policy_by_name(args.get_string("refit-policy", "auto"));
+  const std::string metrics_path = args.get_string("metrics", "");
+  const bool commit = args.get_flag("commit");
+
+  core::FlareConfig config;
+  config.machine = machine_by_name(args.get_string("machine", "default"));
+  config.analyzer = analyzer_config_from(args);
+  config.schema = schema_by_name(args.get_string("schema", "standard"));
+  config.profiler.samples_per_scenario =
+      static_cast<int>(args.get_int("samples", 4));
+  config.profiler.noise_stream = static_cast<std::uint64_t>(args.get_int(
+      "seed", static_cast<long long>(config.profiler.noise_stream)));
+  config.threads = threads_from(args);
+  config.profiler.threads = config.threads;
+  args.reject_unconsumed();
+
+  const dcsim::ScenarioSet base = trace::load_scenario_set(scenarios_path);
+  const dcsim::ScenarioSet batch = trace::load_scenario_set(batch_path);
+
+  core::FlarePipeline pipeline(config);
+  pipeline.fit(base);
+  out << "fitted " << base.size() << " scenarios into "
+      << pipeline.analysis().chosen_k << " behaviour groups\n";
+
+  const core::StageCounters before = pipeline.analysis().stage_counters;
+  const core::IngestReport report = pipeline.ingest(batch, policy);
+  const core::StageCounters after = pipeline.analysis().stage_counters;
+
+  out << "batch:  " << report.appended << " scenarios (rows "
+      << report.first_new_row << ".." << report.first_new_row + report.appended - 1
+      << ")\n\n";
+  out << "distance scale vs fitted:  "
+      << util::format_double(report.drift.distance_ratio, 2) << "x\n";
+  out << "out-of-coverage mass:      "
+      << util::format_double(100.0 * report.drift.out_of_coverage_fraction, 1)
+      << "%\n";
+  out << "cluster-weight shift (TV): "
+      << util::format_double(100.0 * report.drift.weight_shift, 1) << "%\n\n";
+  out << "verdict: " << core::to_string(report.drift.verdict)
+      << "   action: " << core::to_string(report.action) << "\n";
+  out << "stage re-runs: refine " << after.refine - before.refine
+      << ", standardize " << after.standardize - before.standardize << ", pca "
+      << after.pca - before.pca << ", whiten " << after.whiten - before.whiten
+      << ", cluster " << after.cluster - before.cluster << ", representatives "
+      << after.representatives - before.representatives << "\n";
+  out << "population: " << pipeline.scenario_set().size() << " scenarios, "
+      << pipeline.analysis().chosen_k << " behaviour groups\n";
+
+  if (commit) {
+    trace::append_scenario_set(batch, scenarios_path);
+    out << "appended " << batch.size() << " scenarios to " << scenarios_path
+        << "\n";
+    if (!metrics_path.empty()) {
+      // Archive the freshly profiled rows too: the combined database's tail
+      // is exactly the batch, already re-id'd to continue the population.
+      metrics::MetricDatabase profiled(pipeline.database().catalog());
+      for (std::size_t r = report.first_new_row;
+           r < pipeline.database().num_rows(); ++r) {
+        profiled.add_row(pipeline.database().row(r));
+      }
+      trace::append_metric_database(profiled, metrics_path);
+      out << "appended " << profiled.num_rows() << " metric rows to "
+          << metrics_path << "\n";
+    }
+  } else if (!metrics_path.empty()) {
+    throw ParseError("--metrics requires --commit");
+  }
+  return 0;
+}
+
+}  // namespace flare::cli

@@ -1,67 +1,75 @@
+// Stage orchestration for the Analyzer. The stages themselves live in
+// core/analysis_stages.cpp; this file decides, per stage, whether the
+// previous result's output can be spliced in (input fingerprints equal) or
+// the stage must recompute — and keeps the recompute counters honest.
 #include "core/analyzer.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <memory>
 
-#include "ml/cluster_quality.hpp"
+#include "linalg/covariance.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace flare::core {
 namespace {
 
-/// Columns whose variance is numerically zero carry no information and would
-/// only add dead dimensions; real deployments always have a few (e.g. the
-/// nominal frequency on a homogeneous fleet).
-std::vector<std::size_t> non_constant_columns(const linalg::Matrix& data,
-                                              std::vector<std::size_t>* constants) {
-  std::vector<std::size_t> kept;
-  for (std::size_t c = 0; c < data.cols(); ++c) {
-    double lo = data(0, c), hi = data(0, c);
-    for (std::size_t r = 1; r < data.rows(); ++r) {
-      lo = std::min(lo, data(r, c));
-      hi = std::max(hi, data(r, c));
-    }
-    const double scale = std::max({std::abs(lo), std::abs(hi), 1.0});
-    if (hi - lo <= 1e-12 * scale) {
-      if (constants != nullptr) constants->push_back(c);
-    } else {
-      kept.push_back(c);
-    }
-  }
-  return kept;
-}
-
-/// Adapts a Ward clustering into the KMeansResult shape so downstream code
-/// (representative selection, weights) is algorithm-agnostic. Fills
-/// point_distances so nearest_member/members_by_distance skip the rescan,
-/// exactly as the K-means path does.
-ml::KMeansResult adapt_ward(const linalg::Matrix& space, std::size_t k) {
-  const ml::AgglomerativeResult ward =
-      ml::agglomerative_cluster(space, k, ml::Linkage::kWard);
-  ml::KMeansResult result;
-  result.centroids = ward.centroids;
-  result.assignment = ward.assignment;
-  result.cluster_sizes = ward.cluster_sizes;
-  result.point_distances.resize(space.rows());
-  result.sse = 0.0;
-  for (std::size_t i = 0; i < space.rows(); ++i) {
-    const double d = linalg::squared_distance(
-        space.row(i), result.centroids.row(result.assignment[i]));
-    result.point_distances[i] = d;
-    result.sse += d;
-  }
-  result.iterations = 0;
-  result.converged = true;
-  return result;
-}
-
 /// nullptr = run inline; otherwise an owned pool sized by the `threads` knob
 /// (0 = one worker per hardware thread).
 std::unique_ptr<util::ThreadPool> make_pool(std::size_t threads) {
   if (threads == 1) return nullptr;
   return std::make_unique<util::ThreadPool>(threads);
+}
+
+/// Fingerprints for the upstream stages (raw input through the whitened
+/// cluster space). Each stage chains its upstream fingerprint with the bits
+/// of exactly the config knobs it reads, so equality across two analyses
+/// pins the whole input lineage. The cluster/representative fingerprints
+/// need the warm-start centroids and weights and are chained in analyze().
+StageFingerprints upstream_fingerprints(const linalg::Matrix& raw,
+                                        const metrics::MetricCatalog& catalog,
+                                        const AnalyzerConfig& cfg) {
+  StageFingerprints fp;
+  std::uint64_t h = fingerprint_matrix(raw);
+  for (const metrics::MetricInfo& m : catalog.metrics()) {
+    h = util::fnv1a(m.name, h);
+  }
+  fp.raw = h;
+  h = util::hash_mix(fp.raw, cfg.use_correlation_filter ? 1u : 0u);
+  fp.refine = hash_mix(h, cfg.correlation_threshold);
+  fp.standardize = util::hash_mix(fp.refine, 0x5354Du);  // stage tag, no knobs
+  h = hash_mix(fp.standardize, cfg.variance_target);
+  h = util::hash_mix(h, cfg.labeler.max_contributors);
+  fp.pca = hash_mix(h, cfg.labeler.min_abs_loading);
+  fp.whiten = util::hash_mix(fp.pca, cfg.whiten ? 1u : 0u);
+  return fp;
+}
+
+/// Chains the clustering-stage fingerprint from the whiten fingerprint, the
+/// clustering knobs, the K-means weights (when clustering is weighted) and
+/// the warm-start seed (a warm refit may converge differently, so it must
+/// not be conflated with a cold fit of the same data).
+std::uint64_t cluster_fingerprint(std::uint64_t whiten_fp,
+                                  const AnalyzerConfig& cfg,
+                                  const std::vector<double>& weights,
+                                  const linalg::Matrix& warm_centroids) {
+  std::uint64_t h = util::hash_mix(whiten_fp, static_cast<std::uint64_t>(cfg.algorithm));
+  h = util::hash_mix(h, cfg.fixed_clusters ? *cfg.fixed_clusters + 1 : 0u);
+  h = util::hash_mix(h, cfg.min_clusters);
+  h = util::hash_mix(h, cfg.max_clusters);
+  h = util::hash_mix(h, cfg.compute_quality_curve ? 1u : 0u);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(cfg.kmeans.max_iterations));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(cfg.kmeans.restarts));
+  h = hash_mix(h, cfg.kmeans.tolerance);
+  h = util::hash_mix(h, cfg.kmeans.seed);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(cfg.kmeans.init));
+  // `prune` is deliberately excluded: pruned and naive assignment are
+  // bit-identical, so the flag cannot change the stage output.
+  h = util::hash_mix(h, cfg.weight_clustering_by_observation ? 1u : 0u);
+  if (cfg.weight_clustering_by_observation) h = fingerprint_doubles(weights, h);
+  if (!warm_centroids.empty()) h = fingerprint_matrix(warm_centroids, h);
+  return h;
 }
 
 }  // namespace
@@ -86,123 +94,146 @@ AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db) const {
 
 AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db,
                                  util::ThreadPool* pool) const {
+  return analyze(db, pool, nullptr);
+}
+
+AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db,
+                                 util::ThreadPool* pool,
+                                 const AnalysisResult* previous,
+                                 bool warm_start) const {
   ensure(db.num_rows() >= config_.min_clusters,
          "Analyzer::analyze: fewer scenarios than clusters");
-  AnalysisResult result;
   const linalg::Matrix raw = db.to_matrix();
+  const std::vector<double> weights = db.weights();
+
+  AnalysisResult result;
+  result.stage_counters = previous != nullptr ? previous->stage_counters
+                                              : StageCounters{};
+  StageFingerprints fp = upstream_fingerprints(raw, db.catalog(), config_);
+  const auto reusable = [&](std::uint64_t StageFingerprints::*stage,
+                            std::uint64_t want) {
+    // Poisoned results carry zero fingerprints and never match (see
+    // stages::absorb_rows); a computed fingerprint is never zero in practice.
+    if (previous == nullptr) return false;
+    const std::uint64_t prev_fp = previous->fingerprints.*stage;
+    return prev_fp != 0 && prev_fp == want;
+  };
+
+  // Intermediate matrices, materialised only when a downstream stage has to
+  // recompute. Re-deriving them from the reused fitted transforms is
+  // bit-identical to the original fit (select_columns copies values and
+  // Standardizer::fit_transform is fit() followed by the same transform()).
+  linalg::Matrix refined;
+  linalg::Matrix standardized;
+  const auto need_refined = [&]() {
+    if (refined.empty()) refined = raw.select_columns(result.kept_columns);
+  };
+  const auto need_standardized = [&]() {
+    if (standardized.empty()) {
+      need_refined();
+      standardized = result.standardizer.transform(refined);
+    }
+  };
 
   // --- Refinement (§4.2): constants, then correlation duplicates ---
-  std::vector<std::size_t> informative =
-      non_constant_columns(raw, &result.constant_columns);
-  ensure(!informative.empty(), "Analyzer::analyze: all metrics are constant");
-  linalg::Matrix refined = raw.select_columns(informative);
-  if (config_.use_correlation_filter) {
-    const ml::CorrelationFilter filter(config_.correlation_threshold);
-    result.refinement = filter.fit(refined);
-    // Map audit-trail and kept indices back to original catalog columns.
-    refined = refined.select_columns(result.refinement.kept_columns);
-    result.kept_columns.reserve(result.refinement.kept_columns.size());
-    for (const std::size_t c : result.refinement.kept_columns) {
-      result.kept_columns.push_back(informative[c]);
-    }
-    for (ml::CorrelationDrop& d : result.refinement.drops) {
-      d.dropped_column = informative[d.dropped_column];
-      d.kept_column = informative[d.kept_column];
-    }
+  if (reusable(&StageFingerprints::refine, fp.refine)) {
+    result.kept_columns = previous->kept_columns;
+    result.constant_columns = previous->constant_columns;
+    result.refinement = previous->refinement;
   } else {
-    result.kept_columns = informative;
+    stages::RefineOutput ro = stages::refine(raw, config_);
+    result.kept_columns = std::move(ro.kept_columns);
+    result.constant_columns = std::move(ro.constant_columns);
+    result.refinement = std::move(ro.refinement);
+    refined = std::move(ro.refined);
+    ++result.stage_counters.refine;
   }
 
-  // --- High-level metric construction (§4.3) ---
-  const linalg::Matrix standardized = result.standardizer.fit_transform(refined);
-  result.pca.fit(standardized, pool);
-  result.num_components = result.pca.num_components_for(config_.variance_target);
-  result.interpretations =
-      interpret_components(result.pca, result.kept_columns, db.catalog(),
-                           result.num_components, config_.labeler);
+  // --- Standardisation (§4.3) ---
+  if (reusable(&StageFingerprints::standardize, fp.standardize)) {
+    result.standardizer = previous->standardizer;
+  } else {
+    need_refined();
+    stages::StandardizeOutput so = stages::standardize(refined);
+    result.standardizer = std::move(so.standardizer);
+    standardized = std::move(so.standardized);
+    ++result.stage_counters.standardize;
+  }
+
+  // --- PCA + labelling (§4.3) ---
+  if (reusable(&StageFingerprints::pca, fp.pca)) {
+    result.pca = previous->pca;
+    result.num_components = previous->num_components;
+    result.interpretations = previous->interpretations;
+  } else {
+    need_standardized();
+    stages::PcaOutput po = stages::fit_pca(standardized, result.kept_columns,
+                                           db.catalog(), config_, pool);
+    result.pca = std::move(po.pca);
+    result.num_components = po.num_components;
+    result.interpretations = std::move(po.interpretations);
+    ++result.stage_counters.pca;
+  }
 
   // --- Whitened clustering space (§4.4) ---
-  const linalg::Matrix scores =
-      result.pca.transform(standardized, result.num_components);
-  result.whitened = config_.whiten;
-  if (config_.whiten) {
-    result.cluster_space = result.whitener.fit_transform(scores);
+  if (reusable(&StageFingerprints::whiten, fp.whiten)) {
+    result.whitener = previous->whitener;
+    result.whitened = previous->whitened;
+    result.cluster_space = previous->cluster_space;
   } else {
-    result.whitener.fit(scores);  // fitted for API symmetry, not applied
-    result.cluster_space = scores;
+    need_standardized();
+    stages::WhitenOutput wo =
+        stages::whiten(result.pca, result.num_components, standardized, config_);
+    result.whitener = std::move(wo.whitener);
+    result.whitened = wo.whitened;
+    result.cluster_space = std::move(wo.cluster_space);
+    ++result.stage_counters.whiten;
   }
 
-  // --- Cluster-count sweep (Fig. 9) ---
-  ml::KMeansParams base_params = config_.kmeans;
-  if (config_.weight_clustering_by_observation) {
-    base_params.weights = db.weights();
+  // Warm-start seed (kRefit): the previous centroids, lifted back to raw
+  // metric space and pushed through the freshly fitted stages. Columns the
+  // previous fit dropped are filled from the new population's column means.
+  linalg::Matrix warm;
+  if (warm_start && previous != nullptr && !previous->clustering.centroids.empty()) {
+    warm = stages::project_rows(
+        result, stages::centroids_to_raw(*previous, linalg::column_means(raw)));
   }
-  const std::size_t k_lo = config_.min_clusters;
-  const std::size_t k_hi =
-      std::min(config_.max_clusters, result.cluster_space.rows() - 1);
-  const bool sweep = config_.compute_quality_curve || !config_.fixed_clusters;
-  if (sweep && k_hi >= k_lo) {
-    // Every sweep point scores the SAME fixed point set, so the O(n²·dim)
-    // pairwise distances are computed once and shared across all k. Sweep
-    // points are independent: each task owns its quality_curve slot, and at
-    // most one task (k == fixed_clusters) writes the kept clustering. The
-    // per-k kmeans runs inline in its task (nested pool use is forbidden).
-    const ml::PairwiseDistances distances =
-        ml::pairwise_distances(result.cluster_space, pool);
-    result.quality_curve.assign(k_hi - k_lo + 1, ClusterQualityPoint{});
-    ml::KMeansResult kept;
-    util::maybe_parallel_for(pool, result.quality_curve.size(), [&](std::size_t idx) {
-      const std::size_t k = k_lo + idx;
-      ml::KMeansResult kr;
-      if (config_.algorithm == ClusterAlgorithm::kKMeans) {
-        ml::KMeansParams params = base_params;
-        params.k = k;
-        kr = ml::kmeans(result.cluster_space, params);
-      } else {
-        kr = adapt_ward(result.cluster_space, k);
-      }
-      ClusterQualityPoint& point = result.quality_curve[idx];
-      point.k = k;
-      point.sse = kr.sse;
-      point.silhouette = ml::silhouette_score(distances, kr.assignment, k);
-      if (config_.fixed_clusters.has_value() && k == *config_.fixed_clusters) {
-        kept = std::move(kr);
-      }
-    });
-    result.clustering = std::move(kept);
-  }
+  fp.cluster = cluster_fingerprint(fp.whiten, config_, weights, warm);
+  fp.representatives =
+      fingerprint_doubles(weights, util::hash_mix(fp.cluster, 0x52455052u));
 
-  result.chosen_k = config_.fixed_clusters.has_value()
-                        ? *config_.fixed_clusters
-                        : suggest_k(result.quality_curve);
-  ensure(result.chosen_k >= config_.min_clusters && result.chosen_k <= k_hi,
-         "Analyzer::analyze: chosen cluster count is out of the sweep range");
-  if (result.clustering.assignment.empty()) {
-    if (config_.algorithm == ClusterAlgorithm::kKMeans) {
-      ml::KMeansParams params = base_params;
-      params.k = result.chosen_k;
-      result.clustering = ml::kmeans(result.cluster_space, params, pool);
-    } else {
-      result.clustering = adapt_ward(result.cluster_space, result.chosen_k);
-    }
+  // --- Cluster-count sweep + kept clustering (Fig. 9, §4.4) ---
+  if (reusable(&StageFingerprints::cluster, fp.cluster)) {
+    result.quality_curve = previous->quality_curve;
+    result.chosen_k = previous->chosen_k;
+    result.clustering = previous->clustering;
+  } else {
+    stages::ClusterOutput co =
+        stages::cluster(result.cluster_space, weights, config_, pool, warm);
+    result.quality_curve = std::move(co.quality_curve);
+    result.chosen_k = co.chosen_k;
+    result.clustering = std::move(co.clustering);
+    ++result.stage_counters.cluster;
   }
 
   // --- Representatives & weights (§4.4–§4.5) ---
-  const std::vector<double> weights = db.weights();
   double total_weight = 0.0;
   for (const double w : weights) total_weight += w;
   ensure(total_weight > 0.0, "Analyzer::analyze: zero total observation weight");
+  if (reusable(&StageFingerprints::representatives, fp.representatives)) {
+    result.representatives = previous->representatives;
+    result.cluster_weights = previous->cluster_weights;
+  } else {
+    stages::RepresentativesOutput rep =
+        stages::representatives(result.clustering, result.cluster_space,
+                                result.chosen_k, weights,
+                                /*require_positive_weight=*/false);
+    result.representatives = std::move(rep.representatives);
+    result.cluster_weights = std::move(rep.cluster_weights);
+    ++result.stage_counters.representatives;
+  }
 
-  result.representatives.resize(result.chosen_k);
-  result.cluster_weights.assign(result.chosen_k, 0.0);
-  for (std::size_t c = 0; c < result.chosen_k; ++c) {
-    result.representatives[c] =
-        result.clustering.nearest_member(result.cluster_space, c);
-  }
-  for (std::size_t i = 0; i < weights.size(); ++i) {
-    result.cluster_weights[result.clustering.assignment[i]] +=
-        weights[i] / total_weight;
-  }
+  result.fingerprints = fp;
   return result;
 }
 
@@ -226,34 +257,31 @@ AnalysisResult Analyzer::recluster(const AnalysisResult& base,
 
   AnalysisResult result = base;  // reuse refinement, PCA, whitening, space
 
-  // Re-cluster from Step 3 over the same high-level metric space.
-  if (config_.algorithm == ClusterAlgorithm::kKMeans) {
-    ml::KMeansParams params = config_.kmeans;
-    params.k = base.chosen_k;
-    if (config_.weight_clustering_by_observation) params.weights = new_weights;
-    result.clustering = ml::kmeans(result.cluster_space, params, pool);
-  } else {
-    result.clustering = adapt_ward(result.cluster_space, base.chosen_k);
-  }
+  // Re-cluster from Step 3 over the same high-level metric space: a
+  // stage-level replay of the cluster + representative stages at the
+  // already-chosen k, with the Fig. 9 sweep disabled (the base's quality
+  // curve is kept as-is).
+  AnalyzerConfig replay = config_;
+  replay.fixed_clusters = base.chosen_k;
+  replay.compute_quality_curve = false;
+  stages::ClusterOutput co =
+      stages::cluster(base.cluster_space, new_weights, replay, pool);
+  result.chosen_k = co.chosen_k;
+  result.clustering = std::move(co.clustering);
+  ++result.stage_counters.cluster;
 
-  // Representatives must be scenarios that actually occur under the new
-  // scheduler: walk outward from the centroid past zero-weight members.
-  result.representatives.assign(result.chosen_k, 0);
-  result.cluster_weights.assign(result.chosen_k, 0.0);
-  for (std::size_t c = 0; c < result.chosen_k; ++c) {
-    const std::vector<std::size_t> ordered = result.members_by_distance(c);
-    std::size_t chosen = ordered.front();
-    for (const std::size_t member : ordered) {
-      if (new_weights[member] > 0.0) {
-        chosen = member;
-        break;
-      }
-    }
-    result.representatives[c] = chosen;
-  }
-  for (std::size_t i = 0; i < new_weights.size(); ++i) {
-    result.cluster_weights[result.clustering.assignment[i]] += new_weights[i] / total;
-  }
+  stages::RepresentativesOutput rep =
+      stages::representatives(result.clustering, result.cluster_space,
+                              result.chosen_k, new_weights,
+                              /*require_positive_weight=*/true);
+  result.representatives = std::move(rep.representatives);
+  result.cluster_weights = std::move(rep.cluster_weights);
+  ++result.stage_counters.representatives;
+
+  // The replayed stages answer to a different question (recluster semantics:
+  // weights feed representative selection) — never splice them into a fit.
+  result.fingerprints.cluster = 0;
+  result.fingerprints.representatives = 0;
   return result;
 }
 

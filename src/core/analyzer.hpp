@@ -5,12 +5,20 @@
 // whiten PC scores → cluster (K-means by default, Ward as the paper's noted
 // alternative) → extract the representative scenario per cluster (nearest to
 // the centroid) and the cluster observation weights.
+//
+// The pipeline is implemented as a chain of composable stages (see
+// core/stage_graph.hpp and the `stages` namespace below): every stage's
+// inputs carry a content fingerprint, and an analysis given a `previous`
+// result reuses each stage whose input fingerprint is unchanged instead of
+// recomputing it. A plain analyze() runs every stage exactly as before —
+// batch results are bit-identical to the monolithic implementation.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 
 #include "core/pc_labeler.hpp"
+#include "core/stage_graph.hpp"
 #include "metrics/metric_database.hpp"
 #include "ml/agglomerative.hpp"
 #include "ml/correlation_filter.hpp"
@@ -91,6 +99,12 @@ struct AnalysisResult {
   std::vector<std::size_t> representatives;  ///< scenario row index per cluster
   std::vector<double> cluster_weights;       ///< observation-weight share, Σ = 1
 
+  // Stage-graph bookkeeping (core/stage_graph.hpp): input fingerprints that
+  // decide stage reuse, and how often each stage has recomputed across the
+  // lifetime of this analysis lineage.
+  StageFingerprints fingerprints;
+  StageCounters stage_counters;
+
   /// Cluster members ordered by distance from the centroid (nearest first) —
   /// the per-job estimator walks this list (§5.3).
   [[nodiscard]] std::vector<std::size_t> members_by_distance(std::size_t cluster) const;
@@ -112,11 +126,24 @@ class Analyzer {
   [[nodiscard]] AnalysisResult analyze(const metrics::MetricDatabase& db,
                                        util::ThreadPool* pool) const;
 
+  /// Stage-reusing re-analysis: any stage whose input fingerprint matches
+  /// `previous` splices in the previous output instead of recomputing (and
+  /// leaves its recompute counter untouched). With `warm_start`, the final
+  /// K-means at the chosen k seeds restart 0 from `previous`'s centroids
+  /// mapped into the new cluster space (see stages::centroids_to_raw) — the
+  /// drift monitor's kRefit action. `previous == nullptr` degrades to a
+  /// plain cold fit with every counter set to 1.
+  [[nodiscard]] AnalysisResult analyze(const metrics::MetricDatabase& db,
+                                       util::ThreadPool* pool,
+                                       const AnalysisResult* previous,
+                                       bool warm_start = false) const;
+
   /// Re-clusters an existing analysis under new scenario weights without
   /// re-profiling — the §5.6 scheduler-change workflow ("derive new
-  /// representative scenarios starting from Step 3"). The metric space,
-  /// standardisation and PCA of `base` are reused; clustering and
-  /// representative extraction re-run over the re-weighted population.
+  /// representative scenarios starting from Step 3"). Implemented as a
+  /// stage-level replay: the metric space, standardisation and PCA of `base`
+  /// are reused verbatim; only the cluster + representative stages re-run
+  /// over the re-weighted population (stage counters record exactly that).
   [[nodiscard]] AnalysisResult recluster(const AnalysisResult& base,
                                          const std::vector<double>& new_weights) const;
 
@@ -135,5 +162,117 @@ class Analyzer {
  private:
   AnalyzerConfig config_;
 };
+
+/// The individual analysis stages. Each is a pure function of its declared
+/// inputs — the Analyzer composes them, and tests exercise them in
+/// isolation. Outputs are bit-identical to the former monolithic
+/// Analyzer::analyze for the same inputs.
+namespace stages {
+
+/// Stage 1 — refinement (§4.2): drop numerically constant columns, then
+/// correlation duplicates. `kept_columns` indexes the original catalog.
+struct RefineOutput {
+  std::vector<std::size_t> kept_columns;
+  std::vector<std::size_t> constant_columns;
+  ml::CorrelationFilterResult refinement;
+  linalg::Matrix refined;  ///< raw columns `kept_columns`, in order
+};
+[[nodiscard]] RefineOutput refine(const linalg::Matrix& raw,
+                                  const AnalyzerConfig& config);
+
+/// Stage 2 — standardisation (§4.3): zero mean / unit variance.
+struct StandardizeOutput {
+  ml::Standardizer standardizer;
+  linalg::Matrix standardized;
+};
+[[nodiscard]] StandardizeOutput standardize(const linalg::Matrix& refined);
+
+/// Stage 3 — PCA + component labelling (§4.3, Fig. 8).
+struct PcaOutput {
+  ml::Pca pca;
+  std::size_t num_components = 0;
+  std::vector<PcInterpretation> interpretations;
+};
+[[nodiscard]] PcaOutput fit_pca(const linalg::Matrix& standardized,
+                                const std::vector<std::size_t>& kept_columns,
+                                const metrics::MetricCatalog& catalog,
+                                const AnalyzerConfig& config,
+                                util::ThreadPool* pool);
+
+/// Stage 4 — whitened clustering space (§4.4).
+struct WhitenOutput {
+  ml::Whitener whitener;
+  bool whitened = true;
+  linalg::Matrix cluster_space;
+};
+[[nodiscard]] WhitenOutput whiten(const ml::Pca& pca, std::size_t num_components,
+                                  const linalg::Matrix& standardized,
+                                  const AnalyzerConfig& config);
+
+/// Stage 5 — cluster-count sweep (Fig. 9) + the kept clustering. `weights`
+/// are the observation weights (used only when
+/// config.weight_clustering_by_observation). `warm_centroids`, when non-empty
+/// with one row per chosen cluster, seeds K-means restart 0 (kRefit path).
+struct ClusterOutput {
+  std::vector<ClusterQualityPoint> quality_curve;
+  std::size_t chosen_k = 0;
+  ml::KMeansResult clustering;
+};
+[[nodiscard]] ClusterOutput cluster(const linalg::Matrix& cluster_space,
+                                    const std::vector<double>& weights,
+                                    const AnalyzerConfig& config,
+                                    util::ThreadPool* pool,
+                                    const linalg::Matrix& warm_centroids = {});
+
+/// Stage 6 — representative scenarios + cluster observation weights
+/// (§4.4–§4.5). With `require_positive_weight` (the §5.6 scheduler-change
+/// replay), each representative walks outward from the centroid past
+/// zero-weight members so it is a scenario that actually occurs.
+struct RepresentativesOutput {
+  std::vector<std::size_t> representatives;
+  std::vector<double> cluster_weights;
+};
+[[nodiscard]] RepresentativesOutput representatives(
+    const ml::KMeansResult& clustering, const linalg::Matrix& cluster_space,
+    std::size_t k, const std::vector<double>& weights,
+    bool require_positive_weight);
+
+/// Projects fresh catalog-ordered raw rows through the fitted
+/// refine → standardize → PCA → whiten stages into the fitted cluster space
+/// (used by the drift monitor and the incremental ingest path).
+[[nodiscard]] linalg::Matrix project_rows(const AnalysisResult& fitted,
+                                          const linalg::Matrix& raw);
+
+/// Nearest fitted centroid per projected row (ties to the lowest index).
+struct NearestAssignment {
+  std::vector<std::size_t> cluster;  ///< winning centroid per row
+  std::vector<double> dist_sq;       ///< squared distance to it
+};
+[[nodiscard]] NearestAssignment assign_to_nearest(
+    const ml::KMeansResult& clustering, const linalg::Matrix& points);
+
+/// Absorbs projected fresh rows into a fitted analysis IN PLACE without
+/// refitting any upstream stage: rows are assigned to their nearest fitted
+/// centroid, the cluster space / assignment / distance cache / sizes grow,
+/// and the cluster observation weights are refreshed from
+/// `combined_weights` (old rows then new rows). With
+/// `refresh_representatives` (the kReweight action) representatives are
+/// re-derived as the nearest positive-weight member and the representative
+/// stage counter bumps; otherwise (kValid) they stay put and no stage
+/// recomputes. Fingerprints are poisoned — the grown result is no longer a
+/// pure function of any single fit input.
+void absorb_rows(AnalysisResult& analysis, const linalg::Matrix& projected,
+                 const std::vector<double>& combined_weights,
+                 bool refresh_representatives);
+
+/// Maps a fitted clustering's centroids back to full-catalog raw-metric
+/// space: whitener/PCA/standardizer inverses recover the fitted refined
+/// columns; columns the fit dropped are filled from `fallback_columns`
+/// (catalog-width, e.g. the new population's column means). Used to seed the
+/// warm-started refit.
+[[nodiscard]] linalg::Matrix centroids_to_raw(
+    const AnalysisResult& fitted, const std::vector<double>& fallback_columns);
+
+}  // namespace stages
 
 }  // namespace flare::core

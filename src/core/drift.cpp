@@ -54,15 +54,13 @@ DriftReport DriftMonitor::inspect(const metrics::MetricDatabase& fresh) const {
   ensure(fresh.num_rows() > 0, "DriftMonitor::inspect: empty batch");
   const AnalysisResult& a = *analysis_;
 
-  // Project the fresh rows through the fitted pipeline stages.
+  // Project the fresh rows through the fitted pipeline stages — the same
+  // stages::project_rows the incremental ingest path uses.
   const linalg::Matrix raw = fresh.to_matrix();
-  std::vector<std::size_t> kept = a.kept_columns;
-  ensure(raw.cols() > *std::max_element(kept.begin(), kept.end()),
+  ensure(raw.cols() > *std::max_element(a.kept_columns.begin(),
+                                        a.kept_columns.end()),
          "DriftMonitor::inspect: batch schema is narrower than the fitted one");
-  const linalg::Matrix refined = raw.select_columns(kept);
-  const linalg::Matrix standardized = a.standardizer.transform(refined);
-  linalg::Matrix scores = a.pca.transform(standardized, a.num_components);
-  if (a.whitened) scores = a.whitener.transform(scores);
+  const linalg::Matrix scores = stages::project_rows(a, raw);
 
   DriftReport report;
   report.coverage_radius_sq = coverage_radius_sq_;
@@ -71,20 +69,13 @@ DriftReport DriftMonitor::inspect(const metrics::MetricDatabase& fresh) const {
   const std::vector<double> weights = fresh.weights();
   double covered_weight = 0.0;
   double uncovered_weight = 0.0;
+  const stages::NearestAssignment nearest =
+      stages::assign_to_nearest(a.clustering, scores);
   std::vector<double> fresh_dist_sq;
   fresh_dist_sq.reserve(scores.rows());
   for (std::size_t r = 0; r < scores.rows(); ++r) {
-    // Nearest fitted centroid.
-    double best = std::numeric_limits<double>::max();
-    std::size_t best_c = 0;
-    for (std::size_t c = 0; c < a.chosen_k; ++c) {
-      const double d = linalg::squared_distance(scores.row(r),
-                                                a.clustering.centroids.row(c));
-      if (d < best) {
-        best = d;
-        best_c = c;
-      }
-    }
+    const double best = nearest.dist_sq[r];
+    const std::size_t best_c = nearest.cluster[r];
     fresh_dist_sq.push_back(best);
     // Weight accounting uses the nearest cluster either way; coverage only
     // decides whether the scenario also counts as unseen behaviour.

@@ -11,6 +11,8 @@ FlareEstimator::FlareEstimator(const AnalysisResult& analysis,
     : analysis_(&analysis), set_(&set), replayer_(&replayer) {
   ensure(analysis.cluster_space.rows() == set.scenarios.size(),
          "FlareEstimator: analysis rows must match the scenario set");
+  ensure(analysis.clustering.assignment.size() == set.scenarios.size(),
+         "FlareEstimator: analysis assignment must cover the scenario set");
   ensure(analysis.representatives.size() == analysis.chosen_k,
          "FlareEstimator: analysis is missing representatives");
 }

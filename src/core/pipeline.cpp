@@ -86,6 +86,82 @@ void FlarePipeline::apply_scheduler_change(const std::vector<double>& new_weight
   }
 }
 
+IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
+                                   RefitPolicy policy) {
+  ensure(fitted(), "FlarePipeline::ingest: call fit() first");
+  ensure(!batch.scenarios.empty(), "FlarePipeline::ingest: empty batch");
+
+  // Re-id the batch so it continues the fitted population's dense indexing
+  // (batch ids are whatever the collector used; row index is what matters).
+  dcsim::ScenarioSet fresh = batch;
+  fresh.machine_type = set_.machine_type;
+  for (std::size_t i = 0; i < fresh.scenarios.size(); ++i) {
+    fresh.scenarios[i].id = set_.size() + i;
+  }
+
+  const Profiler profiler(model_, config_.profiler);
+  const metrics::MetricDatabase fresh_db = profiler.profile(
+      fresh, config_.machine, resolve_schema(config_.schema), pool_.get());
+
+  IngestReport report;
+  report.appended = fresh.size();
+  report.first_new_row = set_.size();
+  const DriftMonitor monitor(*analysis_, config_.drift);
+  report.drift = monitor.inspect(fresh_db);
+  report.action = report.drift.verdict;
+  if (policy == RefitPolicy::kAlways) {
+    report.action = DriftVerdict::kRefit;
+  } else if (policy == RefitPolicy::kNever &&
+             report.action == DriftVerdict::kRefit) {
+    report.action = DriftVerdict::kReweight;
+  }
+
+  // Grow the population. Observation weights for all accounting come from
+  // set_ (apply_scheduler_change keeps those current; the archived database
+  // rows may carry pre-change weights), so sync the database before any use.
+  const linalg::Matrix fresh_raw = fresh_db.to_matrix();
+  set_.scenarios.insert(set_.scenarios.end(), fresh.scenarios.begin(),
+                        fresh.scenarios.end());
+  database_->append(fresh_db);
+  if (!scheduler_weights_.empty()) {
+    for (const dcsim::ColocationScenario& s : fresh.scenarios) {
+      scheduler_weights_.push_back(s.observation_weight);
+    }
+  }
+  std::vector<double> combined;
+  combined.reserve(set_.size());
+  for (const dcsim::ColocationScenario& s : set_.scenarios) {
+    combined.push_back(s.observation_weight);
+  }
+  database_->set_observation_weights(combined);
+
+  switch (report.action) {
+    case DriftVerdict::kValid:
+      // Same behaviours, same frequencies: assign the new rows into the
+      // fitted cluster space; no stage re-runs.
+      stages::absorb_rows(*analysis_, stages::project_rows(*analysis_, fresh_raw),
+                          combined, /*refresh_representatives=*/false);
+      break;
+    case DriftVerdict::kReweight:
+      // Same behaviours, shifted frequencies: reuse every fitted stage,
+      // refresh only the weights and representatives.
+      stages::absorb_rows(*analysis_, stages::project_rows(*analysis_, fresh_raw),
+                          combined, /*refresh_representatives=*/true);
+      break;
+    case DriftVerdict::kRefit: {
+      // New behaviours: full refit over the combined population, warm-started
+      // from the previous centroids (stage fingerprints still skip any stage
+      // whose input happens to be unchanged).
+      const Analyzer analyzer(config_.analyzer);
+      AnalysisResult refit = analyzer.analyze(*database_, pool_.get(),
+                                              analysis_.get(), /*warm_start=*/true);
+      *analysis_ = std::move(refit);
+      break;
+    }
+  }
+  return report;
+}
+
 const metrics::MetricDatabase& FlarePipeline::database() const {
   ensure(fitted(), "FlarePipeline::database: call fit() first");
   return *database_;

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "core/analyzer.hpp"
+#include "core/drift.hpp"
 #include "core/estimator.hpp"
 #include "core/impact.hpp"
 #include "core/profiler.hpp"
@@ -34,6 +35,8 @@ struct FlareConfig {
   ProfilerConfig profiler;
   AnalyzerConfig analyzer;
   MetricSchema schema = MetricSchema::kStandard;
+  /// Thresholds for the ingest-time drift classification (see core/drift.hpp).
+  DriftConfig drift;
 
   /// Worker threads for the pipeline's shared pool: 1 = run inline (default),
   /// 0 = one per hardware thread. The pool is owned by FlarePipeline and
@@ -46,6 +49,27 @@ struct FlareConfig {
 
 /// Resolves a schema selector to its (long-lived) catalog.
 [[nodiscard]] const metrics::MetricCatalog& resolve_schema(MetricSchema schema);
+
+/// How FlarePipeline::ingest resolves the drift verdict into an action.
+enum class RefitPolicy : unsigned char {
+  kAuto,    ///< act on the verdict as classified (default)
+  kNever,   ///< refuse full refits: a kRefit verdict downgrades to kReweight
+  kAlways,  ///< force a (warm-started) full refit on every batch
+};
+
+/// What ingest() did with one batch.
+struct IngestReport {
+  /// The drift classification of the freshly profiled batch.
+  DriftReport drift;
+  /// The action actually taken after applying the RefitPolicy — kValid:
+  /// new rows assigned into the fitted space, nothing re-ran; kReweight:
+  /// weights + representatives refreshed; kRefit: full warm-started refit.
+  DriftVerdict action = DriftVerdict::kValid;
+  /// Scenarios appended to the population.
+  std::size_t appended = 0;
+  /// Row index (into the combined database/ScenarioSet) of the first one.
+  std::size_t first_new_row = 0;
+};
 
 class FlarePipeline {
  public:
@@ -74,6 +98,14 @@ class FlarePipeline {
   /// per-scenario observation weight under the new scheduler (0 = no longer
   /// occurs), indexed like the fitted ScenarioSet.
   void apply_scheduler_change(const std::vector<double>& new_weights);
+
+  /// Incremental ingestion: profiles a batch of freshly observed scenarios,
+  /// appends them to the population, classifies the drift against the fitted
+  /// analysis and takes the cheapest sound action per verdict (see
+  /// IngestReport::action). The batch's scenario ids are reassigned to
+  /// continue the fitted population's dense indexing. Requires fit() first.
+  IngestReport ingest(const dcsim::ScenarioSet& batch,
+                      RefitPolicy policy = RefitPolicy::kAuto);
 
   [[nodiscard]] bool fitted() const { return analysis_ != nullptr; }
   [[nodiscard]] const metrics::MetricDatabase& database() const;

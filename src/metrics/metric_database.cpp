@@ -8,8 +8,34 @@ MetricDatabase::MetricDatabase(const MetricCatalog& catalog) : catalog_(&catalog
 
 void MetricDatabase::add_row(MetricRow row) {
   ensure(row.values.size() == catalog_->size(),
-         "MetricDatabase::add_row: value count does not match catalog");
+         "MetricDatabase::add_row: row has " + std::to_string(row.values.size()) +
+             " values but the catalog has " + std::to_string(catalog_->size()) +
+             " metrics");
   rows_.push_back(std::move(row));
+}
+
+void MetricDatabase::append(const MetricDatabase& other) {
+  if (other.catalog_ != catalog_) {
+    ensure(other.catalog_->size() == catalog_->size(),
+           "MetricDatabase::append: catalog size mismatch");
+    for (std::size_t i = 0; i < catalog_->size(); ++i) {
+      ensure(other.catalog_->info(i).name == catalog_->info(i).name,
+             "MetricDatabase::append: catalog metric mismatch at '" +
+                 catalog_->info(i).name + "'");
+    }
+  }
+  rows_.reserve(rows_.size() + other.rows_.size());
+  for (const MetricRow& row : other.rows_) add_row(row);
+}
+
+void MetricDatabase::set_observation_weights(const std::vector<double>& weights) {
+  ensure(weights.size() == rows_.size(),
+         "MetricDatabase::set_observation_weights: weight count must match rows");
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    ensure(weights[i] >= 0.0,
+           "MetricDatabase::set_observation_weights: weights must be non-negative");
+    rows_[i].observation_weight = weights[i];
+  }
 }
 
 const MetricRow& MetricDatabase::row(std::size_t index) const {

@@ -22,8 +22,19 @@ class MetricDatabase {
  public:
   explicit MetricDatabase(const MetricCatalog& catalog = MetricCatalog::standard());
 
-  /// Appends a row; `values` must match the catalog size.
+  /// Appends a row; `values` must match the catalog size (validated here, at
+  /// the point of append, so a malformed row fails fast with its counts
+  /// instead of blowing up later in to_matrix()).
   void add_row(MetricRow row);
+
+  /// Bulk-appends every row of `other` (the incremental-ingestion path).
+  /// Both databases must use the same catalog: the pointer-identical one, or
+  /// one with identical metric names in identical order.
+  void append(const MetricDatabase& other);
+
+  /// Overwrites the per-row observation weights in row order (e.g. to sync a
+  /// scheduler-change reweighting back into the archive before a refit).
+  void set_observation_weights(const std::vector<double>& weights);
 
   [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
   [[nodiscard]] std::size_t num_metrics() const { return catalog_->size(); }

@@ -619,6 +619,9 @@ KMeansResult kmeans(const linalg::Matrix& data, const KMeansParams& params,
   for (const double w : params.weights) {
     ensure(w >= 0.0, "kmeans: weights must be non-negative");
   }
+  const bool warm = params.initial_centroids.rows() == params.k;
+  ensure(!warm || params.initial_centroids.cols() == data.cols(),
+         "kmeans: initial_centroids dimension mismatch");
 
   // Degrade to serial instead of deadlocking when a caller forwards the pool
   // from inside one of its own tasks (e.g. a per-k sweep worker).
@@ -628,6 +631,12 @@ KMeansResult kmeans(const linalg::Matrix& data, const KMeansParams& params,
   const std::size_t restarts = static_cast<std::size_t>(params.restarts);
   std::vector<LloydOutcome> outcomes(restarts);
   const auto run_restart = [&](std::size_t r, util::ThreadPool* inner) {
+    if (r == 0 && warm) {
+      // Warm start: no seeding run, no seed hint (the first pruned pass
+      // anchors every point at centroid 0, as a hintless cold start does).
+      outcomes[r] = run_lloyd(data, params.initial_centroids, params, inner);
+      return;
+    }
     stats::Rng restart_rng = rng.fork(static_cast<std::uint64_t>(r));
     std::vector<std::size_t> seed_hint;
     Matrix init = params.init == KMeansInit::kKMeansPlusPlus

@@ -32,6 +32,13 @@ struct KMeansParams {
   /// Triangle-inequality pruning of the assignment step. Output is identical
   /// with or without it; off exists for tests and speedup benchmarks.
   bool prune = true;
+  /// Optional warm start: when this holds exactly `k` rows, restart 0 skips
+  /// the seeding policy and starts Lloyd from these centroids verbatim (the
+  /// remaining restarts seed as usual, so a poor warm start can only lose
+  /// the best-of-N race, never degrade it). Any other row count — including
+  /// empty, the default — is ignored, so a caller can set one seed while
+  /// sweeping several k.
+  linalg::Matrix initial_centroids;
   /// Optional per-point weights (e.g. scenario observation time). Empty =
   /// unweighted (the paper's design). When set, centroids are weighted means,
   /// SSE is weighted, and k-means++ seeding draws by weight × D².

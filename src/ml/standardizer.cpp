@@ -11,6 +11,8 @@ void Standardizer::fit(const linalg::Matrix& data) {
   ensure(data.rows() >= 1, "Standardizer::fit: empty data");
   means_ = linalg::column_means(data);
   scales_.assign(data.cols(), 1.0);
+  m2_.assign(data.cols(), 0.0);
+  count_ = data.rows();
   if (data.rows() < 2) return;  // single row: keep unit scales
   for (std::size_t c = 0; c < data.cols(); ++c) {
     double sum_sq = 0.0;
@@ -18,9 +20,29 @@ void Standardizer::fit(const linalg::Matrix& data) {
       const double d = data(r, c) - means_[c];
       sum_sq += d * d;
     }
+    m2_[c] = sum_sq;
     const double sd = std::sqrt(sum_sq / static_cast<double>(data.rows() - 1));
     scales_[c] = sd > 0.0 ? sd : 1.0;
   }
+}
+
+void Standardizer::merge(const Standardizer& other) {
+  ensure(fitted() && other.fitted(), "Standardizer::merge: both sides must be fitted");
+  ensure(means_.size() == other.means_.size(),
+         "Standardizer::merge: column mismatch");
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  for (std::size_t c = 0; c < means_.size(); ++c) {
+    const double delta = other.means_[c] - means_[c];
+    m2_[c] += other.m2_[c] + delta * delta * n1 * n2 / n;
+    means_[c] = (n1 * means_[c] + n2 * other.means_[c]) / n;
+    if (count_ + other.count_ >= 2) {
+      const double sd = std::sqrt(m2_[c] / (n - 1.0));
+      scales_[c] = sd > 0.0 ? sd : 1.0;
+    }
+  }
+  count_ += other.count_;
 }
 
 linalg::Matrix Standardizer::transform(const linalg::Matrix& data) const {

@@ -65,4 +65,23 @@ metrics::MetricDatabase load_metric_database(const std::string& path,
   return db;
 }
 
+void append_metric_database(const metrics::MetricDatabase& batch,
+                            const std::string& path) {
+  // Validates the existing file's header against the batch's catalog (throws
+  // ParseError on mismatch) so the append cannot produce a ragged archive.
+  (void)load_metric_database(path, batch.catalog());
+  std::ofstream out(path, std::ios::app);
+  ensure(static_cast<bool>(out), "append_metric_database: cannot open file: " + path);
+  for (const metrics::MetricRow& row : batch.rows()) {
+    std::vector<std::string> fields = {std::to_string(row.scenario_id),
+                                       row.scenario_key,
+                                       util::format_double_exact(row.observation_weight)};
+    for (const double v : row.values) {
+      fields.push_back(util::format_double_exact(v));
+    }
+    write_csv_row(out, fields);
+  }
+  ensure(static_cast<bool>(out), "append_metric_database: write failed: " + path);
+}
+
 }  // namespace flare::trace

@@ -17,4 +17,10 @@ void save_metric_database(const metrics::MetricDatabase& db, const std::string& 
     const std::string& path,
     const metrics::MetricCatalog& catalog = metrics::MetricCatalog::standard());
 
+/// Appends `batch`'s rows to an existing metric CSV without rewriting it.
+/// The file must exist and its header must match `batch`'s catalog — the
+/// existing file is validated (via a load) before the append.
+void append_metric_database(const metrics::MetricDatabase& batch,
+                            const std::string& path);
+
 }  // namespace flare::trace

@@ -53,4 +53,18 @@ dcsim::ScenarioSet load_scenario_set(const std::string& path) {
   return set;
 }
 
+void append_scenario_set(const dcsim::ScenarioSet& batch, const std::string& path) {
+  // Validate the existing file (and learn where its id sequence ends) before
+  // touching it — appending to a malformed file would only bury the problem.
+  const dcsim::ScenarioSet existing = load_scenario_set(path);
+  std::ofstream out(path, std::ios::app);
+  ensure(static_cast<bool>(out), "append_scenario_set: cannot open file: " + path);
+  std::size_t next_id = existing.scenarios.size();
+  for (const dcsim::ColocationScenario& s : batch.scenarios) {
+    write_csv_row(out, {std::to_string(next_id++), s.machine_type,
+                        util::format_double_exact(s.observation_weight), s.mix.key()});
+  }
+  ensure(static_cast<bool>(out), "append_scenario_set: write failed: " + path);
+}
+
 }  // namespace flare::trace

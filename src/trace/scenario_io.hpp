@@ -16,4 +16,10 @@ void save_scenario_set(const dcsim::ScenarioSet& set, const std::string& path);
 /// malformed files; validates ids are dense and weights non-negative.
 [[nodiscard]] dcsim::ScenarioSet load_scenario_set(const std::string& path);
 
+/// Appends `batch` to an existing scenario CSV without rewriting it,
+/// continuing the file's dense id sequence (the batch's own ids are
+/// ignored). The file must exist and parse — the existing rows are read
+/// first so the append cannot silently corrupt the id invariant.
+void append_scenario_set(const dcsim::ScenarioSet& batch, const std::string& path);
+
 }  // namespace flare::trace

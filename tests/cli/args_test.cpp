@@ -47,6 +47,32 @@ TEST(Args, RejectsMissingCommand) {
   EXPECT_THROW(Args::parse(1, argv), ParseError);
 }
 
+TEST(Args, MissingCommandErrorListsTheCommands) {
+  const char* argv[] = {"flare"};
+  try {
+    (void)Args::parse(1, argv);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    for (const char* command :
+         {"simulate", "profile", "analyze", "evaluate", "report", "drift",
+          "ingest", "help"}) {
+      EXPECT_NE(what.find(command), std::string::npos) << command;
+    }
+  }
+}
+
+TEST(Args, ParsesIngestOptions) {
+  const Args args = parse({"ingest", "--scenarios", "base.csv", "--batch",
+                           "new.csv", "--refit-policy", "never", "--commit"});
+  EXPECT_EQ(args.command(), "ingest");
+  EXPECT_EQ(args.require_string("scenarios"), "base.csv");
+  EXPECT_EQ(args.require_string("batch"), "new.csv");
+  EXPECT_EQ(args.get_string("refit-policy", "auto"), "never");
+  EXPECT_TRUE(args.get_flag("commit"));
+  args.reject_unconsumed();
+}
+
 TEST(Args, RejectsBareTokens) {
   EXPECT_THROW(parse({"simulate", "orphan"}), ParseError);
   EXPECT_THROW(parse({"simulate", "-x", "1"}), ParseError);

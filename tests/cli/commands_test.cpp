@@ -86,10 +86,102 @@ TEST_F(CliWorkflowTest, AnalyzeAblationFlags) {
   EXPECT_NE(out.find("0 correlation duplicates"), std::string::npos);
 }
 
+class CliIngestTest : public CliWorkflowTest {
+ protected:
+  void SetUp() override {
+    // Unique per-test paths: ctest runs these cases concurrently, and the
+    // shared fixture names would collide across processes.
+    const std::string stem = ::testing::TempDir() + "/ingest_" +
+                             ::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name();
+    scenarios_ = stem + "_scenarios.csv";
+    metrics_ = stem + "_metrics.csv";
+    batch_ = stem + "_batch.csv";
+    ASSERT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--scenarios",
+                   "120", "--seed", "7"}),
+              0);
+    ASSERT_EQ(run({"simulate", "--out", batch_.c_str(), "--scenarios", "25",
+                   "--seed", "11"}),
+              0);
+  }
+  void TearDown() override {
+    CliWorkflowTest::TearDown();
+    std::remove(batch_.c_str());
+  }
+  std::string batch_ = ::testing::TempDir() + "/cli_batch.csv";
+};
+
+TEST_F(CliIngestTest, AbsorbsABatchAndReportsTheStagesRerun) {
+  std::string out;
+  ASSERT_EQ(run({"ingest", "--scenarios", scenarios_.c_str(), "--batch",
+                 batch_.c_str(), "--clusters", "6"},
+                &out),
+            0);
+  EXPECT_NE(out.find("behaviour groups"), std::string::npos);
+  EXPECT_NE(out.find("verdict:"), std::string::npos);
+  EXPECT_NE(out.find("action:"), std::string::npos);
+  EXPECT_NE(out.find("stage re-runs:"), std::string::npos);
+  EXPECT_NE(out.find("population:"), std::string::npos);
+}
+
+TEST_F(CliIngestTest, RefitPolicyFlagIsHonoured) {
+  std::string out;
+  ASSERT_EQ(run({"ingest", "--scenarios", scenarios_.c_str(), "--batch",
+                 batch_.c_str(), "--clusters", "6", "--refit-policy", "always"},
+                &out),
+            0);
+  EXPECT_NE(out.find("action: refit"), std::string::npos);
+  EXPECT_NE(out.find("cluster 1"), std::string::npos);
+
+  ASSERT_EQ(run({"ingest", "--scenarios", scenarios_.c_str(), "--batch",
+                 batch_.c_str(), "--clusters", "6", "--refit-policy", "never"},
+                &out),
+            0);
+  EXPECT_EQ(out.find("action: refit"), std::string::npos);
+
+  std::string err;
+  EXPECT_EQ(run({"ingest", "--scenarios", scenarios_.c_str(), "--batch",
+                 batch_.c_str(), "--refit-policy", "bogus"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("unknown refit policy"), std::string::npos);
+}
+
+TEST_F(CliIngestTest, CommitAppendsTheBatchToTheScenarioCsv) {
+  std::string out;
+  ASSERT_EQ(run({"ingest", "--scenarios", scenarios_.c_str(), "--batch",
+                 batch_.c_str(), "--clusters", "6", "--commit"},
+                &out),
+            0);
+  EXPECT_NE(out.find("appended"), std::string::npos);
+  // A second run now fits the grown population.
+  std::string again;
+  ASSERT_EQ(run({"ingest", "--scenarios", scenarios_.c_str(), "--batch",
+                 batch_.c_str(), "--clusters", "6"},
+                &again),
+            0);
+  const std::size_t fitted_before = out.find("fitted");
+  const std::size_t fitted_after = again.find("fitted");
+  ASSERT_NE(fitted_before, std::string::npos);
+  ASSERT_NE(fitted_after, std::string::npos);
+  EXPECT_NE(out.substr(fitted_before, 30), again.substr(fitted_after, 30));
+}
+
+TEST_F(CliIngestTest, MetricsArchiveRequiresCommit) {
+  std::string err;
+  EXPECT_EQ(run({"ingest", "--scenarios", scenarios_.c_str(), "--batch",
+                 batch_.c_str(), "--metrics", metrics_.c_str()},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("--metrics requires --commit"), std::string::npos);
+}
+
 TEST(CliErrors, UnknownCommand) {
   std::string err;
   EXPECT_EQ(run({"frobnicate"}, nullptr, &err), 2);
   EXPECT_NE(err.find("unknown command"), std::string::npos);
+  EXPECT_NE(err.find("ingest"), std::string::npos);
 }
 
 TEST(CliErrors, MissingRequiredOption) {
@@ -121,6 +213,9 @@ TEST(CliHelp, PrintsUsage) {
   EXPECT_NE(out.find("simulate"), std::string::npos);
   EXPECT_NE(out.find("evaluate"), std::string::npos);
   EXPECT_NE(out.find("feature SPEC"), std::string::npos);
+  EXPECT_NE(out.find("ingest"), std::string::npos);
+  EXPECT_NE(out.find("--refit-policy auto|never|always"), std::string::npos);
+  EXPECT_NE(out.find("--batch"), std::string::npos);
 }
 
 }  // namespace

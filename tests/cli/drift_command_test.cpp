@@ -22,6 +22,16 @@ int run(std::initializer_list<const char*> argv, std::string* out_text = nullptr
 class DriftCommandTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Unique per-test paths: ctest runs these cases concurrently, and fixed
+    // fixture names would collide across processes.
+    const std::string stem = ::testing::TempDir() + "/drift_" +
+                             ::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name();
+    sc_a_ = stem + "_sc_a.csv";
+    sc_b_ = stem + "_sc_b.csv";
+    mx_a_ = stem + "_mx_a.csv";
+    mx_b_ = stem + "_mx_b.csv";
     // Two honest draws of the same datacenter.
     ASSERT_EQ(run({"simulate", "--out", sc_a_.c_str(), "--scenarios", "120"}), 0);
     ASSERT_EQ(run({"simulate", "--out", sc_b_.c_str(), "--scenarios", "120",
@@ -39,10 +49,10 @@ class DriftCommandTest : public ::testing::Test {
       std::remove(p.c_str());
     }
   }
-  std::string sc_a_ = ::testing::TempDir() + "/drift_sc_a.csv";
-  std::string sc_b_ = ::testing::TempDir() + "/drift_sc_b.csv";
-  std::string mx_a_ = ::testing::TempDir() + "/drift_mx_a.csv";
-  std::string mx_b_ = ::testing::TempDir() + "/drift_mx_b.csv";
+  std::string sc_a_;
+  std::string sc_b_;
+  std::string mx_a_;
+  std::string mx_b_;
 };
 
 TEST_F(DriftCommandTest, SameDistributionReadsValid) {

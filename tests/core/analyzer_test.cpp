@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <set>
+#include <string_view>
 
 #include "stats/descriptive.hpp"
 #include "tests/core/test_env.hpp"
+#include "util/hash.hpp"
 
 namespace flare::core {
 namespace {
@@ -268,6 +271,77 @@ TEST(AnalyzerDeterminism, IdenticalForEveryThreadCount) {
       }
     }
   }
+}
+
+// ISSUE bit-identity criterion: the staged fit must reproduce the exact
+// bytes the monolithic pre-refactor analyze() produced. The constant below
+// was captured by hashing that implementation's output for this setup
+// (150-scenario default-machine set, k=8, no quality curve) before the
+// stage-graph refactor landed.
+TEST(AnalyzerGolden, FitIsBitIdenticalToPreRefactorCapture) {
+  dcsim::SubmissionConfig sub;
+  sub.target_distinct_scenarios = 150;
+  const dcsim::ScenarioSet set =
+      dcsim::generate_scenario_set(sub, dcsim::default_machine());
+  FlareConfig config;
+  config.analyzer.fixed_clusters = 8;
+  config.analyzer.compute_quality_curve = false;
+  FlarePipeline pipeline(config);
+  pipeline.fit(set);
+  const AnalysisResult& a = pipeline.analysis();
+
+  std::uint64_t h = util::kFnvOffsetBasis;
+  const auto mix = [&](const void* p, std::size_t n) {
+    h = util::fnv1a(std::string_view(static_cast<const char*>(p), n), h);
+  };
+  mix(a.kept_columns.data(), a.kept_columns.size() * sizeof(std::size_t));
+  mix(&a.num_components, sizeof(a.num_components));
+  mix(a.cluster_space.data().data(),
+      a.cluster_space.data().size() * sizeof(double));
+  mix(&a.chosen_k, sizeof(a.chosen_k));
+  mix(a.clustering.assignment.data(),
+      a.clustering.assignment.size() * sizeof(std::size_t));
+  mix(a.clustering.point_distances.data(),
+      a.clustering.point_distances.size() * sizeof(double));
+  mix(&a.clustering.sse, sizeof(double));
+  mix(a.representatives.data(), a.representatives.size() * sizeof(std::size_t));
+  mix(a.cluster_weights.data(), a.cluster_weights.size() * sizeof(double));
+  EXPECT_EQ(h, 0x8d2548b8333dcaefull);
+}
+
+TEST(AnalyzerStages, RepeatAnalyzeWithPreviousReusesEveryStage) {
+  const Analyzer analyzer(testing::small_flare_config().analyzer);
+  const metrics::MetricDatabase& db = testing::fitted_pipeline().database();
+  const AnalysisResult first = analyzer.analyze(db);
+  EXPECT_EQ(first.stage_counters.refine, 1u);
+  EXPECT_EQ(first.stage_counters.total(), 6u);  // every stage ran exactly once
+  const AnalysisResult second = analyzer.analyze(db, nullptr, &first);
+  EXPECT_EQ(second.stage_counters, first.stage_counters);  // zero re-runs
+  EXPECT_TRUE(second.fingerprints == first.fingerprints);
+  EXPECT_EQ(second.representatives, first.representatives);
+  EXPECT_EQ(second.clustering.assignment, first.clustering.assignment);
+  EXPECT_EQ(second.clustering.sse, first.clustering.sse);
+  EXPECT_EQ(second.cluster_weights, first.cluster_weights);
+}
+
+TEST(AnalyzerStages, DownstreamConfigChangeReplaysOnlyDownstreamStages) {
+  AnalyzerConfig config = testing::small_flare_config().analyzer;
+  const metrics::MetricDatabase& db = testing::fitted_pipeline().database();
+  const AnalysisResult first = Analyzer(config).analyze(db);
+  config.whiten = false;  // stage 4 knob: stages 1-3 are untouched
+  const AnalysisResult second = Analyzer(config).analyze(db, nullptr, &first);
+  EXPECT_EQ(second.stage_counters.refine, 1u);
+  EXPECT_EQ(second.stage_counters.standardize, 1u);
+  EXPECT_EQ(second.stage_counters.pca, 1u);
+  EXPECT_EQ(second.stage_counters.whiten, 2u);
+  EXPECT_EQ(second.stage_counters.cluster, 2u);
+  EXPECT_EQ(second.stage_counters.representatives, 2u);
+  // The partial replay must match a cold fit of the same config, bit for bit.
+  const AnalysisResult cold = Analyzer(config).analyze(db);
+  EXPECT_EQ(second.cluster_space.data(), cold.cluster_space.data());
+  EXPECT_EQ(second.clustering.assignment, cold.clustering.assignment);
+  EXPECT_EQ(second.representatives, cold.representatives);
+  EXPECT_EQ(second.cluster_weights, cold.cluster_weights);
 }
 
 TEST(AnalyzerConfigValidation, RejectsBadRanges) {

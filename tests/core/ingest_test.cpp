@@ -1,0 +1,208 @@
+// The ISSUE drift → action matrix: one test per verdict asserting exactly
+// which analysis stages re-ran (via AnalysisResult::stage_counters), plus the
+// interplay with apply_scheduler_change. Each test fits its own pipeline —
+// ingest mutates the fitted state, so the shared fitted_pipeline() is off
+// limits here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "tests/core/test_env.hpp"
+
+namespace flare::core {
+namespace {
+
+dcsim::ScenarioSet make_batch(std::size_t n, std::uint64_t seed) {
+  dcsim::SubmissionConfig config;
+  config.target_distinct_scenarios = n;
+  config.seed = seed;
+  return dcsim::generate_scenario_set(config, dcsim::default_machine());
+}
+
+/// Thresholds that force a given verdict regardless of what the (honestly
+/// drawn, but small and noisy) batch looks like.
+DriftConfig always_valid() {
+  DriftConfig config;
+  config.refit_distance_ratio = 1e6;
+  config.refit_coverage_fraction = 1.0;
+  config.reweight_threshold = 1.0;  // TV distance never exceeds 1
+  return config;
+}
+
+DriftConfig always_reweight() {
+  DriftConfig config;
+  config.refit_distance_ratio = 1e6;
+  config.refit_coverage_fraction = 1.0;
+  config.reweight_threshold = 1e-6;
+  return config;
+}
+
+DriftConfig always_refit() {
+  DriftConfig config;
+  // A 5% coverage radius leaves ~95% of any honest batch uncovered, far past
+  // the 10% refit trigger.
+  config.coverage_quantile = 0.05;
+  config.refit_coverage_fraction = 0.1;
+  return config;
+}
+
+std::unique_ptr<FlarePipeline> fitted_with(const DriftConfig& drift) {
+  FlareConfig config = testing::small_flare_config();
+  config.drift = drift;
+  auto pipeline = std::make_unique<FlarePipeline>(config);
+  pipeline->fit(testing::small_scenario_set());
+  return pipeline;
+}
+
+void expect_consistent_population(FlarePipeline& pipeline) {
+  const std::size_t n = pipeline.scenario_set().size();
+  EXPECT_EQ(pipeline.database().num_rows(), n);
+  EXPECT_EQ(pipeline.analysis().cluster_space.rows(), n);
+  EXPECT_EQ(pipeline.analysis().clustering.assignment.size(), n);
+  double sum = 0.0;
+  for (const double w : pipeline.analysis().cluster_weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // The estimator accepts the grown analysis and produces a finite estimate.
+  const FeatureEstimate est = pipeline.evaluate(feature_dvfs_cap());
+  EXPECT_TRUE(std::isfinite(est.impact_pct));
+}
+
+TEST(PipelineIngest, ValidBatchAssignsRowsWithoutRerunningAnyStage) {
+  const auto pipeline = fitted_with(always_valid());
+  const std::size_t base_rows = pipeline->scenario_set().size();
+  const StageCounters before = pipeline->analysis().stage_counters;
+
+  const dcsim::ScenarioSet batch = make_batch(20, 99);
+  const IngestReport report = pipeline->ingest(batch);
+
+  EXPECT_EQ(report.action, DriftVerdict::kValid);
+  EXPECT_EQ(report.appended, batch.size());
+  EXPECT_EQ(report.first_new_row, base_rows);
+  const StageCounters after = pipeline->analysis().stage_counters;
+  // ISSUE criterion: a kValid ingest re-runs zero upstream stages — and for
+  // kValid, not even the representatives stage.
+  EXPECT_EQ(after.upstream_total(), before.upstream_total());
+  EXPECT_EQ(after.representatives, before.representatives);
+  EXPECT_EQ(pipeline->scenario_set().size(), base_rows + batch.size());
+  expect_consistent_population(*pipeline);
+  // New rows got real assignments into the fitted clusters.
+  for (std::size_t r = base_rows; r < pipeline->scenario_set().size(); ++r) {
+    EXPECT_LT(pipeline->analysis().clustering.assignment[r],
+              pipeline->analysis().chosen_k);
+  }
+}
+
+TEST(PipelineIngest, ReweightBatchRefreshesOnlyRepresentatives) {
+  const auto pipeline = fitted_with(always_reweight());
+  const StageCounters before = pipeline->analysis().stage_counters;
+
+  const IngestReport report = pipeline->ingest(make_batch(20, 101));
+
+  EXPECT_EQ(report.drift.verdict, DriftVerdict::kReweight);
+  EXPECT_EQ(report.action, DriftVerdict::kReweight);
+  const StageCounters after = pipeline->analysis().stage_counters;
+  EXPECT_EQ(after.upstream_total(), before.upstream_total());  // zero upstream
+  EXPECT_EQ(after.representatives, before.representatives + 1);
+  expect_consistent_population(*pipeline);
+}
+
+TEST(PipelineIngest, RefitVerdictRerunsEveryStageWarmStarted) {
+  const auto pipeline = fitted_with(always_refit());
+  const std::size_t base_rows = pipeline->scenario_set().size();
+  const StageCounters before = pipeline->analysis().stage_counters;
+
+  const IngestReport report = pipeline->ingest(make_batch(20, 103));
+
+  EXPECT_EQ(report.drift.verdict, DriftVerdict::kRefit);
+  EXPECT_EQ(report.action, DriftVerdict::kRefit);
+  const StageCounters after = pipeline->analysis().stage_counters;
+  // The combined matrix changed, so every fingerprint is stale: each stage
+  // runs exactly once more.
+  EXPECT_EQ(after.refine, before.refine + 1);
+  EXPECT_EQ(after.standardize, before.standardize + 1);
+  EXPECT_EQ(after.pca, before.pca + 1);
+  EXPECT_EQ(after.whiten, before.whiten + 1);
+  EXPECT_EQ(after.cluster, before.cluster + 1);
+  EXPECT_EQ(after.representatives, before.representatives + 1);
+  EXPECT_EQ(pipeline->scenario_set().size(), base_rows + report.appended);
+  expect_consistent_population(*pipeline);
+}
+
+TEST(PipelineIngest, PolicyAlwaysForcesARefit) {
+  const auto pipeline = fitted_with(always_valid());
+  const StageCounters before = pipeline->analysis().stage_counters;
+  const IngestReport report =
+      pipeline->ingest(make_batch(20, 105), RefitPolicy::kAlways);
+  EXPECT_EQ(report.drift.verdict, DriftVerdict::kValid);
+  EXPECT_EQ(report.action, DriftVerdict::kRefit);
+  EXPECT_EQ(pipeline->analysis().stage_counters.total(), before.total() + 6);
+  expect_consistent_population(*pipeline);
+}
+
+TEST(PipelineIngest, PolicyNeverDowngradesARefitToReweight) {
+  const auto pipeline = fitted_with(always_refit());
+  const StageCounters before = pipeline->analysis().stage_counters;
+  const IngestReport report =
+      pipeline->ingest(make_batch(20, 107), RefitPolicy::kNever);
+  EXPECT_EQ(report.drift.verdict, DriftVerdict::kRefit);
+  EXPECT_EQ(report.action, DriftVerdict::kReweight);
+  const StageCounters after = pipeline->analysis().stage_counters;
+  EXPECT_EQ(after.upstream_total(), before.upstream_total());
+  EXPECT_EQ(after.representatives, before.representatives + 1);
+  expect_consistent_population(*pipeline);
+}
+
+TEST(PipelineIngest, SchedulerChangeSurvivesAValidIngest) {
+  const auto pipeline = fitted_with(always_valid());
+  const std::size_t base_rows = pipeline->scenario_set().size();
+  // §5.6 reweighting first: double the weight of the first half of the fleet.
+  std::vector<double> new_weights;
+  for (std::size_t i = 0; i < base_rows; ++i) {
+    new_weights.push_back(i < base_rows / 2 ? 2.0 : 1.0);
+  }
+  pipeline->apply_scheduler_change(new_weights);
+  const StageCounters after_change = pipeline->analysis().stage_counters;
+
+  const IngestReport report = pipeline->ingest(make_batch(20, 109));
+  EXPECT_EQ(report.action, DriftVerdict::kValid);
+  // The scheduler's weights stay in force for the pre-existing rows — both in
+  // the scenario set and in the archived database the next refit would read.
+  EXPECT_DOUBLE_EQ(pipeline->scenario_set().scenarios[0].observation_weight, 2.0);
+  EXPECT_DOUBLE_EQ(pipeline->database().row(0).observation_weight, 2.0);
+  EXPECT_DOUBLE_EQ(
+      pipeline->database().row(base_rows - 1).observation_weight, 1.0);
+  const StageCounters after = pipeline->analysis().stage_counters;
+  EXPECT_EQ(after.upstream_total(), after_change.upstream_total());
+  expect_consistent_population(*pipeline);
+}
+
+TEST(PipelineIngest, SchedulerChangeAfterIngestCoversTheGrownFleet) {
+  const auto pipeline = fitted_with(always_valid());
+  const IngestReport report = pipeline->ingest(make_batch(20, 111));
+  const std::size_t n = pipeline->scenario_set().size();
+  EXPECT_EQ(n, report.first_new_row + report.appended);
+  // apply_scheduler_change now takes weights for the *grown* population, and
+  // replays only the cluster + representatives stages.
+  const StageCounters before = pipeline->analysis().stage_counters;
+  std::vector<double> weights(n, 1.0);
+  weights[n - 1] = 5.0;  // emphasise a freshly ingested scenario
+  pipeline->apply_scheduler_change(weights);
+  const StageCounters after = pipeline->analysis().stage_counters;
+  EXPECT_EQ(after.refine, before.refine);
+  EXPECT_EQ(after.pca, before.pca);
+  EXPECT_EQ(after.cluster, before.cluster + 1);
+  EXPECT_EQ(after.representatives, before.representatives + 1);
+  expect_consistent_population(*pipeline);
+}
+
+TEST(PipelineIngest, ValidatesItsInputs) {
+  FlarePipeline unfitted(testing::small_flare_config());
+  EXPECT_THROW(unfitted.ingest(make_batch(5, 1)), std::invalid_argument);
+  const auto pipeline = fitted_with(always_valid());
+  EXPECT_THROW(pipeline->ingest(dcsim::ScenarioSet{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace flare::core

@@ -80,6 +80,51 @@ TEST(MetricDatabase, WeightsInRowOrder) {
   EXPECT_EQ(db.weights(), (std::vector<double>{0.5, 1.5}));
 }
 
+TEST(MetricDatabase, WrongArityMessageNamesTheCounts) {
+  const MetricCatalog cat = tiny_catalog();
+  MetricDatabase db(cat);
+  try {
+    db.add_row(row(0, {1, 2}));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 values"), std::string::npos) << what;
+    EXPECT_NE(what.find("3 metrics"), std::string::npos) << what;
+  }
+}
+
+TEST(MetricDatabase, AppendBulkAddsRowsInOrder) {
+  const MetricCatalog cat = tiny_catalog();
+  MetricDatabase db(cat);
+  db.add_row(row(0, {1, 2, 3}));
+  MetricDatabase batch(cat);
+  batch.add_row(row(1, {4, 5, 6}, 2.0));
+  batch.add_row(row(2, {7, 8, 9}));
+  db.append(batch);
+  EXPECT_EQ(db.num_rows(), 3u);
+  EXPECT_EQ(db.row(1).scenario_key, "DA:2");
+  EXPECT_DOUBLE_EQ(db.row(1).observation_weight, 2.0);
+  EXPECT_DOUBLE_EQ(db.to_matrix()(2, 0), 7.0);
+}
+
+TEST(MetricDatabase, AppendRejectsMismatchedCatalogs) {
+  const MetricCatalog cat = tiny_catalog();
+  MetricDatabase db(cat);
+  const MetricDatabase standard;  // different schema entirely
+  EXPECT_THROW(db.append(standard), std::invalid_argument);
+}
+
+TEST(MetricDatabase, SetObservationWeights) {
+  const MetricCatalog cat = tiny_catalog();
+  MetricDatabase db(cat);
+  db.add_row(row(0, {1, 2, 3}));
+  db.add_row(row(1, {4, 5, 6}));
+  db.set_observation_weights({0.25, 0.75});
+  EXPECT_EQ(db.weights(), (std::vector<double>{0.25, 0.75}));
+  EXPECT_THROW(db.set_observation_weights({1.0}), std::invalid_argument);
+  EXPECT_THROW(db.set_observation_weights({1.0, -1.0}), std::invalid_argument);
+}
+
 TEST(MetricDatabase, DefaultsToStandardCatalog) {
   const MetricDatabase db;
   EXPECT_EQ(db.num_metrics(), MetricCatalog::standard().size());

@@ -386,6 +386,52 @@ TEST(KMeansDeterminism, PointDistancesMatchRecomputation) {
   }
 }
 
+TEST(KMeansWarmStart, ConvergedCentroidsAreAFixedPoint) {
+  const Matrix data = blobs(40, 3, 9.0, 21);
+  KMeansParams p = params_with_k(3, 21);
+  p.restarts = 1;  // isolate restart 0, the one the warm start replaces
+  const KMeansResult cold = kmeans(data, p);
+  KMeansParams warm = p;
+  warm.initial_centroids = cold.centroids;
+  const KMeansResult r = kmeans(data, warm);
+  // Lloyd from an already-converged solution reproduces it exactly.
+  EXPECT_EQ(r.assignment, cold.assignment);
+  EXPECT_EQ(r.sse, cold.sse);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(r.centroids(c, j), cold.centroids(c, j));
+    }
+  }
+}
+
+TEST(KMeansWarmStart, OtherRestartsStillCompete) {
+  // A deliberately terrible warm start (all centroids on one point) must not
+  // win: the remaining seeded restarts find the separated blobs.
+  const Matrix data = blobs(40, 4, 10.0, 23);
+  KMeansParams p = params_with_k(4, 23);
+  p.restarts = 4;
+  const KMeansResult cold = kmeans(data, p);
+  KMeansParams warm = p;
+  warm.initial_centroids = Matrix(4, 2);  // four all-zero centroids
+  const KMeansResult r = kmeans(data, warm);
+  EXPECT_LE(r.sse, cold.sse * 1.0001);
+}
+
+TEST(KMeansWarmStart, WrongRowCountIsIgnored) {
+  const Matrix data = blobs(30, 3, 8.0, 27);
+  const KMeansParams p = params_with_k(3, 27);
+  KMeansParams stale = p;
+  stale.initial_centroids = Matrix(5, 2);  // k changed since the centroids
+  expect_bitwise_equal(kmeans(data, stale), kmeans(data, p));
+}
+
+TEST(KMeansWarmStart, ValidatesColumnCount) {
+  const Matrix data = blobs(30, 3, 8.0, 29);
+  KMeansParams p = params_with_k(3, 29);
+  p.initial_centroids = Matrix(3, 5);  // wrong dimensionality
+  EXPECT_THROW(kmeans(data, p), std::invalid_argument);
+}
+
 TEST(KMeansDeterminism, NearestMemberUsesCachedDistances) {
   const Matrix data = blobs(25, 4, 5.0, 19);
   const KMeansResult r = kmeans(data, params_with_k(4, 19));

@@ -75,6 +75,52 @@ TEST(Standardizer, ValidatesColumnCount) {
   EXPECT_THROW(s.transform(Matrix(5, 2)), std::invalid_argument);
 }
 
+TEST(Standardizer, MergeMatchesFitOverConcatenatedRows) {
+  const Matrix a = random_data(120, 3, 6);
+  const Matrix b = random_data(37, 3, 7);
+  Matrix combined(157, 3);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < 3; ++c) combined(r, c) = a(r, c);
+  }
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    for (std::size_t c = 0; c < 3; ++c) combined(a.rows() + r, c) = b(r, c);
+  }
+  Standardizer merged;
+  merged.fit(a);
+  Standardizer batch;
+  batch.fit(b);
+  merged.merge(batch);
+  Standardizer direct;
+  direct.fit(combined);
+  EXPECT_EQ(merged.count(), 157u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(merged.means()[c], direct.means()[c], 1e-10);
+    EXPECT_NEAR(merged.scales()[c], direct.scales()[c], 1e-10);
+  }
+}
+
+TEST(Standardizer, MergeAcceptsSingleRowBatches) {
+  const Matrix a = random_data(50, 2, 8);
+  const Matrix one = random_data(1, 2, 9);
+  Standardizer merged;
+  merged.fit(a);
+  Standardizer batch;
+  batch.fit(one);
+  merged.merge(batch);
+  EXPECT_EQ(merged.count(), 51u);
+  EXPECT_TRUE(std::isfinite(merged.scales()[0]));
+}
+
+TEST(Standardizer, MergeValidates) {
+  Standardizer fitted;
+  fitted.fit(random_data(10, 3, 10));
+  const Standardizer unfitted;
+  EXPECT_THROW(fitted.merge(unfitted), std::invalid_argument);
+  Standardizer narrow;
+  narrow.fit(random_data(10, 2, 11));
+  EXPECT_THROW(fitted.merge(narrow), std::invalid_argument);
+}
+
 TEST(Standardizer, SingleRowKeepsUnitScale) {
   Matrix one(1, 2);
   one(0, 0) = 5.0;

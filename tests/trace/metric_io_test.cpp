@@ -86,6 +86,44 @@ TEST_F(MetricIoTest, RejectsRenamedColumn) {
   EXPECT_THROW((void)load_metric_database(path_, catalog_), ParseError);
 }
 
+TEST_F(MetricIoTest, AppendExtendsTheArchiveInPlace) {
+  metrics::MetricDatabase db(catalog_);
+  metrics::MetricRow row;
+  row.scenario_id = 0;
+  row.scenario_key = "DC:1";
+  row.values = {1.0, 2.0};
+  db.add_row(row);
+  save_metric_database(db, path_);
+
+  metrics::MetricDatabase batch(catalog_);
+  row.scenario_id = 1;
+  row.scenario_key = "WSC:2";
+  row.observation_weight = 0.5;
+  row.values = {3.25, -4.0};
+  batch.add_row(row);
+  append_metric_database(batch, path_);
+
+  const metrics::MetricDatabase loaded = load_metric_database(path_, catalog_);
+  ASSERT_EQ(loaded.num_rows(), 2u);
+  EXPECT_EQ(loaded.row(1).scenario_key, "WSC:2");
+  EXPECT_DOUBLE_EQ(loaded.row(1).observation_weight, 0.5);
+  EXPECT_DOUBLE_EQ(loaded.row(1).values[0], 3.25);
+}
+
+TEST_F(MetricIoTest, AppendValidatesTheExistingHeader) {
+  metrics::MetricDatabase batch(catalog_);
+  metrics::MetricRow row;
+  row.values = {1.0, 2.0};
+  batch.add_row(std::move(row));
+  // Missing file: the validating pre-load must throw, leaving nothing behind.
+  EXPECT_THROW(append_metric_database(batch, path_), ParseError);
+  {
+    std::ofstream out(path_);
+    out << "scenario_id,scenario_key,observation_weight,Machine.Z,HP.Y\n";
+  }
+  EXPECT_THROW(append_metric_database(batch, path_), ParseError);
+}
+
 TEST_F(MetricIoTest, RejectsBadFieldCounts) {
   {
     std::ofstream out(path_);

@@ -90,6 +90,36 @@ TEST_F(ScenarioIoTest, RejectsUnknownJobCodes) {
   EXPECT_THROW((void)load_scenario_set(path_), ParseError);
 }
 
+TEST_F(ScenarioIoTest, AppendContinuesTheIdSequence) {
+  save_scenario_set(sample_set(), path_);
+  dcsim::ScenarioSet batch;
+  batch.machine_type = "default";
+  for (std::size_t i = 0; i < 3; ++i) {
+    dcsim::ColocationScenario s;
+    s.id = 40 + i;  // collector-assigned ids are ignored on append
+    s.machine_type = "default";
+    s.mix.add(dcsim::JobType::kWebSearch, 2);
+    s.observation_weight = 1.0;
+    batch.scenarios.push_back(std::move(s));
+  }
+  append_scenario_set(batch, path_);
+  const dcsim::ScenarioSet loaded = load_scenario_set(path_);
+  ASSERT_EQ(loaded.size(), 8u);
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.scenarios[i].id, i);
+  }
+  EXPECT_EQ(loaded.scenarios[5].mix, batch.scenarios[0].mix);
+}
+
+TEST_F(ScenarioIoTest, AppendRequiresAnExistingValidFile) {
+  EXPECT_THROW(append_scenario_set(sample_set(), path_), std::exception);
+  {
+    std::ofstream out(path_);
+    out << "bogus,header\n";
+  }
+  EXPECT_THROW(append_scenario_set(sample_set(), path_), ParseError);
+}
+
 TEST_F(ScenarioIoTest, SaveRejectsUnwritablePath) {
   EXPECT_THROW(save_scenario_set(sample_set(), "/nonexistent/dir/x.csv"),
                std::invalid_argument);
