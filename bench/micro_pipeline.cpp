@@ -217,6 +217,61 @@ void BM_SilhouetteCached(benchmark::State& state) {
 }
 BENCHMARK(BM_SilhouetteCached)->Arg(895)->Arg(8950)->Unit(benchmark::kMillisecond);
 
+// --- Incremental PCA: fold one batch into the eigenbasis vs cold refit ---
+
+constexpr std::size_t kPcaBatch = 32;
+
+/// The fitted datacenter's refined + standardized metric matrix — the exact
+/// frame the pipeline's tracked basis folds batches in (n≈895 × d≈85).
+const linalg::Matrix& pca_stream_data() {
+  static const linalg::Matrix kZ = [] {
+    const auto& analysis = env().pipeline->analysis();
+    return analysis.standardizer.transform(
+        env().pipeline->database().to_matrix().select_columns(
+            analysis.kept_columns));
+  }();
+  return kZ;
+}
+
+linalg::Matrix pca_rows(std::size_t begin, std::size_t end) {
+  const linalg::Matrix& z = pca_stream_data();
+  linalg::Matrix out(end - begin, z.cols());
+  for (std::size_t r = begin; r < end; ++r) {
+    for (std::size_t c = 0; c < z.cols(); ++c) out(r - begin, c) = z(r, c);
+  }
+  return out;
+}
+
+/// Brand-style eigenbasis update: clone the fitted basis (as the pipeline's
+/// tracked copy does) and fold the 75 freshest rows in via the warm Jacobi
+/// solve — O((batch + d)·d²), no pass over the historical rows.
+void BM_PcaUpdate(benchmark::State& state) {
+  const std::size_t split = pca_stream_data().rows() - kPcaBatch;
+  const linalg::Matrix batch = pca_rows(split, pca_stream_data().rows());
+  ml::Pca fitted;
+  fitted.fit(pca_rows(0, split));
+  ml::Standardizer moments;
+  moments.fit(batch);
+  for (auto _ : state) {
+    ml::Pca pca = fitted;
+    pca.update(batch, moments);
+    benchmark::DoNotOptimize(pca);
+  }
+}
+BENCHMARK(BM_PcaUpdate)->Unit(benchmark::kMillisecond);
+
+/// What absorbing those 75 rows costs without the incremental update: a cold
+/// covariance accumulation over all n rows plus a cold eigensolve.
+void BM_PcaRefit(benchmark::State& state) {
+  const linalg::Matrix& z = pca_stream_data();
+  for (auto _ : state) {
+    ml::Pca pca;
+    pca.fit(z);
+    benchmark::DoNotOptimize(pca);
+  }
+}
+BENCHMARK(BM_PcaRefit)->Unit(benchmark::kMillisecond);
+
 // --- Incremental ingest vs full refit (paper scale n≈895, batch=32) ---
 
 constexpr std::size_t kIngestBatch = 32;

@@ -6,9 +6,10 @@
 #
 # Usage: bench/run_bench.sh [build-dir]
 #
-# Writes BENCH_analyzer.json and BENCH_ingest.json at the repo root
-# (google-benchmark JSON format). Re-run after touching src/ml, src/core, or
-# the ingest path and commit the refreshed numbers alongside the change.
+# Writes BENCH_analyzer.json, BENCH_ingest.json, and BENCH_pca.json at the
+# repo root (google-benchmark JSON format). Re-run after touching src/ml,
+# src/core, or the ingest path and commit the refreshed numbers alongside the
+# change.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -75,4 +76,33 @@ refit = medians.get("BM_IngestFullRefit")
 if fast and refit:
     print(f"ingest batch=32: incremental {fast:.1f} ms vs full refit "
           f"{refit:.0f} ms ({refit / fast:.1f}x)")
+EOF
+
+# Incremental PCA: fold one 32-row batch into the fitted eigenbasis (warm
+# Jacobi in the old basis) vs a from-scratch covariance + cold eigensolve.
+pca_out="${repo_root}/BENCH_pca.json"
+
+"${bench_bin}" \
+  --benchmark_filter='BM_PcaUpdate|BM_PcaRefit' \
+  --benchmark_repetitions="${BENCH_REPETITIONS:-3}" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out="${pca_out}" \
+  --benchmark_out_format=json
+
+echo "wrote ${pca_out}"
+
+python3 - "${pca_out}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+medians = {}
+for b in report["benchmarks"]:
+    if b.get("aggregate_name") == "median":
+        medians[b["run_name"].split("/")[0]] = b["real_time"]
+update = medians.get("BM_PcaUpdate")
+refit = medians.get("BM_PcaRefit")
+if update and refit:
+    print(f"pca batch=32: incremental update {update:.2f} ms vs full refit "
+          f"{refit:.2f} ms ({refit / update:.1f}x)")
 EOF

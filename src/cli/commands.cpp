@@ -211,6 +211,7 @@ int run_help(std::ostream& out) {
          "      triage representative validity: valid | reweight | refit\n"
          "  ingest --scenarios F.csv --batch B.csv\n"
          "         [--refit-policy auto|never|always] [--commit]\n"
+         "         [--pca-update incremental|refit|auto] [--pca-drift-limit D]\n"
          "         [--metrics M.csv] [--machine ...] [--clusters K]\n"
          "         [--samples K] [--seed S] [--schema NAME] [--threads T]\n"
          "      absorb a batch of fresh scenarios with the cheapest sound\n"

@@ -16,6 +16,7 @@
 //                  [--clusters K] [--refit-ratio R] [--reweight-shift S]
 //   flare ingest   --scenarios scenarios.csv --batch batch.csv
 //                  [--refit-policy auto|never|always] [--commit]
+//                  [--pca-update incremental|refit|auto] [--pca-drift-limit D]
 //                  [--metrics metrics.csv] [--machine ...] [--clusters K]
 //   flare help
 #pragma once

@@ -23,6 +23,14 @@ core::RefitPolicy refit_policy_by_name(const std::string& name) {
   throw ParseError("unknown refit policy '" + name + "' (auto|never|always)");
 }
 
+core::PcaUpdatePolicy pca_update_by_name(const std::string& name) {
+  if (name == "refit") return core::PcaUpdatePolicy::kRefit;
+  if (name == "incremental") return core::PcaUpdatePolicy::kIncremental;
+  if (name == "auto") return core::PcaUpdatePolicy::kAuto;
+  throw ParseError("unknown pca update policy '" + name +
+                   "' (incremental|refit|auto)");
+}
+
 }  // namespace
 
 int run_ingest(const Args& args, std::ostream& out) {
@@ -37,6 +45,9 @@ int run_ingest(const Args& args, std::ostream& out) {
   config.machine = machine_by_name(args.get_string("machine", "default"));
   config.analyzer = analyzer_config_from(args);
   config.schema = schema_by_name(args.get_string("schema", "standard"));
+  config.pca_update = pca_update_by_name(args.get_string("pca-update", "refit"));
+  config.drift.pca_drift_limit =
+      args.get_double("pca-drift-limit", config.drift.pca_drift_limit);
   config.profiler.samples_per_scenario =
       static_cast<int>(args.get_int("samples", 4));
   config.profiler.noise_stream = static_cast<std::uint64_t>(args.get_int(
@@ -67,13 +78,20 @@ int run_ingest(const Args& args, std::ostream& out) {
       << "%\n";
   out << "cluster-weight shift (TV): "
       << util::format_double(100.0 * report.drift.weight_shift, 1) << "%\n\n";
+  out << "pca basis drift (sin θ):   "
+      << util::format_double(report.pca_drift, 6)
+      << (report.pca_drift_escalated ? "  [escalated refit]" : "") << "\n\n";
   out << "verdict: " << core::to_string(report.drift.verdict)
-      << "   action: " << core::to_string(report.action) << "\n";
+      << "   action: " << core::to_string(report.action);
+  if (report.pca_incremental_refit) out << " (incremental pca)";
+  out << "\n";
   out << "stage re-runs: refine " << after.refine - before.refine
       << ", standardize " << after.standardize - before.standardize << ", pca "
       << after.pca - before.pca << ", whiten " << after.whiten - before.whiten
       << ", cluster " << after.cluster - before.cluster << ", representatives "
-      << after.representatives - before.representatives << "\n";
+      << after.representatives - before.representatives
+      << ", pca-incremental " << after.pca_incremental - before.pca_incremental
+      << "\n";
   out << "population: " << pipeline.scenario_set().size() << " scenarios, "
       << pipeline.analysis().chosen_k << " behaviour groups\n";
 

@@ -127,6 +127,21 @@ PcaOutput fit_pca(const linalg::Matrix& standardized,
   return out;
 }
 
+PcaOutput splice_pca(const ml::Pca& updated_pca,
+                     const std::vector<std::size_t>& kept_columns,
+                     const metrics::MetricCatalog& catalog,
+                     const AnalyzerConfig& config) {
+  ensure(updated_pca.fitted(), "stages::splice_pca: basis is not fitted");
+  ensure(updated_pca.dimension() == kept_columns.size(),
+         "stages::splice_pca: basis dimension must match the kept columns");
+  PcaOutput out;
+  out.pca = updated_pca;
+  out.num_components = out.pca.num_components_for(config.variance_target);
+  out.interpretations = interpret_components(out.pca, kept_columns, catalog,
+                                             out.num_components, config.labeler);
+  return out;
+}
+
 WhitenOutput whiten(const ml::Pca& pca, std::size_t num_components,
                     const linalg::Matrix& standardized,
                     const AnalyzerConfig& config) {

@@ -285,6 +285,82 @@ AnalysisResult Analyzer::recluster(const AnalysisResult& base,
   return result;
 }
 
+AnalysisResult Analyzer::refit_incremental(const metrics::MetricDatabase& db,
+                                           const ml::Pca& updated_pca,
+                                           const AnalysisResult& previous,
+                                           util::ThreadPool* pool) const {
+  ensure(previous.standardizer.fitted() && previous.pca.fitted(),
+         "Analyzer::refit_incremental: previous analysis is not fitted");
+  ensure(updated_pca.fitted() &&
+             updated_pca.dimension() == previous.pca.dimension(),
+         "Analyzer::refit_incremental: basis does not match the fitted frame");
+  ensure(db.num_rows() >= config_.min_clusters,
+         "Analyzer::refit_incremental: fewer scenarios than clusters");
+  const linalg::Matrix raw = db.to_matrix();
+  const std::vector<double> weights = db.weights();
+
+  AnalysisResult result;
+  result.stage_counters = previous.stage_counters;
+
+  // Frozen upstream frame: the refinement and standardisation the tracked
+  // basis was maintained in. Recomputing either would put the basis in a
+  // different coordinate system than the one it was updated in.
+  result.kept_columns = previous.kept_columns;
+  result.constant_columns = previous.constant_columns;
+  result.refinement = previous.refinement;
+  result.standardizer = previous.standardizer;
+
+  // Basis splice instead of a cold PCA fit — the whole point of the path.
+  stages::PcaOutput po =
+      stages::splice_pca(updated_pca, result.kept_columns, db.catalog(), config_);
+  result.pca = std::move(po.pca);
+  result.num_components = po.num_components;
+  result.interpretations = std::move(po.interpretations);
+  ++result.stage_counters.pca_incremental;
+
+  // Downstream replay over the full population in the updated basis.
+  const linalg::Matrix refined = raw.select_columns(result.kept_columns);
+  const linalg::Matrix standardized = result.standardizer.transform(refined);
+  stages::WhitenOutput wo =
+      stages::whiten(result.pca, result.num_components, standardized, config_);
+  result.whitener = std::move(wo.whitener);
+  result.whitened = wo.whitened;
+  result.cluster_space = std::move(wo.cluster_space);
+  ++result.stage_counters.whiten;
+
+  // Warm-start K-means at the previous chosen k from the previous centroids,
+  // lifted to raw metric space and pushed through the spliced stages — the
+  // same seeding the warm cold-refit uses. The Fig. 9 sweep is skipped; the
+  // previous quality curve is carried over as-is (recluster semantics).
+  linalg::Matrix warm;
+  if (!previous.clustering.centroids.empty()) {
+    warm = stages::project_rows(
+        result, stages::centroids_to_raw(previous, linalg::column_means(raw)));
+  }
+  AnalyzerConfig replay = config_;
+  replay.fixed_clusters = previous.chosen_k;
+  replay.compute_quality_curve = false;
+  stages::ClusterOutput co =
+      stages::cluster(result.cluster_space, weights, replay, pool, warm);
+  result.quality_curve = previous.quality_curve;
+  result.chosen_k = co.chosen_k;
+  result.clustering = std::move(co.clustering);
+  ++result.stage_counters.cluster;
+
+  stages::RepresentativesOutput rep =
+      stages::representatives(result.clustering, result.cluster_space,
+                              result.chosen_k, weights,
+                              /*require_positive_weight=*/false);
+  result.representatives = std::move(rep.representatives);
+  result.cluster_weights = std::move(rep.cluster_weights);
+  ++result.stage_counters.representatives;
+
+  // The spliced basis equals a cold fit only up to FP rounding — no future
+  // analysis may splice these outputs in by fingerprint.
+  result.fingerprints = StageFingerprints{};
+  return result;
+}
+
 std::size_t Analyzer::suggest_k(const std::vector<ClusterQualityPoint>& curve,
                                 double tolerance) {
   ensure(!curve.empty(), "Analyzer::suggest_k: empty quality curve");

@@ -152,6 +152,22 @@ class Analyzer {
                                          const std::vector<double>& new_weights,
                                          util::ThreadPool* pool) const;
 
+  /// Incremental-PCA refit (the ingest path's --pca-update incremental/auto
+  /// kRefit action): splices `updated_pca` — an eigenbasis maintained by
+  /// ml::Pca::update over the frozen refinement + standardisation frame of
+  /// `previous` — in place of a cold PCA fit, then replays only the
+  /// downstream whiten/cluster/representative stages over the full
+  /// population, warm-starting K-means at the previous chosen k from the
+  /// previous centroids (Fig. 9 sweep skipped, quality curve carried over).
+  /// The refine/standardize/pca counters stay put; pca_incremental records
+  /// the splice and whiten/cluster/representatives record the replay.
+  /// Fingerprints are poisoned: the spliced basis matches a cold fit only up
+  /// to FP rounding, never bit for bit.
+  [[nodiscard]] AnalysisResult refit_incremental(const metrics::MetricDatabase& db,
+                                                 const ml::Pca& updated_pca,
+                                                 const AnalysisResult& previous,
+                                                 util::ThreadPool* pool) const;
+
   [[nodiscard]] const AnalyzerConfig& config() const { return config_; }
 
   /// The Fig. 9 k-selection rule: the smallest k whose silhouette is within
@@ -198,6 +214,15 @@ struct PcaOutput {
                                 const metrics::MetricCatalog& catalog,
                                 const AnalyzerConfig& config,
                                 util::ThreadPool* pool);
+
+/// Stage 3′ — basis splice for the incremental-PCA refit: adopts an
+/// eigenbasis maintained by ml::Pca::update in place of a cold fit and
+/// re-derives the variance-target component count and the PC labels from
+/// its (incrementally merged) spectrum.
+[[nodiscard]] PcaOutput splice_pca(const ml::Pca& updated_pca,
+                                   const std::vector<std::size_t>& kept_columns,
+                                   const metrics::MetricCatalog& catalog,
+                                   const AnalyzerConfig& config);
 
 /// Stage 4 — whitened clustering space (§4.4).
 struct WhitenOutput {

@@ -18,6 +18,15 @@ std::string_view to_string(DriftVerdict verdict) {
   return "?";
 }
 
+DriftVerdict escalate_for_basis_drift(DriftVerdict verdict, double pca_drift,
+                                      const DriftConfig& config) {
+  ensure(config.pca_drift_limit >= 0.0,
+         "escalate_for_basis_drift: pca_drift_limit must be >= 0");
+  ensure(pca_drift >= 0.0, "escalate_for_basis_drift: drift must be >= 0");
+  if (pca_drift > config.pca_drift_limit) return DriftVerdict::kRefit;
+  return verdict;
+}
+
 DriftMonitor::DriftMonitor(const AnalysisResult& analysis, DriftConfig config)
     : analysis_(&analysis), config_(config) {
   ensure(config_.coverage_quantile > 0.0 && config_.coverage_quantile <= 1.0,

@@ -46,6 +46,13 @@ struct DriftConfig {
   /// honest draws of a few hundred scenarios), hence the high default;
   /// calibrate downward for larger batches.
   double reweight_threshold = 0.75;
+  /// Maximum tolerated rotation of the incrementally tracked PCA eigenbasis
+  /// away from the basis the fitted analysis projects with, measured as
+  /// sin(θ_max) over the kept components (ml::Pca::subspace_drift, see
+  /// DESIGN.md §9). Beyond it the kAuto PCA-update policy escalates the
+  /// batch action to a refit: rows absorbed so far were projected in a basis
+  /// the population has rotated away from.
+  double pca_drift_limit = 0.05;
 };
 
 struct DriftReport {
@@ -63,6 +70,15 @@ struct DriftReport {
   /// The per-cluster coverage radii used (squared distances).
   std::vector<double> coverage_radius_sq;
 };
+
+/// Escalates a drift verdict to kRefit when the tracked eigenbasis has
+/// rotated past `config.pca_drift_limit` — the kAuto PCA-update policy's
+/// second trigger, independent of the distance/coverage criteria (a slow,
+/// steady rotation never trips those but still degrades every projection
+/// made in the stale basis). Verdicts already at kRefit pass through.
+[[nodiscard]] DriftVerdict escalate_for_basis_drift(DriftVerdict verdict,
+                                                    double pca_drift,
+                                                    const DriftConfig& config);
 
 class DriftMonitor {
  public:

@@ -28,6 +28,15 @@ FlarePipeline::FlarePipeline(FlareConfig config, const dcsim::JobCatalog& catalo
                 ? std::make_unique<util::ThreadPool>(config_.threads)
                 : nullptr) {}
 
+std::string_view to_string(PcaUpdatePolicy policy) {
+  switch (policy) {
+    case PcaUpdatePolicy::kRefit: return "refit";
+    case PcaUpdatePolicy::kIncremental: return "incremental";
+    case PcaUpdatePolicy::kAuto: return "auto";
+  }
+  return "?";
+}
+
 const metrics::MetricCatalog& resolve_schema(MetricSchema schema) {
   switch (schema) {
     case MetricSchema::kStandard:
@@ -53,6 +62,12 @@ void FlarePipeline::fit(const dcsim::ScenarioSet& set) {
   analysis_ =
       std::make_unique<AnalysisResult>(analyzer.analyze(*database_, pool_.get()));
   scheduler_weights_.clear();
+  rebase_tracked_pca();
+}
+
+void FlarePipeline::rebase_tracked_pca() {
+  tracked_pca_ = analysis_->pca;
+  tracked_pca_.set_drift_anchor(analysis_->num_components);
 }
 
 FeatureEstimate FlarePipeline::evaluate(const Feature& feature) {
@@ -108,6 +123,24 @@ IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
   report.first_new_row = set_.size();
   const DriftMonitor monitor(*analysis_, config_.drift);
   report.drift = monitor.inspect(fresh_db);
+  const linalg::Matrix fresh_raw = fresh_db.to_matrix();
+
+  // Fold the batch into the tracked eigenbasis first — in the frozen fitted
+  // frame (fitted refinement + standardizer), the coordinates the basis has
+  // been maintained in since the last rebase. Runs under every policy: the
+  // drift telemetry is what lets kAuto decide when the analysis basis went
+  // stale, and under kRefit it is free diagnostics (DESIGN.md §9).
+  {
+    const linalg::Matrix std_batch = analysis_->standardizer.transform(
+        fresh_raw.select_columns(analysis_->kept_columns));
+    ml::Standardizer batch_moments;
+    batch_moments.fit(std_batch);
+    report.pca_update =
+        tracked_pca_.update(std_batch, batch_moments, pool_.get());
+    report.pca_drift = report.pca_update.subspace_drift;
+    ++analysis_->stage_counters.pca_incremental;
+  }
+
   report.action = report.drift.verdict;
   if (policy == RefitPolicy::kAlways) {
     report.action = DriftVerdict::kRefit;
@@ -115,11 +148,22 @@ IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
              report.action == DriftVerdict::kRefit) {
     report.action = DriftVerdict::kReweight;
   }
+  // kAuto's second trigger: the basis itself rotated past the configured
+  // limit even though the distance/coverage criteria stayed quiet. kNever
+  // keeps its veto — basis staleness never overrides an explicit no-refit.
+  if (config_.pca_update == PcaUpdatePolicy::kAuto &&
+      policy != RefitPolicy::kNever && report.action != DriftVerdict::kRefit) {
+    const DriftVerdict escalated = escalate_for_basis_drift(
+        report.action, report.pca_drift, config_.drift);
+    if (escalated != report.action) {
+      report.action = escalated;
+      report.pca_drift_escalated = true;
+    }
+  }
 
   // Grow the population. Observation weights for all accounting come from
   // set_ (apply_scheduler_change keeps those current; the archived database
   // rows may carry pre-change weights), so sync the database before any use.
-  const linalg::Matrix fresh_raw = fresh_db.to_matrix();
   set_.scenarios.insert(set_.scenarios.end(), fresh.scenarios.begin(),
                         fresh.scenarios.end());
   database_->append(fresh_db);
@@ -149,13 +193,30 @@ IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
                           combined, /*refresh_representatives=*/true);
       break;
     case DriftVerdict::kRefit: {
-      // New behaviours: full refit over the combined population, warm-started
-      // from the previous centroids (stage fingerprints still skip any stage
-      // whose input happens to be unchanged).
       const Analyzer analyzer(config_.analyzer);
-      AnalysisResult refit = analyzer.analyze(*database_, pool_.get(),
-                                              analysis_.get(), /*warm_start=*/true);
-      *analysis_ = std::move(refit);
+      const bool incremental =
+          config_.pca_update == PcaUpdatePolicy::kIncremental ||
+          (config_.pca_update == PcaUpdatePolicy::kAuto &&
+           report.pca_drift <= config_.drift.pca_drift_limit);
+      if (incremental) {
+        // New behaviours, small basis rotation: splice the tracked basis and
+        // replay only the downstream stages over the combined population.
+        // The analysis now projects with the tracked basis itself, so the
+        // drift anchor rebases to it (future drift measures from here).
+        *analysis_ = analyzer.refit_incremental(*database_, tracked_pca_,
+                                                *analysis_, pool_.get());
+        report.pca_incremental_refit = true;
+        tracked_pca_.set_drift_anchor(analysis_->num_components);
+      } else {
+        // Full refit over the combined population, warm-started from the
+        // previous centroids (stage fingerprints still skip any stage whose
+        // input happens to be unchanged). The fitted frame may change, so
+        // the tracked basis restarts from the cold fit.
+        AnalysisResult refit = analyzer.analyze(
+            *database_, pool_.get(), analysis_.get(), /*warm_start=*/true);
+        *analysis_ = std::move(refit);
+        rebase_tracked_pca();
+      }
       break;
     }
   }

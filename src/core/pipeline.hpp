@@ -29,6 +29,25 @@ enum class MetricSchema : unsigned char {
   kWithJobMixTemporal,  ///< both enrichments
 };
 
+/// How FlarePipeline::ingest maintains the PCA eigenbasis across batches.
+/// Under every policy ingest folds each batch into a shadow basis with
+/// ml::Pca::update (cheap, exact up to FP rounding — DESIGN.md §9) and
+/// reports its subspace drift; the policy decides what the basis is *for*.
+enum class PcaUpdatePolicy : unsigned char {
+  /// kRefit actions run the cold covariance fit, bit-identical to the batch
+  /// path; the tracked basis is telemetry only (default).
+  kRefit,
+  /// kRefit actions splice the tracked basis and replay only the downstream
+  /// stages (Analyzer::refit_incremental) — never a cold PCA fit.
+  kIncremental,
+  /// Incremental while the tracked drift stays within
+  /// DriftConfig::pca_drift_limit; beyond it the action escalates to a cold
+  /// refit that refreshes the frame and rebases the tracked basis.
+  kAuto,
+};
+
+[[nodiscard]] std::string_view to_string(PcaUpdatePolicy policy);
+
 struct FlareConfig {
   dcsim::MachineConfig machine;  ///< the datacenter's (and testbed's) shape
   dcsim::ModelOptions model;
@@ -37,6 +56,8 @@ struct FlareConfig {
   MetricSchema schema = MetricSchema::kStandard;
   /// Thresholds for the ingest-time drift classification (see core/drift.hpp).
   DriftConfig drift;
+  /// Ingest-time eigenbasis maintenance (see PcaUpdatePolicy).
+  PcaUpdatePolicy pca_update = PcaUpdatePolicy::kRefit;
 
   /// Worker threads for the pipeline's shared pool: 1 = run inline (default),
   /// 0 = one per hardware thread. The pool is owned by FlarePipeline and
@@ -69,6 +90,20 @@ struct IngestReport {
   std::size_t appended = 0;
   /// Row index (into the combined database/ScenarioSet) of the first one.
   std::size_t first_new_row = 0;
+  /// Telemetry from folding this batch into the tracked eigenbasis
+  /// (ml::Pca::update) — maintained under every PcaUpdatePolicy.
+  ml::PcaUpdateStats pca_update;
+  /// sin(max principal angle) between the basis the analysis projects with
+  /// and the tracked basis after this batch (ml::Pca::subspace_drift). The
+  /// value the kAuto escalation and refit-mode choice keyed off; a refit
+  /// action rebases the tracked anchor, so the *next* report starts near 0.
+  double pca_drift = 0.0;
+  /// The kRefit action was satisfied by splicing the tracked basis
+  /// (Analyzer::refit_incremental) instead of a cold PCA fit.
+  bool pca_incremental_refit = false;
+  /// kAuto only: the tracked drift exceeded DriftConfig::pca_drift_limit and
+  /// escalated the action to a (cold, frame-refreshing) refit.
+  bool pca_drift_escalated = false;
 };
 
 class FlarePipeline {
@@ -125,10 +160,18 @@ class FlarePipeline {
   Replayer replayer_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< non-null when threads != 1
 
+  /// Re-seats the tracked eigenbasis on the analysis' fitted basis and
+  /// anchors drift measurement at the kept components (after fit() and after
+  /// every cold refit — the frame may have changed under the basis).
+  void rebase_tracked_pca();
+
   dcsim::ScenarioSet set_;
   std::unique_ptr<metrics::MetricDatabase> database_;
   std::unique_ptr<AnalysisResult> analysis_;
   std::vector<double> scheduler_weights_;  ///< §5.6 override (empty = original)
+  /// Shadow eigenbasis advanced by ml::Pca::update on every ingested batch,
+  /// expressed in the fitted (frozen) refinement + standardisation frame.
+  ml::Pca tracked_pca_;
 };
 
 }  // namespace flare::core

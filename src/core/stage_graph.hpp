@@ -53,6 +53,13 @@ struct StageCounters {
   std::size_t whiten = 0;
   std::size_t cluster = 0;
   std::size_t representatives = 0;
+  /// Incremental eigenbasis maintenance: ml::Pca::update folds into the
+  /// tracked basis (telemetry — an O(batch·d²) fold, orders of magnitude
+  /// cheaper than the pca counter's cold covariance fit) plus basis splices
+  /// by Analyzer::refit_incremental. Deliberately excluded from
+  /// upstream_total()/total() so cheap-path assertions over the cold-stage
+  /// counters are unaffected by how often the shadow basis advanced.
+  std::size_t pca_incremental = 0;
 
   /// Recomputations of the expensive fitted stages (everything upstream of
   /// the representative extraction).

@@ -20,15 +20,23 @@ double off_diagonal_norm(const Matrix& a) {
   return std::sqrt(sum);
 }
 
-}  // namespace
+/// Same measure reading only the upper triangle (both halves counted).
+double off_diagonal_norm_upper(const Matrix& a) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      sum += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(2.0 * sum);
+}
 
-SymmetricEigenResult symmetric_eigen(const Matrix& input, int max_sweeps,
-                                     double tolerance) {
+/// Validates shape + symmetry and returns the Frobenius-based scale every
+/// tolerance in this file is relative to.
+double validate_symmetric(const Matrix& input) {
   ensure(input.rows() == input.cols(), "symmetric_eigen: matrix must be square");
   const std::size_t n = input.rows();
   ensure(n > 0, "symmetric_eigen: matrix must be non-empty");
-
-  // Validate symmetry relative to the matrix magnitude.
   const double scale = std::max(input.frobenius_norm(), 1.0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
@@ -36,16 +44,50 @@ SymmetricEigenResult symmetric_eigen(const Matrix& input, int max_sweeps,
              "symmetric_eigen: matrix is not symmetric");
     }
   }
+  return scale;
+}
+
+/// Packs the diagonal of the converged working matrix + accumulated rotations
+/// into a descending-eigenvalue result.
+SymmetricEigenResult pack_sorted(const Matrix& a, const Matrix& v) {
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return a(x, x) > a(y, y); });
+
+  SymmetricEigenResult result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.eigenvalues[j] = a(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      result.eigenvectors(i, j) = v(i, order[j]);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+SymmetricEigenResult symmetric_eigen(const Matrix& input, int max_sweeps,
+                                     double tolerance, double rotation_skip) {
+  ensure(rotation_skip >= 0.0, "symmetric_eigen: rotation_skip must be >= 0");
+  const double scale = validate_symmetric(input);
+  const std::size_t n = input.rows();
 
   Matrix a = input;
   Matrix v = Matrix::identity(n);
+  const double skip = std::max(rotation_skip * scale, 1e-300);
 
   for (int sweep = 0; sweep < max_sweeps; ++sweep) {
     if (off_diagonal_norm(a) <= tolerance * scale) break;
+    bool rotated = false;
     for (std::size_t p = 0; p + 1 < n; ++p) {
       for (std::size_t q = p + 1; q < n; ++q) {
         const double apq = a(p, q);
-        if (std::abs(apq) <= 1e-300) continue;
+        if (std::abs(apq) <= skip) continue;
+        rotated = true;
         const double app = a(p, p);
         const double aqq = a(q, q);
         // Stable rotation computation (Golub & Van Loan §8.5).
@@ -77,23 +119,98 @@ SymmetricEigenResult symmetric_eigen(const Matrix& input, int max_sweeps,
         }
       }
     }
+    // Every remaining pivot sits below the skip threshold: further sweeps
+    // cannot change anything.
+    if (!rotated) break;
   }
   ensure_numeric(off_diagonal_norm(a) <= 1e-8 * scale,
                  "symmetric_eigen: Jacobi sweeps did not converge");
 
-  // Sort eigenpairs by descending eigenvalue.
+  return pack_sorted(a, v);
+}
+
+SymmetricEigenResult symmetric_eigen_warm(const Matrix& input, int max_sweeps,
+                                          double tolerance,
+                                          double rotation_skip) {
+  ensure(rotation_skip >= 0.0, "symmetric_eigen_warm: rotation_skip must be >= 0");
+  const double scale = validate_symmetric(input);
+  const std::size_t n = input.rows();
+
+  // Working copy keeps only the upper triangle live; the lower triangle is
+  // never read or written after this point. Rotations are accumulated into
+  // Vᵀ so each touches two contiguous rows instead of two strided columns.
+  Matrix a = input;
+  Matrix vt = Matrix::identity(n);
+  const double skip = std::max(rotation_skip * scale, 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm_upper(a) <= tolerance * scale) break;
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= skip) continue;
+        rotated = true;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Upper-triangle update of A <- Jᵀ A J: each off-pivot entry pair is
+        // touched once, and the pivot is annihilated exactly.
+        for (std::size_t k = 0; k < p; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = p + 1; k < q; ++k) {
+          const double apk = a(p, k);
+          const double akq = a(k, q);
+          a(p, k) = c * apk - s * akq;
+          a(k, q) = s * apk + c * akq;
+        }
+        for (std::size_t k = q + 1; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        a(p, p) = app - t * apq;
+        a(q, q) = aqq + t * apq;
+        a(p, q) = 0.0;
+
+        // Accumulate eigenvectors: Vᵀ <- Jᵀ Vᵀ (rows p and q, contiguous).
+        const std::span<double> vp = vt.row(p);
+        const std::span<double> vq = vt.row(q);
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = vp[k];
+          const double vkq = vq[k];
+          vp[k] = c * vkp - s * vkq;
+          vq[k] = s * vkp + c * vkq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+  ensure_numeric(off_diagonal_norm_upper(a) <= 1e-8 * scale,
+                 "symmetric_eigen_warm: Jacobi sweeps did not converge");
+
+  // Un-transpose while sorting by descending eigenvalue.
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(),
             [&](std::size_t x, std::size_t y) { return a(x, x) > a(y, y); });
-
   SymmetricEigenResult result;
   result.eigenvalues.resize(n);
   result.eigenvectors = Matrix(n, n);
   for (std::size_t j = 0; j < n; ++j) {
     result.eigenvalues[j] = a(order[j], order[j]);
     for (std::size_t i = 0; i < n; ++i) {
-      result.eigenvectors(i, j) = v(i, order[j]);
+      result.eigenvectors(i, j) = vt(order[j], i);
     }
   }
   return result;

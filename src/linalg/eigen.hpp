@@ -19,8 +19,29 @@ struct SymmetricEigenResult {
 /// Decomposes a symmetric matrix. Throws NumericalError if `a` is not square
 /// or the sweep limit is exceeded (practically unreachable for symmetric
 /// input), and std::invalid_argument if `a` is materially non-symmetric.
+///
+/// `rotation_skip` (relative to the Frobenius norm of `a`) skips rotations
+/// whose pivot is already below that threshold. The default 0.0 rotates every
+/// non-zero pivot, preserving the historical bit-exact behaviour; warm solves
+/// of near-diagonal matrices (incremental PCA) pass a small value so converged
+/// pivots cost a comparison instead of three O(n) row/column updates. Must be
+/// well below the 1e-8 convergence acceptance or the final check throws.
 [[nodiscard]] SymmetricEigenResult symmetric_eigen(const Matrix& a,
                                                    int max_sweeps = 64,
-                                                   double tolerance = 1e-12);
+                                                   double tolerance = 1e-12,
+                                                   double rotation_skip = 0.0);
+
+/// Warm-start variant for *near-diagonal* symmetric input (e.g. a merged
+/// covariance expressed in the previous eigenbasis — incremental PCA). Same
+/// cyclic-Jacobi iteration, convergence acceptance, and descending-eigenvalue
+/// contract as `symmetric_eigen`, but the working matrix is maintained as an
+/// upper triangle with exact pivot annihilation, roughly halving the flops
+/// per rotation. Results match `symmetric_eigen` up to floating-point
+/// rounding, NOT bit-for-bit — callers needing the historical bit-exact
+/// spectrum (the batch-fit golden path) must use `symmetric_eigen`.
+[[nodiscard]] SymmetricEigenResult symmetric_eigen_warm(const Matrix& a,
+                                                        int max_sweeps = 64,
+                                                        double tolerance = 1e-12,
+                                                        double rotation_skip = 0.0);
 
 }  // namespace flare::linalg

@@ -9,6 +9,10 @@ namespace flare::ml {
 
 void Whitener::fit(const linalg::Matrix& scores) {
   ensure(scores.rows() >= 2, "Whitener::fit: need at least two rows");
+  ensure_numeric(scores.rows() >= scores.cols(),
+                 "Whitener::fit: fewer rows than columns — per-component "
+                 "variances are not identifiable from a rank-deficient score "
+                 "matrix; reduce components or collect more rows");
   means_ = linalg::column_means(scores);
   scales_.assign(scores.cols(), 1.0);
   for (std::size_t c = 0; c < scores.cols(); ++c) {

@@ -107,7 +107,12 @@ TEST(SchemaPipeline, TemporalSchemaFitsAndEvaluates) {
   FlareConfig config = testing::small_flare_config();
   config.schema = MetricSchema::kTemporal;
   FlarePipeline pipeline(config);
-  pipeline.fit(testing::small_scenario_set());
+  // The temporal catalog roughly doubles the refined column count (~198), so
+  // this schema needs a larger population than small_scenario_set() (154
+  // rows) to keep the PCA fit full-rank.
+  dcsim::SubmissionConfig sub;
+  sub.target_distinct_scenarios = 230;
+  pipeline.fit(dcsim::generate_scenario_set(sub, dcsim::default_machine()));
   EXPECT_GT(pipeline.analysis().num_components,
             testing::fitted_pipeline().analysis().num_components)
       << "temporal columns add variance dimensions";

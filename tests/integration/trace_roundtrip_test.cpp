@@ -40,7 +40,9 @@ TEST(TraceRoundTrip, ScenarioSetSurvivesArchival) {
 
 TEST(TraceRoundTrip, MetricDatabaseSurvivesArchival) {
   dcsim::SubmissionConfig sub;
-  sub.target_distinct_scenarios = 60;
+  // Enough rows that the refined matrix stays taller than it is wide — the
+  // Analyzer's PCA now rejects rank-deficient fits.
+  sub.target_distinct_scenarios = 100;
   const dcsim::ScenarioSet set =
       dcsim::generate_scenario_set(sub, dcsim::default_machine());
   const dcsim::InterferenceModel model;

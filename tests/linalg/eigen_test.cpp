@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "stats/rng.hpp"
+#include "tests/util/matrix_matchers.hpp"
+#include "tests/util/property.hpp"
 
 namespace flare::linalg {
 namespace {
@@ -108,6 +110,82 @@ TEST(SymmetricEigen, HandlesRepeatedEigenvalues) {
 TEST(SymmetricEigen, HandlesZeroMatrix) {
   const auto result = symmetric_eigen(Matrix(3, 3));
   for (const double ev : result.eigenvalues) EXPECT_DOUBLE_EQ(ev, 0.0);
+}
+
+/// A diagonal-dominant matrix like the merged covariance incremental PCA
+/// hands to the warm solver: diag(descending) plus a small symmetric bump.
+Matrix near_diagonal(std::size_t n, double bump, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = static_cast<double>(n - i);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = rng.normal(0.0, bump);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+TEST(SymmetricEigen, RotationSkipZeroIsBitIdenticalToDefault) {
+  // rotation_skip = 0.0 must preserve the historical bit-exact spectrum —
+  // the batch-fit golden hash depends on it.
+  const Matrix m = random_symmetric(14, 41);
+  const auto base = symmetric_eigen(m);
+  const auto skipped = symmetric_eigen(m, 64, 1e-12, 0.0);
+  for (std::size_t i = 0; i < 14; ++i) {
+    EXPECT_EQ(base.eigenvalues[i], skipped.eigenvalues[i]);
+  }
+  EXPECT_EQ(base.eigenvectors.max_abs_diff(skipped.eigenvectors), 0.0);
+}
+
+TEST(SymmetricEigen, SmallRotationSkipStillConverges) {
+  const Matrix m = random_symmetric(14, 42);
+  const auto base = symmetric_eigen(m);
+  const auto skipped = symmetric_eigen(m, 64, 1e-12, 1e-12);
+  for (std::size_t i = 0; i < 14; ++i) {
+    EXPECT_NEAR(base.eigenvalues[i], skipped.eigenvalues[i], 1e-9);
+  }
+  EXPECT_TRUE(flare::testing::ColumnsMatchUpToSign(base.eigenvectors,
+                                                   skipped.eigenvectors, 1e-7));
+}
+
+TEST(SymmetricEigenWarm, MatchesColdSolverOnNearDiagonalInput) {
+  const Matrix m = near_diagonal(20, 0.05, 43);
+  const auto cold = symmetric_eigen(m);
+  const auto warm = symmetric_eigen_warm(m, 64, 1e-12, 1e-12);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(cold.eigenvalues[i], warm.eigenvalues[i], 1e-9);
+  }
+  EXPECT_TRUE(flare::testing::ColumnsMatchUpToSign(cold.eigenvectors,
+                                                   warm.eigenvectors, 1e-7));
+}
+
+TEST(SymmetricEigenWarm, SharesTheColdSolverContract) {
+  EXPECT_THROW(symmetric_eigen_warm(Matrix(2, 3)), std::invalid_argument);
+  const Matrix asym = Matrix::from_rows({{1, 2}, {0, 1}});
+  EXPECT_THROW(symmetric_eigen_warm(asym), std::invalid_argument);
+  const auto one = symmetric_eigen_warm(near_diagonal(1, 0.0, 0));
+  EXPECT_DOUBLE_EQ(one.eigenvalues[0], 1.0);
+}
+
+TEST(SymmetricEigenWarmProperty, ReconstructsAndStaysOrthonormal) {
+  FLARE_CHECK_PROPERTY(15, 0xE16u, [](stats::Rng& rng, double scale) {
+    const std::size_t n = std::max<std::size_t>(2, static_cast<std::size_t>(24 * scale));
+    const double bump = 0.2 * rng.uniform();
+    const Matrix m = near_diagonal(n, bump, rng.next());
+    const auto result = symmetric_eigen_warm(m, 64, 1e-12, 1e-12);
+    const std::vector<double>& values = result.eigenvalues;
+    const Matrix& vectors = result.eigenvectors;
+    for (std::size_t i = 1; i < n; ++i) EXPECT_GE(values[i - 1], values[i]);
+    const Matrix vtv = vectors.transposed().multiply(vectors);
+    EXPECT_LT(vtv.max_abs_diff(Matrix::identity(n)), 1e-9);
+    Matrix lambda(n, n);
+    for (std::size_t i = 0; i < n; ++i) lambda(i, i) = values[i];
+    const Matrix rebuilt = vectors.multiply(lambda).multiply(vectors.transposed());
+    EXPECT_LT(rebuilt.max_abs_diff(m), 1e-8);
+  });
 }
 
 class EigenSizeSweep : public ::testing::TestWithParam<std::size_t> {};

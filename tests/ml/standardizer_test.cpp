@@ -6,6 +6,9 @@
 
 #include "stats/descriptive.hpp"
 #include "stats/rng.hpp"
+#include "tests/util/generators.hpp"
+#include "tests/util/matrix_matchers.hpp"
+#include "tests/util/property.hpp"
 
 namespace flare::ml {
 namespace {
@@ -119,6 +122,44 @@ TEST(Standardizer, MergeValidates) {
   Standardizer narrow;
   narrow.fit(random_data(10, 2, 11));
   EXPECT_THROW(fitted.merge(narrow), std::invalid_argument);
+}
+
+TEST(StandardizerProperty, MergeMatchesConcatenatedFitForRandomSplits) {
+  // The Welford/Chan moment merge Pca::update builds on: any split of a
+  // population into (fitted, batch) merges to the concatenated-fit moments.
+  FLARE_CHECK_PROPERTY(20, 0x57Du, [](stats::Rng& rng, double scale) {
+    const std::size_t d = std::max<std::size_t>(2, static_cast<std::size_t>(8 * scale));
+    const std::size_t n = std::max<std::size_t>(8, static_cast<std::size_t>(120 * scale));
+    const linalg::Matrix all = testing::low_rank_noise_matrix(
+        rng, n, d, std::max<std::size_t>(1, d / 2));
+    const std::size_t split =
+        1 + static_cast<std::size_t>(rng.uniform_int(0, n - 2));
+
+    Standardizer merged;
+    merged.fit(testing::rows_slice(all, 0, split));
+    Standardizer batch;
+    batch.fit(testing::rows_slice(all, split, n));
+    merged.merge(batch);
+    Standardizer direct;
+    direct.fit(all);
+
+    EXPECT_EQ(merged.count(), n);
+    for (std::size_t c = 0; c < d; ++c) {
+      EXPECT_NEAR(merged.means()[c], direct.means()[c], 1e-9);
+      EXPECT_NEAR(merged.scales()[c], direct.scales()[c], 1e-9);
+    }
+  });
+}
+
+TEST(StandardizerProperty, TransformThenInverseIsIdentity) {
+  FLARE_CHECK_PROPERTY(15, 0x57Eu, [](stats::Rng& rng, double scale) {
+    const std::size_t d = std::max<std::size_t>(2, static_cast<std::size_t>(6 * scale));
+    const std::size_t n = std::max<std::size_t>(4, static_cast<std::size_t>(60 * scale));
+    const linalg::Matrix data = testing::low_rank_noise_matrix(rng, n, d, 1);
+    Standardizer s;
+    const linalg::Matrix z = s.fit_transform(data);
+    EXPECT_TRUE(testing::MatricesNear(s.inverse_transform(z), data, 1e-9));
+  });
 }
 
 TEST(Standardizer, SingleRowKeepsUnitScale) {

@@ -5,6 +5,10 @@
 #include "ml/pca.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/rng.hpp"
+#include "tests/util/generators.hpp"
+#include "tests/util/matrix_matchers.hpp"
+#include "tests/util/property.hpp"
+#include "util/error.hpp"
 
 namespace flare::ml {
 namespace {
@@ -71,6 +75,34 @@ TEST(Whitener, ValidatesPreconditions) {
   w.fit(scaled_data(10, 5));
   EXPECT_TRUE(w.fitted());
   EXPECT_THROW(w.transform(Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Whitener, RejectsFewerRowsThanColumns) {
+  // A 2x3 score matrix has a rank-deficient covariance; must be a typed
+  // numerical error rather than a silently degenerate whitening basis.
+  Whitener w;
+  stats::Rng rng(7);
+  EXPECT_THROW(w.fit(testing::low_rank_noise_matrix(rng, 2, 3, 1)),
+               NumericalError);
+  EXPECT_FALSE(w.fitted());
+  w.fit(testing::low_rank_noise_matrix(rng, 3, 3, 1));  // square boundary ok
+  EXPECT_TRUE(w.fitted());
+}
+
+TEST(WhitenerProperty, RoundTripsAndWhitensRandomLowRankData) {
+  FLARE_CHECK_PROPERTY(15, 0x33Au, [](stats::Rng& rng, double scale) {
+    const std::size_t d = std::max<std::size_t>(2, static_cast<std::size_t>(10 * scale));
+    const std::size_t n = 20 * d;
+    const linalg::Matrix data = testing::low_rank_noise_matrix(
+        rng, n, d, std::max<std::size_t>(1, d / 2), /*noise=*/0.5);
+    Whitener w;
+    const linalg::Matrix white = w.fit_transform(data);
+    for (std::size_t c = 0; c < d; ++c) {
+      EXPECT_NEAR(stats::mean(white.column(c)), 0.0, 1e-8);
+      EXPECT_NEAR(stats::variance(white.column(c)), 1.0, 1e-8);
+    }
+    EXPECT_TRUE(testing::MatricesNear(w.inverse_transform(white), data, 1e-7));
+  });
 }
 
 TEST(Whitener, ConstantColumnStaysFinite) {

@@ -1,0 +1,83 @@
+// The incremental-PCA acceptance property, at the paper's analysis scale:
+// stream eight batches into a basis fitted on an initial population (total
+// n ≈ 900 rows over d = 85 refined metrics, like the datacenter in FLARE
+// §4.2-4.3) and demand the streamed basis be indistinguishable from a
+// from-scratch fit over every row — explained-variance ratios within 1e-8
+// and the leading subspace within sin θ ≤ 1e-6.
+//
+// This suite carries the ctest label `property` (run with `ctest -L
+// property`). The nightly CI job re-runs it with FLARE_PROPERTY_TRIALS_SCALE
+// =10 under a randomized FLARE_PROPERTY_BASE_SEED; any failure prints the
+// exact FLARE_PROPERTY_SEED/FLARE_PROPERTY_SCALE pair to replay locally.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ml/pca.hpp"
+#include "ml/standardizer.hpp"
+#include "stats/rng.hpp"
+#include "tests/util/generators.hpp"
+#include "tests/util/matrix_matchers.hpp"
+#include "tests/util/property.hpp"
+
+namespace flare::ml {
+namespace {
+
+using linalg::Matrix;
+
+constexpr std::size_t kDims = 85;      // refined metrics after §4.2
+constexpr std::size_t kRank = 8;       // dominant behaviour axes
+constexpr std::size_t kInitialRows = 300;
+constexpr std::size_t kBatches = 8;
+constexpr std::size_t kBatchRows = 75;  // 300 + 8·75 = 900 ≈ paper n=895
+
+TEST(PcaIncrementalAcceptance, EightBatchStreamMatchesFromScratchFit) {
+  FLARE_CHECK_PROPERTY(100, 0xACCE97u, [](stats::Rng& rng, double scale) {
+    const std::size_t d =
+        std::max<std::size_t>(5, static_cast<std::size_t>(kDims * scale));
+    const std::size_t rank = std::clamp<std::size_t>(
+        static_cast<std::size_t>(kRank * scale), 2, d - 1);
+    const std::size_t n0 =
+        std::max(d + 1, static_cast<std::size_t>(kInitialRows * scale));
+    const std::size_t per_batch =
+        std::max(d + 1, static_cast<std::size_t>(kBatchRows * scale));
+    const std::size_t total = n0 + kBatches * per_batch;
+    const Matrix all = testing::low_rank_noise_matrix(rng, total, d, rank);
+
+    Pca incremental;
+    incremental.fit(testing::rows_slice(all, 0, n0));
+    incremental.set_drift_anchor(rank);
+    for (std::size_t b = 0; b < kBatches; ++b) {
+      const Matrix batch = testing::rows_slice(all, n0 + b * per_batch,
+                                               n0 + (b + 1) * per_batch);
+      Standardizer moments;
+      moments.fit(batch);
+      const PcaUpdateStats stats = incremental.update(batch, moments);
+      EXPECT_EQ(stats.batch_rows, per_batch);
+      EXPECT_EQ(stats.total_rows, n0 + (b + 1) * per_batch);
+      EXPECT_LE(stats.subspace_drift, 1.0);
+    }
+
+    Pca cold;
+    cold.fit(all);
+
+    ASSERT_EQ(incremental.observations(), total);
+    ASSERT_EQ(cold.observations(), total);
+    const auto& inc_ratio = incremental.explained_variance_ratio();
+    const auto& cold_ratio = cold.explained_variance_ratio();
+    ASSERT_EQ(inc_ratio.size(), cold_ratio.size());
+    for (std::size_t i = 0; i < inc_ratio.size(); ++i) {
+      EXPECT_NEAR(inc_ratio[i], cold_ratio[i], 1e-8);
+    }
+    // The leading behaviour subspace — what the Analyzer projects through —
+    // must agree to working precision with the never-streamed fit.
+    EXPECT_LE(testing::subspace_angle_sin(incremental.components(),
+                                          cold.components(), rank),
+              1e-6);
+    // And the paper's 95 % variance cut lands on the same component count.
+    EXPECT_EQ(incremental.num_components_for(0.95), cold.num_components_for(0.95));
+  });
+}
+
+}  // namespace
+}  // namespace flare::ml

@@ -1,0 +1,49 @@
+// Seeded matrix generators for property tests.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+#include "stats/rng.hpp"
+
+namespace flare::testing {
+
+/// Synthetic n×d "low rank + noise" sample: `rank` latent factors with
+/// harmonically decaying strengths plus isotropic noise — the covariance
+/// shape FLARE metric matrices have after refinement (a few dominant
+/// behaviour axes, then jitter). With noise > 0 the sample is full rank, so
+/// eigen-solvers see a realistic spectrum rather than an exact degeneracy.
+inline linalg::Matrix low_rank_noise_matrix(stats::Rng& rng, std::size_t rows,
+                                            std::size_t cols, std::size_t rank,
+                                            double noise = 0.1) {
+  linalg::Matrix factors(rank, cols);
+  for (std::size_t f = 0; f < rank; ++f) {
+    for (std::size_t c = 0; c < cols; ++c) factors(f, c) = rng.normal();
+  }
+  linalg::Matrix m(rows, cols);
+  std::vector<double> latent(rank);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t f = 0; f < rank; ++f) {
+      latent[f] = rng.normal(0.0, 8.0 / (1.0 + static_cast<double>(f)));
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      double x = rng.normal(0.0, noise);
+      for (std::size_t f = 0; f < rank; ++f) x += latent[f] * factors(f, c);
+      m(r, c) = x;
+    }
+  }
+  return m;
+}
+
+/// Copy of rows [begin, end) — splits one generated population into an
+/// initial fit plus ingest batches without re-drawing.
+inline linalg::Matrix rows_slice(const linalg::Matrix& m, std::size_t begin,
+                                 std::size_t end) {
+  linalg::Matrix out(end - begin, m.cols());
+  for (std::size_t r = begin; r < end; ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) out(r - begin, c) = m(r, c);
+  }
+  return out;
+}
+
+}  // namespace flare::testing

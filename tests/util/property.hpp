@@ -1,0 +1,145 @@
+// Seeded property-test harness.
+//
+// A property is a callable `void(stats::Rng& rng, double scale)` that draws a
+// random instance from `rng`, sized by `scale` (1.0 = full size), and checks
+// invariants with ordinary gtest EXPECT_* macros. FLARE_CHECK_PROPERTY runs it
+// over `trials` independently seeded instances; on the first failing trial it
+// shrinks the instance (same seed, smaller scale), reports the intercepted
+// assertion messages, and prints the exact environment line that re-runs the
+// failing instance alone:
+//
+//   FLARE_PROPERTY_SEED=0x1234 FLARE_PROPERTY_SCALE=0.25 ./ml_test ...
+//
+// Environment knobs (all optional):
+//   FLARE_PROPERTY_SEED         run ONLY this seed (one trial; debugging)
+//   FLARE_PROPERTY_SCALE        instance scale for that run (default 1.0)
+//   FLARE_PROPERTY_BASE_SEED    replace every harness base seed (the nightly
+//                               CI job randomises this and echoes it)
+//   FLARE_PROPERTY_TRIALS_SCALE multiply trial counts (nightly runs 10x)
+#pragma once
+
+#include <gtest/gtest-spi.h>
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "stats/rng.hpp"
+
+namespace flare::testing {
+
+/// splitmix64 finaliser: derives well-separated per-trial seeds from
+/// (base, trial) so nearby trials give uncorrelated xoshiro streams.
+inline std::uint64_t derive_property_seed(std::uint64_t base, int trial) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull *
+                               (static_cast<std::uint64_t>(trial) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace detail {
+
+/// One trial with every gtest failure intercepted instead of reported.
+/// Returns the concatenated failure messages (empty = trial passed).
+/// Exceptions count as failures too, so a throwing property still gets its
+/// seed echoed instead of aborting the whole trial loop anonymously.
+template <typename Property>
+std::string run_intercepted(Property& property, std::uint64_t seed,
+                            double scale) {
+  ::testing::TestPartResultArray results;
+  std::string messages;
+  {
+    ::testing::ScopedFakeTestPartResultReporter reporter(
+        ::testing::ScopedFakeTestPartResultReporter::
+            INTERCEPT_ONLY_CURRENT_THREAD,
+        &results);
+    try {
+      stats::Rng rng(seed);
+      property(rng, scale);
+    } catch (const std::exception& e) {
+      messages = std::string("unhandled exception: ") + e.what() + "\n";
+    }
+  }
+  for (int i = 0; i < results.size(); ++i) {
+    const ::testing::TestPartResult& r = results.GetTestPartResult(i);
+    if (r.failed()) {
+      messages += r.message();
+      messages += "\n";
+    }
+  }
+  return messages;
+}
+
+inline std::string hex_seed(std::uint64_t seed) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+}  // namespace detail
+
+/// Runs `property` over `trials` seeded instances (see file comment). Stops at
+/// the first failing trial: shrinks it, then reports one gtest failure with
+/// the intercepted messages and the FLARE_PROPERTY_SEED repro line.
+template <typename Property>
+void check_property(const char* file, int line, int trials,
+                    std::uint64_t base_seed, Property&& property) {
+  if (const char* env = std::getenv("FLARE_PROPERTY_SEED")) {
+    // Debug mode: replay exactly one instance, failures report normally.
+    const std::uint64_t seed = std::strtoull(env, nullptr, 0);
+    double scale = 1.0;
+    if (const char* s = std::getenv("FLARE_PROPERTY_SCALE")) {
+      scale = std::strtod(s, nullptr);
+    }
+    stats::Rng rng(seed);
+    property(rng, scale);
+    return;
+  }
+  if (const char* env = std::getenv("FLARE_PROPERTY_BASE_SEED")) {
+    base_seed = std::strtoull(env, nullptr, 0);
+  }
+  if (const char* env = std::getenv("FLARE_PROPERTY_TRIALS_SCALE")) {
+    const double factor = std::strtod(env, nullptr);
+    if (factor > 0.0) {
+      trials = std::max(1, static_cast<int>(trials * factor));
+    }
+  }
+
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = derive_property_seed(base_seed, trial);
+    std::string messages = detail::run_intercepted(property, seed, 1.0);
+    if (messages.empty()) continue;
+
+    // Shrink: same seed, smaller instance. Keep the smallest scale that
+    // still fails — smaller matrices are far easier to stare at.
+    double failing_scale = 1.0;
+    for (const double scale : {0.5, 0.25, 0.1}) {
+      const std::string shrunk =
+          detail::run_intercepted(property, seed, scale);
+      if (shrunk.empty()) break;
+      failing_scale = scale;
+      messages = shrunk;
+    }
+
+    ADD_FAILURE_AT(file, line)
+        << "property failed at trial " << trial << " of " << trials
+        << " (seed " << detail::hex_seed(seed) << ", shrunk to scale "
+        << failing_scale << ").\nRe-run just this instance with:\n  "
+        << "FLARE_PROPERTY_SEED=" << detail::hex_seed(seed)
+        << " FLARE_PROPERTY_SCALE=" << failing_scale << "\n"
+        << messages;
+    return;  // one counterexample is enough; later trials add only noise
+  }
+}
+
+}  // namespace flare::testing
+
+/// `property` is a callable `void(flare::stats::Rng& rng, double scale)`.
+#define FLARE_CHECK_PROPERTY(trials, base_seed, property)              \
+  ::flare::testing::check_property(__FILE__, __LINE__, (trials),       \
+                                   (base_seed), (property))

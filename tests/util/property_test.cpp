@@ -1,0 +1,158 @@
+// Self-tests for the property harness (property.hpp) and the matrix
+// matchers (matrix_matchers.hpp) that every property suite builds on.
+#include "tests/util/property.hpp"
+
+#include <gtest/gtest-spi.h>
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "tests/util/matrix_matchers.hpp"
+
+namespace flare::testing {
+namespace {
+
+using linalg::Matrix;
+
+TEST(PropertyHarness, DerivedSeedsAreDistinctAndDeterministic) {
+  std::set<std::uint64_t> seen;
+  for (int t = 0; t < 1000; ++t) {
+    const std::uint64_t s = derive_property_seed(42, t);
+    EXPECT_EQ(s, derive_property_seed(42, t));
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), 1000u) << "per-trial seeds must not collide";
+  EXPECT_NE(derive_property_seed(42, 0), derive_property_seed(43, 0));
+}
+
+TEST(PropertyHarness, RunsEveryTrialWithItsOwnSeed) {
+  std::vector<std::uint64_t> draws;
+  FLARE_CHECK_PROPERTY(25, 7, [&](stats::Rng& rng, double scale) {
+    EXPECT_EQ(scale, 1.0);
+    draws.push_back(rng.next());
+  });
+  EXPECT_EQ(draws.size(), 25u);
+  EXPECT_EQ(std::set<std::uint64_t>(draws.begin(), draws.end()).size(), 25u)
+      << "trials must see independent streams";
+}
+
+TEST(PropertyHarness, FailureReportsSeedAndStopsEarly) {
+  int trials_run = 0;
+  EXPECT_NONFATAL_FAILURE(
+      FLARE_CHECK_PROPERTY(50, 99,
+                           [&](stats::Rng&, double) {
+                             ++trials_run;
+                             EXPECT_EQ(1, 2) << "always fails";
+                           }),
+      "FLARE_PROPERTY_SEED=");
+  // Trial 0 fails, then only the 3 shrink attempts re-run the property.
+  EXPECT_EQ(trials_run, 4);
+}
+
+TEST(PropertyHarness, ShrinkKeepsSmallestFailingScale) {
+  std::vector<double> scales;
+  EXPECT_NONFATAL_FAILURE(
+      FLARE_CHECK_PROPERTY(10, 123,
+                           [&](stats::Rng&, double scale) {
+                             scales.push_back(scale);
+                             // Fails at every scale -> shrink walks the whole
+                             // ladder and reports the smallest.
+                             EXPECT_TRUE(false);
+                           }),
+      "FLARE_PROPERTY_SCALE=0.1");
+  const std::vector<double> expected = {1.0, 0.5, 0.25, 0.1};
+  EXPECT_EQ(scales, expected);
+}
+
+TEST(PropertyHarness, ExceptionInPropertyIsReportedNotFatal) {
+  EXPECT_NONFATAL_FAILURE(
+      FLARE_CHECK_PROPERTY(5, 11,
+                           [](stats::Rng&, double) {
+                             throw std::runtime_error("boom");
+                           }),
+      "unhandled exception: boom");
+}
+
+TEST(PropertyHarness, SeedEnvReplaysExactlyOneInstance) {
+  ASSERT_EQ(setenv("FLARE_PROPERTY_SEED", "0x2a", 1), 0);
+  ASSERT_EQ(setenv("FLARE_PROPERTY_SCALE", "0.25", 1), 0);
+  std::vector<std::pair<std::uint64_t, double>> runs;
+  FLARE_CHECK_PROPERTY(100, 999, [&](stats::Rng& rng, double scale) {
+    runs.emplace_back(rng.next(), scale);
+  });
+  unsetenv("FLARE_PROPERTY_SEED");
+  unsetenv("FLARE_PROPERTY_SCALE");
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].first, stats::Rng(0x2a).next());
+  EXPECT_EQ(runs[0].second, 0.25);
+}
+
+TEST(PropertyHarness, TrialsScaleEnvMultipliesTrials) {
+  ASSERT_EQ(setenv("FLARE_PROPERTY_TRIALS_SCALE", "3", 1), 0);
+  int trials_run = 0;
+  FLARE_CHECK_PROPERTY(4, 5, [&](stats::Rng&, double) { ++trials_run; });
+  unsetenv("FLARE_PROPERTY_TRIALS_SCALE");
+  EXPECT_EQ(trials_run, 12);
+}
+
+TEST(PropertyHarness, BaseSeedEnvRedirectsTheWholeRun) {
+  ASSERT_EQ(setenv("FLARE_PROPERTY_BASE_SEED", "77", 1), 0);
+  std::vector<std::uint64_t> draws;
+  FLARE_CHECK_PROPERTY(3, 5, [&](stats::Rng& rng, double) {
+    draws.push_back(rng.next());
+  });
+  unsetenv("FLARE_PROPERTY_BASE_SEED");
+  ASSERT_EQ(draws.size(), 3u);
+  EXPECT_EQ(draws[0], stats::Rng(derive_property_seed(77, 0)).next());
+}
+
+TEST(MatrixMatchers, MatricesNearChecksShapeAndWorstEntry) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1.0;
+  b(0, 0) = 1.0 + 1e-12;
+  EXPECT_TRUE(MatricesNear(a, b, 1e-9));
+  b(1, 1) = 0.5;
+  const auto result = MatricesNear(a, b, 1e-9);
+  EXPECT_FALSE(result);
+  EXPECT_NE(std::string(result.message()).find("(1, 1)"), std::string::npos);
+  EXPECT_FALSE(MatricesNear(a, Matrix(2, 3), 1e-9));
+}
+
+TEST(MatrixMatchers, ColumnSignInvariance) {
+  Matrix a(3, 2), b(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    a(r, 0) = static_cast<double>(r + 1);
+    b(r, 0) = -a(r, 0);  // flipped column still matches
+    a(r, 1) = 1.0;
+    b(r, 1) = 1.0;
+  }
+  EXPECT_TRUE(ColumnsMatchUpToSign(a, b, 1e-12));
+  b(2, 1) = -1.0;  // sign flip of a single entry is NOT a column flip
+  EXPECT_FALSE(ColumnsMatchUpToSign(a, b, 1e-12));
+}
+
+TEST(MatrixMatchers, SubspaceAngleIsRotationInvariant) {
+  // Span{e1, e2} expressed in two different in-plane rotations: angle 0.
+  Matrix a = Matrix::identity(4);
+  Matrix b = Matrix::identity(4);
+  const double c = std::cos(0.7), s = std::sin(0.7);
+  b(0, 0) = c;
+  b(1, 0) = s;
+  b(0, 1) = -s;
+  b(1, 1) = c;
+  EXPECT_LT(subspace_angle_sin(a, b, 2), 1e-12);
+  EXPECT_TRUE(SubspacesNear(a, b, 2, 1e-9));
+  // Span{e1} vs span{e2}: orthogonal, sin = 1.
+  Matrix e2(4, 1);
+  e2(1, 0) = 1.0;
+  EXPECT_NEAR(subspace_angle_sin(a, e2, 1), 1.0, 1e-12);
+  // 45 degrees between span{e1} and span{(e1+e2)/sqrt(2)}.
+  Matrix diag(4, 1);
+  diag(0, 0) = diag(1, 0) = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(subspace_angle_sin(a, diag, 1), std::sin(M_PI / 4.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace flare::testing
