@@ -214,9 +214,14 @@ int run_help(std::ostream& out) {
          "         [--pca-update incremental|refit|auto] [--pca-drift-limit D]\n"
          "         [--metrics M.csv] [--machine ...] [--clusters K]\n"
          "         [--samples K] [--seed S] [--schema NAME] [--threads T]\n"
+         "         [--faults R] [--fault-seed S] [--sample-quorum Q]\n"
+         "         [--max-retries N] [--journal] [--resume]\n"
          "      absorb a batch of fresh scenarios with the cheapest sound\n"
          "      action for its drift verdict; --commit appends the batch to\n"
-         "      the scenario CSV (and its profiled rows to --metrics)\n"
+         "      the scenario CSV (and its profiled rows to --metrics);\n"
+         "      --faults injects counter faults at rate R (quorum Q valid\n"
+         "      samples per row, N retries); --journal guards the appends\n"
+         "      with a write-ahead journal, --resume rolls back torn ones\n"
          "  report --scenarios F.csv --out R.md [--features LIST] [--truth]\n"
          "         [--machine ...] [--clusters K]\n"
          "      write a Markdown evaluation report; LIST is ';'-separated\n"

@@ -18,6 +18,8 @@
 //                  [--refit-policy auto|never|always] [--commit]
 //                  [--pca-update incremental|refit|auto] [--pca-drift-limit D]
 //                  [--metrics metrics.csv] [--machine ...] [--clusters K]
+//                  [--faults R] [--fault-seed S] [--sample-quorum Q]
+//                  [--max-retries N] [--journal] [--resume]
 //   flare help
 #pragma once
 

@@ -8,6 +8,7 @@
 #include "cli/commands.hpp"
 #include "cli/config_args.hpp"
 #include "core/pipeline.hpp"
+#include "trace/journal.hpp"
 #include "trace/metric_io.hpp"
 #include "trace/scenario_io.hpp"
 #include "util/error.hpp"
@@ -40,6 +41,8 @@ int run_ingest(const Args& args, std::ostream& out) {
       refit_policy_by_name(args.get_string("refit-policy", "auto"));
   const std::string metrics_path = args.get_string("metrics", "");
   const bool commit = args.get_flag("commit");
+  const bool journaled = args.get_flag("journal");
+  const bool resume = args.get_flag("resume");
 
   core::FlareConfig config;
   config.machine = machine_by_name(args.get_string("machine", "default"));
@@ -52,9 +55,35 @@ int run_ingest(const Args& args, std::ostream& out) {
       static_cast<int>(args.get_int("samples", 4));
   config.profiler.noise_stream = static_cast<std::uint64_t>(args.get_int(
       "seed", static_cast<long long>(config.profiler.noise_stream)));
+  const double fault_rate = args.get_double("faults", 0.0);
+  if (fault_rate > 0.0) {
+    config.profiler.faults = dcsim::FaultOptions::uniform(
+        fault_rate, static_cast<std::uint64_t>(args.get_int(
+                        "fault-seed", static_cast<long long>(
+                                          dcsim::FaultOptions{}.seed))));
+  }
+  config.profiler.sample_quorum =
+      static_cast<int>(args.get_int("sample-quorum", 1));
+  config.profiler.max_retries = static_cast<int>(args.get_int("max-retries", 2));
   config.threads = threads_from(args);
   config.profiler.threads = config.threads;
   args.reject_unconsumed();
+
+  if (resume) {
+    for (const std::string& path :
+         metrics_path.empty() ? std::vector<std::string>{scenarios_path}
+                              : std::vector<std::string>{scenarios_path,
+                                                         metrics_path}) {
+      const trace::JournalRecovery rec = trace::recover_append(path);
+      if (rec.recovered) {
+        out << "recovered " << path
+            << (rec.truncated ? " (torn append truncated to " +
+                                    std::to_string(rec.restored_size) + " bytes)"
+                              : " (journal cleared, file intact)")
+            << "\n";
+      }
+    }
+  }
 
   const dcsim::ScenarioSet base = trace::load_scenario_set(scenarios_path);
   const dcsim::ScenarioSet batch = trace::load_scenario_set(batch_path);
@@ -95,8 +124,23 @@ int run_ingest(const Args& args, std::ostream& out) {
   out << "population: " << pipeline.scenario_set().size() << " scenarios, "
       << pipeline.analysis().chosen_k << " behaviour groups\n";
 
+  if (report.degraded) {
+    out << "\nbatch health: degraded\n";
+    out << "  rows quarantined:   " << report.rows_quarantined << " ("
+        << util::format_double(100.0 * report.quarantined_weight_fraction, 1)
+        << "% of batch weight)"
+        << (report.quarantine_escalated ? "  [escalated refit]" : "") << "\n";
+    out << "  cells imputed:      " << report.imputed_cells << "\n";
+    out << "  samples retried:    " << report.retried_samples << "\n";
+    const core::QuarantineLedger& ledger = pipeline.analysis().quarantine;
+    out << "  population ledger:  " << ledger.quarantined_rows.size()
+        << " rows, "
+        << util::format_double(100.0 * ledger.quarantined_fraction(), 1)
+        << "% of weight mass quarantined\n";
+  }
+
   if (commit) {
-    trace::append_scenario_set(batch, scenarios_path);
+    trace::append_scenario_set(batch, scenarios_path, journaled);
     out << "appended " << batch.size() << " scenarios to " << scenarios_path
         << "\n";
     if (!metrics_path.empty()) {
@@ -107,7 +151,7 @@ int run_ingest(const Args& args, std::ostream& out) {
            r < pipeline.database().num_rows(); ++r) {
         profiled.add_row(pipeline.database().row(r));
       }
-      trace::append_metric_database(profiled, metrics_path);
+      trace::append_metric_database(profiled, metrics_path, journaled);
       out << "appended " << profiled.num_rows() << " metric rows to "
           << metrics_path << "\n";
     }

@@ -84,15 +84,24 @@ ml::KMeansResult adapt_ward(const linalg::Matrix& space, std::size_t k) {
 
 }  // namespace
 
-RefineOutput refine(const linalg::Matrix& raw, const AnalyzerConfig& config) {
+RefineOutput refine(const linalg::Matrix& raw, const AnalyzerConfig& config,
+                    const std::vector<std::size_t>* fit_rows) {
   RefineOutput out;
+  const bool subset = fit_rows != nullptr;
+  if (subset) {
+    ensure(!fit_rows->empty(), "stages::refine: no healthy rows to fit on");
+  }
+  const linalg::Matrix fit_matrix =
+      subset ? raw.select_rows(*fit_rows) : linalg::Matrix();
+  const linalg::Matrix& fit = subset ? fit_matrix : raw;
   std::vector<std::size_t> informative =
-      non_constant_columns(raw, &out.constant_columns);
+      non_constant_columns(fit, &out.constant_columns);
   ensure(!informative.empty(), "Analyzer::analyze: all metrics are constant");
   out.refined = raw.select_columns(informative);
   if (config.use_correlation_filter) {
     const ml::CorrelationFilter filter(config.correlation_threshold);
-    out.refinement = filter.fit(out.refined);
+    out.refinement = subset ? filter.fit(fit.select_columns(informative))
+                            : filter.fit(out.refined);
     // Map audit-trail and kept indices back to original catalog columns.
     out.refined = out.refined.select_columns(out.refinement.kept_columns);
     out.kept_columns.reserve(out.refinement.kept_columns.size());
@@ -109,18 +118,31 @@ RefineOutput refine(const linalg::Matrix& raw, const AnalyzerConfig& config) {
   return out;
 }
 
-StandardizeOutput standardize(const linalg::Matrix& refined) {
+StandardizeOutput standardize(const linalg::Matrix& refined,
+                              const std::vector<std::size_t>* fit_rows) {
   StandardizeOutput out;
-  out.standardized = out.standardizer.fit_transform(refined);
+  if (fit_rows == nullptr) {
+    out.standardized = out.standardizer.fit_transform(refined);
+  } else {
+    ensure(!fit_rows->empty(), "stages::standardize: no healthy rows to fit on");
+    out.standardizer.fit(refined.select_rows(*fit_rows));
+    out.standardized = out.standardizer.transform(refined);
+  }
   return out;
 }
 
 PcaOutput fit_pca(const linalg::Matrix& standardized,
                   const std::vector<std::size_t>& kept_columns,
                   const metrics::MetricCatalog& catalog,
-                  const AnalyzerConfig& config, util::ThreadPool* pool) {
+                  const AnalyzerConfig& config, util::ThreadPool* pool,
+                  const std::vector<std::size_t>* fit_rows) {
   PcaOutput out;
-  out.pca.fit(standardized, pool);
+  if (fit_rows == nullptr) {
+    out.pca.fit(standardized, pool);
+  } else {
+    ensure(!fit_rows->empty(), "stages::fit_pca: no healthy rows to fit on");
+    out.pca.fit(standardized.select_rows(*fit_rows), pool);
+  }
   out.num_components = out.pca.num_components_for(config.variance_target);
   out.interpretations = interpret_components(out.pca, kept_columns, catalog,
                                              out.num_components, config.labeler);
@@ -144,15 +166,22 @@ PcaOutput splice_pca(const ml::Pca& updated_pca,
 
 WhitenOutput whiten(const ml::Pca& pca, std::size_t num_components,
                     const linalg::Matrix& standardized,
-                    const AnalyzerConfig& config) {
+                    const AnalyzerConfig& config,
+                    const std::vector<std::size_t>* fit_rows) {
   WhitenOutput out;
   const linalg::Matrix scores = pca.transform(standardized, num_components);
   out.whitened = config.whiten;
-  if (config.whiten) {
-    out.cluster_space = out.whitener.fit_transform(scores);
+  if (fit_rows == nullptr) {
+    if (config.whiten) {
+      out.cluster_space = out.whitener.fit_transform(scores);
+    } else {
+      out.whitener.fit(scores);  // fitted for API symmetry, not applied
+      out.cluster_space = scores;
+    }
   } else {
-    out.whitener.fit(scores);  // fitted for API symmetry, not applied
-    out.cluster_space = scores;
+    ensure(!fit_rows->empty(), "stages::whiten: no healthy rows to fit on");
+    out.whitener.fit(scores.select_rows(*fit_rows));
+    out.cluster_space = config.whiten ? out.whitener.transform(scores) : scores;
   }
   return out;
 }

@@ -29,12 +29,17 @@ std::unique_ptr<util::ThreadPool> make_pool(std::size_t threads) {
 /// need the warm-start centroids and weights and are chained in analyze().
 StageFingerprints upstream_fingerprints(const linalg::Matrix& raw,
                                         const metrics::MetricCatalog& catalog,
-                                        const AnalyzerConfig& cfg) {
+                                        const AnalyzerConfig& cfg,
+                                        std::uint64_t health_salt = 0) {
   StageFingerprints fp;
   std::uint64_t h = fingerprint_matrix(raw);
   for (const metrics::MetricInfo& m : catalog.metrics()) {
     h = util::fnv1a(m.name, h);
   }
+  // Degraded fits mix the quarantine mask into the lineage root: a fit that
+  // ignored some rows' moments must never splice with a clean fit over the
+  // same bytes (health_salt == 0 for clean fits, preserving their hashes).
+  if (health_salt != 0) h = util::hash_mix(h, health_salt);
   fp.raw = h;
   h = util::hash_mix(fp.raw, cfg.use_correlation_filter ? 1u : 0u);
   fp.refine = hash_mix(h, cfg.correlation_threshold);
@@ -44,6 +49,25 @@ StageFingerprints upstream_fingerprints(const linalg::Matrix& raw,
   fp.pca = hash_mix(h, cfg.labeler.min_abs_loading);
   fp.whiten = util::hash_mix(fp.pca, cfg.whiten ? 1u : 0u);
   return fp;
+}
+
+/// Hash of the quarantine mask (0 when nothing is quarantined): one bit per
+/// row, packed, plus the row count.
+std::uint64_t health_fingerprint(const AnalysisHealth* health) {
+  if (health == nullptr || !health->any_quarantined()) return 0;
+  std::uint64_t h = util::hash_mix(0x51A8A17Eull, health->quarantined.size());
+  std::uint64_t word = 0;
+  std::size_t bits = 0;
+  for (const bool q : health->quarantined) {
+    word = (word << 1) | (q ? 1u : 0u);
+    if (++bits == 64) {
+      h = util::hash_mix(h, word);
+      word = 0;
+      bits = 0;
+    }
+  }
+  if (bits != 0) h = util::hash_mix(h, word);
+  return h;
 }
 
 /// Chains the clustering-stage fingerprint from the whiten fingerprint, the
@@ -100,16 +124,44 @@ AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db,
 AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db,
                                  util::ThreadPool* pool,
                                  const AnalysisResult* previous,
-                                 bool warm_start) const {
+                                 bool warm_start,
+                                 const AnalysisHealth* health) const {
   ensure(db.num_rows() >= config_.min_clusters,
          "Analyzer::analyze: fewer scenarios than clusters");
   const linalg::Matrix raw = db.to_matrix();
   const std::vector<double> weights = db.weights();
 
+  // Degraded fit: quarantined rows keep their population slot but are
+  // excluded from every fitted moment and carry zero weight mass.
+  ensure(health == nullptr || health->quarantined.empty() ||
+             health->quarantined.size() == db.num_rows(),
+         "Analyzer::analyze: health mask must match the row count");
+  const bool degraded = health != nullptr && health->any_quarantined();
+  std::vector<std::size_t> healthy_rows;
+  std::vector<double> fit_weights = weights;
+  if (degraded) {
+    healthy_rows.reserve(db.num_rows());
+    for (std::size_t i = 0; i < db.num_rows(); ++i) {
+      if (health->quarantined[i]) {
+        fit_weights[i] = 0.0;
+      } else {
+        healthy_rows.push_back(i);
+      }
+    }
+    if (healthy_rows.size() < config_.min_clusters) {
+      throw QuarantineError(
+          "Analyzer::analyze: only " + std::to_string(healthy_rows.size()) +
+          " rows survived quarantine but " +
+          std::to_string(config_.min_clusters) + " clusters are required");
+    }
+  }
+  const std::vector<std::size_t>* fit_rows = degraded ? &healthy_rows : nullptr;
+
   AnalysisResult result;
   result.stage_counters = previous != nullptr ? previous->stage_counters
                                               : StageCounters{};
-  StageFingerprints fp = upstream_fingerprints(raw, db.catalog(), config_);
+  StageFingerprints fp = upstream_fingerprints(raw, db.catalog(), config_,
+                                               health_fingerprint(health));
   const auto reusable = [&](std::uint64_t StageFingerprints::*stage,
                             std::uint64_t want) {
     // Poisoned results carry zero fingerprints and never match (see
@@ -141,7 +193,7 @@ AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db,
     result.constant_columns = previous->constant_columns;
     result.refinement = previous->refinement;
   } else {
-    stages::RefineOutput ro = stages::refine(raw, config_);
+    stages::RefineOutput ro = stages::refine(raw, config_, fit_rows);
     result.kept_columns = std::move(ro.kept_columns);
     result.constant_columns = std::move(ro.constant_columns);
     result.refinement = std::move(ro.refinement);
@@ -154,7 +206,7 @@ AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db,
     result.standardizer = previous->standardizer;
   } else {
     need_refined();
-    stages::StandardizeOutput so = stages::standardize(refined);
+    stages::StandardizeOutput so = stages::standardize(refined, fit_rows);
     result.standardizer = std::move(so.standardizer);
     standardized = std::move(so.standardized);
     ++result.stage_counters.standardize;
@@ -168,7 +220,7 @@ AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db,
   } else {
     need_standardized();
     stages::PcaOutput po = stages::fit_pca(standardized, result.kept_columns,
-                                           db.catalog(), config_, pool);
+                                           db.catalog(), config_, pool, fit_rows);
     result.pca = std::move(po.pca);
     result.num_components = po.num_components;
     result.interpretations = std::move(po.interpretations);
@@ -182,8 +234,8 @@ AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db,
     result.cluster_space = previous->cluster_space;
   } else {
     need_standardized();
-    stages::WhitenOutput wo =
-        stages::whiten(result.pca, result.num_components, standardized, config_);
+    stages::WhitenOutput wo = stages::whiten(result.pca, result.num_components,
+                                             standardized, config_, fit_rows);
     result.whitener = std::move(wo.whitener);
     result.whitened = wo.whitened;
     result.cluster_space = std::move(wo.cluster_space);
@@ -198,9 +250,9 @@ AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db,
     warm = stages::project_rows(
         result, stages::centroids_to_raw(*previous, linalg::column_means(raw)));
   }
-  fp.cluster = cluster_fingerprint(fp.whiten, config_, weights, warm);
+  fp.cluster = cluster_fingerprint(fp.whiten, config_, fit_weights, warm);
   fp.representatives =
-      fingerprint_doubles(weights, util::hash_mix(fp.cluster, 0x52455052u));
+      fingerprint_doubles(fit_weights, util::hash_mix(fp.cluster, 0x52455052u));
 
   // --- Cluster-count sweep + kept clustering (Fig. 9, §4.4) ---
   if (reusable(&StageFingerprints::cluster, fp.cluster)) {
@@ -209,7 +261,7 @@ AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db,
     result.clustering = previous->clustering;
   } else {
     stages::ClusterOutput co =
-        stages::cluster(result.cluster_space, weights, config_, pool, warm);
+        stages::cluster(result.cluster_space, fit_weights, config_, pool, warm);
     result.quality_curve = std::move(co.quality_curve);
     result.chosen_k = co.chosen_k;
     result.clustering = std::move(co.clustering);
@@ -217,20 +269,40 @@ AnalysisResult Analyzer::analyze(const metrics::MetricDatabase& db,
   }
 
   // --- Representatives & weights (§4.4–§4.5) ---
-  double total_weight = 0.0;
-  for (const double w : weights) total_weight += w;
-  ensure(total_weight > 0.0, "Analyzer::analyze: zero total observation weight");
+  double healthy_weight = 0.0;
+  for (const double w : fit_weights) healthy_weight += w;
+  if (degraded && healthy_weight <= 0.0) {
+    throw QuarantineError(
+        "Analyzer::analyze: quarantine removed all observation-weight mass");
+  }
+  ensure(healthy_weight > 0.0, "Analyzer::analyze: zero total observation weight");
   if (reusable(&StageFingerprints::representatives, fp.representatives)) {
     result.representatives = previous->representatives;
     result.cluster_weights = previous->cluster_weights;
   } else {
+    // Degraded fits pick representatives with positive (healthy) weight only
+    // — an imputed below-quorum row must never stand for a cluster.
     stages::RepresentativesOutput rep =
         stages::representatives(result.clustering, result.cluster_space,
-                                result.chosen_k, weights,
-                                /*require_positive_weight=*/false);
+                                result.chosen_k, fit_weights,
+                                /*require_positive_weight=*/degraded);
     result.representatives = std::move(rep.representatives);
     result.cluster_weights = std::move(rep.cluster_weights);
     ++result.stage_counters.representatives;
+  }
+
+  if (health != nullptr) {
+    result.quarantine.imputed_cells = health->imputed_cells;
+    double total_weight = 0.0;
+    for (const double w : weights) total_weight += w;
+    result.quarantine.total_weight = total_weight;
+    if (degraded) {
+      for (std::size_t i = 0; i < db.num_rows(); ++i) {
+        if (!health->quarantined[i]) continue;
+        result.quarantine.quarantined_rows.push_back(i);
+        result.quarantine.quarantined_weight += weights[i];
+      }
+    }
   }
 
   result.fingerprints = fp;
@@ -288,7 +360,8 @@ AnalysisResult Analyzer::recluster(const AnalysisResult& base,
 AnalysisResult Analyzer::refit_incremental(const metrics::MetricDatabase& db,
                                            const ml::Pca& updated_pca,
                                            const AnalysisResult& previous,
-                                           util::ThreadPool* pool) const {
+                                           util::ThreadPool* pool,
+                                           const AnalysisHealth* health) const {
   ensure(previous.standardizer.fitted() && previous.pca.fitted(),
          "Analyzer::refit_incremental: previous analysis is not fitted");
   ensure(updated_pca.fitted() &&
@@ -298,6 +371,34 @@ AnalysisResult Analyzer::refit_incremental(const metrics::MetricDatabase& db,
          "Analyzer::refit_incremental: fewer scenarios than clusters");
   const linalg::Matrix raw = db.to_matrix();
   const std::vector<double> weights = db.weights();
+
+  // Same quarantine semantics as analyze(): the standardizer and basis are
+  // frozen/spliced anyway, so only the whitener moments and the weight mass
+  // need masking here.
+  ensure(health == nullptr || health->quarantined.empty() ||
+             health->quarantined.size() == db.num_rows(),
+         "Analyzer::refit_incremental: health mask must match the row count");
+  const bool degraded = health != nullptr && health->any_quarantined();
+  std::vector<std::size_t> healthy_rows;
+  std::vector<double> fit_weights = weights;
+  if (degraded) {
+    healthy_rows.reserve(db.num_rows());
+    for (std::size_t i = 0; i < db.num_rows(); ++i) {
+      if (health->quarantined[i]) {
+        fit_weights[i] = 0.0;
+      } else {
+        healthy_rows.push_back(i);
+      }
+    }
+    if (healthy_rows.size() < config_.min_clusters) {
+      throw QuarantineError(
+          "Analyzer::refit_incremental: only " +
+          std::to_string(healthy_rows.size()) +
+          " rows survived quarantine but " +
+          std::to_string(config_.min_clusters) + " clusters are required");
+    }
+  }
+  const std::vector<std::size_t>* fit_rows = degraded ? &healthy_rows : nullptr;
 
   AnalysisResult result;
   result.stage_counters = previous.stage_counters;
@@ -321,8 +422,8 @@ AnalysisResult Analyzer::refit_incremental(const metrics::MetricDatabase& db,
   // Downstream replay over the full population in the updated basis.
   const linalg::Matrix refined = raw.select_columns(result.kept_columns);
   const linalg::Matrix standardized = result.standardizer.transform(refined);
-  stages::WhitenOutput wo =
-      stages::whiten(result.pca, result.num_components, standardized, config_);
+  stages::WhitenOutput wo = stages::whiten(result.pca, result.num_components,
+                                           standardized, config_, fit_rows);
   result.whitener = std::move(wo.whitener);
   result.whitened = wo.whitened;
   result.cluster_space = std::move(wo.cluster_space);
@@ -341,19 +442,39 @@ AnalysisResult Analyzer::refit_incremental(const metrics::MetricDatabase& db,
   replay.fixed_clusters = previous.chosen_k;
   replay.compute_quality_curve = false;
   stages::ClusterOutput co =
-      stages::cluster(result.cluster_space, weights, replay, pool, warm);
+      stages::cluster(result.cluster_space, fit_weights, replay, pool, warm);
   result.quality_curve = previous.quality_curve;
   result.chosen_k = co.chosen_k;
   result.clustering = std::move(co.clustering);
   ++result.stage_counters.cluster;
 
+  double healthy_weight = 0.0;
+  for (const double w : fit_weights) healthy_weight += w;
+  if (degraded && healthy_weight <= 0.0) {
+    throw QuarantineError(
+        "Analyzer::refit_incremental: quarantine removed all weight mass");
+  }
   stages::RepresentativesOutput rep =
       stages::representatives(result.clustering, result.cluster_space,
-                              result.chosen_k, weights,
-                              /*require_positive_weight=*/false);
+                              result.chosen_k, fit_weights,
+                              /*require_positive_weight=*/degraded);
   result.representatives = std::move(rep.representatives);
   result.cluster_weights = std::move(rep.cluster_weights);
   ++result.stage_counters.representatives;
+
+  if (health != nullptr) {
+    result.quarantine.imputed_cells = health->imputed_cells;
+    double total_weight = 0.0;
+    for (const double w : weights) total_weight += w;
+    result.quarantine.total_weight = total_weight;
+    if (degraded) {
+      for (std::size_t i = 0; i < db.num_rows(); ++i) {
+        if (!health->quarantined[i]) continue;
+        result.quarantine.quarantined_rows.push_back(i);
+        result.quarantine.quarantined_weight += weights[i];
+      }
+    }
+  }
 
   // The spliced basis equals a cold fit only up to FP rounding — no future
   // analysis may splice these outputs in by fingerprint.

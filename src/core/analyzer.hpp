@@ -75,6 +75,39 @@ struct ClusterQualityPoint {
   double silhouette = 0.0;
 };
 
+/// Measurement-health input to a degraded fit (built by FlarePipeline from
+/// the profiler's RowHealth records). Quarantined rows stay in the population
+/// (row indices must keep lining up with the scenario set) but contribute
+/// nothing to any fitted moment or cluster weight.
+struct AnalysisHealth {
+  /// Row-indexed: true = below the sample quorum, fit around it.
+  std::vector<bool> quarantined;
+  /// Cells that were median-imputed before the fit (telemetry).
+  std::size_t imputed_cells = 0;
+
+  [[nodiscard]] bool any_quarantined() const {
+    for (const bool q : quarantined) {
+      if (q) return true;
+    }
+    return false;
+  }
+};
+
+/// Where the observation-weight mass of quarantined rows went: nowhere. The
+/// ledger keeps the books so nothing is silently lost — the quarantined mass
+/// plus the mass behind the cluster weights always equals the population
+/// total (property-tested under ctest -L faults).
+struct QuarantineLedger {
+  std::vector<std::size_t> quarantined_rows;  ///< population row indices
+  double quarantined_weight = 0.0;            ///< Σ true weights of those rows
+  double total_weight = 0.0;                  ///< Σ true weights, whole population
+  std::size_t imputed_cells = 0;              ///< median-filled cells in the fit
+
+  [[nodiscard]] double quarantined_fraction() const {
+    return total_weight > 0.0 ? quarantined_weight / total_weight : 0.0;
+  }
+};
+
 struct AnalysisResult {
   // Step: refinement.
   std::vector<std::size_t> kept_columns;     ///< surviving raw-metric columns
@@ -98,6 +131,10 @@ struct AnalysisResult {
   // Step: representatives.
   std::vector<std::size_t> representatives;  ///< scenario row index per cluster
   std::vector<double> cluster_weights;       ///< observation-weight share, Σ = 1
+
+  /// Degraded-fit bookkeeping (empty for clean fits): which rows were
+  /// quarantined out of the moments/weights and how much mass they carried.
+  QuarantineLedger quarantine;
 
   // Stage-graph bookkeeping (core/stage_graph.hpp): input fingerprints that
   // decide stage reuse, and how often each stage has recomputed across the
@@ -133,10 +170,18 @@ class Analyzer {
   /// mapped into the new cluster space (see stages::centroids_to_raw) — the
   /// drift monitor's kRefit action. `previous == nullptr` degrades to a
   /// plain cold fit with every counter set to 1.
+  ///
+  /// `health` (nullable) marks quarantined rows and imputation telemetry: the
+  /// standardizer/PCA/whitener moments are fitted on the healthy rows only,
+  /// quarantined rows keep their row slot (projected + assigned, zero weight)
+  /// and representatives skip them; the books land in
+  /// AnalysisResult::quarantine. Degraded fits poison their raw fingerprint
+  /// with the quarantine mask so they never splice with clean fits.
   [[nodiscard]] AnalysisResult analyze(const metrics::MetricDatabase& db,
                                        util::ThreadPool* pool,
                                        const AnalysisResult* previous,
-                                       bool warm_start = false) const;
+                                       bool warm_start = false,
+                                       const AnalysisHealth* health = nullptr) const;
 
   /// Re-clusters an existing analysis under new scenario weights without
   /// re-profiling — the §5.6 scheduler-change workflow ("derive new
@@ -166,7 +211,9 @@ class Analyzer {
   [[nodiscard]] AnalysisResult refit_incremental(const metrics::MetricDatabase& db,
                                                  const ml::Pca& updated_pca,
                                                  const AnalysisResult& previous,
-                                                 util::ThreadPool* pool) const;
+                                                 util::ThreadPool* pool,
+                                                 const AnalysisHealth* health =
+                                                     nullptr) const;
 
   [[nodiscard]] const AnalyzerConfig& config() const { return config_; }
 
@@ -187,21 +234,32 @@ namespace stages {
 
 /// Stage 1 — refinement (§4.2): drop numerically constant columns, then
 /// correlation duplicates. `kept_columns` indexes the original catalog.
+/// With `fit_rows` (degraded fits) the column selection is computed from
+/// those rows only — quarantined rows are imputed to per-metric medians, and
+/// those synthetic values would both hide truly-constant columns and
+/// decorrelate duplicate columns, inflating the kept set relative to a clean
+/// fit. Every row is still projected onto the selected columns.
 struct RefineOutput {
   std::vector<std::size_t> kept_columns;
   std::vector<std::size_t> constant_columns;
   ml::CorrelationFilterResult refinement;
   linalg::Matrix refined;  ///< raw columns `kept_columns`, in order
 };
-[[nodiscard]] RefineOutput refine(const linalg::Matrix& raw,
-                                  const AnalyzerConfig& config);
+[[nodiscard]] RefineOutput refine(
+    const linalg::Matrix& raw, const AnalyzerConfig& config,
+    const std::vector<std::size_t>* fit_rows = nullptr);
 
-/// Stage 2 — standardisation (§4.3): zero mean / unit variance.
+/// Stage 2 — standardisation (§4.3): zero mean / unit variance. With
+/// `fit_rows` (degraded fits) the moments come from those rows only while
+/// every row is still transformed — quarantined rows must not bend the scale
+/// they are measured against.
 struct StandardizeOutput {
   ml::Standardizer standardizer;
   linalg::Matrix standardized;
 };
-[[nodiscard]] StandardizeOutput standardize(const linalg::Matrix& refined);
+[[nodiscard]] StandardizeOutput standardize(
+    const linalg::Matrix& refined,
+    const std::vector<std::size_t>* fit_rows = nullptr);
 
 /// Stage 3 — PCA + component labelling (§4.3, Fig. 8).
 struct PcaOutput {
@@ -213,7 +271,8 @@ struct PcaOutput {
                                 const std::vector<std::size_t>& kept_columns,
                                 const metrics::MetricCatalog& catalog,
                                 const AnalyzerConfig& config,
-                                util::ThreadPool* pool);
+                                util::ThreadPool* pool,
+                                const std::vector<std::size_t>* fit_rows = nullptr);
 
 /// Stage 3′ — basis splice for the incremental-PCA refit: adopts an
 /// eigenbasis maintained by ml::Pca::update in place of a cold fit and
@@ -232,7 +291,8 @@ struct WhitenOutput {
 };
 [[nodiscard]] WhitenOutput whiten(const ml::Pca& pca, std::size_t num_components,
                                   const linalg::Matrix& standardized,
-                                  const AnalyzerConfig& config);
+                                  const AnalyzerConfig& config,
+                                  const std::vector<std::size_t>* fit_rows = nullptr);
 
 /// Stage 5 — cluster-count sweep (Fig. 9) + the kept clustering. `weights`
 /// are the observation weights (used only when

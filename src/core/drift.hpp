@@ -53,6 +53,11 @@ struct DriftConfig {
   /// batch action to a refit: rows absorbed so far were projected in a basis
   /// the population has rotated away from.
   double pca_drift_limit = 0.05;
+  /// Quarantine escalation: when a batch's quarantined observation-weight
+  /// fraction exceeds this, ingest forces a refit — absorbing that much
+  /// zero-weight mass into the fitted clusters would distort their weights
+  /// against the healthy population. RefitPolicy::kNever still vetoes.
+  double quarantine_refit_fraction = 0.5;
 };
 
 struct DriftReport {

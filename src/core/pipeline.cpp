@@ -1,5 +1,8 @@
 #include "core/pipeline.hpp"
 
+#include <cmath>
+
+#include "ml/impute.hpp"
 #include "util/error.hpp"
 
 namespace flare::core {
@@ -56,13 +59,88 @@ void FlarePipeline::fit(const dcsim::ScenarioSet& set) {
   ensure(!set.scenarios.empty(), "FlarePipeline::fit: empty scenario set");
   set_ = set;
   const Profiler profiler(model_, config_.profiler);
-  database_ = std::make_unique<metrics::MetricDatabase>(profiler.profile(
-      set_, config_.machine, resolve_schema(config_.schema), pool_.get()));
+  ProfileReport profiled = profiler.profile_with_health(
+      set_, config_.machine, resolve_schema(config_.schema), pool_.get());
+  database_ =
+      std::make_unique<metrics::MetricDatabase>(std::move(profiled.database));
+
+  // Quarantine bookkeeping: rows below the sample quorum stay in the
+  // population (indices must keep lining up) but are fenced out of every
+  // fitted moment; their NaN cells — and partial rows' — get the healthy
+  // population's per-metric medians.
+  quarantined_.assign(set_.size(), false);
+  impute_medians_.clear();
+  imputed_cells_total_ = 0;
+  bool any_quarantined = false;
+  for (std::size_t i = 0; i < profiled.health.size(); ++i) {
+    if (profiled.health[i].below_quorum(config_.profiler.sample_quorum)) {
+      quarantined_[i] = true;
+      any_quarantined = true;
+    }
+  }
+  if (profiled.total_imputed_cells() > 0) {
+    imputed_cells_total_ = impute_rows(*database_, 0);
+  }
+
   const Analyzer analyzer(config_.analyzer);
-  analysis_ =
-      std::make_unique<AnalysisResult>(analyzer.analyze(*database_, pool_.get()));
+  if (any_quarantined || imputed_cells_total_ > 0) {
+    const AnalysisHealth health{quarantined_, imputed_cells_total_};
+    analysis_ = std::make_unique<AnalysisResult>(analyzer.analyze(
+        *database_, pool_.get(), nullptr, /*warm_start=*/false, &health));
+  } else {
+    // Clean path, byte-for-byte the original fit (no health hashing).
+    analysis_ = std::make_unique<AnalysisResult>(
+        analyzer.analyze(*database_, pool_.get()));
+  }
   scheduler_weights_.clear();
   rebase_tracked_pca();
+}
+
+std::size_t FlarePipeline::impute_rows(metrics::MetricDatabase& db,
+                                       std::size_t first_row) {
+  if (impute_medians_.empty()) {
+    // Fit-frame medians over the healthy population. During fit() `db` IS the
+    // population; at ingest time the archive (already imputed) serves.
+    std::vector<std::size_t> excluded;
+    for (std::size_t i = 0; i < quarantined_.size(); ++i) {
+      if (quarantined_[i]) excluded.push_back(i);
+    }
+    impute_medians_ = ml::finite_column_medians(database_->to_matrix(), excluded);
+  }
+  std::size_t imputed = 0;
+  for (std::size_t r = first_row; r < db.num_rows(); ++r) {
+    metrics::MetricRow& row = db.row_mutable(r);
+    for (std::size_t c = 0; c < row.values.size(); ++c) {
+      if (!std::isfinite(row.values[c])) {
+        row.values[c] = impute_medians_[c];
+        ++imputed;
+      }
+    }
+  }
+  return imputed;
+}
+
+void FlarePipeline::refresh_quarantine_ledger() {
+  QuarantineLedger ledger;
+  for (std::size_t i = 0; i < set_.size(); ++i) {
+    const double w = set_.scenarios[i].observation_weight;
+    ledger.total_weight += w;
+    if (i < quarantined_.size() && quarantined_[i]) {
+      ledger.quarantined_rows.push_back(i);
+      ledger.quarantined_weight += w;
+    }
+  }
+  ledger.imputed_cells = imputed_cells_total_;
+  analysis_->quarantine = std::move(ledger);
+}
+
+std::vector<double> FlarePipeline::masked_weights(
+    const std::vector<double>& true_weights) const {
+  std::vector<double> masked = true_weights;
+  for (std::size_t i = 0; i < masked.size() && i < quarantined_.size(); ++i) {
+    if (quarantined_[i]) masked[i] = 0.0;
+  }
+  return masked;
 }
 
 void FlarePipeline::rebase_tracked_pca() {
@@ -92,13 +170,19 @@ PerJobEstimate FlarePipeline::evaluate_per_job(const Feature& feature,
 
 void FlarePipeline::apply_scheduler_change(const std::vector<double>& new_weights) {
   ensure(fitted(), "FlarePipeline::apply_scheduler_change: call fit() first");
+  bool tracking = false;
+  for (const bool q : quarantined_) tracking = tracking || q;
   const Analyzer analyzer(config_.analyzer);
-  *analysis_ = analyzer.recluster(*analysis_, new_weights, pool_.get());
+  // Quarantined rows stay fenced out under the new scheduler too.
+  *analysis_ = analyzer.recluster(
+      *analysis_, tracking ? masked_weights(new_weights) : new_weights,
+      pool_.get());
   scheduler_weights_ = new_weights;
   // Estimation must also see the new frequencies.
   for (std::size_t i = 0; i < set_.scenarios.size(); ++i) {
     set_.scenarios[i].observation_weight = new_weights[i];
   }
+  if (tracking) refresh_quarantine_ledger();
 }
 
 IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
@@ -115,12 +199,38 @@ IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
   }
 
   const Profiler profiler(model_, config_.profiler);
-  const metrics::MetricDatabase fresh_db = profiler.profile(
+  ProfileReport profiled = profiler.profile_with_health(
       fresh, config_.machine, resolve_schema(config_.schema), pool_.get());
+  metrics::MetricDatabase fresh_db = std::move(profiled.database);
 
   IngestReport report;
   report.appended = fresh.size();
   report.first_new_row = set_.size();
+
+  // Batch measurement health: quarantine rows below the sample quorum,
+  // median-impute what the profiler could not read, and report a degraded
+  // batch instead of throwing mid-ingest.
+  std::vector<bool> batch_quarantined(fresh.size(), false);
+  double batch_weight = 0.0;
+  double batch_quarantined_weight = 0.0;
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    const double w = fresh.scenarios[i].observation_weight;
+    batch_weight += w;
+    if (profiled.health[i].below_quorum(config_.profiler.sample_quorum)) {
+      batch_quarantined[i] = true;
+      ++report.rows_quarantined;
+      batch_quarantined_weight += w;
+    }
+  }
+  report.retried_samples = profiled.total_retried_samples();
+  if (profiled.total_imputed_cells() > 0) {
+    report.imputed_cells = impute_rows(fresh_db, 0);
+    imputed_cells_total_ += report.imputed_cells;
+  }
+  report.quarantined_weight_fraction =
+      batch_weight > 0.0 ? batch_quarantined_weight / batch_weight : 0.0;
+  report.degraded = report.rows_quarantined > 0 || report.imputed_cells > 0;
+
   const DriftMonitor monitor(*analysis_, config_.drift);
   report.drift = monitor.inspect(fresh_db);
   const linalg::Matrix fresh_raw = fresh_db.to_matrix();
@@ -129,10 +239,21 @@ IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
   // frame (fitted refinement + standardizer), the coordinates the basis has
   // been maintained in since the last rebase. Runs under every policy: the
   // drift telemetry is what lets kAuto decide when the analysis basis went
-  // stale, and under kRefit it is free diagnostics (DESIGN.md §9).
-  {
+  // stale, and under kRefit it is free diagnostics (DESIGN.md §9). Only
+  // healthy batch rows feed the basis — quarantined rows are median-filled
+  // noise and must not rotate it.
+  std::vector<std::size_t> healthy_batch;
+  healthy_batch.reserve(fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    if (!batch_quarantined[i]) healthy_batch.push_back(i);
+  }
+  if (!healthy_batch.empty()) {
+    const linalg::Matrix basis_rows =
+        healthy_batch.size() == fresh.size()
+            ? fresh_raw
+            : fresh_raw.select_rows(healthy_batch);
     const linalg::Matrix std_batch = analysis_->standardizer.transform(
-        fresh_raw.select_columns(analysis_->kept_columns));
+        basis_rows.select_columns(analysis_->kept_columns));
     ml::Standardizer batch_moments;
     batch_moments.fit(std_batch);
     report.pca_update =
@@ -160,6 +281,15 @@ IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
       report.pca_drift_escalated = true;
     }
   }
+  // Quarantine escalation: absorbing a batch whose weight mass is mostly
+  // fenced out would skew the cluster weights against the healthy
+  // population — force a refit instead (kNever keeps its veto here too).
+  if (report.quarantined_weight_fraction >
+          config_.drift.quarantine_refit_fraction &&
+      policy != RefitPolicy::kNever && report.action != DriftVerdict::kRefit) {
+    report.action = DriftVerdict::kRefit;
+    report.quarantine_escalated = true;
+  }
 
   // Grow the population. Observation weights for all accounting come from
   // set_ (apply_scheduler_change keeps those current; the archived database
@@ -167,6 +297,8 @@ IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
   set_.scenarios.insert(set_.scenarios.end(), fresh.scenarios.begin(),
                         fresh.scenarios.end());
   database_->append(fresh_db);
+  quarantined_.insert(quarantined_.end(), batch_quarantined.begin(),
+                      batch_quarantined.end());
   if (!scheduler_weights_.empty()) {
     for (const dcsim::ColocationScenario& s : fresh.scenarios) {
       scheduler_weights_.push_back(s.observation_weight);
@@ -177,23 +309,40 @@ IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
   for (const dcsim::ColocationScenario& s : set_.scenarios) {
     combined.push_back(s.observation_weight);
   }
+  // The archive keeps TRUE weights (quarantine must not rewrite history);
+  // the masked copy is what every weight-consuming stage sees.
   database_->set_observation_weights(combined);
+  bool tracking = imputed_cells_total_ > 0;
+  for (const bool q : quarantined_) tracking = tracking || q;
+  const std::vector<double> stage_weights =
+      tracking ? masked_weights(combined) : combined;
+  if (tracking) {
+    double mass = 0.0;
+    for (const double w : stage_weights) mass += w;
+    if (mass <= 0.0) {
+      throw QuarantineError(
+          "FlarePipeline::ingest: quarantine removed all observation-weight "
+          "mass from the population");
+    }
+  }
 
   switch (report.action) {
     case DriftVerdict::kValid:
       // Same behaviours, same frequencies: assign the new rows into the
       // fitted cluster space; no stage re-runs.
       stages::absorb_rows(*analysis_, stages::project_rows(*analysis_, fresh_raw),
-                          combined, /*refresh_representatives=*/false);
+                          stage_weights, /*refresh_representatives=*/false);
       break;
     case DriftVerdict::kReweight:
       // Same behaviours, shifted frequencies: reuse every fitted stage,
       // refresh only the weights and representatives.
       stages::absorb_rows(*analysis_, stages::project_rows(*analysis_, fresh_raw),
-                          combined, /*refresh_representatives=*/true);
+                          stage_weights, /*refresh_representatives=*/true);
       break;
     case DriftVerdict::kRefit: {
       const Analyzer analyzer(config_.analyzer);
+      const AnalysisHealth health{quarantined_, imputed_cells_total_};
+      const AnalysisHealth* health_ptr = tracking ? &health : nullptr;
       const bool incremental =
           config_.pca_update == PcaUpdatePolicy::kIncremental ||
           (config_.pca_update == PcaUpdatePolicy::kAuto &&
@@ -204,23 +353,33 @@ IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
         // The analysis now projects with the tracked basis itself, so the
         // drift anchor rebases to it (future drift measures from here).
         *analysis_ = analyzer.refit_incremental(*database_, tracked_pca_,
-                                                *analysis_, pool_.get());
+                                                *analysis_, pool_.get(),
+                                                health_ptr);
         report.pca_incremental_refit = true;
         tracked_pca_.set_drift_anchor(analysis_->num_components);
       } else {
         // Full refit over the combined population, warm-started from the
         // previous centroids (stage fingerprints still skip any stage whose
         // input happens to be unchanged). The fitted frame may change, so
-        // the tracked basis restarts from the cold fit.
-        AnalysisResult refit = analyzer.analyze(
-            *database_, pool_.get(), analysis_.get(), /*warm_start=*/true);
+        // the tracked basis restarts from the cold fit — and the imputation
+        // medians go stale with the old frame.
+        AnalysisResult refit =
+            analyzer.analyze(*database_, pool_.get(), analysis_.get(),
+                             /*warm_start=*/true, health_ptr);
         *analysis_ = std::move(refit);
         rebase_tracked_pca();
+        impute_medians_.clear();
       }
       break;
     }
   }
+  if (tracking) refresh_quarantine_ledger();
   return report;
+}
+
+const std::vector<bool>& FlarePipeline::quarantined() const {
+  ensure(fitted(), "FlarePipeline::quarantined: call fit() first");
+  return quarantined_;
 }
 
 const metrics::MetricDatabase& FlarePipeline::database() const {

@@ -104,6 +104,22 @@ struct IngestReport {
   /// kAuto only: the tracked drift exceeded DriftConfig::pca_drift_limit and
   /// escalated the action to a (cold, frame-refreshing) refit.
   bool pca_drift_escalated = false;
+
+  // --- Fault-tolerance telemetry for this batch (see DESIGN.md §10) ---
+  /// Batch rows below the sample quorum, quarantined out of the fit.
+  std::size_t rows_quarantined = 0;
+  /// Their share of the batch's observation-weight mass.
+  double quarantined_weight_fraction = 0.0;
+  /// Batch cells median-imputed before analysis (partial rows + lost rows).
+  std::size_t imputed_cells = 0;
+  /// Batch samples that burned at least one profiler retry.
+  int retried_samples = 0;
+  /// Any quarantine or imputation happened — the batch entered degraded.
+  bool degraded = false;
+  /// The batch's quarantined weight fraction exceeded
+  /// DriftConfig::quarantine_refit_fraction and forced a refit action
+  /// (RefitPolicy::kNever vetoes; the telemetry still reports the breach).
+  bool quarantine_escalated = false;
 };
 
 class FlarePipeline {
@@ -143,6 +159,9 @@ class FlarePipeline {
                       RefitPolicy policy = RefitPolicy::kAuto);
 
   [[nodiscard]] bool fitted() const { return analysis_ != nullptr; }
+  /// Row-indexed quarantine mask over the fitted population (all false on a
+  /// clean fit). Aligned with scenario_set()/database() rows.
+  [[nodiscard]] const std::vector<bool>& quarantined() const;
   [[nodiscard]] const metrics::MetricDatabase& database() const;
   [[nodiscard]] const AnalysisResult& analysis() const;
   [[nodiscard]] const dcsim::ScenarioSet& scenario_set() const;
@@ -165,10 +184,31 @@ class FlarePipeline {
   /// every cold refit — the frame may have changed under the basis).
   void rebase_tracked_pca();
 
+  /// Median-imputes every non-finite cell of rows [first_row, …) of `db` with
+  /// impute_medians_ (refreshing the medians from the healthy population
+  /// first when they are stale/missing). Returns cells imputed.
+  std::size_t impute_rows(metrics::MetricDatabase& db, std::size_t first_row);
+
+  /// Rebuilds analysis_->quarantine from quarantined_ + the current true
+  /// observation weights + imputed_cells_total_ (the single source of truth
+  /// after in-place absorb actions).
+  void refresh_quarantine_ledger();
+
+  /// True observation weights (set_ order) with quarantined rows zeroed —
+  /// what every weight-consuming stage sees while degraded.
+  [[nodiscard]] std::vector<double> masked_weights(
+      const std::vector<double>& true_weights) const;
+
   dcsim::ScenarioSet set_;
   std::unique_ptr<metrics::MetricDatabase> database_;
   std::unique_ptr<AnalysisResult> analysis_;
   std::vector<double> scheduler_weights_;  ///< §5.6 override (empty = original)
+  /// Fault-tolerance bookkeeping (empty/zero on clean fits): which population
+  /// rows are below the sample quorum, the fit-frame imputation medians, and
+  /// the running imputed-cell count.
+  std::vector<bool> quarantined_;
+  std::vector<double> impute_medians_;
+  std::size_t imputed_cells_total_ = 0;
   /// Shadow eigenbasis advanced by ml::Pca::update on every ingested batch,
   /// expressed in the fitted (frozen) refinement + standardisation frame.
   ml::Pca tracked_pca_;

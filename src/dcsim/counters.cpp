@@ -1,6 +1,7 @@
 #include "dcsim/counters.hpp"
 
 #include <cmath>
+#include <limits>
 #include <string>
 #include <unordered_map>
 
@@ -292,6 +293,96 @@ std::vector<double> synthesize_counters(const ScenarioPerformance& perf,
     row[info.index] = v;
   }
   return row;
+}
+
+FaultOptions FaultOptions::uniform(double rate, std::uint64_t seed) {
+  ensure(rate >= 0.0 && rate <= 1.0,
+         "FaultOptions::uniform: rate must be in [0, 1]");
+  FaultOptions options;
+  options.enabled = rate > 0.0;
+  options.nan_rate = rate;
+  options.stuck_rate = rate;
+  options.multiplex_rate = rate;
+  options.sample_drop_rate = rate;
+  options.row_loss_rate = rate;
+  options.seed = seed;
+  return options;
+}
+
+CounterFaultModel::CounterFaultModel(FaultOptions options)
+    : options_(options) {
+  const auto valid_rate = [](double r) { return r >= 0.0 && r <= 1.0; };
+  ensure(valid_rate(options_.nan_rate) && valid_rate(options_.stuck_rate) &&
+             valid_rate(options_.multiplex_rate) &&
+             valid_rate(options_.sample_drop_rate) &&
+             valid_rate(options_.row_loss_rate),
+         "CounterFaultModel: fault rates must be in [0, 1]");
+  ensure(options_.nan_rate + options_.stuck_rate + options_.multiplex_rate <=
+             1.0,
+         "CounterFaultModel: per-reading fault rates must sum to <= 1");
+  ensure(options_.multiplex_sigma >= 0.0,
+         "CounterFaultModel: multiplex_sigma must be non-negative");
+  active_ = options_.enabled &&
+            (options_.nan_rate > 0.0 || options_.stuck_rate > 0.0 ||
+             options_.multiplex_rate > 0.0 || options_.sample_drop_rate > 0.0 ||
+             options_.row_loss_rate > 0.0);
+}
+
+std::uint64_t CounterFaultModel::stream(std::string_view scenario_key,
+                                        std::uint64_t salt) const {
+  return util::hash_mix(util::fnv1a(scenario_key, options_.seed), salt);
+}
+
+bool CounterFaultModel::lose_row(std::string_view scenario_key) const {
+  if (!active_ || options_.row_loss_rate <= 0.0) return false;
+  stats::Rng rng(stream(scenario_key, 0xB01DFACEull));
+  return rng.uniform() < options_.row_loss_rate;
+}
+
+bool CounterFaultModel::drop_sample(std::string_view scenario_key,
+                                    int sample_index, int attempt) const {
+  if (!active_ || options_.sample_drop_rate <= 0.0) return false;
+  stats::Rng rng(stream(scenario_key,
+                        0xD80Dull + 7919ull * static_cast<std::uint64_t>(
+                                                  sample_index) +
+                            static_cast<std::uint64_t>(attempt)));
+  return rng.uniform() < options_.sample_drop_rate;
+}
+
+void CounterFaultModel::corrupt(std::vector<double>& sample,
+                                const std::vector<double>& last_observed,
+                                std::string_view scenario_key, int sample_index,
+                                int attempt) const {
+  if (!active_) return;
+  const double glitch_rate =
+      options_.nan_rate + options_.stuck_rate + options_.multiplex_rate;
+  if (glitch_rate <= 0.0) return;
+  ensure(last_observed.empty() || last_observed.size() == sample.size(),
+         "CounterFaultModel::corrupt: last_observed size mismatch");
+  stats::Rng rng(stream(scenario_key,
+                        0xC0FEull + 104729ull * static_cast<std::uint64_t>(
+                                                    sample_index) +
+                            static_cast<std::uint64_t>(attempt)));
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    // One uniform draw per metric partitioned across the fault classes keeps
+    // the stream layout stable when individual rates change.
+    const double u = rng.uniform();
+    const double flavour = rng.uniform();
+    if (u < options_.nan_rate) {
+      sample[i] = flavour < 0.5
+                      ? std::numeric_limits<double>::quiet_NaN()
+                      : (flavour < 0.75
+                             ? std::numeric_limits<double>::infinity()
+                             : -std::numeric_limits<double>::infinity());
+    } else if (u < options_.nan_rate + options_.stuck_rate) {
+      if (!last_observed.empty() && std::isfinite(last_observed[i])) {
+        sample[i] = last_observed[i];
+      }
+    } else if (u < glitch_rate) {
+      sample[i] *= std::exp(options_.multiplex_sigma *
+                            (2.0 * flavour - 1.0) * 1.7320508075688772);
+    }
+  }
 }
 
 }  // namespace flare::dcsim

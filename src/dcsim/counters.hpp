@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "dcsim/interference_model.hpp"
@@ -36,5 +37,76 @@ struct CounterOptions {
     const ScenarioPerformance& performance, const JobCatalog& catalog,
     const metrics::MetricCatalog& schema, CounterOptions options = {},
     std::uint64_t noise_stream = 0);
+
+/// Deterministic counter-fault injection knobs. All rates are per-draw
+/// probabilities in [0, 1]; everything is off by default so the clean
+/// profiling path (and the AnalyzerGolden hash) is untouched.
+struct FaultOptions {
+  bool enabled = false;
+  /// Per metric reading: replace the value with NaN or ±Inf (glitched MSR
+  /// read, overflowed fixed counter).
+  double nan_rate = 0.0;
+  /// Per metric reading: report the previous sample's value again (counter
+  /// stuck / not re-armed). The reading stays finite, so this class is only
+  /// caught statistically — it models silent skew, not hard failure.
+  double stuck_rate = 0.0;
+  /// Per metric reading: event-multiplexing extrapolation error — the value
+  /// is scaled by a log-uniform factor with log-stddev `multiplex_sigma`
+  /// (uniform rather than normal so the per-metric draw count never depends
+  /// on fault outcomes, keeping streams layout-stable).
+  double multiplex_rate = 0.0;
+  double multiplex_sigma = 0.35;
+  /// Per sample: the whole sample never arrives (daemon descheduled, ring
+  /// buffer overrun). The profiler retries with a fresh substream.
+  double sample_drop_rate = 0.0;
+  /// Per scenario row: the machine never reports (agent crash, network
+  /// partition). No retry can help; the row is quarantined.
+  double row_loss_rate = 0.0;
+  /// Fault streams are seeded independently of the noise streams so the same
+  /// fault pattern can be replayed over different measurement noise.
+  std::uint64_t seed = 0xFA017ull;
+
+  /// All fault classes at the same `rate` (multiplex sigma kept at default).
+  [[nodiscard]] static FaultOptions uniform(double rate,
+                                            std::uint64_t seed = 0xFA017ull);
+};
+
+/// Seeded fault injector layered over `synthesize_counters` output. Every
+/// decision is a pure function of (options.seed, scenario key, sample index,
+/// retry attempt, metric index) — mirroring the noise-stream discipline — so
+/// fault patterns are bit-reproducible across runs and thread schedules.
+class CounterFaultModel {
+ public:
+  CounterFaultModel() = default;
+  explicit CounterFaultModel(FaultOptions options);
+
+  /// False when injection is disabled or every rate is zero; callers skip all
+  /// fault bookkeeping in that case, keeping the clean path bit-identical.
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Whole-row loss: the scenario's machine never reports this round.
+  [[nodiscard]] bool lose_row(std::string_view scenario_key) const;
+
+  /// Whole-sample drop for a given retry attempt (attempt 0 = first try).
+  [[nodiscard]] bool drop_sample(std::string_view scenario_key,
+                                 int sample_index, int attempt) const;
+
+  /// Applies per-metric glitches in place. `last_observed` is the most recent
+  /// prior reading per metric (empty on the first sample — stuck-at faults
+  /// need something to stick to and are skipped without it).
+  void corrupt(std::vector<double>& sample,
+               const std::vector<double>& last_observed,
+               std::string_view scenario_key, int sample_index,
+               int attempt) const;
+
+  [[nodiscard]] const FaultOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] std::uint64_t stream(std::string_view scenario_key,
+                                     std::uint64_t salt) const;
+
+  FaultOptions options_{};
+  bool active_ = false;
+};
 
 }  // namespace flare::dcsim

@@ -43,6 +43,11 @@ const MetricRow& MetricDatabase::row(std::size_t index) const {
   return rows_[index];
 }
 
+MetricRow& MetricDatabase::row_mutable(std::size_t index) {
+  ensure(index < rows_.size(), "MetricDatabase::row_mutable: index out of range");
+  return rows_[index];
+}
+
 linalg::Matrix MetricDatabase::to_matrix() const {
   ensure(!rows_.empty(), "MetricDatabase::to_matrix: empty database");
   linalg::Matrix m(rows_.size(), catalog_->size());

@@ -41,6 +41,8 @@ class MetricDatabase {
   [[nodiscard]] const MetricCatalog& catalog() const { return *catalog_; }
 
   [[nodiscard]] const MetricRow& row(std::size_t index) const;
+  /// Mutable row access — the imputation path rewrites NaN cells in place.
+  [[nodiscard]] MetricRow& row_mutable(std::size_t index);
   [[nodiscard]] const std::vector<MetricRow>& rows() const { return rows_; }
 
   /// Dense scenarios × metrics matrix (analysis input).

@@ -1,0 +1,62 @@
+#include "ml/impute.hpp"
+
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace flare::ml {
+
+std::vector<double> finite_column_medians(
+    const linalg::Matrix& data, const std::vector<std::size_t>& exclude_rows) {
+  ensure(!data.empty(), "finite_column_medians: empty matrix");
+  std::unordered_set<std::size_t> excluded(exclude_rows.begin(),
+                                           exclude_rows.end());
+  std::vector<double> medians(data.cols(), 0.0);
+  std::vector<double> cells;
+  cells.reserve(data.rows());
+  for (std::size_t c = 0; c < data.cols(); ++c) {
+    cells.clear();
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      if (excluded.count(r) != 0) continue;
+      const double v = data(r, c);
+      if (std::isfinite(v)) cells.push_back(v);
+    }
+    if (cells.empty()) {
+      // All healthy rows are blind on this metric; fall back to whatever
+      // finite evidence exists anywhere, then to zero.
+      for (std::size_t r = 0; r < data.rows(); ++r) {
+        const double v = data(r, c);
+        if (std::isfinite(v)) cells.push_back(v);
+      }
+    }
+    medians[c] = cells.empty() ? 0.0 : stats::median(cells);
+  }
+  return medians;
+}
+
+std::size_t impute_non_finite(linalg::Matrix& data,
+                              const std::vector<double>& fill) {
+  ensure(fill.size() == data.cols(),
+         "impute_non_finite: fill must be column-count wide");
+  for (std::size_t c = 0; c < fill.size(); ++c) {
+    if (!std::isfinite(fill[c])) {
+      throw FaultError("impute_non_finite: non-finite fill value in column " +
+                       std::to_string(c));
+    }
+  }
+  std::size_t imputed = 0;
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      if (!std::isfinite(data(r, c))) {
+        data(r, c) = fill[c];
+        ++imputed;
+      }
+    }
+  }
+  return imputed;
+}
+
+}  // namespace flare::ml

@@ -1,0 +1,32 @@
+// Per-metric median imputation for partially-faulty profiled rows.
+//
+// The fault-tolerant profiler (core/profiler.hpp) leaves NaN in cells where
+// no valid reading survived the retries. Before those rows can enter the
+// standardize → PCA → cluster chain they must be filled with something
+// neutral; the per-metric median over the healthy population is robust to
+// the very outliers that caused the gaps (the same choice the KPI-clustering
+// literature makes for missing monitoring data).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace flare::ml {
+
+/// Per-column medians over the *finite* cells of `data`, skipping the listed
+/// rows entirely (quarantined rows must not influence the fill values).
+/// Columns with no usable finite cell fall back to the median over all rows'
+/// finite cells, and to 0.0 if the column is non-finite everywhere.
+[[nodiscard]] std::vector<double> finite_column_medians(
+    const linalg::Matrix& data,
+    const std::vector<std::size_t>& exclude_rows = {});
+
+/// Replaces every non-finite cell of `data` with `fill[column]` in place and
+/// returns the number of cells rewritten. `fill` must be column-count wide
+/// and finite (use finite_column_medians).
+std::size_t impute_non_finite(linalg::Matrix& data,
+                              const std::vector<double>& fill);
+
+}  // namespace flare::ml

@@ -1,6 +1,7 @@
 #include "ml/standardizer.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "linalg/covariance.hpp"
 #include "util/error.hpp"
@@ -9,6 +10,18 @@ namespace flare::ml {
 
 void Standardizer::fit(const linalg::Matrix& data) {
   ensure(data.rows() >= 1, "Standardizer::fit: empty data");
+  // Non-finite cells would silently poison every moment (NaN means, NaN
+  // scales, and from there the whole PCA). Faulty rows must be imputed or
+  // quarantined before fitting; reaching here with one is a caller bug.
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      if (!std::isfinite(data(r, c))) {
+        throw FaultError("Standardizer::fit: non-finite value at row " +
+                         std::to_string(r) + ", column " + std::to_string(c) +
+                         " — impute or quarantine before fitting");
+      }
+    }
+  }
   means_ = linalg::column_means(data);
   scales_.assign(data.cols(), 1.0);
   m2_.assign(data.cols(), 0.0);
@@ -30,6 +43,13 @@ void Standardizer::merge(const Standardizer& other) {
   ensure(fitted() && other.fitted(), "Standardizer::merge: both sides must be fitted");
   ensure(means_.size() == other.means_.size(),
          "Standardizer::merge: column mismatch");
+  for (std::size_t c = 0; c < other.means_.size(); ++c) {
+    if (!std::isfinite(other.means_[c]) || !std::isfinite(other.m2_[c])) {
+      throw FaultError(
+          "Standardizer::merge: non-finite moments in column " +
+          std::to_string(c) + " — the batch was fitted on unclean data");
+    }
+  }
   const double n1 = static_cast<double>(count_);
   const double n2 = static_cast<double>(other.count_);
   const double n = n1 + n2;

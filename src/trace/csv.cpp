@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace flare::trace {
 
@@ -61,15 +62,53 @@ std::vector<std::string> parse_csv_row(const std::string& line) {
   return fields;
 }
 
+std::vector<std::string> parse_csv_row(const std::string& line,
+                                       const std::string& path,
+                                       std::size_t line_number) {
+  try {
+    return parse_csv_row(line);
+  } catch (const ParseError& e) {
+    throw ParseError(path + ":" + std::to_string(line_number) + ": " +
+                     e.what() + " — offending line '" + line + "'");
+  }
+}
+
+double parse_csv_double(const std::string& token, const std::string& path,
+                        std::size_t line_number) {
+  try {
+    return util::parse_double(token);
+  } catch (const ParseError&) {
+    throw ParseError(path + ":" + std::to_string(line_number) +
+                     ": not a number — offending token '" + token + "'");
+  }
+}
+
+long long parse_csv_int(const std::string& token, const std::string& path,
+                        std::size_t line_number) {
+  try {
+    return util::parse_int(token);
+  } catch (const ParseError&) {
+    throw ParseError(path + ":" + std::to_string(line_number) +
+                     ": not an integer — offending token '" + token + "'");
+  }
+}
+
 std::vector<std::string> read_lines(const std::string& path) {
+  return read_csv_content(path).lines;
+}
+
+CsvContent read_csv_content(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw ParseError("read_lines: cannot open file: " + path);
-  std::vector<std::string> lines;
+  CsvContent content;
   std::string line;
   while (std::getline(in, line)) {
-    if (!line.empty() && line != "\r") lines.push_back(line);
+    // getline strips '\n' but reports eof only when the stream ran out
+    // *before* finding one — i.e. the final line had no terminator.
+    content.complete_final_line = !in.eof();
+    if (!line.empty() && line != "\r") content.lines.push_back(line);
   }
-  return lines;
+  return content;
 }
 
 }  // namespace flare::trace

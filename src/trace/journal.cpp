@@ -1,0 +1,153 @@
+#include "trace/journal.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define FLARE_HAVE_FSYNC 1
+#endif
+
+namespace flare::trace {
+namespace {
+
+constexpr const char* kMagic = "flare-append-journal v1";
+constexpr const char* kBegin = "BEGIN";
+
+/// Reads the journal's lines; empty vector when unreadable (treated as torn).
+std::vector<std::string> read_journal(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  if (!in) return lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+/// A journal is well-formed only when every line — including the BEGIN
+/// marker, written last — made it to disk; anything else is a journal torn
+/// before the guarded append started.
+bool parse_journal(const std::vector<std::string>& lines, std::uint64_t* size) {
+  if (lines.size() != 3 || lines[0] != kMagic || lines[2] != kBegin) return false;
+  const std::string& field = lines[1];
+  constexpr std::string_view kPrefix = "size ";
+  if (field.rfind(kPrefix, 0) != 0) return false;
+  std::uint64_t value = 0;
+  for (std::size_t i = kPrefix.size(); i < field.size(); ++i) {
+    const char c = field[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *size = value;
+  return field.size() > kPrefix.size();
+}
+
+}  // namespace
+
+std::string AppendJournal::journal_path(const std::string& target_path) {
+  return target_path + ".journal";
+}
+
+AppendJournal::AppendJournal(const std::string& target_path)
+    : journal_path_(journal_path(target_path)) {
+  std::error_code ec;
+  if (std::filesystem::exists(journal_path_, ec)) {
+    throw JournalError("AppendJournal: uncleared journal at " + journal_path_ +
+                       " — run recover_append() before appending again");
+  }
+  const std::uintmax_t size = std::filesystem::file_size(target_path, ec);
+  if (ec) {
+    throw JournalError("AppendJournal: cannot stat append target " +
+                       target_path + ": " + ec.message());
+  }
+
+  // The journal must be durable before the first appended byte, else a crash
+  // could leave a torn target with no record to roll back to.
+  std::FILE* out = std::fopen(journal_path_.c_str(), "wb");
+  if (out == nullptr) {
+    throw JournalError("AppendJournal: cannot create journal " + journal_path_);
+  }
+  const std::string body = std::string(kMagic) + "\nsize " +
+                           std::to_string(size) + "\n" + kBegin + "\n";
+  bool ok = std::fwrite(body.data(), 1, body.size(), out) == body.size();
+  ok = (std::fflush(out) == 0) && ok;
+#ifdef FLARE_HAVE_FSYNC
+  ok = (::fsync(::fileno(out)) == 0) && ok;
+#endif
+  ok = (std::fclose(out) == 0) && ok;
+  if (!ok) {
+    std::filesystem::remove(journal_path_, ec);
+    throw JournalError("AppendJournal: cannot durably write journal " +
+                       journal_path_);
+  }
+}
+
+AppendJournal::~AppendJournal() {
+  // Without a commit the journal stays behind on purpose: the append may have
+  // partially happened (crash, disk full) and recover_append() must be able
+  // to truncate the target back to the recorded size.
+}
+
+void AppendJournal::commit() {
+  if (committed_) return;
+  std::error_code ec;
+  std::filesystem::remove(journal_path_, ec);
+  if (ec) {
+    throw JournalError("AppendJournal::commit: cannot clear journal " +
+                       journal_path_ + ": " + ec.message());
+  }
+  committed_ = true;
+}
+
+JournalRecovery recover_append(const std::string& target_path) {
+  const std::string jpath = AppendJournal::journal_path(target_path);
+  JournalRecovery result;
+  std::error_code ec;
+  if (!std::filesystem::exists(jpath, ec)) {
+    const std::uintmax_t size = std::filesystem::file_size(target_path, ec);
+    result.restored_size = ec ? 0 : static_cast<std::uint64_t>(size);
+    return result;
+  }
+
+  std::uint64_t journaled_size = 0;
+  if (parse_journal(read_journal(jpath), &journaled_size)) {
+    const std::uintmax_t current = std::filesystem::file_size(target_path, ec);
+    if (!ec && current > journaled_size) {
+      // The torn append grew the target: roll it back. (A target smaller than
+      // the journaled size cannot be restored from an undo journal — leave it
+      // for the caller's loader to reject.)
+      std::filesystem::resize_file(target_path, journaled_size, ec);
+      if (ec) {
+        throw JournalError("recover_append: cannot truncate " + target_path +
+                           " to " + std::to_string(journaled_size) +
+                           " bytes: " + ec.message());
+      }
+      result.truncated = true;
+    }
+    result.restored_size = journaled_size;
+  } else {
+    // Journal torn mid-write: the guarded append never started (the journal
+    // is fsync'd before the target is touched), so the target is intact.
+    const std::uintmax_t size = std::filesystem::file_size(target_path, ec);
+    result.restored_size = ec ? 0 : static_cast<std::uint64_t>(size);
+  }
+
+  std::filesystem::remove(jpath, ec);
+  if (ec) {
+    throw JournalError("recover_append: cannot clear journal " + jpath + ": " +
+                       ec.message());
+  }
+  result.recovered = true;
+  return result;
+}
+
+}  // namespace flare::trace

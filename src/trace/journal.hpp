@@ -1,0 +1,73 @@
+// Crash-safe appends for the trace archives (DESIGN.md §10).
+//
+// The append paths in scenario_io/metric_io grow a CSV in place; a crash
+// mid-append leaves a torn final line that a later load would reject (or,
+// worse, silently mis-parse). AppendJournal is a tiny write-ahead *undo*
+// journal: before the first appended byte it durably records the target's
+// pre-append size next to it (`<target>.journal`), and deletes that record
+// only once the append has fully reached the file. Recovery is therefore a
+// pure truncation:
+//
+//   AppendJournal journal(path);   // records size, fsync'd, BEFORE the append
+//   ... append rows, flush ...
+//   journal.commit();              // append durable -> journal deleted
+//
+//   // after a crash anywhere in between:
+//   recover_append(path);          // truncates the torn tail, clears journal
+//
+// A journal that is itself torn (crash while writing it) means the append
+// never started — the target is intact and recovery just clears the journal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace flare::trace {
+
+/// What recover_append found and did.
+struct JournalRecovery {
+  /// A journal existed for the target and was cleared (whether or not the
+  /// target needed truncation).
+  bool recovered = false;
+  /// The target had grown past the journaled size and was truncated back.
+  bool truncated = false;
+  /// The target's size after recovery (== the journaled pre-append size when
+  /// a well-formed journal was found).
+  std::uint64_t restored_size = 0;
+};
+
+/// RAII write-ahead journal guarding one append to `target_path`. The
+/// constructor records the target's current size in `journal_path(target)`
+/// and flushes it to disk before returning; the append may then proceed.
+/// Destruction without commit() leaves the journal in place so a later
+/// recover_append() rolls the target back — the correct outcome both after a
+/// crash and after a mid-append exception (disk full, …).
+class AppendJournal {
+ public:
+  /// Throws flare::JournalError when the target does not exist or the journal
+  /// cannot be written durably. Refuses to start when an uncleared journal is
+  /// already present (run recover_append first).
+  explicit AppendJournal(const std::string& target_path);
+  ~AppendJournal();
+
+  AppendJournal(const AppendJournal&) = delete;
+  AppendJournal& operator=(const AppendJournal&) = delete;
+
+  /// The append fully reached the target: deletes the journal. Idempotent.
+  void commit();
+
+  /// `<target>.journal` — the sidecar file the journal lives in.
+  [[nodiscard]] static std::string journal_path(const std::string& target_path);
+
+ private:
+  std::string journal_path_;
+  bool committed_ = false;
+};
+
+/// Rolls back a torn append on `target_path` if its journal says one was in
+/// flight: truncates the target to the journaled pre-append size and deletes
+/// the journal. No journal -> no-op ({false, false, current size}). Safe to
+/// call unconditionally before loading an archive.
+[[nodiscard]] JournalRecovery recover_append(const std::string& target_path);
+
+}  // namespace flare::trace

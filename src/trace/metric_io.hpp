@@ -19,8 +19,11 @@ void save_metric_database(const metrics::MetricDatabase& db, const std::string& 
 
 /// Appends `batch`'s rows to an existing metric CSV without rewriting it.
 /// The file must exist and its header must match `batch`'s catalog — the
-/// existing file is validated (via a load) before the append.
+/// existing file is validated (via a load) before the append. With
+/// `journaled` the append is guarded by a write-ahead journal (see
+/// trace/journal.hpp): a crash mid-append is rolled back by
+/// `recover_append(path)` instead of leaving a torn archive.
 void append_metric_database(const metrics::MetricDatabase& batch,
-                            const std::string& path);
+                            const std::string& path, bool journaled = false);
 
 }  // namespace flare::trace

@@ -1,8 +1,10 @@
 #include "trace/scenario_io.hpp"
 
 #include <fstream>
+#include <optional>
 
 #include "trace/csv.hpp"
+#include "trace/journal.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -23,29 +25,46 @@ void save_scenario_set(const dcsim::ScenarioSet& set, const std::string& path) {
 }
 
 dcsim::ScenarioSet load_scenario_set(const std::string& path) {
-  const std::vector<std::string> lines = read_lines(path);
+  const CsvContent content = read_csv_content(path);
+  if (!content.complete_final_line) {
+    throw ParseError("load_scenario_set: " + path +
+                     ": truncated final line (no trailing newline) — torn "
+                     "append? run recover_append() / flare ingest --resume");
+  }
+  const std::vector<std::string>& lines = content.lines;
   if (lines.empty() || lines.front() != kHeader) {
     throw ParseError("load_scenario_set: missing or wrong header in " + path);
   }
   dcsim::ScenarioSet set;
   for (std::size_t i = 1; i < lines.size(); ++i) {
-    const std::vector<std::string> fields = parse_csv_row(lines[i]);
+    const std::size_t line_no = i + 1;
+    const std::vector<std::string> fields = parse_csv_row(lines[i], path, line_no);
     if (fields.size() != 4) {
-      throw ParseError("load_scenario_set: expected 4 fields at line " +
-                       std::to_string(i + 1));
+      throw ParseError("load_scenario_set: " + path + ":" +
+                       std::to_string(line_no) + ": expected 4 fields, got " +
+                       std::to_string(fields.size()));
     }
     dcsim::ColocationScenario s;
-    s.id = static_cast<std::size_t>(util::parse_int(fields[0]));
+    s.id = static_cast<std::size_t>(parse_csv_int(fields[0], path, line_no));
     s.machine_type = fields[1];
-    s.observation_weight = util::parse_double(fields[2]);
+    s.observation_weight = parse_csv_double(fields[2], path, line_no);
     if (s.observation_weight < 0.0) {
-      throw ParseError("load_scenario_set: negative weight at line " +
-                       std::to_string(i + 1));
+      throw ParseError("load_scenario_set: " + path + ":" +
+                       std::to_string(line_no) +
+                       ": negative weight — offending token '" + fields[2] + "'");
     }
-    s.mix = dcsim::JobMix::from_key(fields[3]);
+    try {
+      s.mix = dcsim::JobMix::from_key(fields[3]);
+    } catch (const ParseError& e) {
+      throw ParseError("load_scenario_set: " + path + ":" +
+                       std::to_string(line_no) + ": " + e.what() +
+                       " — offending token '" + fields[3] + "'");
+    }
     if (s.id != set.scenarios.size()) {
-      throw ParseError("load_scenario_set: non-dense scenario ids at line " +
-                       std::to_string(i + 1));
+      throw ParseError("load_scenario_set: " + path + ":" +
+                       std::to_string(line_no) +
+                       ": non-dense scenario ids — offending token '" +
+                       fields[0] + "'");
     }
     set.scenarios.push_back(std::move(s));
   }
@@ -53,18 +72,25 @@ dcsim::ScenarioSet load_scenario_set(const std::string& path) {
   return set;
 }
 
-void append_scenario_set(const dcsim::ScenarioSet& batch, const std::string& path) {
+void append_scenario_set(const dcsim::ScenarioSet& batch, const std::string& path,
+                         bool journaled) {
   // Validate the existing file (and learn where its id sequence ends) before
   // touching it — appending to a malformed file would only bury the problem.
   const dcsim::ScenarioSet existing = load_scenario_set(path);
-  std::ofstream out(path, std::ios::app);
-  ensure(static_cast<bool>(out), "append_scenario_set: cannot open file: " + path);
-  std::size_t next_id = existing.scenarios.size();
-  for (const dcsim::ColocationScenario& s : batch.scenarios) {
-    write_csv_row(out, {std::to_string(next_id++), s.machine_type,
-                        util::format_double_exact(s.observation_weight), s.mix.key()});
+  std::optional<AppendJournal> journal;
+  if (journaled) journal.emplace(path);
+  {
+    std::ofstream out(path, std::ios::app);
+    ensure(static_cast<bool>(out), "append_scenario_set: cannot open file: " + path);
+    std::size_t next_id = existing.scenarios.size();
+    for (const dcsim::ColocationScenario& s : batch.scenarios) {
+      write_csv_row(out, {std::to_string(next_id++), s.machine_type,
+                          util::format_double_exact(s.observation_weight), s.mix.key()});
+    }
+    out.flush();
+    ensure(static_cast<bool>(out), "append_scenario_set: write failed: " + path);
   }
-  ensure(static_cast<bool>(out), "append_scenario_set: write failed: " + path);
+  if (journal) journal->commit();
 }
 
 }  // namespace flare::trace

@@ -20,6 +20,9 @@ void save_scenario_set(const dcsim::ScenarioSet& set, const std::string& path);
 /// continuing the file's dense id sequence (the batch's own ids are
 /// ignored). The file must exist and parse — the existing rows are read
 /// first so the append cannot silently corrupt the id invariant.
-void append_scenario_set(const dcsim::ScenarioSet& batch, const std::string& path);
+/// With `journaled` the append is guarded by a write-ahead journal (see
+/// trace/journal.hpp) so a crash mid-append can be rolled back.
+void append_scenario_set(const dcsim::ScenarioSet& batch, const std::string& path,
+                         bool journaled = false);
 
 }  // namespace flare::trace

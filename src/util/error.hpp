@@ -37,6 +37,29 @@ class CapacityError : public FlareError {
   explicit CapacityError(const std::string& what) : FlareError(what) {}
 };
 
+/// Raised when measured data is unusable — non-finite or out-of-range counter
+/// readings reaching a stage that requires clean input (the fault-tolerant
+/// profiling path validates and imputes before any such stage; seeing this
+/// error means a producer bypassed it).
+class FaultError : public FlareError {
+ public:
+  explicit FaultError(const std::string& what) : FlareError(what) {}
+};
+
+/// Raised when quarantine leaves too little healthy data to work with (e.g.
+/// every profiled row fell below the sample quorum).
+class QuarantineError : public FlareError {
+ public:
+  explicit QuarantineError(const std::string& what) : FlareError(what) {}
+};
+
+/// Raised when a write-ahead append journal cannot be written durably, is
+/// already pending on a target, or recovery cannot roll a torn append back.
+class JournalError : public FlareError {
+ public:
+  explicit JournalError(const std::string& what) : FlareError(what) {}
+};
+
 /// Throws `std::invalid_argument` with `message` when `condition` is false.
 /// Used to validate preconditions at public API boundaries.
 void ensure(bool condition, std::string_view message);

@@ -1,0 +1,205 @@
+// Crash-recovery integration tests (ctest label `faults`): a journaled
+// append that dies mid-write is rolled back by recover_append(), the archive
+// round-trips, and a re-run of the append succeeds. The kill test forks a
+// child that really dies (SIGKILL-style _exit) halfway through an append.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "dcsim/submission.hpp"
+#include "trace/csv.hpp"
+#include "trace/journal.hpp"
+#include "trace/metric_io.hpp"
+#include "trace/scenario_io.hpp"
+#include "util/error.hpp"
+
+#if defined(__unix__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define FLARE_HAVE_FORK 1
+#endif
+
+namespace flare::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+dcsim::ScenarioSet small_set(std::size_t n, std::uint64_t seed) {
+  dcsim::SubmissionConfig config;
+  config.target_distinct_scenarios = n;
+  config.seed = seed;
+  return dcsim::generate_scenario_set(config, dcsim::default_machine());
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path(::testing::TempDir() + "/" + name) {
+    std::error_code ec;
+    fs::remove(path, ec);
+    fs::remove(AppendJournal::journal_path(path), ec);
+  }
+  ~TempFile() {
+    std::error_code ec;
+    fs::remove(path, ec);
+    fs::remove(AppendJournal::journal_path(path), ec);
+  }
+};
+
+/// Simulates a crash mid-append: journal armed, some bytes of a torn row
+/// written, process "dies" before commit (the journal object is simply
+/// destroyed, which by design leaves the journal file behind).
+void tear_append(const std::string& path, const std::string& torn_bytes) {
+  AppendJournal journal(path);
+  std::ofstream out(path, std::ios::app);
+  out << torn_bytes;  // no trailing newline: a half-written record
+  out.flush();
+  // no commit()
+}
+
+TEST(CrashRecovery, RecoverWithoutJournalIsANoOp) {
+  TempFile file("flare_recover_noop.csv");
+  save_scenario_set(small_set(5, 1), file.path);
+  const std::uint64_t size = fs::file_size(file.path);
+  const JournalRecovery rec = recover_append(file.path);
+  EXPECT_FALSE(rec.recovered);
+  EXPECT_FALSE(rec.truncated);
+  EXPECT_EQ(rec.restored_size, size);
+  EXPECT_EQ(fs::file_size(file.path), size);
+}
+
+TEST(CrashRecovery, TornScenarioAppendIsTruncatedBackAndRoundTrips) {
+  TempFile file("flare_recover_scenarios.csv");
+  const dcsim::ScenarioSet original = small_set(8, 2);
+  save_scenario_set(original, file.path);
+  const std::uint64_t clean_size = fs::file_size(file.path);
+
+  tear_append(file.path, "8,default,0.0123");  // torn mid-row
+  // The torn tail is visible and the loader refuses it...
+  EXPECT_GT(fs::file_size(file.path), clean_size);
+  EXPECT_THROW((void)load_scenario_set(file.path), ParseError);
+  // ...and with the journal still armed, a new journaled append refuses too.
+  EXPECT_THROW(AppendJournal{file.path}, JournalError);
+
+  const JournalRecovery rec = recover_append(file.path);
+  EXPECT_TRUE(rec.recovered);
+  EXPECT_TRUE(rec.truncated);
+  EXPECT_EQ(rec.restored_size, clean_size);
+  EXPECT_EQ(fs::file_size(file.path), clean_size);
+
+  // Round-trip: the restored archive equals the original...
+  const dcsim::ScenarioSet restored = load_scenario_set(file.path);
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.scenarios[i].mix.key(), original.scenarios[i].mix.key());
+  }
+  // ...and the append can be re-run to completion.
+  const dcsim::ScenarioSet batch = small_set(4, 3);
+  append_scenario_set(batch, file.path, /*journaled=*/true);
+  EXPECT_FALSE(fs::exists(AppendJournal::journal_path(file.path)));
+  EXPECT_EQ(load_scenario_set(file.path).size(),
+            original.size() + batch.size());
+}
+
+TEST(CrashRecovery, TornJournalMeansAppendNeverStarted) {
+  TempFile file("flare_recover_torn_journal.csv");
+  save_scenario_set(small_set(5, 4), file.path);
+  const std::uint64_t size = fs::file_size(file.path);
+  {
+    // A journal torn mid-write (no BEGIN marker): the guarded append cannot
+    // have touched the target yet.
+    std::ofstream j(AppendJournal::journal_path(file.path));
+    j << "flare-append-journal v1\nsize 1";
+  }
+  const JournalRecovery rec = recover_append(file.path);
+  EXPECT_TRUE(rec.recovered);
+  EXPECT_FALSE(rec.truncated);
+  EXPECT_EQ(fs::file_size(file.path), size);
+  EXPECT_NO_THROW((void)load_scenario_set(file.path));
+}
+
+TEST(CrashRecovery, CommittedAppendLeavesNoJournal) {
+  TempFile file("flare_recover_commit.csv");
+  const dcsim::ScenarioSet base = small_set(6, 5);
+  const dcsim::ScenarioSet batch = small_set(3, 6);
+  save_scenario_set(base, file.path);
+  append_scenario_set(batch, file.path, /*journaled=*/true);
+  EXPECT_FALSE(fs::exists(AppendJournal::journal_path(file.path)));
+  EXPECT_EQ(load_scenario_set(file.path).size(), base.size() + batch.size());
+}
+
+TEST(CrashRecovery, MetricAppendTornAndRecovered) {
+  TempFile scen("flare_recover_metric_scen.csv");
+  TempFile file("flare_recover_metrics.csv");
+  // Build a tiny profiled database via the trace round-trip path.
+  const dcsim::ScenarioSet set = small_set(5, 7);
+  metrics::MetricDatabase db(metrics::MetricCatalog::standard());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    metrics::MetricRow row;
+    row.scenario_id = i;
+    row.scenario_key = set.scenarios[i].mix.key();
+    row.observation_weight = set.scenarios[i].observation_weight;
+    row.values.assign(db.catalog().size(), static_cast<double>(i) + 0.5);
+    db.add_row(std::move(row));
+  }
+  save_metric_database(db, file.path);
+  const std::uint64_t clean_size = fs::file_size(file.path);
+
+  tear_append(file.path, "5,DA:1,0.2,1.0,2.0");  // torn mid-row
+  EXPECT_THROW((void)load_metric_database(file.path), ParseError);
+  const JournalRecovery rec = recover_append(file.path);
+  EXPECT_TRUE(rec.truncated);
+  EXPECT_EQ(fs::file_size(file.path), clean_size);
+  EXPECT_EQ(load_metric_database(file.path).num_rows(), db.num_rows());
+
+  metrics::MetricDatabase batch(db.catalog());
+  batch.add_row(db.row(0));
+  append_metric_database(batch, file.path, /*journaled=*/true);
+  EXPECT_EQ(load_metric_database(file.path).num_rows(), db.num_rows() + 1);
+}
+
+#ifdef FLARE_HAVE_FORK
+TEST(CrashRecovery, KilledMidAppendProcessIsRolledBack) {
+  TempFile file("flare_recover_kill.csv");
+  const dcsim::ScenarioSet original = small_set(10, 8);
+  save_scenario_set(original, file.path);
+  const std::uint64_t clean_size = fs::file_size(file.path);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: start a journaled append, write a torn row, die without commit
+    // or any destructor/atexit running — as close to SIGKILL as a
+    // deterministic test gets.
+    AppendJournal journal(file.path);
+    std::ofstream out(file.path, std::ios::app);
+    out << "10,default,0.5,D";
+    out.flush();
+    _exit(137);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 137);
+
+  // The parent finds the torn archive + armed journal and recovers it.
+  EXPECT_TRUE(fs::exists(AppendJournal::journal_path(file.path)));
+  EXPECT_THROW((void)load_scenario_set(file.path), ParseError);
+  const JournalRecovery rec = recover_append(file.path);
+  EXPECT_TRUE(rec.recovered);
+  EXPECT_TRUE(rec.truncated);
+  EXPECT_EQ(fs::file_size(file.path), clean_size);
+  EXPECT_EQ(load_scenario_set(file.path).size(), original.size());
+
+  // Re-ingest (the append the crash interrupted) now succeeds.
+  const dcsim::ScenarioSet batch = small_set(4, 9);
+  append_scenario_set(batch, file.path, /*journaled=*/true);
+  EXPECT_EQ(load_scenario_set(file.path).size(), original.size() + batch.size());
+}
+#endif  // FLARE_HAVE_FORK
+
+}  // namespace
+}  // namespace flare::trace

@@ -1,0 +1,94 @@
+// Nightly fault-matrix entry point (ctest label `faults`). The CI grid sets
+//   FLARE_FAULT_RATE    injection rate for every fault class (default 0.1)
+//   FLARE_FAULT_POLICY  ingest refit policy: auto | never | always (default auto)
+// and the job echoes both plus the fault seed, so any red cell reproduces
+// with three environment variables. Without the env vars this is a cheap
+// default-cell smoke test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "core/pipeline.hpp"
+#include "dcsim/submission.hpp"
+#include "tests/core/test_env.hpp"
+#include "util/error.hpp"
+
+namespace flare::core {
+namespace {
+
+double rate_from_env() {
+  if (const char* env = std::getenv("FLARE_FAULT_RATE")) {
+    return std::strtod(env, nullptr);
+  }
+  return 0.1;
+}
+
+RefitPolicy policy_from_env() {
+  const char* env = std::getenv("FLARE_FAULT_POLICY");
+  const std::string name = env ? env : "auto";
+  if (name == "never") return RefitPolicy::kNever;
+  if (name == "always") return RefitPolicy::kAlways;
+  return RefitPolicy::kAuto;
+}
+
+std::uint64_t seed_from_env() {
+  if (const char* env = std::getenv("FLARE_FAULT_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return 0xFA017ull;
+}
+
+dcsim::ScenarioSet scenario_set_of(std::size_t n, std::uint64_t seed) {
+  dcsim::SubmissionConfig config;
+  config.target_distinct_scenarios = n;
+  config.seed = seed;
+  return dcsim::generate_scenario_set(config, dcsim::default_machine());
+}
+
+TEST(FaultMatrix, FitAndIngestSurviveTheConfiguredCell) {
+  const double rate = rate_from_env();
+  const RefitPolicy policy = policy_from_env();
+  const std::uint64_t seed = seed_from_env();
+  RecordProperty("fault_rate", std::to_string(rate));
+  RecordProperty("fault_seed", std::to_string(seed));
+
+  FlareConfig config = testing::small_flare_config();
+  if (rate > 0.0) {
+    config.profiler.faults = dcsim::FaultOptions::uniform(rate, seed);
+  }
+  config.profiler.sample_quorum = 2;
+  config.profiler.max_retries = 2;
+
+  FlarePipeline pipeline(config);
+  // Large enough that the healthy rows outnumber the refined columns at any
+  // grid cell (high rates quarantine aggressively and keep more columns).
+  pipeline.fit(scenario_set_of(200, seed ^ 0xF17ull));
+
+  std::size_t quarantined_total = 0;
+  for (int b = 0; b < 4; ++b) {
+    const IngestReport report = pipeline.ingest(
+        scenario_set_of(15, seed + 100 + static_cast<std::uint64_t>(b)),
+        policy);
+    quarantined_total += report.rows_quarantined;
+    if (policy == RefitPolicy::kNever) {
+      EXPECT_NE(report.action, DriftVerdict::kRefit);
+    }
+    if (policy == RefitPolicy::kAlways) {
+      EXPECT_EQ(report.action, DriftVerdict::kRefit);
+    }
+    EXPECT_GE(report.quarantined_weight_fraction, 0.0);
+    EXPECT_LE(report.quarantined_weight_fraction, 1.0);
+  }
+  RecordProperty("rows_quarantined", std::to_string(quarantined_total));
+
+  // Whatever the cell, the population stays consistent and evaluable.
+  EXPECT_EQ(pipeline.scenario_set().size(), pipeline.database().num_rows());
+  EXPECT_EQ(pipeline.quarantined().size(), pipeline.database().num_rows());
+  const FeatureEstimate est = pipeline.evaluate(feature_dvfs_cap());
+  EXPECT_TRUE(std::isfinite(est.impact_pct));
+}
+
+}  // namespace
+}  // namespace flare::core

@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "stats/descriptive.hpp"
 #include "stats/rng.hpp"
 #include "tests/util/generators.hpp"
 #include "tests/util/matrix_matchers.hpp"
 #include "tests/util/property.hpp"
+#include "util/error.hpp"
 
 namespace flare::ml {
 namespace {
@@ -160,6 +163,46 @@ TEST(StandardizerProperty, TransformThenInverseIsIdentity) {
     const linalg::Matrix z = s.fit_transform(data);
     EXPECT_TRUE(testing::MatricesNear(s.inverse_transform(z), data, 1e-9));
   });
+}
+
+TEST(Standardizer, FitRejectsNonFiniteValuesNamingTheCell) {
+  Matrix data = random_data(4, 3, 2);
+  data(2, 1) = std::numeric_limits<double>::quiet_NaN();
+  Standardizer s;
+  try {
+    s.fit(data);
+    FAIL() << "expected FaultError for a NaN cell";
+  } catch (const FaultError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("row 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("column 1"), std::string::npos) << msg;
+  }
+  data(2, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(s.fit(data), FaultError);
+  data(2, 1) = -std::numeric_limits<double>::infinity();
+  EXPECT_THROW(s.fit(data), FaultError);
+}
+
+TEST(Standardizer, MergeRejectsNonFiniteMomentsNamingTheColumn) {
+  Standardizer a;
+  a.fit(random_data(8, 2, 3));
+  // Finite inputs whose variance overflows to infinity: every cell passes
+  // fit's validation, but the batch's second moment is still poisoned and
+  // must not be folded into the population moments.
+  Matrix overflow(2, 2);
+  overflow(0, 0) = 1e308;
+  overflow(0, 1) = 1.0;
+  overflow(1, 0) = -1e308;
+  overflow(1, 1) = 2.0;
+  Standardizer b;
+  b.fit(overflow);
+  try {
+    a.merge(b);
+    FAIL() << "expected FaultError for non-finite moments";
+  } catch (const FaultError& e) {
+    EXPECT_NE(std::string(e.what()).find("column 0"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Standardizer, SingleRowKeepsUnitScale) {
