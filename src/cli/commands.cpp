@@ -123,6 +123,7 @@ int run_evaluate(const Args& args, std::ostream& out) {
   config.schema = schema_by_name(args.get_string("schema", "standard"));
   config.threads = threads_from(args);
   config.profiler.threads = config.threads;
+  apply_replay_args(args, config);
   const bool per_job = args.get_flag("per-job");
   const bool with_truth = args.get_flag("truth");
   const bool with_sampling = args.get_flag("sampling");
@@ -137,6 +138,17 @@ int run_evaluate(const Args& args, std::ostream& out) {
   out << "FLARE estimate: " << est.impact_pct << "% HP MIPS reduction ("
       << est.scenario_replays << " scenario replays vs " << set.size()
       << " scenarios in the datacenter)\n";
+  if (config.replay_faults.enabled) {
+    out << "replay health: " << est.replay.total_attempts << " attempts ("
+        << est.replay.failed_attempts << " failed), mass direct "
+        << 100.0 * est.replay.direct_mass << "% / fallback "
+        << 100.0 * est.replay.fallback_mass << "% / quarantined "
+        << 100.0 * est.replay.quarantined_mass << "%, uncertainty +-"
+        << est.replay.measurement_uncertainty_pp +
+               est.replay.quarantine_widening_pp
+        << " pp, testbed " << est.replay.simulated_seconds / 3600.0
+        << " h (simulated)\n";
+  }
 
   if (with_truth || with_sampling) {
     const baselines::FullDatacenterEvaluator truth(pipeline.impact_model(), set);
@@ -205,7 +217,15 @@ int run_help(std::ostream& out) {
          "  evaluate --scenarios F.csv --feature SPEC [--machine ...]\n"
          "           [--clusters K] [--per-job] [--truth] [--sampling]\n"
          "           [--schema NAME] [--threads T]\n"
-         "      estimate a feature's fleet impact from the representatives\n"
+         "           [--replay-faults R] [--replay-fault-seed S]\n"
+         "           [--replay-retries N] [--replay-deadline D] [--replay-ci W]\n"
+         "           [--max-quarantined-mass M]\n"
+         "      estimate a feature's fleet impact from the representatives;\n"
+         "      --replay-faults injects testbed replay faults at rate R\n"
+         "      (retried N times, deadline D seconds, repeat-measured until\n"
+         "      the CI half-width is <= W pp; unreplayable representatives\n"
+         "      fall back to runner-up members, unreplayable clusters are\n"
+         "      quarantined up to a mass share of M before failing loudly)\n"
          "  drift --baseline M.csv --fresh M2.csv [--clusters K]\n"
          "        [--refit-ratio R] [--reweight-shift S]\n"
          "      triage representative validity: valid | reweight | refit\n"
@@ -223,9 +243,13 @@ int run_help(std::ostream& out) {
          "      samples per row, N retries); --journal guards the appends\n"
          "      with a write-ahead journal, --resume rolls back torn ones\n"
          "  report --scenarios F.csv --out R.md [--features LIST] [--truth]\n"
-         "         [--machine ...] [--clusters K]\n"
+         "         [--machine ...] [--clusters K] [--replay-faults R]\n"
+         "         [--replay-fault-seed S] [--replay-retries N]\n"
+         "         [--replay-deadline D] [--replay-ci W]\n"
+         "         [--max-quarantined-mass M]\n"
          "      write a Markdown evaluation report; LIST is ';'-separated\n"
-         "      feature SPECs (default: the three Table 4 features)\n"
+         "      feature SPECs (default: the three Table 4 features);\n"
+         "      replay flags as in `evaluate`\n"
          "  help\n\n"
          "schema NAME: standard | job-mix (§5.3 per-job columns) |\n"
          "  temporal (§4.1 stddev columns) | job-mix-temporal\n"

@@ -42,4 +42,30 @@ core::AnalyzerConfig analyzer_config_from(const Args& args) {
   return config;
 }
 
+void apply_replay_args(const Args& args, core::FlareConfig& config) {
+  const double rate = args.get_double("replay-faults", 0.0);
+  ensure(rate >= 0.0 && rate <= 1.0, "--replay-faults must be in [0, 1]");
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int(
+      "replay-fault-seed", static_cast<long long>(config.replay_faults.seed)));
+  if (rate > 0.0) {
+    config.replay_faults = dcsim::ReplayFaultOptions::uniform(rate, seed);
+  }
+  const long long retries =
+      args.get_int("replay-retries", config.replay.max_retries);
+  ensure(retries >= 0, "--replay-retries must be >= 0");
+  config.replay.max_retries = static_cast<int>(retries);
+  config.replay.deadline_seconds =
+      args.get_double("replay-deadline", config.replay.deadline_seconds);
+  ensure(config.replay.deadline_seconds >= config.replay.nominal_seconds,
+         "--replay-deadline must be >= the nominal replay time (" +
+             std::to_string(config.replay.nominal_seconds) + " s)");
+  config.replay.target_ci_halfwidth_pp =
+      args.get_double("replay-ci", config.replay.target_ci_halfwidth_pp);
+  config.replay.max_quarantined_mass = args.get_double(
+      "max-quarantined-mass", config.replay.max_quarantined_mass);
+  ensure(config.replay.max_quarantined_mass >= 0.0 &&
+             config.replay.max_quarantined_mass <= 1.0,
+         "--max-quarantined-mass must be in [0, 1]");
+}
+
 }  // namespace flare::cli

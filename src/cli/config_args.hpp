@@ -24,4 +24,12 @@ namespace flare::cli {
 /// --no-whiten, --no-refine, --threads.
 [[nodiscard]] core::AnalyzerConfig analyzer_config_from(const Args& args);
 
+/// Shared replay-plane knobs for commands that reach step 4:
+/// --replay-faults R (all five testbed fault classes at rate R),
+/// --replay-fault-seed S, --replay-retries N, --replay-deadline D (seconds),
+/// --replay-ci W (target CI half-width, pp), --max-quarantined-mass M.
+/// Fills config.replay / config.replay_faults; with none of the flags given
+/// the config keeps its defaults and the clean path stays bit-identical.
+void apply_replay_args(const Args& args, core::FlareConfig& config);
+
 }  // namespace flare::cli

@@ -8,6 +8,7 @@
 
 #include "baselines/full_evaluator.hpp"
 #include "cli/commands.hpp"
+#include "cli/config_args.hpp"
 #include "cli/feature_spec.hpp"
 #include "core/pipeline.hpp"
 #include "trace/scenario_io.hpp"
@@ -79,17 +80,46 @@ void write_report(std::ostream& md, core::FlarePipeline& pipeline,
     md << " | " << analysis.chosen_k << " |\n";
   }
 
+  // With replay faults injected the breakdown grows a provenance column and a
+  // campaign-health line; without them the report stays byte-identical to the
+  // failure-free layout.
+  const bool replay_faults = pipeline.config().replay_faults.enabled;
   md << "\n## Per-feature behaviour breakdown\n\n";
   for (const core::Feature& feature : features) {
     const core::FeatureEstimate est = pipeline.evaluate(feature);
     md << "### " << feature.name() << "\n\n" << feature.description() << "\n\n";
-    md << "| cluster | weight | impact |\n|---|---|---|\n";
+    if (replay_faults) {
+      md << "| cluster | weight | impact | replay |\n|---|---|---|---|\n";
+    } else {
+      md << "| cluster | weight | impact |\n|---|---|---|\n";
+    }
     for (const core::ClusterImpact& ci : est.per_cluster) {
       md << "| " << ci.cluster << " | "
          << util::format_double(100.0 * ci.weight, 1) << " % | "
-         << pct(ci.impact_pct) << " |\n";
+         << pct(ci.impact_pct);
+      if (replay_faults) {
+        md << " | " << core::to_string(ci.status) << " ("
+           << ci.attempts << " attempts)";
+      }
+      md << " |\n";
     }
     md << "\n";
+    if (replay_faults) {
+      const core::ReplayLedger& ledger = est.replay;
+      md << "Replay health: " << ledger.total_attempts << " attempts ("
+         << ledger.failed_attempts << " failed, " << ledger.fallback_probes
+         << " fallback probes); mass direct "
+         << util::format_double(100.0 * ledger.direct_mass, 1) << " % / fallback "
+         << util::format_double(100.0 * ledger.fallback_mass, 1)
+         << " % / quarantined "
+         << util::format_double(100.0 * ledger.quarantined_mass, 1)
+         << " %; extra uncertainty ±"
+         << util::format_double(ledger.measurement_uncertainty_pp +
+                                    ledger.quarantine_widening_pp,
+                                2)
+         << " pp; simulated testbed time "
+         << util::format_double(ledger.simulated_seconds / 3600.0, 1) << " h.\n\n";
+    }
   }
   md << "---\nGenerated by `flare report` — representative-scenario "
         "evaluation after Lee et al., Middleware '23.\n";
@@ -103,16 +133,12 @@ int run_report(const Args& args, std::ostream& out) {
   const std::string feature_list = args.get_string("features", "feature1;feature2;feature3");
   const bool with_truth = args.get_flag("truth");
   core::FlareConfig config;
-  config.machine = [&] {
-    const std::string name = args.get_string("machine", "default");
-    if (name == "default") return dcsim::default_machine();
-    if (name == "small") return dcsim::small_machine();
-    throw ParseError("unknown machine shape '" + name + "' (default|small)");
-  }();
+  config.machine = machine_by_name(args.get_string("machine", "default"));
   const long long clusters = args.get_int("clusters", 18);
   ensure(clusters >= 2, "--clusters must be >= 2");
   config.analyzer.fixed_clusters = static_cast<std::size_t>(clusters);
   config.analyzer.compute_quality_curve = false;
+  apply_replay_args(args, config);
   args.reject_unconsumed();
 
   // Feature specs are ';'-separated so custom knob lists keep their commas,
@@ -135,8 +161,14 @@ int run_report(const Args& args, std::ostream& out) {
 
   out << "evaluated " << features.size() << " feature(s) on "
       << pipeline.analysis().chosen_k << " representatives ("
-      << pipeline.scenario_replays() << " replays total)\n"
-      << "wrote " << out_path << "\n";
+      << pipeline.scenario_replays() << " replays total)\n";
+  if (config.replay_faults.enabled) {
+    out << "replay attempts: " << pipeline.replayer().total_replays() << " ("
+        << pipeline.replayer().failed_replays() << " failed, "
+        << util::format_double(pipeline.replayer().simulated_seconds() / 3600.0, 1)
+        << " h simulated testbed time)\n";
+  }
+  out << "wrote " << out_path << "\n";
   return 0;
 }
 

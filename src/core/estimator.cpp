@@ -1,10 +1,24 @@
 #include "core/estimator.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
 
 namespace flare::core {
+
+std::string_view to_string(ClusterReplayStatus status) {
+  switch (status) {
+    case ClusterReplayStatus::kDirect:
+      return "direct";
+    case ClusterReplayStatus::kFallback:
+      return "fallback";
+    case ClusterReplayStatus::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
 
 FlareEstimator::FlareEstimator(const AnalysisResult& analysis,
                                const dcsim::ScenarioSet& set, Replayer& replayer)
@@ -17,22 +31,116 @@ FlareEstimator::FlareEstimator(const AnalysisResult& analysis,
          "FlareEstimator: analysis is missing representatives");
 }
 
+void FlareEstimator::replay_cluster(std::size_t c, const Feature& feature,
+                                    ClusterImpact& ci, ReplayLedger& ledger) const {
+  const std::size_t rep_row = analysis_->representatives[c];
+  ci.cluster = c;
+  ci.representative_scenario = rep_row;
+
+  const ReplayMeasurement m =
+      replayer_->replay_scenario_measured(set_->scenarios[rep_row], feature);
+  ci.attempts += m.attempts;
+  ledger.total_attempts += m.attempts;
+  ledger.failed_attempts += m.failed_attempts;
+  ledger.simulated_seconds += m.simulated_seconds;
+  if (m.ok()) {
+    ci.impact_pct = m.impact_pct;
+    ci.ci_halfwidth_pp = m.ci_halfwidth_pp;
+    ci.status = ClusterReplayStatus::kDirect;
+    return;
+  }
+
+  // The representative is unreplayable: walk outward from the centroid in
+  // whitened cluster space — the same ordering the per-job walk uses — and
+  // promote the nearest member that replays.
+  const std::vector<std::size_t> ordered = analysis_->members_by_distance(c);
+  int probes = 0;
+  for (const std::size_t member : ordered) {
+    if (member == rep_row) continue;
+    if (probes >= replayer_->policy().max_fallback_probes) break;
+    ++probes;
+    ++ledger.fallback_probes;
+    const ReplayMeasurement f =
+        replayer_->replay_scenario_measured(set_->scenarios[member], feature);
+    ci.attempts += f.attempts;
+    ledger.total_attempts += f.attempts;
+    ledger.failed_attempts += f.failed_attempts;
+    ledger.simulated_seconds += f.simulated_seconds;
+    if (f.ok()) {
+      ci.representative_scenario = member;
+      ci.impact_pct = f.impact_pct;
+      ci.ci_halfwidth_pp = f.ci_halfwidth_pp;
+      ci.status = ClusterReplayStatus::kFallback;
+      return;
+    }
+  }
+  ci.status = ClusterReplayStatus::kQuarantined;
+  ci.impact_pct = 0.0;
+  ci.ci_halfwidth_pp = 0.0;
+}
+
 FeatureEstimate FlareEstimator::estimate(const Feature& feature) const {
   FeatureEstimate est;
   est.feature_name = feature.name();
   const std::size_t replays_before = replayer_->distinct_scenario_replays();
 
+  double replayed_mass = 0.0;
   for (std::size_t c = 0; c < analysis_->chosen_k; ++c) {
-    const std::size_t rep_row = analysis_->representatives[c];
-    const dcsim::ColocationScenario& scenario = set_->scenarios[rep_row];
     ClusterImpact ci;
-    ci.cluster = c;
-    ci.representative_scenario = rep_row;
-    ci.weight = analysis_->cluster_weights[c];
-    ci.impact_pct = replayer_->replay_scenario_impact(scenario, feature);
-    est.impact_pct += ci.weight * ci.impact_pct;
+    replay_cluster(c, feature, ci, est.replay);
+    const double w = analysis_->cluster_weights[c];
+    if (ci.status == ClusterReplayStatus::kQuarantined) {
+      ci.weight = 0.0;
+      est.replay.quarantined_mass += w;
+      ++est.replay.clusters_quarantined;
+    } else {
+      ci.weight = w;
+      replayed_mass += w;
+      if (ci.status == ClusterReplayStatus::kDirect) {
+        est.replay.direct_mass += w;
+        ++est.replay.clusters_direct;
+      } else {
+        est.replay.fallback_mass += w;
+        ++est.replay.clusters_fallback;
+      }
+      est.impact_pct += ci.weight * ci.impact_pct;
+    }
     est.per_cluster.push_back(ci);
   }
+
+  if (est.replay.quarantined_mass > 0.0) {
+    if (replayed_mass <= 0.0) {
+      throw ReplayError("FlareEstimator::estimate: every cluster is unreplayable "
+                        "for feature '" + feature.name() + "'");
+    }
+    if (est.replay.quarantined_mass > replayer_->policy().max_quarantined_mass) {
+      throw ReplayError(
+          "FlareEstimator::estimate: " +
+          std::to_string(est.replay.quarantined_mass * 100.0) +
+          "% of observation mass is quarantined (unreplayable clusters) for "
+          "feature '" + feature.name() + "', above the max_quarantined_mass "
+          "threshold of " +
+          std::to_string(replayer_->policy().max_quarantined_mass * 100.0) + "%");
+    }
+    // Renormalise the surviving clusters so their weights sum to 1 again; the
+    // excluded mass stays visible in the ledger.
+    est.impact_pct /= replayed_mass;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (ClusterImpact& ci : est.per_cluster) {
+      if (ci.status == ClusterReplayStatus::kQuarantined) continue;
+      ci.weight /= replayed_mass;
+      lo = std::min(lo, ci.impact_pct);
+      hi = std::max(hi, ci.impact_pct);
+    }
+    est.replay.quarantine_widening_pp =
+        est.replay.quarantined_mass * (hi - lo) / 2.0;
+  }
+  for (const ClusterImpact& ci : est.per_cluster) {
+    if (ci.status == ClusterReplayStatus::kQuarantined) continue;
+    est.replay.measurement_uncertainty_pp += ci.weight * ci.ci_halfwidth_pp;
+  }
+
   est.scenario_replays = replayer_->distinct_scenario_replays() - replays_before;
   return est;
 }
@@ -42,19 +150,45 @@ ValidatedFeatureEstimate FlareEstimator::estimate_with_validation(
   ValidatedFeatureEstimate out;
   out.estimate = estimate(feature);
   for (std::size_t c = 0; c < analysis_->chosen_k; ++c) {
+    const ClusterImpact& rep_ci = out.estimate.per_cluster[c];
+    if (rep_ci.status == ClusterReplayStatus::kQuarantined) continue;
+    const double weight = rep_ci.weight;
     const std::vector<std::size_t> ordered = analysis_->members_by_distance(c);
-    const double weight = analysis_->cluster_weights[c];
     if (ordered.size() < 2) {
       // Singleton cluster: the representative is exact for its group.
-      out.validation_impact_pct += weight * out.estimate.per_cluster[c].impact_pct;
+      out.validation_impact_pct += weight * rep_ci.impact_pct;
       continue;
     }
-    const double second = replayer_->replay_scenario_impact(
-        set_->scenarios[ordered[1]], feature);
-    out.validation_impact_pct += weight * second;
-    out.uncertainty_pp +=
-        weight * std::abs(out.estimate.per_cluster[c].impact_pct - second) / 2.0;
+    // Probe the nearest member other than the one the estimate used; under
+    // replay faults an unreplayable probe falls through to the next member.
+    std::optional<double> second;
+    int probes = 0;
+    for (const std::size_t member : ordered) {
+      if (member == rep_ci.representative_scenario) continue;
+      if (probes >= 1 + replayer_->policy().max_fallback_probes) break;
+      ++probes;
+      const ReplayMeasurement m =
+          replayer_->replay_scenario_measured(set_->scenarios[member], feature);
+      out.estimate.replay.total_attempts += m.attempts;
+      out.estimate.replay.failed_attempts += m.failed_attempts;
+      out.estimate.replay.simulated_seconds += m.simulated_seconds;
+      if (m.ok()) {
+        second = m.impact_pct;
+        break;
+      }
+    }
+    if (!second.has_value()) {
+      // No healthy runner-up: no spread information for this cluster.
+      out.validation_impact_pct += weight * rep_ci.impact_pct;
+      continue;
+    }
+    out.validation_impact_pct += weight * *second;
+    out.uncertainty_pp += weight * std::abs(rep_ci.impact_pct - *second) / 2.0;
   }
+  // Widen the band by the replay plane's own uncertainty. Both terms are
+  // exactly zero on the failure-free path.
+  out.uncertainty_pp += out.estimate.replay.measurement_uncertainty_pp +
+                        out.estimate.replay.quarantine_widening_pp;
   return out;
 }
 
@@ -78,28 +212,90 @@ PerJobEstimate FlareEstimator::estimate_per_job(const Feature& feature,
          "FlareEstimator::estimate_per_job: job never appears in the datacenter");
 
   est.per_cluster.assign(analysis_->chosen_k, std::nullopt);
+  double lost_share = 0.0;
   for (std::size_t c = 0; c < analysis_->chosen_k; ++c) {
     if (job_weight[c] <= 0.0) continue;  // cluster has no instance of the job
-    // Walk outward from the centroid to the nearest member containing the job.
+    // Walk outward from the centroid to the nearest member containing the
+    // job; under replay faults, keep walking past unreplayable members.
     const std::vector<std::size_t> ordered = analysis_->members_by_distance(c);
-    std::optional<std::size_t> chosen;
+    ClusterImpact ci;
+    ci.cluster = c;
+    ci.weight = job_weight[c] / total_weight;
+    bool measured = false;
+    int probes = 0;
     for (const std::size_t member : ordered) {
-      if (set_->scenarios[member].mix.count(job) > 0) {
-        chosen = member;
+      if (set_->scenarios[member].mix.count(job) == 0) continue;
+      if (probes >= 1 + replayer_->policy().max_fallback_probes) break;
+      const bool is_first = probes == 0;
+      ++probes;
+      const ReplayMeasurement m =
+          replayer_->replay_job_measured(job, set_->scenarios[member], feature);
+      ci.attempts += m.attempts;
+      est.replay.total_attempts += m.attempts;
+      est.replay.failed_attempts += m.failed_attempts;
+      est.replay.simulated_seconds += m.simulated_seconds;
+      if (!is_first) ++est.replay.fallback_probes;
+      if (m.ok()) {
+        ci.representative_scenario = member;
+        ci.impact_pct = m.impact_pct;
+        ci.ci_halfwidth_pp = m.ci_halfwidth_pp;
+        ci.status = is_first ? ClusterReplayStatus::kDirect
+                             : ClusterReplayStatus::kFallback;
+        measured = true;
         break;
       }
     }
-    ensure(chosen.has_value(),
-           "FlareEstimator::estimate_per_job: job weight without a member scenario");
-    ClusterImpact ci;
-    ci.cluster = c;
-    ci.representative_scenario = *chosen;
-    ci.weight = job_weight[c] / total_weight;
-    ci.impact_pct =
-        replayer_->replay_job_impact(job, set_->scenarios[*chosen], feature);
+    if (!measured) {
+      ci.status = ClusterReplayStatus::kQuarantined;
+      ci.impact_pct = 0.0;
+      est.replay.quarantined_mass += ci.weight;
+      ++est.replay.clusters_quarantined;
+      lost_share += ci.weight;
+      ci.weight = 0.0;
+      est.per_cluster[c] = ci;
+      continue;
+    }
+    if (ci.status == ClusterReplayStatus::kDirect) {
+      est.replay.direct_mass += ci.weight;
+      ++est.replay.clusters_direct;
+    } else {
+      est.replay.fallback_mass += ci.weight;
+      ++est.replay.clusters_fallback;
+    }
     est.impact_pct += ci.weight * ci.impact_pct;
     est.per_cluster[c] = ci;
   }
+
+  if (lost_share > 0.0) {
+    const double remaining = 1.0 - lost_share;
+    if (remaining <= 0.0) {
+      throw ReplayError("FlareEstimator::estimate_per_job: every cluster holding "
+                        "the job is unreplayable for feature '" + feature.name() +
+                        "'");
+    }
+    if (lost_share > replayer_->policy().max_quarantined_mass) {
+      throw ReplayError(
+          "FlareEstimator::estimate_per_job: " + std::to_string(lost_share * 100.0) +
+          "% of the job's mass is quarantined for feature '" + feature.name() +
+          "', above the max_quarantined_mass threshold of " +
+          std::to_string(replayer_->policy().max_quarantined_mass * 100.0) + "%");
+    }
+    est.impact_pct /= remaining;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (std::optional<ClusterImpact>& entry : est.per_cluster) {
+      if (!entry || entry->status == ClusterReplayStatus::kQuarantined) continue;
+      entry->weight /= remaining;
+      lo = std::min(lo, entry->impact_pct);
+      hi = std::max(hi, entry->impact_pct);
+    }
+    est.replay.quarantine_widening_pp = lost_share * (hi - lo) / 2.0;
+  }
+  for (const std::optional<ClusterImpact>& entry : est.per_cluster) {
+    if (!entry || entry->status == ClusterReplayStatus::kQuarantined) continue;
+    est.replay.measurement_uncertainty_pp += entry->weight * entry->ci_halfwidth_pp;
+  }
+
   est.scenario_replays = replayer_->distinct_scenario_replays() - replays_before;
   return est;
 }

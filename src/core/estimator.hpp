@@ -7,6 +7,19 @@
 // Per-job estimate: a representative may not contain the job of interest
 // even when its cluster does — walk outward from the centroid to the nearest
 // member that does, and weight clusters by their job-instance counts.
+//
+// Replay-plane fault tolerance: when a representative is unreplayable after
+// the Replayer's retries (hung/crashed testbed, lost machine), the estimator
+// promotes a fallback by walking outward from the centroid in whitened
+// cluster space — the next-nearest member is, by clustering construction, the
+// next-best proxy for the cluster. A cluster whose probes are all
+// unreplayable is quarantined: its observation mass is excluded and the
+// remaining cluster weights renormalised, the lost mass is reported in the
+// ReplayLedger, and the uncertainty band widens by the quarantined mass times
+// the observed impact spread. If quarantined mass exceeds the policy
+// threshold the estimate fails loudly (ReplayError) instead of returning a
+// silently hollow number. With faults disabled none of this machinery runs
+// and every estimate is bit-identical to the failure-free path.
 #pragma once
 
 #include <optional>
@@ -19,18 +32,62 @@
 
 namespace flare::core {
 
+/// How a cluster's impact reading was obtained.
+enum class ClusterReplayStatus : unsigned char {
+  kDirect,       ///< the chosen representative replayed successfully
+  kFallback,     ///< representative unreplayable; a runner-up member replayed
+  kQuarantined,  ///< no member replayed; cluster mass excluded
+};
+
+[[nodiscard]] std::string_view to_string(ClusterReplayStatus status);
+
 struct ClusterImpact {
   std::size_t cluster = 0;
   std::size_t representative_scenario = 0;  ///< row index into the ScenarioSet
   double impact_pct = 0.0;
   double weight = 0.0;  ///< contribution weight (Σ over clusters used = 1)
+  ClusterReplayStatus status = ClusterReplayStatus::kDirect;
+  int attempts = 0;            ///< replay attempts spent on this cluster
+  double ci_halfwidth_pp = 0.0;  ///< measurement CI of the used reading
+};
+
+/// Accounting of how the replay campaign behind an estimate went. Masses are
+/// in original cluster-weight units, so direct + fallback + quarantined = 1.
+struct ReplayLedger {
+  double direct_mass = 0.0;       ///< mass estimated from chosen representatives
+  double fallback_mass = 0.0;     ///< mass estimated from promoted runner-ups
+  double quarantined_mass = 0.0;  ///< mass excluded (unreplayable clusters)
+  int clusters_direct = 0;
+  int clusters_fallback = 0;
+  int clusters_quarantined = 0;
+  int total_attempts = 0;   ///< testbed attempts billed for this estimate
+  int failed_attempts = 0;  ///< of which timed out / crashed / invalid
+  /// Replay probes issued beyond the chosen representatives (the outward
+  /// walk), successful or not.
+  int fallback_probes = 0;
+  /// Σ_c w_c · (CI half-width of cluster c's reading) — measurement noise
+  /// propagated into the estimate; exactly 0 on the failure-free path.
+  double measurement_uncertainty_pp = 0.0;
+  /// Extra band width from excluded mass: quarantined_mass × (spread of the
+  /// replayed cluster impacts) / 2 — the quarantined clusters could plausibly
+  /// have landed anywhere in the observed range.
+  double quarantine_widening_pp = 0.0;
+  double simulated_seconds = 0.0;  ///< testbed time consumed (simulated clock)
+
+  [[nodiscard]] double total_mass() const {
+    return direct_mass + fallback_mass + quarantined_mass;
+  }
+  [[nodiscard]] bool degraded() const {
+    return clusters_fallback > 0 || clusters_quarantined > 0;
+  }
 };
 
 struct FeatureEstimate {
   std::string feature_name;
   double impact_pct = 0.0;                 ///< the single-number summary
-  std::vector<ClusterImpact> per_cluster;  ///< Fig. 11 series
+  std::vector<ClusterImpact> per_cluster;  ///< Fig. 11 series (index = cluster)
   std::size_t scenario_replays = 0;        ///< evaluation cost of this estimate
+  ReplayLedger replay;                     ///< replay-campaign health
 };
 
 /// A FeatureEstimate with a cheap uncertainty band (see
@@ -40,9 +97,11 @@ struct ValidatedFeatureEstimate {
   /// Weighted impact using each cluster's SECOND-nearest member instead of
   /// the representative — an independent probe of within-cluster spread.
   double validation_impact_pct = 0.0;
-  /// Half-width of the reported band: Σ_c w_c · |rep_c − second_c| / 2.
-  /// Clusters are homogeneous by construction, so the rep-vs-runner-up gap
-  /// bounds how much the choice of representative moves the answer.
+  /// Half-width of the reported band: Σ_c w_c · |rep_c − second_c| / 2, plus
+  /// (under replay faults) the ledger's measurement-noise and
+  /// quarantine-widening terms. Clusters are homogeneous by construction, so
+  /// the rep-vs-runner-up gap bounds how much the choice of representative
+  /// moves the answer.
   double uncertainty_pp = 0.0;
 
   [[nodiscard]] double lower() const {
@@ -60,6 +119,7 @@ struct PerJobEstimate {
   /// Clusters without any instance of the job contribute nothing (nullopt).
   std::vector<std::optional<ClusterImpact>> per_cluster;
   std::size_t scenario_replays = 0;
+  ReplayLedger replay;
 };
 
 class FlareEstimator {
@@ -68,7 +128,9 @@ class FlareEstimator {
   FlareEstimator(const AnalysisResult& analysis, const dcsim::ScenarioSet& set,
                  Replayer& replayer);
 
-  /// Comprehensive HP-job impact (Fig. 12a's FLARE bar).
+  /// Comprehensive HP-job impact (Fig. 12a's FLARE bar). Throws ReplayError
+  /// if every cluster is unreplayable or the quarantined mass exceeds the
+  /// replay policy's max_quarantined_mass.
   [[nodiscard]] FeatureEstimate estimate(const Feature& feature) const;
 
   /// Like estimate(), plus an uncertainty band from one extra replay per
@@ -83,6 +145,13 @@ class FlareEstimator {
                                                 dcsim::JobType job) const;
 
  private:
+  /// Replays cluster `c`: the chosen representative first, then (on failure)
+  /// the outward walk over runner-up members, bounded by
+  /// ReplayPolicy::max_fallback_probes. Fills `ci` and updates `ledger`
+  /// attempt/probe counters (mass counters are the caller's job).
+  void replay_cluster(std::size_t c, const Feature& feature, ClusterImpact& ci,
+                      ReplayLedger& ledger) const;
+
   const AnalysisResult* analysis_;    ///< non-owning
   const dcsim::ScenarioSet* set_;     ///< non-owning
   Replayer* replayer_;                ///< non-owning, mutated (cost ledger)

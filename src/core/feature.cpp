@@ -1,8 +1,10 @@
 #include "core/feature.hpp"
 
+#include <bit>
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace flare::core {
 
@@ -22,6 +24,29 @@ dcsim::MachineConfig Feature::apply(const dcsim::MachineConfig& machine) const {
          "Feature '" + name_ + "' changes the machine's DRAM shape; "
          "shape-changing features need the §5.5 workflow, not Feature::apply");
   return out;
+}
+
+std::uint64_t Feature::fingerprint(const dcsim::MachineConfig& baseline) const {
+  const dcsim::MachineConfig m = apply(baseline);
+  const auto mix_double = [](std::uint64_t h, double v) {
+    return util::hash_mix(h, std::bit_cast<std::uint64_t>(v));
+  };
+  std::uint64_t h = util::fnv1a(m.name);
+  h = util::fnv1a(m.cpu_model, h);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(m.sockets));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(m.physical_cores_per_socket));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(m.scheduled_threads_per_core));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(m.mem_channels_per_socket));
+  h = util::hash_mix(h, m.smt_enabled ? 1u : 0u);
+  h = mix_double(h, m.dram_gb);
+  h = mix_double(h, m.llc_mb_per_socket);
+  h = mix_double(h, m.min_freq_ghz);
+  h = mix_double(h, m.max_freq_ghz);
+  h = mix_double(h, m.mem_bw_gbps_per_channel);
+  h = mix_double(h, m.mem_latency_ns);
+  h = mix_double(h, m.network_gbps);
+  h = mix_double(h, m.disk_kiops);
+  return h;
 }
 
 Feature baseline_feature() {

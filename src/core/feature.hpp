@@ -6,6 +6,7 @@
 // microarchitectural knobs; the three presets mirror the paper's Table 4.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -27,6 +28,14 @@ class Feature {
   /// std::invalid_argument if the feature would change the scheduling shape
   /// (vCPU quota or DRAM capacity) — that is outside FLARE's scope (§2/§5.5).
   [[nodiscard]] dcsim::MachineConfig apply(const dcsim::MachineConfig& machine) const;
+
+  /// Stable content fingerprint of the feature's *effect* on `baseline`: a
+  /// hash over every knob of the applied machine. Two features that configure
+  /// the testbed identically share a fingerprint regardless of their names;
+  /// two distinct features that happen to share a name do not. The Replayer
+  /// keys its cost ledger on this (a name collision must not dedupe billing)
+  /// and the replay fault streams are salted with it.
+  [[nodiscard]] std::uint64_t fingerprint(const dcsim::MachineConfig& baseline) const;
 
  private:
   std::string name_;

@@ -26,7 +26,8 @@ FlarePipeline::FlarePipeline(FlareConfig config, const dcsim::JobCatalog& catalo
       catalog_(catalog),
       model_(catalog_, config_.model),
       impact_(config_.machine, catalog_, config_.model),
-      replayer_(impact_),
+      replayer_(impact_, config_.replay,
+                dcsim::ReplayFaultModel(config_.replay_faults)),
       pool_(config_.threads != 1
                 ? std::make_unique<util::ThreadPool>(config_.threads)
                 : nullptr) {}

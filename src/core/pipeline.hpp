@@ -58,6 +58,11 @@ struct FlareConfig {
   DriftConfig drift;
   /// Ingest-time eigenbasis maintenance (see PcaUpdatePolicy).
   PcaUpdatePolicy pca_update = PcaUpdatePolicy::kRefit;
+  /// Retry / deadline / noise-gate policy for testbed replays (step 4).
+  ReplayPolicy replay;
+  /// Testbed fault injection for the replay plane (off by default; the clean
+  /// path stays bit-identical — see dcsim/replay_faults.hpp).
+  dcsim::ReplayFaultOptions replay_faults;
 
   /// Worker threads for the pipeline's shared pool: 1 = run inline (default),
   /// 0 = one per hardware thread. The pool is owned by FlarePipeline and
@@ -170,6 +175,10 @@ class FlarePipeline {
 
   /// Evaluation-cost ledger: distinct scenarios replayed on the testbed.
   [[nodiscard]] std::size_t scenario_replays() const;
+
+  /// The replay plane itself — attempt/failure ledgers, simulated testbed
+  /// clock, and the per-replay health journal.
+  [[nodiscard]] const Replayer& replayer() const { return replayer_; }
 
  private:
   FlareConfig config_;

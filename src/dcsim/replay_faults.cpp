@@ -1,0 +1,109 @@
+#include "dcsim/replay_faults.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/rng.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace flare::dcsim {
+
+ReplayFaultOptions ReplayFaultOptions::uniform(double rate, std::uint64_t seed) {
+  ensure(rate >= 0.0 && rate <= 1.0,
+         "ReplayFaultOptions::uniform: rate must be in [0, 1]");
+  ReplayFaultOptions options;
+  options.enabled = rate > 0.0;
+  options.hang_rate = rate;
+  options.crash_rate = rate;
+  options.invalid_rate = rate;
+  options.noise_spike_rate = rate;
+  options.machine_loss_rate = rate;
+  options.seed = seed;
+  return options;
+}
+
+ReplayFaultModel::ReplayFaultModel(ReplayFaultOptions options)
+    : options_(options) {
+  const auto valid_rate = [](double r) { return r >= 0.0 && r <= 1.0; };
+  ensure(valid_rate(options_.hang_rate) && valid_rate(options_.crash_rate) &&
+             valid_rate(options_.invalid_rate) &&
+             valid_rate(options_.noise_spike_rate) &&
+             valid_rate(options_.machine_loss_rate),
+         "ReplayFaultModel: fault rates must be in [0, 1]");
+  ensure(options_.hang_rate + options_.crash_rate + options_.invalid_rate +
+                 options_.noise_spike_rate <=
+             1.0,
+         "ReplayFaultModel: per-attempt fault rates must sum to <= 1");
+  ensure(options_.noise_spike_pp >= 0.0,
+         "ReplayFaultModel: noise_spike_pp must be non-negative");
+  active_ = options_.enabled &&
+            (options_.hang_rate > 0.0 || options_.crash_rate > 0.0 ||
+             options_.invalid_rate > 0.0 || options_.noise_spike_rate > 0.0 ||
+             options_.machine_loss_rate > 0.0);
+}
+
+std::uint64_t ReplayFaultModel::stream(std::string_view scenario_key,
+                                       std::uint64_t salt) const {
+  return util::hash_mix(util::fnv1a(scenario_key, options_.seed), salt);
+}
+
+bool ReplayFaultModel::lose_machine(std::string_view scenario_key) const {
+  if (!active_ || options_.machine_loss_rate <= 0.0) return false;
+  stats::Rng rng(stream(scenario_key, 0x70A57ull));
+  return rng.uniform() < options_.machine_loss_rate;
+}
+
+ReplayAttemptFault ReplayFaultModel::attempt_fault(
+    std::string_view scenario_key, std::uint64_t feature_fingerprint,
+    int attempt) const {
+  ReplayAttemptFault fault;
+  if (!active_) return fault;
+  // Each (scenario, feature, attempt) triple gets its own private stream, so
+  // the per-attempt draw count never leaks across attempts and retries see
+  // genuinely independent fault decisions.
+  stats::Rng rng(util::hash_mix(
+      stream(scenario_key, 0x4EA7ull + 104729ull *
+                                           static_cast<std::uint64_t>(attempt)),
+      feature_fingerprint));
+  const double u = rng.uniform();
+  const double v = rng.uniform();
+  if (u < options_.hang_rate) {
+    fault.kind = ReplayFaultKind::kHang;
+    // Always comfortably past any sane deadline (watchdog territory).
+    fault.magnitude = 8.0 + 24.0 * v;
+  } else if (u < options_.hang_rate + options_.crash_rate) {
+    fault.kind = ReplayFaultKind::kCrash;
+    fault.magnitude = v;  // fraction of the nominal run time before the crash
+  } else if (u < options_.hang_rate + options_.crash_rate +
+                     options_.invalid_rate) {
+    fault.kind = ReplayFaultKind::kInvalidReading;
+    fault.magnitude = v;  // flavour selector; see corrupt_reading
+  } else if (u < options_.hang_rate + options_.crash_rate +
+                     options_.invalid_rate + options_.noise_spike_rate) {
+    fault.kind = ReplayFaultKind::kNoiseSpike;
+    fault.magnitude = options_.noise_spike_pp * rng.normal();
+  }
+  return fault;
+}
+
+double ReplayFaultModel::corrupt_reading(double clean_impact_pct,
+                                         const ReplayAttemptFault& fault) const {
+  switch (fault.kind) {
+    case ReplayFaultKind::kInvalidReading:
+      // Stuck / glitched measurement harness: NaN, a sign-flipped off-scale
+      // value, or an absurd positive reading — all rejected by the
+      // Replayer's finiteness / plausible-range validation.
+      if (fault.magnitude < 0.4) return std::numeric_limits<double>::quiet_NaN();
+      return fault.magnitude < 0.7 ? -1e4 : 1e4;
+    case ReplayFaultKind::kNoiseSpike:
+      return clean_impact_pct + fault.magnitude;
+    case ReplayFaultKind::kNone:
+    case ReplayFaultKind::kHang:
+    case ReplayFaultKind::kCrash:
+      return clean_impact_pct;
+  }
+  return clean_impact_pct;
+}
+
+}  // namespace flare::dcsim

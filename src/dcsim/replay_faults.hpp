@@ -1,0 +1,111 @@
+// Testbed-side fault injection for the replay plane — the mirror of
+// CounterFaultModel (dcsim/counters.hpp) on the opposite end of the pipeline.
+// The Profiler's faults corrupt what the datacenter *observes*; these corrupt
+// what the load-testing testbed *reconstructs*: replays hang past their
+// deadline, testbed runs crash and are lost, impact readings come back with a
+// transient noise spike or stuck/invalid (NaN / absurd) values, and whole
+// testbed machines drop out for the duration of a campaign. All anomaly
+// classes are documented for co-located datacenter workloads (Ren et al.,
+// Alibaba cluster analysis); everything is off by default so the clean replay
+// path — and every golden FeatureEstimate — stays bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace flare::dcsim {
+
+/// Deterministic replay-fault knobs. Per-attempt rates are probabilities in
+/// [0, 1] and mutually exclusive per attempt (they partition one uniform
+/// draw, so streams stay layout-stable when individual rates change).
+struct ReplayFaultOptions {
+  bool enabled = false;
+  /// Per attempt: the replay wedges (testbed livelock, overloaded antagonist)
+  /// and only the Replayer's deadline watchdog ends it. The run is lost and
+  /// the full deadline is billed.
+  double hang_rate = 0.0;
+  /// Per attempt: the testbed crashes mid-run (node reboot, OOM-kill); the
+  /// run is lost after a fraction of the nominal replay time.
+  double crash_rate = 0.0;
+  /// Per attempt: the run completes but the impact reading is unusable —
+  /// NaN, or a wildly implausible value (sign-flipped / off-scale) that the
+  /// Replayer's range validation rejects. Models a stuck measurement harness.
+  double invalid_rate = 0.0;
+  /// Per attempt: transient measurement noise spike — the reading is finite
+  /// and in range but perturbed by `noise_spike_pp` × N(0,1) percentage
+  /// points. Only caught statistically (the CI-gated repeat measurement).
+  double noise_spike_rate = 0.0;
+  double noise_spike_pp = 3.0;
+  /// Per scenario: the testbed machine hosting this reconstruction is gone
+  /// for good (decommissioned, partitioned). No retry helps; the estimator
+  /// must promote a fallback representative.
+  double machine_loss_rate = 0.0;
+  /// Replay-fault streams are seeded independently of both the measurement
+  /// noise streams and the counter-fault streams, so the same replay fault
+  /// pattern can overlay any profiling run.
+  std::uint64_t seed = 0x5EB1A7ull;
+
+  /// All five fault classes at the same `rate` (spike magnitude at default).
+  [[nodiscard]] static ReplayFaultOptions uniform(double rate,
+                                                  std::uint64_t seed = 0x5EB1A7ull);
+};
+
+/// What the fault model decided for one replay attempt.
+enum class ReplayFaultKind : unsigned char {
+  kNone,            ///< attempt proceeds cleanly
+  kHang,            ///< run exceeds the deadline; watchdog kills it
+  kCrash,           ///< run lost partway through
+  kInvalidReading,  ///< reading completes but is NaN / off-scale
+  kNoiseSpike,      ///< reading completes, perturbed by a noise spike
+};
+
+struct ReplayAttemptFault {
+  ReplayFaultKind kind = ReplayFaultKind::kNone;
+  /// kHang: duration multiplier over the nominal replay time (always large
+  /// enough to trip any deadline ≥ the nominal time). kCrash: fraction of the
+  /// nominal time burned before the run died. kInvalidReading /
+  /// kNoiseSpike: the corrupted reading offset — see corrupt_reading().
+  double magnitude = 0.0;
+};
+
+/// Seeded fault injector for the Replayer's attempt loop. Every decision is a
+/// pure function of (options.seed, scenario key, feature fingerprint, attempt
+/// index) — mirroring the CounterFaultModel stream discipline — so replay
+/// fault patterns are bit-reproducible across runs, retries, and thread
+/// schedules, and independent per (scenario × feature × attempt).
+class ReplayFaultModel {
+ public:
+  ReplayFaultModel() = default;
+  explicit ReplayFaultModel(ReplayFaultOptions options);
+
+  /// False when injection is disabled or every rate is zero; the Replayer
+  /// skips all retry/CI bookkeeping in that case, keeping the clean path
+  /// bit-identical.
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Persistent testbed-machine loss: every attempt at reconstructing this
+  /// scenario fails for the whole campaign.
+  [[nodiscard]] bool lose_machine(std::string_view scenario_key) const;
+
+  /// Per-attempt fault decision (mutually exclusive classes, one partitioned
+  /// uniform draw). `attempt` is 0-based.
+  [[nodiscard]] ReplayAttemptFault attempt_fault(std::string_view scenario_key,
+                                                 std::uint64_t feature_fingerprint,
+                                                 int attempt) const;
+
+  /// Applies a kInvalidReading / kNoiseSpike fault to a clean impact reading.
+  /// kNone and the run-lost kinds return the reading unchanged.
+  [[nodiscard]] double corrupt_reading(double clean_impact_pct,
+                                       const ReplayAttemptFault& fault) const;
+
+  [[nodiscard]] const ReplayFaultOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] std::uint64_t stream(std::string_view scenario_key,
+                                     std::uint64_t salt) const;
+
+  ReplayFaultOptions options_{};
+  bool active_ = false;
+};
+
+}  // namespace flare::dcsim

@@ -80,4 +80,8 @@ ConfidenceInterval normal_mean_ci(std::span<const double> values, double confide
   return ConfidenceInterval{m - z * se, m + z * se, m};
 }
 
+double mean_ci_halfwidth(std::span<const double> values, double confidence) {
+  return normal_mean_ci(values, confidence).width() / 2.0;
+}
+
 }  // namespace flare::stats

@@ -29,4 +29,11 @@ struct ConfidenceInterval {
 [[nodiscard]] ConfidenceInterval normal_mean_ci(std::span<const double> values,
                                                 double confidence);
 
+/// Half-width of the normal-approximation CI of the mean: z · s/√n. Returns
+/// 0 for a single observation (no spread information yet — callers that gate
+/// on the half-width must require at least two measurements first). Used by
+/// the Replayer's noise-gated repeat measurement.
+[[nodiscard]] double mean_ci_halfwidth(std::span<const double> values,
+                                       double confidence = 0.95);
+
 }  // namespace flare::stats

@@ -53,6 +53,16 @@ class QuarantineError : public FlareError {
   explicit QuarantineError(const std::string& what) : FlareError(what) {}
 };
 
+/// Raised when the replay plane cannot produce a trustworthy estimate — a
+/// representative (or a whole cluster) stays unreplayable after retries and
+/// fallbacks, or the quarantined observation-weight mass crosses the
+/// configured escalation threshold. Failing loudly beats returning a hollow
+/// datacenter-wide number.
+class ReplayError : public FlareError {
+ public:
+  explicit ReplayError(const std::string& what) : FlareError(what) {}
+};
+
 /// Raised when a write-ahead append journal cannot be written durably, is
 /// already pending on a target, or recovery cannot roll a torn append back.
 class JournalError : public FlareError {

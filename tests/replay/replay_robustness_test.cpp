@@ -1,0 +1,322 @@
+// End-to-end replay-robustness properties (ctest label `replay`):
+//
+//   1. Faults disabled -> FeatureEstimate bit-identical to the failure-free
+//      path (the robustness machinery must cost exactly nothing when off).
+//   2. Faults at <= 10% -> evaluation completes, the ReplayLedger's mass
+//      conserves to 1, and the estimate stays within the combined validation
+//      bands of the clean run.
+//   3. The fallback promotion walks outward from the centroid in whitened
+//      cluster space; exhausting a cluster quarantines it (renormalising the
+//      surviving weights) instead of looping.
+//   4. Quarantined mass beyond the policy threshold fails loudly.
+//
+// The nightly fault-matrix grid re-runs the *MatrixCell* test across
+// (FLARE_FAULT_RATE × FLARE_REPLAY_FAULT_RATE) with a fresh, echoed
+// FLARE_REPLAY_FAULT_SEED.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "dcsim/replay_faults.hpp"
+#include "dcsim/submission.hpp"
+#include "tests/core/test_env.hpp"
+#include "util/error.hpp"
+
+namespace flare::core {
+namespace {
+
+// NOTE: FlarePipeline's Replayer points at the pipeline's own ImpactModel, so
+// pipelines are constructed in place from a config, never moved.
+FlareConfig replay_fault_config(dcsim::ReplayFaultOptions options,
+                                ReplayPolicy policy = {}) {
+  FlareConfig config = testing::small_flare_config();
+  config.replay = policy;
+  config.replay_faults = options;
+  return config;
+}
+
+void expect_mass_conserved(const ReplayLedger& ledger) {
+  EXPECT_NEAR(ledger.total_mass(), 1.0, 1e-9);
+  EXPECT_GE(ledger.direct_mass, 0.0);
+  EXPECT_GE(ledger.fallback_mass, 0.0);
+  EXPECT_GE(ledger.quarantined_mass, 0.0);
+}
+
+TEST(ReplayBitIdentity, DisabledFaultsLeaveEstimatesBitIdentical) {
+  // A fault model with rates configured but enabled == false must not perturb
+  // a single bit of the estimate relative to the default-constructed path.
+  dcsim::ReplayFaultOptions armed_but_off = dcsim::ReplayFaultOptions::uniform(0.0);
+  armed_but_off.enabled = false;
+  armed_but_off.hang_rate = 0.5;  // ignored: enabled is false
+  FlarePipeline with_model(replay_fault_config(armed_but_off));
+  with_model.fit(testing::small_scenario_set());
+
+  FlarePipeline& plain = testing::fitted_pipeline();
+  const FeatureEstimate a = plain.evaluate(feature_dvfs_cap());
+  const FeatureEstimate b = with_model.evaluate(feature_dvfs_cap());
+
+  EXPECT_EQ(a.impact_pct, b.impact_pct);  // exact, not NEAR: bit-identity
+  ASSERT_EQ(a.per_cluster.size(), b.per_cluster.size());
+  for (std::size_t c = 0; c < a.per_cluster.size(); ++c) {
+    EXPECT_EQ(a.per_cluster[c].impact_pct, b.per_cluster[c].impact_pct);
+    EXPECT_EQ(a.per_cluster[c].weight, b.per_cluster[c].weight);
+    EXPECT_EQ(a.per_cluster[c].representative_scenario,
+              b.per_cluster[c].representative_scenario);
+    EXPECT_EQ(a.per_cluster[c].status, ClusterReplayStatus::kDirect);
+    EXPECT_EQ(a.per_cluster[c].attempts, 1);
+    EXPECT_EQ(a.per_cluster[c].ci_halfwidth_pp, 0.0);
+  }
+  EXPECT_EQ(a.scenario_replays, b.scenario_replays);
+
+  // The clean ledger: all mass direct, no failures, no widening.
+  EXPECT_NEAR(a.replay.direct_mass, 1.0, 1e-9);
+  EXPECT_EQ(a.replay.fallback_mass, 0.0);
+  EXPECT_EQ(a.replay.quarantined_mass, 0.0);
+  EXPECT_EQ(a.replay.failed_attempts, 0);
+  EXPECT_EQ(a.replay.fallback_probes, 0);
+  EXPECT_EQ(a.replay.measurement_uncertainty_pp, 0.0);
+  EXPECT_EQ(a.replay.quarantine_widening_pp, 0.0);
+  EXPECT_FALSE(a.replay.degraded());
+}
+
+TEST(ReplayBitIdentity, DisabledFaultsMatchTheDirectWeightedAverage) {
+  // The historical estimator contract, kept bit-for-bit: the estimate is the
+  // cluster-weighted average of the representatives' testbed impacts, in
+  // cluster order, with no renormalisation.
+  FlarePipeline& pipeline = testing::fitted_pipeline();
+  const Feature feature = feature_cache_sizing();
+  const FeatureEstimate est = pipeline.evaluate(feature);
+  const AnalysisResult& analysis = pipeline.analysis();
+  const dcsim::ScenarioSet& set = pipeline.scenario_set();
+
+  double expected = 0.0;
+  for (std::size_t c = 0; c < analysis.chosen_k; ++c) {
+    const dcsim::ColocationScenario& rep =
+        set.scenarios[analysis.representatives[c]];
+    expected += analysis.cluster_weights[c] *
+                pipeline.impact_model().scenario_impact_pct(
+                    rep.mix, feature, MeasurementContext::kTestbed);
+  }
+  EXPECT_EQ(est.impact_pct, expected);
+}
+
+TEST(ReplayBitIdentity, DisabledFaultsLeaveValidationBandBitIdentical) {
+  dcsim::ReplayFaultOptions off;
+  off.enabled = false;
+  FlarePipeline with_model(replay_fault_config(off));
+  with_model.fit(testing::small_scenario_set());
+  FlarePipeline& plain = testing::fitted_pipeline();
+  const ValidatedFeatureEstimate a = plain.evaluate_with_validation(feature_smt_off());
+  const ValidatedFeatureEstimate b =
+      with_model.evaluate_with_validation(feature_smt_off());
+  EXPECT_EQ(a.estimate.impact_pct, b.estimate.impact_pct);
+  EXPECT_EQ(a.validation_impact_pct, b.validation_impact_pct);
+  EXPECT_EQ(a.uncertainty_pp, b.uncertainty_pp);
+}
+
+TEST(ReplayRobustness, TenPercentFaultsStayWithinTheValidationBands) {
+  FlarePipeline& clean = testing::fitted_pipeline();
+  const ValidatedFeatureEstimate vclean =
+      clean.evaluate_with_validation(feature_dvfs_cap());
+
+  FlarePipeline faulty(replay_fault_config(
+      dcsim::ReplayFaultOptions::uniform(0.10, 0xC0FFEEull)));
+  faulty.fit(testing::small_scenario_set());
+  const ValidatedFeatureEstimate vfault =
+      faulty.evaluate_with_validation(feature_dvfs_cap());
+
+  EXPECT_TRUE(std::isfinite(vfault.estimate.impact_pct));
+  expect_mass_conserved(vfault.estimate.replay);
+  // The faulty estimate moved by fallback promotions, surviving noise, and
+  // quarantine renormalisation — all of which the widened band accounts for.
+  EXPECT_LE(std::abs(vfault.estimate.impact_pct - vclean.estimate.impact_pct),
+            vfault.uncertainty_pp + vclean.uncertainty_pp + 1e-9);
+  // Under faults the band can only be as wide or wider than its own spread
+  // terms; the ledger's widening terms are part of it.
+  EXPECT_GE(vfault.uncertainty_pp,
+            vfault.estimate.replay.measurement_uncertainty_pp +
+                vfault.estimate.replay.quarantine_widening_pp);
+}
+
+TEST(ReplayRobustness, EstimatesAreDeterministicPerReplayFaultSeed) {
+  const auto options = dcsim::ReplayFaultOptions::uniform(0.10, 0xD15EA5Eull);
+  FlarePipeline a(replay_fault_config(options));
+  a.fit(testing::small_scenario_set());
+  FlarePipeline b(replay_fault_config(options));
+  b.fit(testing::small_scenario_set());
+  const FeatureEstimate ea = a.evaluate(feature_smt_off());
+  const FeatureEstimate eb = b.evaluate(feature_smt_off());
+  EXPECT_EQ(ea.impact_pct, eb.impact_pct);
+  EXPECT_EQ(ea.replay.total_attempts, eb.replay.total_attempts);
+  EXPECT_EQ(ea.replay.failed_attempts, eb.replay.failed_attempts);
+  EXPECT_EQ(ea.replay.quarantined_mass, eb.replay.quarantined_mass);
+  EXPECT_EQ(a.replayer().simulated_seconds(), b.replayer().simulated_seconds());
+}
+
+TEST(ReplayFallback, PromotionWalksOutwardInWhitenedSpace) {
+  // Machine loss only: a replay fails iff its scenario's testbed machine is
+  // lost, so the promoted representative must be the FIRST non-lost member in
+  // centroid-distance order — exactly the §4.5 outward walk.
+  dcsim::ReplayFaultOptions options;
+  options.enabled = true;
+  options.machine_loss_rate = 0.4;
+  ReplayPolicy policy;
+  policy.max_quarantined_mass = 1.0;  // let quarantine happen without throwing
+  FlarePipeline pipeline(replay_fault_config(options, policy));
+  pipeline.fit(testing::small_scenario_set());
+  const dcsim::ReplayFaultModel faults(options);
+
+  const FeatureEstimate est = pipeline.evaluate(feature_dvfs_cap());
+  const AnalysisResult& analysis = pipeline.analysis();
+  const dcsim::ScenarioSet& set = pipeline.scenario_set();
+  expect_mass_conserved(est.replay);
+
+  bool saw_fallback = false;
+  for (std::size_t c = 0; c < analysis.chosen_k; ++c) {
+    const ClusterImpact& ci = est.per_cluster[c];
+    const std::size_t rep_row = analysis.representatives[c];
+    const bool rep_lost = faults.lose_machine(set.scenarios[rep_row].mix.key());
+    switch (ci.status) {
+      case ClusterReplayStatus::kDirect:
+        EXPECT_FALSE(rep_lost);
+        EXPECT_EQ(ci.representative_scenario, rep_row);
+        break;
+      case ClusterReplayStatus::kFallback: {
+        saw_fallback = true;
+        EXPECT_TRUE(rep_lost);
+        // The promoted member is the nearest healthy runner-up: every member
+        // closer to the centroid (excluding the representative) is lost.
+        const std::vector<std::size_t> ordered = analysis.members_by_distance(c);
+        for (const std::size_t member : ordered) {
+          if (member == rep_row) continue;
+          if (member == ci.representative_scenario) break;
+          EXPECT_TRUE(faults.lose_machine(set.scenarios[member].mix.key()))
+              << "member " << member << " was healthy and closer to the "
+              << "centroid than the promoted representative";
+        }
+        EXPECT_FALSE(
+            faults.lose_machine(set.scenarios[ci.representative_scenario].mix.key()));
+        break;
+      }
+      case ClusterReplayStatus::kQuarantined: {
+        // Every probed member (representative + the bounded outward walk) was
+        // lost; the cluster was retired instead of probed forever.
+        EXPECT_TRUE(rep_lost);
+        EXPECT_EQ(ci.weight, 0.0);
+        const std::vector<std::size_t> ordered = analysis.members_by_distance(c);
+        int probed = 0;
+        for (const std::size_t member : ordered) {
+          if (member == rep_row) continue;
+          if (probed >= pipeline.config().replay.max_fallback_probes) break;
+          ++probed;
+          EXPECT_TRUE(faults.lose_machine(set.scenarios[member].mix.key()));
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_fallback) << "machine_loss_rate 0.4 over 8 clusters should "
+                               "promote at least one fallback";
+
+  // Surviving weights renormalise to 1 whenever anything was quarantined.
+  double surviving = 0.0;
+  for (const ClusterImpact& ci : est.per_cluster) surviving += ci.weight;
+  EXPECT_NEAR(surviving, 1.0, 1e-9);
+}
+
+TEST(ReplayFallback, ExhaustedClusterQuarantinesInsteadOfLooping) {
+  dcsim::ReplayFaultOptions options;
+  options.enabled = true;
+  options.machine_loss_rate = 1.0;  // nothing replays anywhere
+  FlarePipeline pipeline(replay_fault_config(options));
+  pipeline.fit(testing::small_scenario_set());
+  EXPECT_THROW((void)pipeline.evaluate(feature_dvfs_cap()), ReplayError);
+  // The attempt ledger is bounded: (retries+1) × (1 rep + max_fallback_probes)
+  // per cluster, not an unbounded loop.
+  const ReplayPolicy& policy = pipeline.config().replay;
+  const std::size_t per_cluster =
+      static_cast<std::size_t>(policy.max_retries + 1) *
+      static_cast<std::size_t>(1 + policy.max_fallback_probes);
+  EXPECT_LE(pipeline.replayer().total_replays(),
+            per_cluster * pipeline.analysis().chosen_k);
+}
+
+TEST(ReplayQuarantine, MassBeyondTheThresholdFailsLoudly) {
+  dcsim::ReplayFaultOptions options;
+  options.enabled = true;
+  options.machine_loss_rate = 0.6;
+  ReplayPolicy policy;
+  policy.max_fallback_probes = 0;  // rep lost -> cluster quarantined outright
+  policy.max_quarantined_mass = 0.0;  // any quarantined mass escalates
+  FlarePipeline pipeline(replay_fault_config(options, policy));
+  pipeline.fit(testing::small_scenario_set());
+  EXPECT_THROW((void)pipeline.evaluate(feature_dvfs_cap()), ReplayError);
+}
+
+TEST(ReplayRobustness, PerJobEstimateSurvivesFaultsAndConservesMass) {
+  FlarePipeline faulty(replay_fault_config(
+      dcsim::ReplayFaultOptions::uniform(0.10, 0xBEEFull)));
+  faulty.fit(testing::small_scenario_set());
+  FlarePipeline& clean = testing::fitted_pipeline();
+  const PerJobEstimate pj =
+      faulty.evaluate_per_job(feature_cache_sizing(), dcsim::JobType::kDataServing);
+  const PerJobEstimate pj_clean =
+      clean.evaluate_per_job(feature_cache_sizing(), dcsim::JobType::kDataServing);
+  EXPECT_TRUE(std::isfinite(pj.impact_pct));
+  expect_mass_conserved(pj.replay);
+  // Job-level impacts are small; faults move the estimate but not wildly.
+  EXPECT_NEAR(pj.impact_pct, pj_clean.impact_pct, 5.0);
+}
+
+// The nightly grid cell: counter faults corrupt profiling while replay faults
+// batter the testbed, under an externally supplied seed.
+TEST(ReplayMatrix, PipelineSurvivesTheConfiguredCell) {
+  const auto env_double = [](const char* name, double fallback) {
+    const char* env = std::getenv(name);
+    return env ? std::strtod(env, nullptr) : fallback;
+  };
+  const double counter_rate = env_double("FLARE_FAULT_RATE", 0.05);
+  const double replay_rate = env_double("FLARE_REPLAY_FAULT_RATE", 0.1);
+  const std::uint64_t seed = [] {
+    const char* env = std::getenv("FLARE_REPLAY_FAULT_SEED");
+    return env ? std::strtoull(env, nullptr, 0) : 0x5EB1A7ull;
+  }();
+  RecordProperty("counter_fault_rate", std::to_string(counter_rate));
+  RecordProperty("replay_fault_rate", std::to_string(replay_rate));
+  RecordProperty("replay_fault_seed", std::to_string(seed));
+
+  FlareConfig config = testing::small_flare_config();
+  if (counter_rate > 0.0) {
+    config.profiler.faults = dcsim::FaultOptions::uniform(counter_rate, seed);
+    config.profiler.sample_quorum = 2;
+    config.profiler.max_retries = 2;
+  }
+  if (replay_rate > 0.0) {
+    config.replay_faults = dcsim::ReplayFaultOptions::uniform(replay_rate, seed);
+  }
+  // The grid probes high rates too; mass accounting stays honest either way,
+  // and the threshold trip is exercised by its dedicated test above.
+  config.replay.max_quarantined_mass = 1.0;
+
+  dcsim::SubmissionConfig submission;
+  submission.target_distinct_scenarios = 150;
+  submission.seed = seed ^ 0xF17ull;
+  FlarePipeline pipeline(config);
+  pipeline.fit(generate_scenario_set(submission, dcsim::default_machine()));
+
+  const FeatureEstimate est = pipeline.evaluate(feature_dvfs_cap());
+  expect_mass_conserved(est.replay);
+  if (est.replay.quarantined_mass < 1.0) {
+    EXPECT_TRUE(std::isfinite(est.impact_pct));
+  }
+  RecordProperty("replay_attempts", std::to_string(est.replay.total_attempts));
+  RecordProperty("replay_failed", std::to_string(est.replay.failed_attempts));
+  RecordProperty("quarantined_mass_pct",
+                 std::to_string(100.0 * est.replay.quarantined_mass));
+}
+
+}  // namespace
+}  // namespace flare::core
