@@ -1,0 +1,46 @@
+// Shared main for the google-benchmark micro-kernels.
+//
+// Two jobs beyond BENCHMARK_MAIN():
+//   1. Refuse to run from a debug build. Committed BENCH_*.json files feed
+//      the README's performance claims, and debug numbers are silently 5-30×
+//      off. FLARE_ALLOW_DEBUG_BENCH=1 overrides for local poking, loudly.
+//   2. Stamp the JSON context with "flare_build_type" so tools/
+//      check_bench_meta.py (CI) can verify a committed file came from a
+//      release build — the library_build_type field google-benchmark emits
+//      reflects how the *benchmark library* was compiled, not this code.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+#ifdef NDEBUG
+constexpr const char* kBuildType = "release";
+#else
+constexpr const char* kBuildType = "debug";
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifndef NDEBUG
+  if (std::getenv("FLARE_ALLOW_DEBUG_BENCH") == nullptr) {
+    std::fprintf(stderr,
+                 "error: this is a debug build — benchmark numbers would be "
+                 "meaningless.\nRebuild with -DCMAKE_BUILD_TYPE=Release, or "
+                 "set FLARE_ALLOW_DEBUG_BENCH=1 to run anyway (never commit "
+                 "the output).\n");
+    return 1;
+  }
+  std::fprintf(stderr,
+               "warning: running benchmarks from a DEBUG build "
+               "(FLARE_ALLOW_DEBUG_BENCH set) — do not commit the output.\n");
+#endif
+  benchmark::AddCustomContext("flare_build_type", kBuildType);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,264 @@
+// Extension: million-scenario-scale harness (DESIGN.md §12). Three claims,
+// measured, printed, and written to BENCH_scale.json (path via argv[1]):
+//
+//   1. Out-of-core analysis: an n = 100 000 × 122 population streams through
+//      the mmap ColumnStore in two passes with a resident working set ≤ ¼ of
+//      the dense matrix the in-RAM path would allocate.
+//   2. Sublinear k-solve: at n = 50 000 the coreset (minibatch) K-means is
+//      ≥ 10× faster than the exact Elkan/Hamerly solver at the paper's
+//      k = 18, while agreeing with it on ≥ 90 % of sampled pairs.
+//   3. Paper-scale fidelity: at n = 895 (the paper's population) coreset and
+//      exact partitions agree on ≥ 90 % of pairs.
+//
+// The population is low-rank (metrics mix an 18-dim latent), mirroring why
+// the paper's 122 correlated metrics compress to ~18 PCs.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/out_of_core.hpp"
+#include "metrics/column_store.hpp"
+#include "ml/minibatch_kmeans.hpp"
+#include "report/table.hpp"
+#include "stats/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace flare;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr std::size_t kLatent = 18;
+
+metrics::MetricCatalog scale_catalog(std::size_t num_metrics) {
+  std::vector<metrics::MetricInfo> infos;
+  for (std::size_t i = 0; i < num_metrics; ++i) {
+    metrics::MetricInfo m;
+    m.index = i;
+    m.name = (i % 2 == 0 ? "Machine.M" : "HP.M") + std::to_string(i);
+    infos.push_back(std::move(m));
+  }
+  return metrics::MetricCatalog(std::move(infos));
+}
+
+void fill_row(stats::Rng& rng, std::size_t row_index, std::size_t num_metrics,
+              std::vector<double>& latent, std::vector<double>& values) {
+  const std::size_t blob = row_index % kLatent;
+  latent.resize(kLatent);
+  for (std::size_t j = 0; j < kLatent; ++j) {
+    latent[j] = (j == blob ? 9.0 : 0.0) + rng.normal(0.0, 1.0);
+  }
+  values.resize(num_metrics);
+  for (std::size_t c = 0; c < num_metrics; ++c) {
+    const double a = 1.0 + 0.05 * static_cast<double>(c % 7);
+    const double b = 0.4 + 0.05 * static_cast<double>(c % 5);
+    values[c] = a * latent[c % kLatent] + b * latent[(c / 2) % kLatent] +
+                rng.normal(0.0, 0.3);
+  }
+}
+
+/// Streams the population straight to the store, batch by batch.
+void build_store(const std::string& path, const metrics::MetricCatalog& catalog,
+                 std::size_t rows, std::uint64_t seed) {
+  metrics::create_column_store(path, catalog, /*block_rows=*/2048);
+  stats::Rng rng(seed);
+  std::vector<double> latent;
+  std::vector<double> values;
+  for (std::size_t start = 0; start < rows; start += 2048) {
+    const std::size_t count = std::min<std::size_t>(2048, rows - start);
+    metrics::MetricDatabase batch(catalog);
+    batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      metrics::MetricRow row;
+      row.scenario_id = start + i;
+      row.scenario_key = "DC:" + std::to_string(start + i + 1);
+      row.observation_weight = 1.0;
+      fill_row(rng, start + i, catalog.size(), latent, row.values);
+      batch.add_row(std::move(row));
+    }
+    metrics::append_column_store_rows(path, batch);
+  }
+}
+
+/// Dense latent-blob matrix for the solver comparisons (cluster-space shape:
+/// rows × kLatent, the dimensionality K-means actually sees after PCA).
+linalg::Matrix make_cluster_space(std::size_t rows, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  linalg::Matrix data(rows, kLatent);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t blob = i % kLatent;
+    for (std::size_t d = 0; d < kLatent; ++d) {
+      data(i, d) = (d == blob ? 8.0 : 0.0) + rng.normal(0.0, 1.0);
+    }
+  }
+  return data;
+}
+
+struct OutOfCoreResult {
+  std::size_t rows = 0;
+  std::size_t num_metrics = 0;
+  std::size_t num_components = 0;
+  std::size_t dense_bytes = 0;
+  std::size_t resident_bytes = 0;
+  std::size_t passes = 0;
+  double analyze_seconds = 0.0;
+};
+
+struct SolverPoint {
+  std::size_t rows = 0;
+  double exact_seconds = 0.0;
+  double minibatch_seconds = 0.0;
+  double speedup = 0.0;
+  double comembership = 0.0;
+};
+
+void write_json(const std::string& path, const OutOfCoreResult& ooc,
+                const std::vector<SolverPoint>& sweep) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"benchmark\": \"million_scenario_scale\",\n";
+#ifdef NDEBUG
+  out << "  \"build_type\": \"release\",\n";
+#else
+  out << "  \"build_type\": \"debug\",\n";
+#endif
+  out << "  \"out_of_core\": {\"rows\": " << ooc.rows
+      << ", \"metrics\": " << ooc.num_metrics
+      << ", \"components\": " << ooc.num_components
+      << ", \"dense_bytes\": " << ooc.dense_bytes
+      << ", \"resident_bytes\": " << ooc.resident_bytes
+      << ", \"resident_fraction\": "
+      << (static_cast<double>(ooc.resident_bytes) /
+          static_cast<double>(ooc.dense_bytes))
+      << ", \"passes\": " << ooc.passes
+      << ", \"analyze_seconds\": " << ooc.analyze_seconds << "},\n";
+  out << "  \"solver_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SolverPoint& p = sweep[i];
+    out << "    {\"rows\": " << p.rows
+        << ", \"exact_seconds\": " << p.exact_seconds
+        << ", \"minibatch_seconds\": " << p.minibatch_seconds
+        << ", \"speedup\": " << p.speedup
+        << ", \"comembership\": " << p.comembership << "}"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifndef NDEBUG
+  if (std::getenv("FLARE_ALLOW_DEBUG_BENCH") == nullptr) {
+    std::fprintf(stderr,
+                 "error: debug build — BENCH_scale.json numbers would be "
+                 "meaningless. Rebuild Release or set "
+                 "FLARE_ALLOW_DEBUG_BENCH=1 (never commit the output).\n");
+    return 1;
+  }
+#endif
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_scale.json";
+
+  bench::print_banner("Extension",
+                      "Million-scenario scale: out-of-core + coreset K-means");
+
+  // ---- 1. Out-of-core analysis at n = 100 000 × 122. ----
+  const std::size_t ooc_rows = 100000;
+  const std::size_t num_metrics = 122;
+  const metrics::MetricCatalog catalog = scale_catalog(num_metrics);
+  const std::string store_path = out_path + ".store.tmp";
+  build_store(store_path, catalog, ooc_rows, /*seed=*/0xB16DA7Aull);
+
+  metrics::ColumnStoreOptions store_options;
+  store_options.sequential_drop = true;
+  const metrics::ColumnStore store(store_path, catalog, store_options);
+
+  core::AnalyzerConfig config;
+  config.fixed_clusters = kLatent;
+  config.compute_quality_curve = false;
+  config.kmeans_mode = core::KMeansMode::kAuto;
+
+  util::ThreadPool pool(4);
+  core::OutOfCoreOptions options;
+  options.memory_budget_bytes = 256u << 20;
+  core::OutOfCoreTelemetry telemetry;
+  const Clock::time_point ooc_start = Clock::now();
+  const core::AnalysisResult analysis =
+      core::analyze_out_of_core(store, config, options, &pool, &telemetry);
+  OutOfCoreResult ooc;
+  ooc.analyze_seconds = seconds_since(ooc_start);
+  ooc.rows = ooc_rows;
+  ooc.num_metrics = num_metrics;
+  ooc.num_components = analysis.num_components;
+  ooc.dense_bytes = telemetry.dense_bytes;
+  ooc.resident_bytes = telemetry.resident_bytes;
+  ooc.passes = telemetry.passes;
+  std::remove(store_path.c_str());
+
+  std::printf(
+      "out-of-core: n=%zu, %zu metrics -> %zu PCs in %.2f s over %zu passes\n"
+      "             resident %zu KiB vs %zu KiB dense (%.1f%%)\n\n",
+      ooc.rows, ooc.num_metrics, ooc.num_components, ooc.analyze_seconds,
+      ooc.passes, ooc.resident_bytes >> 10, ooc.dense_bytes >> 10,
+      100.0 * static_cast<double>(ooc.resident_bytes) /
+          static_cast<double>(ooc.dense_bytes));
+
+  // ---- 2 + 3. Exact vs coreset solver at paper scale and 50k. ----
+  report::AsciiTable table(
+      {"n", "exact", "minibatch", "speedup", "co-membership"});
+  table.set_alignment(0, report::Align::kLeft);
+  std::vector<SolverPoint> sweep;
+  for (const std::size_t rows : {std::size_t{895}, std::size_t{50000}}) {
+    const linalg::Matrix space = make_cluster_space(rows, 0xC0FE + rows);
+    ml::KMeansParams params;
+    params.k = kLatent;
+
+    const Clock::time_point exact_start = Clock::now();
+    const ml::KMeansResult exact = ml::kmeans(space, params);
+    const double exact_seconds = seconds_since(exact_start);
+
+    ml::MiniBatchKMeansParams mb;
+    mb.kmeans = params;
+    const Clock::time_point mb_start = Clock::now();
+    const ml::KMeansResult fast = ml::minibatch_kmeans(space, mb);
+    const double mb_seconds = seconds_since(mb_start);
+
+    SolverPoint p;
+    p.rows = rows;
+    p.exact_seconds = exact_seconds;
+    p.minibatch_seconds = mb_seconds;
+    p.speedup = mb_seconds > 0.0 ? exact_seconds / mb_seconds : 0.0;
+    p.comembership =
+        ml::comembership_agreement(exact.assignment, fast.assignment);
+    sweep.push_back(p);
+
+    table.add_row({std::to_string(rows),
+                   report::AsciiTable::cell(exact_seconds, 3) + " s",
+                   report::AsciiTable::cell(mb_seconds, 3) + " s",
+                   report::AsciiTable::cell(p.speedup, 1) + "x",
+                   report::AsciiTable::cell(p.comembership, 3)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nThe coreset path decouples sweep cost from n: the solver runs on a\n"
+      "~2k-point sensitivity sample and polishes with two full-data Lloyd\n"
+      "iterations, so at 50k+ rows it is an order of magnitude faster while\n"
+      "agreeing with the exact partition on >90%% of pairs.\n");
+
+  write_json(out_path, ooc, sweep);
+  return 0;
+}

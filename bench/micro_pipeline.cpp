@@ -361,6 +361,36 @@ void BM_FeatureEstimate(benchmark::State& state) {
 }
 BENCHMARK(BM_FeatureEstimate);
 
-}  // namespace
+// --- Large-append ingest kernel: what MetricDatabase::reserve buys ---
 
-BENCHMARK_MAIN();
+metrics::MetricRow ingest_row(std::size_t i, std::size_t width) {
+  metrics::MetricRow row;
+  row.scenario_id = i;
+  row.scenario_key = "DC:" + std::to_string(i + 1);
+  row.observation_weight = 1.0;
+  row.values.assign(width, static_cast<double>(i));
+  return row;
+}
+
+void BM_DatabaseAppend(benchmark::State& state) {
+  const bool reserved = state.range(0) != 0;
+  const std::size_t rows = 20000;
+  const metrics::MetricCatalog& catalog = metrics::MetricCatalog::standard();
+  for (auto _ : state) {
+    metrics::MetricDatabase db(catalog);
+    if (reserved) db.reserve(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      db.add_row(ingest_row(i, catalog.size()));
+    }
+    benchmark::DoNotOptimize(db.num_rows());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_DatabaseAppend)
+    ->Arg(0)  // growth by doubling: every reallocation moves all MetricRows
+    ->Arg(1)  // reserved up front: one allocation, zero moves
+    ->ArgNames({"reserved"});
+
+}  // namespace
+// main() lives in bench_main.cpp (debug-build guard + build-type stamping).

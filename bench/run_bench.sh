@@ -6,10 +6,12 @@
 #
 # Usage: bench/run_bench.sh [build-dir]
 #
-# Writes BENCH_analyzer.json, BENCH_ingest.json, and BENCH_pca.json at the
-# repo root (google-benchmark JSON format). Re-run after touching src/ml,
-# src/core, or the ingest path and commit the refreshed numbers alongside the
-# change.
+# Writes BENCH_analyzer.json, BENCH_ingest.json, BENCH_pca.json (google-
+# benchmark JSON format) plus BENCH_scale.json (bench/ext_scale's own format)
+# at the repo root. Re-run after touching src/ml, src/core, or the ingest
+# path and commit the refreshed numbers alongside the change. All four must
+# come from a Release build — the binaries refuse debug builds, and CI
+# (tools/check_bench_meta.py) rejects committed debug numbers.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -105,4 +107,23 @@ refit = medians.get("BM_PcaRefit")
 if update and refit:
     print(f"pca batch=32: incremental update {update:.2f} ms vs full refit "
           f"{refit:.2f} ms ({refit / update:.1f}x)")
+EOF
+
+# Million-scenario scale: out-of-core analysis footprint at n=100k and the
+# exact-vs-coreset solver sweep (target: ≥10x at n=50k, co-membership ≥0.9).
+scale_out="${repo_root}/BENCH_scale.json"
+"${build_dir}/bench/ext_scale" "${scale_out}"
+
+python3 - "${scale_out}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+ooc = report["out_of_core"]
+print(f"out-of-core n={ooc['rows']}: resident "
+      f"{100.0 * ooc['resident_fraction']:.1f}% of dense "
+      f"(target <=25%)")
+for p in report["solver_sweep"]:
+    print(f"solver n={p['rows']}: minibatch {p['speedup']:.1f}x faster, "
+          f"co-membership {p['comembership']:.3f}"
+          + ("  (targets: >=10x, >=0.9)" if p["rows"] >= 50000 else ""))
 EOF

@@ -1,6 +1,8 @@
 #include "cli/commands.hpp"
 
 #include <cmath>
+#include <functional>
+#include <memory>
 #include <ostream>
 
 #include "baselines/full_evaluator.hpp"
@@ -9,10 +11,13 @@
 #include "cli/feature_spec.hpp"
 #include "core/pipeline.hpp"
 #include "dcsim/submission.hpp"
+#include "core/out_of_core.hpp"
 #include "report/table.hpp"
 #include "trace/metric_io.hpp"
 #include "trace/scenario_io.hpp"
+#include "trace/store_io.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace flare::cli {
 
@@ -73,14 +78,58 @@ int run_analyze(const Args& args, std::ostream& out) {
   const core::AnalyzerConfig config = analyzer_config_from(args);
   const core::MetricSchema schema =
       schema_by_name(args.get_string("schema", "standard"));
+  const std::string storage = args.get_string("storage", "ram");
+  ensure(storage == "ram" || storage == "mmap",
+         "unknown --storage '" + storage + "' (ram|mmap)");
+  const std::size_t memory_budget = memory_budget_from(args);
   args.reject_unconsumed();
 
-  const metrics::MetricDatabase db =
-      trace::load_metric_database(metrics_path, core::resolve_schema(schema));
-  const core::Analyzer analyzer(config);
-  const core::AnalysisResult analysis = analyzer.analyze(db);
+  const metrics::MetricCatalog& catalog = core::resolve_schema(schema);
+  core::AnalysisResult analysis;
+  std::size_t num_metrics = 0;
+  // The representative lookup below needs row access; keep whichever backend
+  // was used alive and route through this accessor.
+  std::function<std::string(std::size_t)> scenario_key;
 
-  out << "refinement: " << db.num_metrics() << " raw -> "
+  metrics::MetricDatabase db;
+  std::unique_ptr<metrics::ColumnStore> store;
+  if (storage == "mmap") {
+    // Out-of-core path (DESIGN.md §12): convert the CSV archive into a
+    // side-car column store, then stream it — the n × d dense matrix is
+    // never materialised. `.fcs` files are reusable across runs.
+    const std::string store_path = metrics_path + ".fcs";
+    trace::csv_to_column_store(metrics_path, store_path, catalog);
+    metrics::ColumnStoreOptions store_options;
+    store_options.sequential_drop = memory_budget > 0;
+    store = std::make_unique<metrics::ColumnStore>(store_path, catalog,
+                                                   store_options);
+    core::OutOfCoreOptions ooc;
+    ooc.memory_budget_bytes = memory_budget;
+    std::unique_ptr<util::ThreadPool> pool;
+    if (config.threads != 1) {
+      pool = std::make_unique<util::ThreadPool>(config.threads);
+    }
+    core::OutOfCoreTelemetry telemetry;
+    analysis =
+        core::analyze_out_of_core(*store, config, ooc, pool.get(), &telemetry);
+    num_metrics = store->num_metrics();
+    scenario_key = [&store](std::size_t r) {
+      return store->row(r).scenario_key;
+    };
+    out << "out-of-core: " << telemetry.passes << " streaming passes over "
+        << store->num_blocks() << " blocks ("
+        << (store->mapped() ? "mmap" : "buffered") << "), resident "
+        << telemetry.resident_bytes / 1024 << " KiB vs "
+        << telemetry.dense_bytes / 1024 << " KiB dense\n";
+  } else {
+    db = trace::load_metric_database(metrics_path, catalog);
+    const core::Analyzer analyzer(config);
+    analysis = analyzer.analyze(db);
+    num_metrics = db.num_metrics();
+    scenario_key = [&db](std::size_t r) { return db.row(r).scenario_key; };
+  }
+
+  out << "refinement: " << num_metrics << " raw -> "
       << analysis.kept_columns.size() << " kept ("
       << analysis.constant_columns.size() << " constant, "
       << analysis.refinement.drops.size() << " correlation duplicates)\n";
@@ -106,7 +155,7 @@ int run_analyze(const Args& args, std::ostream& out) {
     table.add_row({std::to_string(c),
                    report::AsciiTable::cell(100.0 * analysis.cluster_weights[c], 1),
                    std::to_string(analysis.clustering.cluster_sizes[c]),
-                   db.row(analysis.representatives[c]).scenario_key});
+                   scenario_key(analysis.representatives[c])});
   }
   table.print(out);
   return 0;
@@ -212,7 +261,13 @@ int run_help(std::ostream& out) {
          "      collect the two-level raw metric database for every scenario\n"
          "  analyze --metrics M.csv [--clusters K | --auto-k] [--quality-curve]\n"
          "          [--ward] [--no-whiten] [--no-refine] [--schema NAME]\n"
-         "          [--threads T]\n"
+         "          [--threads T] [--storage ram|mmap] [--memory-budget MB]\n"
+         "          [--kmeans-mode exact|minibatch|auto]\n"
+         "      --storage mmap streams the metrics through an out-of-core\n"
+         "      column store (side-car M.csv.fcs) instead of materialising\n"
+         "      the dense matrix; --memory-budget caps the resident working\n"
+         "      set (MiB); --kmeans-mode picks the cluster-sweep solver\n"
+         "      (minibatch = coreset solve + full-data refinement)\n"
          "      refinement -> PCA -> clustering -> representative scenarios\n"
          "  evaluate --scenarios F.csv --feature SPEC [--machine ...]\n"
          "           [--clusters K] [--per-job] [--truth] [--sampling]\n"

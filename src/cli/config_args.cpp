@@ -38,8 +38,25 @@ core::AnalyzerConfig analyzer_config_from(const Args& args) {
   }
   if (args.get_flag("no-whiten")) config.whiten = false;
   if (args.get_flag("no-refine")) config.use_correlation_filter = false;
+  const std::string mode = args.get_string("kmeans-mode", "exact");
+  if (mode == "exact") {
+    config.kmeans_mode = core::KMeansMode::kExact;
+  } else if (mode == "minibatch") {
+    config.kmeans_mode = core::KMeansMode::kMiniBatch;
+  } else if (mode == "auto") {
+    config.kmeans_mode = core::KMeansMode::kAuto;
+  } else {
+    throw ParseError("unknown --kmeans-mode '" + mode +
+                     "' (exact|minibatch|auto)");
+  }
   config.threads = threads_from(args);
   return config;
+}
+
+std::size_t memory_budget_from(const Args& args) {
+  const long long budget_mb = args.get_int("memory-budget", 0);
+  ensure(budget_mb >= 0, "--memory-budget must be >= 0 (MiB, 0 = unbounded)");
+  return static_cast<std::size_t>(budget_mb) << 20;
 }
 
 void apply_replay_args(const Args& args, core::FlareConfig& config) {

@@ -21,8 +21,11 @@ namespace flare::cli {
 [[nodiscard]] std::size_t threads_from(const Args& args);
 
 /// Shared analyzer knobs: --clusters/--auto-k, --quality-curve, --ward,
-/// --no-whiten, --no-refine, --threads.
+/// --no-whiten, --no-refine, --kmeans-mode exact|minibatch|auto, --threads.
 [[nodiscard]] core::AnalyzerConfig analyzer_config_from(const Args& args);
+
+/// Shared --memory-budget knob (MiB; 0 = unbounded), returned in bytes.
+[[nodiscard]] std::size_t memory_budget_from(const Args& args);
 
 /// Shared replay-plane knobs for commands that reach step 4:
 /// --replay-faults R (all five testbed fault classes at rate R),

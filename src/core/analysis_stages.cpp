@@ -191,6 +191,7 @@ ClusterOutput cluster(const linalg::Matrix& cluster_space,
                       const AnalyzerConfig& config, util::ThreadPool* pool,
                       const linalg::Matrix& warm_centroids) {
   ClusterOutput out;
+  const std::size_t n = cluster_space.rows();
 
   // --- Cluster-count sweep (Fig. 9) ---
   ml::KMeansParams base_params = config.kmeans;
@@ -200,6 +201,34 @@ ClusterOutput cluster(const linalg::Matrix& cluster_space,
   // kmeans uses the seed only for the restart whose k matches its row count,
   // so sweep points at other k are unaffected (batch fits pass no seed).
   base_params.initial_centroids = warm_centroids;
+
+  // Million-scenario guards (DESIGN.md §12). Both default to the paper-scale
+  // behavior: exact solver, exact silhouette over the shared n×n distance
+  // cache. Populations beyond the thresholds switch to the coreset solver
+  // and/or the sampled silhouette estimator — the n×n cache alone would be
+  // 80 GB at n = 10^5.
+  const bool use_minibatch =
+      config.algorithm == ClusterAlgorithm::kKMeans &&
+      (config.kmeans_mode == KMeansMode::kMiniBatch ||
+       (config.kmeans_mode == KMeansMode::kAuto &&
+        n > config.minibatch_threshold));
+  const bool exact_silhouette = n <= config.silhouette_exact_threshold;
+  // One fixed row sample scores every sweep point, mirroring how the exact
+  // path shares one distance cache — curves stay comparable across k.
+  const auto solve = [&](std::size_t k, util::ThreadPool* solver_pool) {
+    if (config.algorithm != ClusterAlgorithm::kKMeans) {
+      return adapt_ward(cluster_space, k);
+    }
+    ml::KMeansParams params = base_params;
+    params.k = k;
+    if (!use_minibatch) return ml::kmeans(cluster_space, params, solver_pool);
+    ml::MiniBatchKMeansParams mb;
+    mb.kmeans = params;
+    mb.coreset = config.coreset;
+    mb.refine_iterations = config.minibatch_refine_iterations;
+    return ml::minibatch_kmeans(cluster_space, mb, solver_pool);
+  };
+
   const std::size_t k_lo = config.min_clusters;
   const std::size_t k_hi = std::min(config.max_clusters, cluster_space.rows() - 1);
   const bool sweep = config.compute_quality_curve || !config.fixed_clusters;
@@ -210,23 +239,24 @@ ClusterOutput cluster(const linalg::Matrix& cluster_space,
     // most one task (k == fixed_clusters) writes the kept clustering. The
     // per-k kmeans runs inline in its task (nested pool use is forbidden).
     const ml::PairwiseDistances distances =
-        ml::pairwise_distances(cluster_space, pool);
+        exact_silhouette ? ml::pairwise_distances(cluster_space, pool)
+                         : ml::PairwiseDistances();
     out.quality_curve.assign(k_hi - k_lo + 1, ClusterQualityPoint{});
     ml::KMeansResult kept;
     util::maybe_parallel_for(pool, out.quality_curve.size(), [&](std::size_t idx) {
       const std::size_t k = k_lo + idx;
-      ml::KMeansResult kr;
-      if (config.algorithm == ClusterAlgorithm::kKMeans) {
-        ml::KMeansParams params = base_params;
-        params.k = k;
-        kr = ml::kmeans(cluster_space, params);
-      } else {
-        kr = adapt_ward(cluster_space, k);
-      }
+      ml::KMeansResult kr = solve(k, nullptr);
       ClusterQualityPoint& point = out.quality_curve[idx];
       point.k = k;
       point.sse = kr.sse;
-      point.silhouette = ml::silhouette_score(distances, kr.assignment, k);
+      if (exact_silhouette) {
+        point.silhouette = ml::silhouette_score(distances, kr.assignment, k);
+      } else {
+        point.silhouette = ml::silhouette_score_sampled(
+            cluster_space, kr.assignment, k, config.silhouette_sample,
+            config.kmeans.seed);
+        point.silhouette_estimated = true;
+      }
       if (config.fixed_clusters.has_value() && k == *config.fixed_clusters) {
         kept = std::move(kr);
       }
@@ -240,13 +270,7 @@ ClusterOutput cluster(const linalg::Matrix& cluster_space,
   ensure(out.chosen_k >= config.min_clusters && out.chosen_k <= k_hi,
          "Analyzer::analyze: chosen cluster count is out of the sweep range");
   if (out.clustering.assignment.empty()) {
-    if (config.algorithm == ClusterAlgorithm::kKMeans) {
-      ml::KMeansParams params = base_params;
-      params.k = out.chosen_k;
-      out.clustering = ml::kmeans(cluster_space, params, pool);
-    } else {
-      out.clustering = adapt_ward(cluster_space, out.chosen_k);
-    }
+    out.clustering = solve(out.chosen_k, pool);
   }
   return out;
 }

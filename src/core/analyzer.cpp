@@ -90,6 +90,16 @@ std::uint64_t cluster_fingerprint(std::uint64_t whiten_fp,
   h = util::hash_mix(h, static_cast<std::uint64_t>(cfg.kmeans.init));
   // `prune` is deliberately excluded: pruned and naive assignment are
   // bit-identical, so the flag cannot change the stage output.
+  // Scale knobs (DESIGN.md §12): the solver mode, coreset geometry and the
+  // silhouette estimator thresholds all change what the stage emits, so they
+  // pin the lineage like any other clustering knob.
+  h = util::hash_mix(h, static_cast<std::uint64_t>(cfg.kmeans_mode));
+  h = util::hash_mix(h, cfg.minibatch_threshold);
+  h = util::hash_mix(h, cfg.coreset.size);
+  h = util::hash_mix(h, cfg.coreset.seed);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(cfg.minibatch_refine_iterations));
+  h = util::hash_mix(h, cfg.silhouette_exact_threshold);
+  h = util::hash_mix(h, cfg.silhouette_sample);
   h = util::hash_mix(h, cfg.weight_clustering_by_observation ? 1u : 0u);
   if (cfg.weight_clustering_by_observation) h = fingerprint_doubles(weights, h);
   if (!warm_centroids.empty()) h = fingerprint_matrix(warm_centroids, h);

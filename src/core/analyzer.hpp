@@ -23,6 +23,7 @@
 #include "ml/agglomerative.hpp"
 #include "ml/correlation_filter.hpp"
 #include "ml/kmeans.hpp"
+#include "ml/minibatch_kmeans.hpp"
 #include "ml/pca.hpp"
 #include "ml/standardizer.hpp"
 #include "ml/whitener.hpp"
@@ -32,6 +33,13 @@ namespace flare::core {
 enum class ClusterAlgorithm : unsigned char {
   kKMeans,            ///< paper default
   kWardAgglomerative, ///< paper's noted alternative (§4.4)
+};
+
+/// Which K-means engine the cluster stage runs (DESIGN.md §12).
+enum class KMeansMode : unsigned char {
+  kExact,      ///< Elkan/Hamerly over all rows (default; bit-identical path)
+  kMiniBatch,  ///< coreset solve + full-data refinement (sublinear sweep)
+  kAuto,       ///< exact below minibatch_threshold rows, minibatch above
 };
 
 struct AnalyzerConfig {
@@ -59,6 +67,21 @@ struct AnalyzerConfig {
   bool compute_quality_curve = true;
   ml::KMeansParams kmeans;              ///< k is overwritten per sweep point
 
+  // Million-scenario scale (DESIGN.md §12). The defaults keep the paper-scale
+  // path bit-identical: exact solver, exact silhouette with the shared n×n
+  // distance cache. Only populations beyond the thresholds change behavior.
+  KMeansMode kmeans_mode = KMeansMode::kExact;
+  /// kAuto switches to the coreset path above this row count.
+  std::size_t minibatch_threshold = 8192;
+  ml::CoresetParams coreset;            ///< coreset size/seed for minibatch
+  /// Full-data Lloyd polish iterations after the coreset solve.
+  int minibatch_refine_iterations = 2;
+  /// Above this row count the k-sweep stops materialising the n×n pairwise
+  /// distance cache (O(n²) memory!) and scores a sampled silhouette instead.
+  std::size_t silhouette_exact_threshold = 4096;
+  /// Rows in the sampled silhouette estimate.
+  std::size_t silhouette_sample = 1024;
+
   /// Worker threads for analyze()/recluster() when no shared pool is passed:
   /// 1 = run inline (default), 0 = one per hardware thread. Results are
   /// bit-identical for every value — parallel loops write index-addressed
@@ -73,6 +96,9 @@ struct ClusterQualityPoint {
   std::size_t k = 0;
   double sse = 0.0;
   double silhouette = 0.0;
+  /// True when `silhouette` is the sampled estimate (population exceeded
+  /// AnalyzerConfig::silhouette_exact_threshold), not the exact O(n²) score.
+  bool silhouette_estimated = false;
 };
 
 /// Measurement-health input to a degraded fit (built by FlarePipeline from

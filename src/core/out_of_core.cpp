@@ -1,0 +1,402 @@
+// Two-pass streaming analysis over a ColumnStore (core/out_of_core.hpp).
+#include "core/out_of_core.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pc_labeler.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+#include "util/thread_pool.hpp"
+
+namespace flare::core {
+namespace {
+
+// Root seed for out-of-core fingerprints. The streamed fit matches the
+// in-RAM path only up to floating-point reassociation (Chan-merged moments,
+// eigensolve of the assembled correlation), so its stage outputs must never
+// splice into an in-RAM lineage — a distinct root makes collision impossible
+// by construction.
+constexpr std::uint64_t kOutOfCoreTag = 0x00C5EED0FC0DE5ULL;
+
+// Cache stage names (see StageOutputCache: keys are (stage, fingerprint)).
+constexpr std::string_view kMomentsStage = "ooc-moments";
+constexpr std::string_view kScoresStage = "ooc-scores";
+
+/// Streaming per-column statistics over the whole store: extrema, mean and
+/// the full d × d comoment matrix  C(i,j) = Σ (x_i - μ_i)(x_j - μ_j),
+/// merged block by block with Chan's identity (the same algebra
+/// Standardizer::merge applies column-wise, extended to cross terms).
+struct StreamedMoments {
+  std::size_t count = 0;
+  std::vector<double> mean, lo, hi;
+  linalg::Matrix comoment;
+  std::uint64_t content_hash = 0;
+};
+
+void fold_block(StreamedMoments& m, const linalg::Matrix& values,
+                util::ThreadPool* pool) {
+  const std::size_t rows = values.rows();
+  const std::size_t d = values.cols();
+  std::vector<double> block_mean(d, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::span<const double> row = values.row(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      block_mean[c] += row[c];
+      m.lo[c] = std::min(m.lo[c], row[c]);
+      m.hi[c] = std::max(m.hi[c], row[c]);
+    }
+  }
+  for (double& v : block_mean) v /= static_cast<double>(rows);
+
+  // Block comoment, then the Chan merge into the running moments. The i-loop
+  // parallelises cleanly: every (i, j) slot is owned by exactly one task and
+  // the serial reduction order within a slot is fixed, so results are
+  // bit-identical for any thread count (the repo-wide contract).
+  const double n1 = static_cast<double>(m.count);
+  const double n2 = static_cast<double>(rows);
+  const double n = n1 + n2;
+  util::maybe_parallel_for(pool, d, [&](std::size_t i) {
+    for (std::size_t j = i; j < d; ++j) {
+      double cij = 0.0;
+      for (std::size_t r = 0; r < rows; ++r) {
+        cij += (values(r, i) - block_mean[i]) * (values(r, j) - block_mean[j]);
+      }
+      const double delta_i = block_mean[i] - m.mean[i];
+      const double delta_j = block_mean[j] - m.mean[j];
+      const double merged =
+          m.comoment(i, j) + cij + delta_i * delta_j * n1 * n2 / n;
+      m.comoment(i, j) = merged;
+      m.comoment(j, i) = merged;
+    }
+  });
+  for (std::size_t c = 0; c < d; ++c) {
+    m.mean[c] = (n1 * m.mean[c] + n2 * block_mean[c]) / n;
+  }
+  m.count += rows;
+}
+
+/// Packs the streamed moments into one cacheable matrix:
+///   row 0 = mean, row 1 = lo, row 2 = hi,
+///   row 3 = [count, bit_cast(content_hash), 0, ...],
+///   rows 4.. = the d × d comoment.
+linalg::Matrix pack_moments(const StreamedMoments& m) {
+  const std::size_t d = m.mean.size();
+  linalg::Matrix packed(d + 4, d);
+  packed.set_row(0, m.mean);
+  packed.set_row(1, m.lo);
+  packed.set_row(2, m.hi);
+  packed(3, 0) = static_cast<double>(m.count);
+  if (d >= 2) packed(3, 1) = std::bit_cast<double>(m.content_hash);
+  for (std::size_t i = 0; i < d; ++i) {
+    packed.set_row(4 + i, m.comoment.row(i));
+  }
+  return packed;
+}
+
+bool unpack_moments(const linalg::Matrix& packed, std::size_t d,
+                    StreamedMoments& m) {
+  if (d < 2 || packed.rows() != d + 4 || packed.cols() != d) return false;
+  const std::span<const double> mean = packed.row(0);
+  const std::span<const double> lo = packed.row(1);
+  const std::span<const double> hi = packed.row(2);
+  m.mean.assign(mean.begin(), mean.end());
+  m.lo.assign(lo.begin(), lo.end());
+  m.hi.assign(hi.begin(), hi.end());
+  m.count = static_cast<std::size_t>(packed(3, 0));
+  m.content_hash = std::bit_cast<std::uint64_t>(packed(3, 1));
+  m.comoment = linalg::Matrix(d, d);
+  for (std::size_t i = 0; i < d; ++i) m.comoment.set_row(i, packed.row(4 + i));
+  return m.count >= 2;
+}
+
+/// Pearson r of two (original-index) columns from the comoment matrix.
+double correlation_from_comoment(const linalg::Matrix& comoment, std::size_t i,
+                                 std::size_t j) {
+  if (i == j) return 1.0;
+  const double denom = std::sqrt(comoment(i, i) * comoment(j, j));
+  return denom > 0.0 ? comoment(i, j) / denom : 0.0;
+}
+
+/// The clustering-knob hash chain, mirroring the in-RAM cluster fingerprint
+/// (core/analyzer.cpp) — equal fingerprints within the out-of-core lineage
+/// imply the cluster stage would emit the same bits.
+std::uint64_t ooc_cluster_fingerprint(std::uint64_t whiten_fp,
+                                      const AnalyzerConfig& cfg,
+                                      const std::vector<double>& weights) {
+  std::uint64_t h =
+      util::hash_mix(whiten_fp, static_cast<std::uint64_t>(cfg.algorithm));
+  h = util::hash_mix(h, cfg.fixed_clusters ? *cfg.fixed_clusters + 1 : 0u);
+  h = util::hash_mix(h, cfg.min_clusters);
+  h = util::hash_mix(h, cfg.max_clusters);
+  h = util::hash_mix(h, cfg.compute_quality_curve ? 1u : 0u);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(cfg.kmeans.max_iterations));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(cfg.kmeans.restarts));
+  h = hash_mix(h, cfg.kmeans.tolerance);
+  h = util::hash_mix(h, cfg.kmeans.seed);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(cfg.kmeans.init));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(cfg.kmeans_mode));
+  h = util::hash_mix(h, cfg.minibatch_threshold);
+  h = util::hash_mix(h, cfg.coreset.size);
+  h = util::hash_mix(h, cfg.coreset.seed);
+  h = util::hash_mix(h,
+                     static_cast<std::uint64_t>(cfg.minibatch_refine_iterations));
+  h = util::hash_mix(h, cfg.silhouette_exact_threshold);
+  h = util::hash_mix(h, cfg.silhouette_sample);
+  h = util::hash_mix(h, cfg.weight_clustering_by_observation ? 1u : 0u);
+  if (cfg.weight_clustering_by_observation) h = fingerprint_doubles(weights, h);
+  return h;
+}
+
+std::uint64_t nonzero(std::uint64_t h) { return h == 0 ? 1 : h; }
+
+}  // namespace
+
+AnalysisResult analyze_out_of_core(const metrics::ColumnStore& store,
+                                   const AnalyzerConfig& config,
+                                   const OutOfCoreOptions& options,
+                                   util::ThreadPool* pool,
+                                   OutOfCoreTelemetry* telemetry) {
+  const std::size_t n = store.num_rows();
+  const std::size_t d = store.num_metrics();
+  ensure(n >= config.min_clusters,
+         "analyze_out_of_core: fewer scenarios than clusters");
+  ensure(n >= 2, "analyze_out_of_core: need at least two rows");
+
+  OutOfCoreTelemetry local;
+  OutOfCoreTelemetry& tel = telemetry != nullptr ? *telemetry : local;
+  tel = OutOfCoreTelemetry{};
+  tel.dense_bytes = n * d * sizeof(double);
+
+  // ---- Pass 1: moments (or a cache hit keyed by the store's structure) ----
+  const std::uint64_t moments_key = nonzero(util::hash_mix(
+      util::hash_mix(kOutOfCoreTag, store.structural_signature()),
+      metrics::catalog_hash(store.catalog())));
+  StreamedMoments moments;
+  std::vector<double> weights;
+  bool have_moments = false;
+  if (options.cache != nullptr) {
+    if (std::optional<linalg::Matrix> packed =
+            options.cache->get(kMomentsStage, moments_key)) {
+      have_moments = unpack_moments(*packed, d, moments) && moments.count == n;
+      tel.moments_reused = have_moments;
+    }
+  }
+  if (have_moments) {
+    weights = store.weights();
+  } else {
+    moments.count = 0;
+    moments.mean.assign(d, 0.0);
+    moments.lo.assign(d, std::numeric_limits<double>::infinity());
+    moments.hi.assign(d, -std::numeric_limits<double>::infinity());
+    moments.comoment = linalg::Matrix(d, d);
+    moments.content_hash = util::kFnvOffsetBasis;
+    weights.reserve(n);
+    store.for_each_block([&](std::size_t /*first_row*/,
+                             const linalg::Matrix& values,
+                             std::span<const double> w) {
+      moments.content_hash = fingerprint_matrix(values, moments.content_hash);
+      moments.content_hash = util::fnv1a(
+          std::string_view(reinterpret_cast<const char*>(w.data()),
+                           w.size() * sizeof(double)),
+          util::hash_mix(moments.content_hash, w.size()));
+      fold_block(moments, values, pool);
+      weights.insert(weights.end(), w.begin(), w.end());
+      ++tel.blocks_streamed;
+    });
+    ++tel.passes;
+    if (options.cache != nullptr) {
+      options.cache->put(kMomentsStage, moments_key, pack_moments(moments),
+                         options.drift_priority);
+    }
+  }
+  tel.content_hash = moments.content_hash;
+
+  AnalysisResult result;
+  result.stage_counters = StageCounters{};
+
+  // ---- Refinement from moments (bit-identical decisions to stages::refine:
+  // the constant rule reads only extrema, the duplicate rule only r) ----
+  std::vector<std::size_t> informative;
+  for (std::size_t c = 0; c < d; ++c) {
+    const double scale =
+        std::max({std::abs(moments.lo[c]), std::abs(moments.hi[c]), 1.0});
+    if (moments.hi[c] - moments.lo[c] <= 1e-12 * scale) {
+      result.constant_columns.push_back(c);
+    } else {
+      informative.push_back(c);
+    }
+  }
+  ensure(!informative.empty(), "analyze_out_of_core: all metrics are constant");
+  if (config.use_correlation_filter) {
+    linalg::Matrix corr(informative.size(), informative.size());
+    for (std::size_t i = 0; i < informative.size(); ++i) {
+      for (std::size_t j = 0; j < informative.size(); ++j) {
+        corr(i, j) =
+            correlation_from_comoment(moments.comoment, informative[i],
+                                      informative[j]);
+      }
+    }
+    const ml::CorrelationFilter filter(config.correlation_threshold);
+    result.refinement = filter.fit_from_correlation(corr);
+    result.kept_columns.reserve(result.refinement.kept_columns.size());
+    for (const std::size_t c : result.refinement.kept_columns) {
+      result.kept_columns.push_back(informative[c]);
+    }
+    for (ml::CorrelationDrop& drop : result.refinement.drops) {
+      drop.dropped_column = informative[drop.dropped_column];
+      drop.kept_column = informative[drop.kept_column];
+    }
+  } else {
+    result.kept_columns = informative;
+  }
+  ++result.stage_counters.refine;
+  const std::size_t kept = result.kept_columns.size();
+
+  // ---- Standardizer + PCA from the same moments. The covariance of the
+  // standardised kept columns (n−1 normalisation throughout) is exactly
+  // their correlation matrix:  C_ij / √(C_ii·C_jj). ----
+  {
+    std::vector<double> kept_means(kept), kept_m2(kept);
+    for (std::size_t i = 0; i < kept; ++i) {
+      kept_means[i] = moments.mean[result.kept_columns[i]];
+      kept_m2[i] =
+          moments.comoment(result.kept_columns[i], result.kept_columns[i]);
+    }
+    result.standardizer = ml::Standardizer::from_moments(
+        std::move(kept_means), std::move(kept_m2), n);
+  }
+  ++result.stage_counters.standardize;
+
+  {
+    linalg::Matrix corr_kept(kept, kept);
+    for (std::size_t i = 0; i < kept; ++i) {
+      for (std::size_t j = 0; j < kept; ++j) {
+        corr_kept(i, j) =
+            correlation_from_comoment(moments.comoment, result.kept_columns[i],
+                                      result.kept_columns[j]);
+      }
+    }
+    result.pca.fit_from_covariance(std::vector<double>(kept, 0.0), corr_kept, n);
+  }
+  result.num_components = result.pca.num_components_for(config.variance_target);
+  result.interpretations =
+      interpret_components(result.pca, result.kept_columns, store.catalog(),
+                           result.num_components, config.labeler);
+  ++result.stage_counters.pca;
+
+  // ---- Budget check: the score matrix is the only O(n) allocation. ----
+  const std::size_t score_bytes = n * result.num_components * sizeof(double);
+  tel.resident_bytes = score_bytes;
+  if (options.memory_budget_bytes > 0 &&
+      score_bytes > options.memory_budget_bytes) {
+    throw NumericalError(
+        "analyze_out_of_core: the " + std::to_string(score_bytes) +
+        "-byte score matrix (" + std::to_string(n) + " rows × " +
+        std::to_string(result.num_components) +
+        " components) exceeds the memory budget of " +
+        std::to_string(options.memory_budget_bytes) + " bytes");
+  }
+
+  // ---- Pass 2: project every block into the score matrix (or reload) ----
+  std::uint64_t scores_key = util::hash_mix(kOutOfCoreTag, moments.content_hash);
+  scores_key = util::hash_mix(scores_key, config.use_correlation_filter ? 1u : 0u);
+  scores_key = hash_mix(scores_key, config.correlation_threshold);
+  scores_key = nonzero(hash_mix(scores_key, config.variance_target));
+  linalg::Matrix scores;
+  if (options.cache != nullptr) {
+    if (std::optional<linalg::Matrix> cached =
+            options.cache->get(kScoresStage, scores_key)) {
+      if (cached->rows() == n && cached->cols() == result.num_components) {
+        scores = std::move(*cached);
+        tel.scores_reused = true;
+      }
+    }
+  }
+  if (scores.empty()) {
+    scores = linalg::Matrix(n, result.num_components);
+    store.for_each_block([&](std::size_t first_row, const linalg::Matrix& values,
+                             std::span<const double> /*w*/) {
+      const linalg::Matrix block_scores = result.pca.transform(
+          result.standardizer.transform(
+              values.select_columns(result.kept_columns)),
+          result.num_components);
+      for (std::size_t r = 0; r < block_scores.rows(); ++r) {
+        scores.set_row(first_row + r, block_scores.row(r));
+      }
+      ++tel.blocks_streamed;
+    });
+    ++tel.passes;
+    if (options.cache != nullptr) {
+      options.cache->put(kScoresStage, scores_key, scores,
+                         options.drift_priority);
+    }
+  }
+
+  // ---- Whiten → cluster → representatives on the compact matrix, exactly
+  // as the in-RAM stages run them. ----
+  result.whitener.fit(scores);
+  result.whitened = config.whiten;
+  // Whitening is per-element (x − mean)/scale, so it runs in place on the
+  // moved score matrix: the peak residency stays one n × ncomp matrix, and
+  // each element matches Whitener::transform bit for bit (same expression,
+  // no accumulation to reassociate).
+  result.cluster_space = std::move(scores);
+  if (config.whiten) {
+    const std::vector<double>& means = result.whitener.means();
+    const std::vector<double>& scales = result.whitener.scales();
+    for (std::size_t r = 0; r < result.cluster_space.rows(); ++r) {
+      for (std::size_t c = 0; c < result.cluster_space.cols(); ++c) {
+        result.cluster_space(r, c) =
+            (result.cluster_space(r, c) - means[c]) / scales[c];
+      }
+    }
+  }
+  ++result.stage_counters.whiten;
+
+  stages::ClusterOutput co =
+      stages::cluster(result.cluster_space, weights, config, pool);
+  result.quality_curve = std::move(co.quality_curve);
+  result.chosen_k = co.chosen_k;
+  result.clustering = std::move(co.clustering);
+  ++result.stage_counters.cluster;
+
+  stages::RepresentativesOutput rep = stages::representatives(
+      result.clustering, result.cluster_space, result.chosen_k, weights,
+      /*require_positive_weight=*/false);
+  result.representatives = std::move(rep.representatives);
+  result.cluster_weights = std::move(rep.cluster_weights);
+  ++result.stage_counters.representatives;
+
+  // ---- Fingerprints: the in-RAM chain shape, rooted at the distinct
+  // out-of-core tag (see the header — these must never splice across). ----
+  StageFingerprints fp;
+  {
+    std::uint64_t h = util::hash_mix(kOutOfCoreTag, moments.content_hash);
+    for (const metrics::MetricInfo& m : store.catalog().metrics()) {
+      h = util::fnv1a(m.name, h);
+    }
+    fp.raw = h;
+    h = util::hash_mix(fp.raw, config.use_correlation_filter ? 1u : 0u);
+    fp.refine = hash_mix(h, config.correlation_threshold);
+    fp.standardize = util::hash_mix(fp.refine, 0x5354Du);
+    h = hash_mix(fp.standardize, config.variance_target);
+    h = util::hash_mix(h, config.labeler.max_contributors);
+    fp.pca = hash_mix(h, config.labeler.min_abs_loading);
+    fp.whiten = util::hash_mix(fp.pca, config.whiten ? 1u : 0u);
+    fp.cluster = ooc_cluster_fingerprint(fp.whiten, config, weights);
+    fp.representatives =
+        fingerprint_doubles(weights, util::hash_mix(fp.cluster, 0x52455052u));
+  }
+  result.fingerprints = fp;
+  return result;
+}
+
+}  // namespace flare::core

@@ -276,6 +276,7 @@ ProfileReport Profiler::profile_with_health(const dcsim::ScenarioSet& set,
     rows[i] = profile_one(*model_, config_, fault_model_, set.scenarios[i],
                           machine, schema, plan, report.health[i]);
   });
+  report.database.reserve(rows.size());
   for (metrics::MetricRow& row : rows) report.database.add_row(std::move(row));
   return report;
 }

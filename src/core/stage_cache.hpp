@@ -1,0 +1,127 @@
+// Budgeted spill/eviction cache for large analysis intermediates
+// (DESIGN.md §12).
+//
+// The stage graph already proves when an intermediate is reusable: equal
+// input fingerprints imply bit-equal outputs (core/stage_graph.hpp). This
+// cache adds the missing storage policy for the out-of-core regime, where
+// keeping every intermediate resident would defeat the memory budget:
+//
+//   - entries are keyed by (stage name, input fingerprint) — a hit is
+//     guaranteed to be the bit-exact output the stage would recompute;
+//   - a configurable budget caps resident bytes; when exceeded, cold entries
+//     are *spilled* to disk (raw row-major doubles, bit-identical on reload)
+//     and their RAM freed;
+//   - eviction order is priority-then-LRU, where the priority is the
+//     incremental-PCA subspace-drift fraction (sin θ_max / escalation limit)
+//     of the basis the intermediate was projected through: a basis near the
+//     limit is about to be invalidated by a cold refit, so its intermediates
+//     are the first to leave RAM;
+//   - a get() miss (no entry and no spill file) simply reports the miss —
+//     callers recompute via get_or_compute(), which also re-inserts.
+//
+// Spill files are content-addressed (`<stage>-<fingerprint>.spill`), so a
+// fresh cache pointed at the same spill directory transparently reloads
+// intermediates spilled by an earlier process. Zero fingerprints (the
+// poisoned / never-computed sentinel) are rejected: a poisoned result must
+// never be spliced anywhere, including through this cache.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "linalg/matrix.hpp"
+
+namespace flare::core {
+
+struct StageCacheConfig {
+  /// Resident-bytes cap. 0 = unbounded (nothing ever spills).
+  std::size_t memory_budget_bytes = 0;
+  /// Where spilled entries go. Empty = spilling disabled: over-budget
+  /// entries are dropped outright and cost a recompute on the next miss.
+  std::string spill_dir;
+};
+
+struct StageCacheStats {
+  std::size_t hits = 0;         ///< served from RAM
+  std::size_t reloads = 0;      ///< served from a spill file
+  std::size_t misses = 0;       ///< caller must recompute
+  std::size_t spills = 0;       ///< entries written to disk under pressure
+  std::size_t drops = 0;        ///< entries discarded (no spill dir)
+  std::size_t resident_bytes = 0;
+  std::size_t spilled_bytes = 0;
+};
+
+class StageOutputCache {
+ public:
+  explicit StageOutputCache(StageCacheConfig config = {});
+
+  /// Inserts (or overwrites) the output of `stage` for the given input
+  /// fingerprint. `eviction_priority` ∈ [0, 1]: the drift fraction of the
+  /// basis behind this intermediate — higher leaves RAM first. May trigger
+  /// spills of colder entries to get back under budget.
+  void put(std::string_view stage, std::uint64_t fingerprint,
+           linalg::Matrix value, double eviction_priority = 0.0);
+
+  /// Re-scores an entry (the ingest path calls this as drift accumulates).
+  /// Unknown keys are ignored.
+  void set_priority(std::string_view stage, std::uint64_t fingerprint,
+                    double eviction_priority);
+
+  /// Returns a copy of the cached output, transparently reloading a spilled
+  /// entry (which re-enters RAM and may push something else out). On a cold
+  /// start the spill directory is probed too, so intermediates spilled by an
+  /// earlier process are found. nullopt = miss, caller recomputes.
+  [[nodiscard]] std::optional<linalg::Matrix> get(std::string_view stage,
+                                                  std::uint64_t fingerprint);
+
+  /// get() with a recompute fallback: on miss, runs `compute`, inserts the
+  /// result under (stage, fingerprint, priority), and returns it.
+  [[nodiscard]] linalg::Matrix get_or_compute(
+      std::string_view stage, std::uint64_t fingerprint,
+      double eviction_priority, const std::function<linalg::Matrix()>& compute);
+
+  /// Forgets one entry (RAM and spill file).
+  void invalidate(std::string_view stage, std::uint64_t fingerprint);
+
+  /// Forgets everything, deleting this cache's spill files.
+  void clear();
+
+  [[nodiscard]] const StageCacheStats& stats() const { return stats_; }
+  [[nodiscard]] const StageCacheConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t entries() const { return entries_.size(); }
+
+  /// Spill-file path for a key (exposed for tests).
+  [[nodiscard]] std::string spill_path(std::string_view stage,
+                                       std::uint64_t fingerprint) const;
+
+ private:
+  struct Entry {
+    std::string stage;
+    std::uint64_t fingerprint = 0;
+    double priority = 0.0;
+    bool resident = false;   ///< value holds the matrix
+    bool spilled = false;    ///< a spill file exists
+    std::size_t bytes = 0;   ///< payload size (rows × cols × 8)
+    linalg::Matrix value;
+  };
+
+  using EntryList = std::list<Entry>;  ///< front = most recently used
+
+  [[nodiscard]] EntryList::iterator find(std::string_view stage,
+                                         std::uint64_t fingerprint);
+  void make_room();
+  void spill(Entry& entry);
+  [[nodiscard]] static std::size_t payload_bytes(const linalg::Matrix& m) {
+    return m.rows() * m.cols() * sizeof(double);
+  }
+
+  StageCacheConfig config_;
+  EntryList entries_;
+  StageCacheStats stats_;
+};
+
+}  // namespace flare::core

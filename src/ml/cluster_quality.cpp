@@ -1,9 +1,11 @@
 #include "ml/cluster_quality.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "ml/detail/dense_kernels.hpp"
+#include "stats/rng.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -150,6 +152,31 @@ double silhouette_score(const PairwiseDistances& distances,
                         const std::vector<std::size_t>& assignment,
                         std::size_t num_clusters, util::ThreadPool* pool) {
   return mean_of(silhouette_samples(distances, assignment, num_clusters, pool));
+}
+
+double silhouette_score_sampled(const linalg::Matrix& data,
+                                const std::vector<std::size_t>& assignment,
+                                std::size_t num_clusters,
+                                std::size_t sample_size, std::uint64_t seed,
+                                util::ThreadPool* pool) {
+  ensure(sample_size >= 2, "silhouette_score_sampled: need a sample of >= 2");
+  ensure(assignment.size() == data.rows(),
+         "silhouette_score_sampled: assignment size");
+  if (data.rows() <= sample_size) {
+    return silhouette_score(data, assignment, num_clusters, pool);
+  }
+  // A sorted without-replacement sample keeps row gathering cache-friendly
+  // and makes the estimate a pure function of (data, assignment, seed).
+  stats::Rng rng(seed);
+  std::vector<std::size_t> sample =
+      rng.sample_without_replacement(data.rows(), sample_size);
+  std::sort(sample.begin(), sample.end());
+  const linalg::Matrix subset = data.select_rows(sample);
+  std::vector<std::size_t> sub_assignment(sample.size());
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    sub_assignment[i] = assignment[sample[i]];
+  }
+  return silhouette_score(subset, sub_assignment, num_clusters, pool);
 }
 
 }  // namespace flare::ml

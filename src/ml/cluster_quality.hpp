@@ -9,6 +9,8 @@
 // bit-identical values (points are independent; means reduce in index order).
 #pragma once
 
+#include <cstdint>
+
 #include "linalg/matrix.hpp"
 
 namespace flare::ml {
@@ -69,5 +71,16 @@ class PairwiseDistances {
 [[nodiscard]] std::vector<double> silhouette_samples(
     const PairwiseDistances& distances, const std::vector<std::size_t>& assignment,
     std::size_t num_clusters, util::ThreadPool* pool = nullptr);
+
+/// Sampled silhouette estimator for the out-of-core regime: restricts the
+/// computation to `sample_size` rows drawn without replacement (seeded,
+/// deterministic) and scores the induced sub-clustering with the exact
+/// kernel — O(s²·d) instead of O(n²·d), and no n×n distance cache. Degrades
+/// to the exact score when n ≤ sample_size. Callers must surface that the
+/// value is an estimate (see core::ClusterQualityPoint::silhouette_estimated).
+[[nodiscard]] double silhouette_score_sampled(
+    const linalg::Matrix& data, const std::vector<std::size_t>& assignment,
+    std::size_t num_clusters, std::size_t sample_size, std::uint64_t seed,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace flare::ml

@@ -37,6 +37,28 @@ CorrelationFilterResult CorrelationFilter::fit(const linalg::Matrix& data) const
   return result;
 }
 
+CorrelationFilterResult CorrelationFilter::fit_from_correlation(
+    const linalg::Matrix& corr) const {
+  ensure(corr.rows() == corr.cols(),
+         "CorrelationFilter::fit_from_correlation: matrix must be square");
+  ensure(corr.rows() >= 1,
+         "CorrelationFilter::fit_from_correlation: empty matrix");
+  CorrelationFilterResult result;
+  for (std::size_t c = 0; c < corr.cols(); ++c) {
+    bool duplicate = false;
+    for (const std::size_t k : result.kept_columns) {
+      const double r = corr(k, c);
+      if (std::abs(r) >= threshold_) {
+        result.drops.push_back(CorrelationDrop{c, k, r});
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) result.kept_columns.push_back(c);
+  }
+  return result;
+}
+
 linalg::Matrix CorrelationFilter::apply(const linalg::Matrix& data,
                                         CorrelationFilterResult* report) const {
   CorrelationFilterResult result = fit(data);

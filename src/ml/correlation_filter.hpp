@@ -36,6 +36,14 @@ class CorrelationFilter {
   [[nodiscard]] linalg::Matrix apply(const linalg::Matrix& data,
                                      CorrelationFilterResult* report = nullptr) const;
 
+  /// Same greedy scan over a precomputed correlation matrix (d × d,
+  /// symmetric, unit diagonal) — the out-of-core path derives it from one
+  /// streaming comoment pass instead of materialising columns. Matches
+  /// fit()'s keep/drop decisions whenever corr(i, j) equals the pairwise
+  /// Pearson r of the underlying data.
+  [[nodiscard]] CorrelationFilterResult fit_from_correlation(
+      const linalg::Matrix& corr) const;
+
   [[nodiscard]] double threshold() const { return threshold_; }
 
  private:

@@ -88,6 +88,32 @@ void Pca::fit(const linalg::Matrix& data, util::ThreadPool* pool) {
   recompute_ratios();
 }
 
+void Pca::fit_from_covariance(std::vector<double> mean,
+                              const linalg::Matrix& covariance,
+                              std::size_t count) {
+  ensure(covariance.rows() == covariance.cols(),
+         "Pca::fit_from_covariance: covariance must be square");
+  ensure(mean.size() == covariance.rows(),
+         "Pca::fit_from_covariance: mean/covariance dimension mismatch");
+  ensure(count >= 2, "Pca::fit_from_covariance: need at least two observations");
+  ensure_numeric(count >= covariance.rows(),
+                 "Pca::fit_from_covariance: fewer rows than variables — the "
+                 "sample covariance is rank-deficient and trailing eigenpairs "
+                 "are unidentifiable");
+
+  linalg::SymmetricEigenResult eig = linalg::symmetric_eigen(covariance);
+  for (double& ev : eig.eigenvalues) ev = std::max(ev, 0.0);
+  fix_component_signs(eig.eigenvectors);
+
+  mean_ = std::move(mean);
+  components_ = std::move(eig.eigenvectors);
+  eigenvalues_ = std::move(eig.eigenvalues);
+  count_ = count;
+  anchor_ = linalg::Matrix();
+  drift_ = 0.0;
+  recompute_ratios();
+}
+
 PcaUpdateStats Pca::update(const linalg::Matrix& batch,
                            const Standardizer& batch_moments,
                            util::ThreadPool* pool) {

@@ -58,6 +58,15 @@ class Pca {
   PcaUpdateStats update(const linalg::Matrix& batch,
                         util::ThreadPool* pool = nullptr);
 
+  /// Fits from an externally accumulated covariance instead of raw rows —
+  /// the out-of-core path assembles the covariance of the standardised kept
+  /// columns (their correlation matrix) in one streaming comoment pass and
+  /// never materialises the data fit() would need. `mean` is the per-variable
+  /// mean of the (virtual) fit data and `count` its row count; eigensolve,
+  /// sign fixing and ratio bookkeeping match fit() exactly.
+  void fit_from_covariance(std::vector<double> mean,
+                           const linalg::Matrix& covariance, std::size_t count);
+
   /// Projects data onto the principal axes: scores = (x - mean) · V.
   /// Returns all components; callers slice with `num_components_for`.
   [[nodiscard]] linalg::Matrix transform(const linalg::Matrix& data) const;

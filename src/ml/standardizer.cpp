@@ -39,6 +39,33 @@ void Standardizer::fit(const linalg::Matrix& data) {
   }
 }
 
+Standardizer Standardizer::from_moments(std::vector<double> means,
+                                        std::vector<double> m2,
+                                        std::size_t count) {
+  ensure(!means.empty(), "Standardizer::from_moments: empty moments");
+  ensure(means.size() == m2.size(),
+         "Standardizer::from_moments: mean/M2 size mismatch");
+  ensure(count >= 1, "Standardizer::from_moments: need at least one row");
+  for (std::size_t c = 0; c < means.size(); ++c) {
+    if (!std::isfinite(means[c]) || !std::isfinite(m2[c]) || m2[c] < 0.0) {
+      throw FaultError("Standardizer::from_moments: non-finite or negative "
+                       "moment in column " + std::to_string(c));
+    }
+  }
+  Standardizer s;
+  s.means_ = std::move(means);
+  s.m2_ = std::move(m2);
+  s.count_ = count;
+  s.scales_.assign(s.means_.size(), 1.0);
+  if (count >= 2) {
+    for (std::size_t c = 0; c < s.means_.size(); ++c) {
+      const double sd = std::sqrt(s.m2_[c] / static_cast<double>(count - 1));
+      s.scales_[c] = sd > 0.0 ? sd : 1.0;
+    }
+  }
+  return s;
+}
+
 void Standardizer::merge(const Standardizer& other) {
   ensure(fitted() && other.fitted(), "Standardizer::merge: both sides must be fitted");
   ensure(means_.size() == other.means_.size(),

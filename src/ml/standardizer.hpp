@@ -29,6 +29,16 @@ class Standardizer {
   /// batches to maintain standardisation moments without re-reading old rows.
   void merge(const Standardizer& other);
 
+  /// Rebuilds a fitted Standardizer from externally accumulated Welford
+  /// moments (per-column mean, M2 = Σ(x-mean)², row count) — the out-of-core
+  /// path streams blocks through one moments pass and never holds the data
+  /// this would otherwise be fit() on. Scales follow fit()'s conventions:
+  /// sd = sqrt(M2 / (count-1)), constant columns get unit scale, and a
+  /// single-row count keeps unit scales.
+  [[nodiscard]] static Standardizer from_moments(std::vector<double> means,
+                                                 std::vector<double> m2,
+                                                 std::size_t count);
+
   [[nodiscard]] bool fitted() const { return !means_.empty(); }
   [[nodiscard]] const std::vector<double>& means() const { return means_; }
   [[nodiscard]] const std::vector<double>& scales() const { return scales_; }

@@ -56,6 +56,7 @@ metrics::MetricDatabase load_metric_database(const std::string& path,
   }
 
   metrics::MetricDatabase db(catalog);
+  db.reserve(lines.size() - 1);  // every non-header line becomes one row
   for (std::size_t l = 1; l < lines.size(); ++l) {
     const std::size_t line_no = l + 1;
     const std::vector<std::string> fields = parse_csv_row(lines[l], path, line_no);

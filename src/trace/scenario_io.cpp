@@ -36,6 +36,7 @@ dcsim::ScenarioSet load_scenario_set(const std::string& path) {
     throw ParseError("load_scenario_set: missing or wrong header in " + path);
   }
   dcsim::ScenarioSet set;
+  set.scenarios.reserve(lines.size() - 1);  // one row per non-header line
   for (std::size_t i = 1; i < lines.size(); ++i) {
     const std::size_t line_no = i + 1;
     const std::vector<std::string> fields = parse_csv_row(lines[i], path, line_no);

@@ -1,0 +1,202 @@
+#include "metrics/column_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace flare::metrics {
+namespace {
+
+MetricCatalog tiny_catalog() {
+  std::vector<MetricInfo> metrics;
+  for (const char* name : {"Machine.A", "Machine.B", "HP.A", "HP.B"}) {
+    MetricInfo m;
+    m.index = metrics.size();
+    m.name = name;
+    metrics.push_back(std::move(m));
+  }
+  return MetricCatalog(std::move(metrics));
+}
+
+MetricDatabase make_database(const MetricCatalog& catalog, std::size_t rows,
+                             std::size_t id_base = 0) {
+  MetricDatabase db(catalog);
+  for (std::size_t i = 0; i < rows; ++i) {
+    MetricRow row;
+    row.scenario_id = id_base + i;
+    row.scenario_key = "DC:" + std::to_string(id_base + i + 1);
+    row.observation_weight = 1.0 + 0.25 * static_cast<double>(i % 7);
+    for (std::size_t c = 0; c < catalog.size(); ++c) {
+      row.values.push_back(static_cast<double>(id_base + i) * 0.5 +
+                           static_cast<double>(c) * 1.25 - 3.0);
+    }
+    db.add_row(std::move(row));
+  }
+  return db;
+}
+
+class ColumnStoreTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/flare_store.fcs";
+  MetricCatalog catalog_ = tiny_catalog();
+};
+
+TEST_F(ColumnStoreTest, RoundTripsBitIdentically) {
+  const MetricDatabase db = make_database(catalog_, 25);
+  create_column_store(path_, catalog_, /*block_rows=*/8);
+  append_column_store_rows(path_, db);
+
+  const ColumnStore store(path_, catalog_);
+  ASSERT_EQ(store.num_rows(), 25u);
+  EXPECT_EQ(store.num_metrics(), catalog_.size());
+  EXPECT_EQ(store.num_blocks(), 4u);  // ceil(25 / 8)
+  EXPECT_EQ(store.block_rows(), 8u);
+
+  // Every byte of every value survives the round trip.
+  const linalg::Matrix expect = db.to_matrix();
+  const linalg::Matrix got = store.to_matrix();
+  ASSERT_EQ(got.rows(), expect.rows());
+  ASSERT_EQ(got.cols(), expect.cols());
+  EXPECT_EQ(got.data(), expect.data());
+  EXPECT_EQ(store.weights(), db.weights());
+}
+
+TEST_F(ColumnStoreTest, RowAccessRecoversKeysAndWeights) {
+  const MetricDatabase db = make_database(catalog_, 19);
+  create_column_store(path_, catalog_, /*block_rows=*/4);
+  append_column_store_rows(path_, db);
+
+  const ColumnStore store(path_, catalog_);
+  for (const std::size_t i : {0u, 3u, 4u, 18u}) {
+    const MetricRow row = store.row(i);
+    EXPECT_EQ(row.scenario_id, db.row(i).scenario_id);
+    EXPECT_EQ(row.scenario_key, db.row(i).scenario_key);
+    EXPECT_EQ(row.observation_weight, db.row(i).observation_weight);
+    EXPECT_EQ(row.values, db.row(i).values);
+  }
+  EXPECT_THROW(store.row(19), std::invalid_argument);
+}
+
+TEST_F(ColumnStoreTest, DecodedBlockLruIsBounded) {
+  const MetricDatabase db = make_database(catalog_, 64);
+  create_column_store(path_, catalog_, /*block_rows=*/4);  // 16 blocks
+  append_column_store_rows(path_, db);
+
+  ColumnStoreOptions options;
+  options.cache_blocks = 2;
+  const ColumnStore store(path_, catalog_, options);
+  // Two rows in the same block: one miss, then a hit.
+  (void)store.row(0);
+  (void)store.row(1);
+  EXPECT_EQ(store.cache_misses(), 1u);
+  EXPECT_EQ(store.cache_hits(), 1u);
+  // Touch more blocks than the cache holds, then come back: re-decoded.
+  (void)store.row(10);
+  (void)store.row(20);
+  (void)store.row(0);
+  EXPECT_EQ(store.cache_misses(), 4u);
+}
+
+TEST_F(ColumnStoreTest, ForEachBlockStreamsInRowOrder) {
+  const MetricDatabase db = make_database(catalog_, 21);
+  create_column_store(path_, catalog_, /*block_rows=*/8);
+  append_column_store_rows(path_, db);
+
+  const ColumnStore store(path_, catalog_);
+  const linalg::Matrix expect = db.to_matrix();
+  std::size_t next_row = 0;
+  store.for_each_block([&](std::size_t first_row, const linalg::Matrix& values,
+                           std::span<const double> weights) {
+    EXPECT_EQ(first_row, next_row);
+    ASSERT_EQ(values.rows(), weights.size());
+    for (std::size_t r = 0; r < values.rows(); ++r) {
+      EXPECT_EQ(weights[r], db.row(first_row + r).observation_weight);
+      for (std::size_t c = 0; c < values.cols(); ++c) {
+        EXPECT_EQ(values(r, c), expect(first_row + r, c));
+      }
+    }
+    next_row += values.rows();
+  });
+  EXPECT_EQ(next_row, 21u);
+}
+
+TEST_F(ColumnStoreTest, AppendGrowsAndChangesSignature) {
+  create_column_store(path_, catalog_, /*block_rows=*/8);
+  append_column_store_rows(path_, make_database(catalog_, 10));
+  std::uint64_t first_signature = 0;
+  {
+    const ColumnStore store(path_, catalog_);
+    EXPECT_EQ(store.num_rows(), 10u);
+    first_signature = store.structural_signature();
+  }
+  append_column_store_rows(path_, make_database(catalog_, 5, /*id_base=*/10));
+  const ColumnStore store(path_, catalog_);
+  EXPECT_EQ(store.num_rows(), 15u);
+  EXPECT_NE(store.structural_signature(), first_signature);
+  EXPECT_EQ(store.row(12).scenario_id, 12u);
+}
+
+TEST_F(ColumnStoreTest, RejectsCatalogMismatch) {
+  create_column_store(path_, catalog_, 8);
+  append_column_store_rows(path_, make_database(catalog_, 4));
+  std::vector<MetricInfo> renamed;
+  for (const char* name : {"Machine.A", "Machine.B", "HP.A", "HP.DIFFERENT"}) {
+    MetricInfo m;
+    m.index = renamed.size();
+    m.name = name;
+    renamed.push_back(std::move(m));
+  }
+  const MetricCatalog other(std::move(renamed));
+  EXPECT_THROW(ColumnStore(path_, other), ParseError);
+  EXPECT_THROW(append_column_store_rows(path_, make_database(other, 2)),
+               ParseError);
+}
+
+TEST_F(ColumnStoreTest, RejectsTornTail) {
+  create_column_store(path_, catalog_, 8);
+  append_column_store_rows(path_, make_database(catalog_, 12));
+  // Chop bytes off the last block: the self-delimiting directory scan must
+  // notice the tail cannot hold the advertised payload.
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  const std::streamoff size = in.tellg();
+  in.close();
+  std::filesystem::resize_file(path_, static_cast<std::uintmax_t>(size - 16));
+  EXPECT_THROW(ColumnStore(path_, catalog_), ParseError);
+}
+
+TEST_F(ColumnStoreTest, BufferedFallbackMatchesMmap) {
+  const MetricDatabase db = make_database(catalog_, 17);
+  create_column_store(path_, catalog_, /*block_rows=*/8);
+  append_column_store_rows(path_, db);
+
+  ColumnStoreOptions buffered;
+  buffered.use_mmap = false;
+  const ColumnStore ram(path_, catalog_, buffered);
+  const ColumnStore mapped(path_, catalog_);
+  EXPECT_FALSE(ram.mapped());
+  EXPECT_EQ(ram.to_matrix().data(), mapped.to_matrix().data());
+  EXPECT_EQ(ram.structural_signature(), mapped.structural_signature());
+}
+
+TEST_F(ColumnStoreTest, ToDatabaseRehydratesEverything) {
+  const MetricDatabase db = make_database(catalog_, 9);
+  create_column_store(path_, catalog_, /*block_rows=*/4);
+  append_column_store_rows(path_, db);
+  const ColumnStore store(path_, catalog_);
+  const MetricDatabase back = store.to_database();
+  ASSERT_EQ(back.num_rows(), db.num_rows());
+  for (std::size_t i = 0; i < db.num_rows(); ++i) {
+    EXPECT_EQ(back.row(i).scenario_key, db.row(i).scenario_key);
+    EXPECT_EQ(back.row(i).values, db.row(i).values);
+  }
+}
+
+}  // namespace
+}  // namespace flare::metrics

@@ -1,0 +1,145 @@
+// Hard memory-budget smoke test (DESIGN.md §12, nightly `ctest -L scale`):
+// a 50 000 × 122 population — the paper's metric width at ~56× its scenario
+// count — must analyse under a 64 MiB working-set budget with the process
+// peak RSS growing by at most 1.5× that budget over the pre-analysis
+// watermark. getrusage(RUSAGE_SELF).ru_maxrss is the ground truth: unlike
+// the analyzer's own telemetry it also catches hidden copies and allocator
+// slack. Skipped under sanitizers (shadow memory inflates RSS ~2-8×).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/out_of_core.hpp"
+#include "metrics/column_store.hpp"
+#include "stats/rng.hpp"
+#include "util/thread_pool.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define FLARE_UNDER_SANITIZER 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define FLARE_UNDER_SANITIZER 1
+#endif
+
+namespace flare::core {
+namespace {
+
+// Peak RSS in bytes (Linux reports ru_maxrss in KiB, macOS in bytes).
+std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage = {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+TEST(RssBudgetSmokeTest, FiftyThousandRowsStayUnderBudget) {
+#if defined(FLARE_UNDER_SANITIZER)
+  GTEST_SKIP() << "sanitizer shadow memory makes ru_maxrss meaningless";
+#endif
+  if (peak_rss_bytes() == 0) {
+    GTEST_SKIP() << "getrusage unavailable on this platform";
+  }
+
+  const std::size_t rows = 50000;
+  const std::size_t num_metrics = 122;  // the paper's metric width
+  const std::size_t blobs = 18;
+  const std::size_t budget = 64u << 20;
+
+  std::vector<metrics::MetricInfo> infos;
+  for (std::size_t i = 0; i < num_metrics; ++i) {
+    metrics::MetricInfo m;
+    m.index = i;
+    m.name = (i % 2 == 0 ? "Machine.M" : "HP.M") + std::to_string(i);
+    infos.push_back(std::move(m));
+  }
+  const metrics::MetricCatalog catalog(std::move(infos));
+
+  // Stream the fixture to disk in 2048-row batches: the dense population
+  // (~46 MiB) must never exist in this process, or the watermark would
+  // already include what the test is trying to rule out. Rows are low-rank
+  // (metrics mix an 18-dim latent, as real correlated datacenter metrics do)
+  // so the 95 % variance target lands near `blobs` components, not 122.
+  const std::string path = ::testing::TempDir() + "/flare_rss_store.fcs";
+  metrics::create_column_store(path, catalog, /*block_rows=*/2048);
+  stats::Rng rng(77);
+  std::vector<double> latent(blobs);
+  for (std::size_t start = 0; start < rows; start += 2048) {
+    const std::size_t count = std::min<std::size_t>(2048, rows - start);
+    metrics::MetricDatabase batch(catalog);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t row_index = start + i;
+      metrics::MetricRow row;
+      row.scenario_id = row_index;
+      row.scenario_key = "DC:" + std::to_string(row_index + 1);
+      row.observation_weight = 1.0;
+      const std::size_t blob = row_index % blobs;
+      for (std::size_t j = 0; j < blobs; ++j) {
+        latent[j] = (j == blob ? 9.0 : 0.0) + rng.normal(0.0, 1.0);
+      }
+      row.values.resize(num_metrics);
+      for (std::size_t c = 0; c < num_metrics; ++c) {
+        const double a = 1.0 + 0.05 * static_cast<double>(c % 7);
+        const double b = 0.4 + 0.05 * static_cast<double>(c % 5);
+        row.values[c] = a * latent[c % blobs] + b * latent[(c / 2) % blobs] +
+                        rng.normal(0.0, 0.3);
+      }
+      batch.add_row(std::move(row));
+    }
+    metrics::append_column_store_rows(path, batch);
+  }
+
+  metrics::ColumnStoreOptions store_options;
+  store_options.sequential_drop = true;  // advise the kernel to drop behind us
+  const metrics::ColumnStore store(path, catalog, store_options);
+  ASSERT_EQ(store.num_rows(), rows);
+
+  const std::size_t baseline = peak_rss_bytes();
+  ASSERT_GT(baseline, 0u);
+
+  AnalyzerConfig config;
+  config.fixed_clusters = blobs;
+  config.compute_quality_curve = false;
+  config.kmeans_mode = KMeansMode::kAuto;
+
+  util::ThreadPool pool(4);
+  OutOfCoreOptions options;
+  options.memory_budget_bytes = budget;
+  OutOfCoreTelemetry telemetry;
+  const AnalysisResult result =
+      analyze_out_of_core(store, config, options, &pool, &telemetry);
+
+  EXPECT_EQ(result.cluster_space.rows(), rows);
+  EXPECT_EQ(result.representatives.size(), blobs);
+  EXPECT_LE(telemetry.resident_bytes, budget);
+
+  // The hard acceptance bound: the analysis may grow the process high-water
+  // mark by at most 1.5× the budget. (The dense path would blow straight
+  // through this — the raw matrix alone is ~46 MiB before a single stage
+  // copy, and refine/standardize/PCA each hold one.)
+  const std::size_t peak = peak_rss_bytes();
+  const std::size_t growth = peak > baseline ? peak - baseline : 0;
+  EXPECT_LE(growth, budget + budget / 2)
+      << "analysis grew peak RSS by " << (growth >> 20) << " MiB against a "
+      << (budget >> 20) << " MiB budget (baseline " << (baseline >> 20)
+      << " MiB, peak " << (peak >> 20) << " MiB)";
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace flare::core

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Verify committed BENCH_*.json files came from release builds.
+
+Two formats appear in this repo:
+
+  * google-benchmark JSON (BENCH_analyzer/ingest/pca): the custom bench main
+    stamps ``context.flare_build_type``. The library's own
+    ``library_build_type`` field describes how the *benchmark library* was
+    compiled, which is irrelevant — only the stamped field is checked.
+  * the hand-rolled sweep format (BENCH_replay/scale): a top-level
+    ``build_type`` field.
+
+Files predating either stamp fail: re-record them from a Release build.
+
+Usage: tools/check_bench_meta.py [BENCH_*.json ...]   (defaults to repo root)
+"""
+
+import json
+import pathlib
+import sys
+
+
+def build_type_of(path: pathlib.Path) -> str:
+    with open(path) as f:
+        report = json.load(f)
+    context = report.get("context", {})
+    if "flare_build_type" in context:
+        return context["flare_build_type"]
+    if "build_type" in report:
+        return report["build_type"]
+    return "<unstamped>"
+
+
+def main(argv: list[str]) -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    paths = [pathlib.Path(a) for a in argv[1:]] or sorted(
+        root.glob("BENCH_*.json")
+    )
+    if not paths:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    bad = []
+    for path in paths:
+        build_type = build_type_of(path)
+        status = "ok" if build_type == "release" else "FAIL"
+        print(f"{status:4}  {path.name}: {build_type}")
+        if build_type != "release":
+            bad.append(path.name)
+    if bad:
+        print(
+            f"\nerror: {', '.join(bad)} not recorded from a release build.\n"
+            "Re-record with: cmake -B build -DCMAKE_BUILD_TYPE=Release && "
+            "cmake --build build -j && bench/run_bench.sh && "
+            "build/bench/ext_replay_robustness",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
