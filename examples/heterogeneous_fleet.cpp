@@ -1,55 +1,58 @@
-// Heterogeneous fleet (§5.5): a fleet with Default and Small machine shapes.
+// Heterogeneous fleet (§5.5, DESIGN.md §13): a three-shape fleet evaluated
+// through the sharded data plane.
 //
 // Identical scenarios cannot be reproduced across shapes (many Default mixes
 // do not even fit on the Small machine), so FLARE derives one representative
-// set per shape and the fleet-wide answer is the machine-count-weighted
-// combination.
+// set per shape: ShardedPipeline runs one complete pipeline per shape — own
+// drift gate, incremental PCA, quarantine and replay ledgers — and fans the
+// per-shape estimates into one datacenter-wide number with machine-count
+// weights, conserving the replay ledger's mass to 1.
 #include <cstdio>
 
-#include "core/pipeline.hpp"
-#include "dcsim/submission.hpp"
+#include "core/sharded_pipeline.hpp"
+#include "dcsim/fleet.hpp"
 
 int main() {
   using namespace flare;
 
-  struct Shape {
-    dcsim::MachineConfig machine;
-    int machines_in_fleet;
-  };
-  const Shape shapes[] = {{dcsim::default_machine(), 6},
-                          {dcsim::small_machine(), 2}};
+  // The shape-population table: shape id = machine name, weight = machine
+  // share. The same table parses from "default:6,small:2,dense:4" at the
+  // CLI (`flare evaluate --shapes ...`).
+  const dcsim::FleetConfig fleet =
+      dcsim::parse_fleet_spec("default:6,small:2,dense:4");
+
+  // One §5.1 job-submission simulation per shape: jobs are placed per
+  // shape, so a mix observed on one shape never blends into another, and
+  // every scenario row carries its shape id.
+  dcsim::SubmissionConfig sub;
+  sub.target_distinct_scenarios = 400;
+  const dcsim::FleetScenarioSet population =
+      dcsim::generate_fleet_scenario_set(sub, fleet);
+
+  core::ShardedConfig config;
+  config.fleet = fleet;
+  config.base.analyzer.compute_quality_curve = false;
+  core::ShardedPipeline pipeline(config);
+  pipeline.fit(population);  // shards fit independently
 
   const core::Feature feature = core::feature_dvfs_cap();
-  double fleet_impact = 0.0;
-  int fleet_machines = 0;
+  const core::FleetEstimate estimate = pipeline.evaluate(feature);
 
-  for (const Shape& shape : shapes) {
-    // Each shape gets its own scenario landscape and representative set.
-    dcsim::SubmissionConfig sub;
-    sub.num_machines = shape.machines_in_fleet;
-    sub.target_distinct_scenarios = 400;
-    const dcsim::ScenarioSet set =
-        dcsim::generate_scenario_set(sub, shape.machine);
-
-    core::FlareConfig config;
-    config.machine = shape.machine;
-    config.analyzer.compute_quality_curve = false;
-    core::FlarePipeline flare(config);
-    flare.fit(set);
-
-    const core::FeatureEstimate est = flare.evaluate(feature);
-    std::printf("%-8s shape: %zu scenarios, %zu representatives, "
-                "HP impact %.2f%% (%zu replays)\n",
-                shape.machine.name.c_str(), set.size(), flare.analysis().chosen_k,
-                est.impact_pct, est.scenario_replays);
-
-    fleet_impact += est.impact_pct * shape.machines_in_fleet;
-    fleet_machines += shape.machines_in_fleet;
+  for (const core::ShardFeatureEstimate& shard : estimate.per_shape) {
+    std::printf("%-8s shape: w=%4.1f%%, HP impact %.2f%% (%zu replays)\n",
+                shard.shape.c_str(), 100.0 * shard.weight,
+                shard.estimate.impact_pct, shard.estimate.scenario_replays);
   }
 
-  std::printf("\nfleet-wide estimate (machine-weighted): %.2f%% HP MIPS "
-              "reduction from %s\n",
-              fleet_impact / fleet_machines, feature.name().c_str());
+  std::printf("\nfleet-wide estimate (machine-weighted fan-in): %.2f%% HP "
+              "MIPS reduction from %s\n",
+              estimate.impact_pct, feature.name().c_str());
+  std::printf("fan-in mass: direct %.1f%% / fallback %.1f%% / quarantined "
+              "%.1f%% (total %.6f)\n",
+              100.0 * estimate.replay.direct_mass,
+              100.0 * estimate.replay.fallback_mass,
+              100.0 * estimate.replay.quarantined_mass,
+              estimate.replay.total_mass());
   std::printf("(representatives are per-shape assets: derive once per shape, "
               "reuse across the many feature upgrades of the machines' "
               "5-10 year lifetime — paper §5.5)\n");

@@ -10,6 +10,8 @@
 #include "cli/config_args.hpp"
 #include "cli/feature_spec.hpp"
 #include "core/pipeline.hpp"
+#include "core/sharded_pipeline.hpp"
+#include "dcsim/fleet.hpp"
 #include "dcsim/submission.hpp"
 #include "core/out_of_core.hpp"
 #include "report/table.hpp"
@@ -23,6 +25,7 @@ namespace flare::cli {
 
 int run_simulate(const Args& args, std::ostream& out) {
   const std::string out_path = args.require_string("out");
+  const std::optional<dcsim::FleetConfig> fleet = fleet_from(args);
   const dcsim::MachineConfig machine =
       machine_by_name(args.get_string("machine", "default"));
   dcsim::SubmissionConfig config;
@@ -31,6 +34,28 @@ int run_simulate(const Args& args, std::ostream& out) {
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
   config.num_machines = static_cast<int>(args.get_int("machines", 8));
   args.reject_unconsumed();
+
+  if (fleet.has_value()) {
+    // Heterogeneous fleet: one scheduler per shape (jobs are placed
+    // per-shape), every archived row carries its shape id.
+    std::vector<dcsim::SubmissionStats> stats;
+    const dcsim::FleetScenarioSet sets = dcsim::generate_fleet_scenario_set(
+        config, *fleet, dcsim::default_job_catalog(), &stats);
+    const std::vector<double> weights = fleet->population_weights();
+    for (std::size_t i = 0; i < fleet->shapes.size(); ++i) {
+      out << "shape " << fleet->shapes[i].machine.name << " ("
+          << fleet->shapes[i].num_machines << " machines, w="
+          << static_cast<int>(100.0 * weights[i]) << "%): "
+          << sets.per_shape[i].size() << " scenarios over "
+          << stats[i].simulated_hours << " h\n";
+    }
+    trace::save_scenario_set(sets.merged(), out_path);
+    out << "fleet: " << sets.total_scenarios()
+        << " distinct co-location scenarios across " << fleet->size()
+        << " shapes\n"
+        << "wrote " << out_path << "\n";
+    return 0;
+  }
 
   dcsim::SubmissionStats stats;
   const dcsim::ScenarioSet set = dcsim::generate_scenario_set(
@@ -75,6 +100,7 @@ int run_profile(const Args& args, std::ostream& out) {
 
 int run_analyze(const Args& args, std::ostream& out) {
   const std::string metrics_path = args.require_string("metrics");
+  const std::optional<dcsim::FleetConfig> fleet = fleet_from(args);
   const core::AnalyzerConfig config = analyzer_config_from(args);
   const core::MetricSchema schema =
       schema_by_name(args.get_string("schema", "standard"));
@@ -82,6 +108,52 @@ int run_analyze(const Args& args, std::ostream& out) {
   ensure(storage == "ram" || storage == "mmap",
          "unknown --storage '" + storage + "' (ram|mmap)");
   const std::size_t memory_budget = memory_budget_from(args);
+
+  if (fleet.has_value()) {
+    // Sharded analysis: metric rows carry no shape id, so the row-aligned
+    // scenario trace routes them — row r of the metric CSV belongs to the
+    // shape of scenario r.
+    ensure(storage == "ram",
+           "analyze --shapes supports --storage ram only (per-shape "
+           "out-of-core analysis runs through the ShardedPipeline API)");
+    const std::string scenarios_path = args.require_string("scenarios");
+    args.reject_unconsumed();
+    const metrics::MetricCatalog& catalog = core::resolve_schema(schema);
+    const dcsim::ScenarioSet set =
+        trace::load_scenario_set(scenarios_path, fleet->shape_names());
+    const metrics::MetricDatabase db =
+        trace::load_metric_database(metrics_path, catalog);
+    ensure(db.num_rows() == set.size(),
+           "analyze --shapes: the metric CSV and scenario trace must be "
+           "row-aligned (" + std::to_string(db.num_rows()) + " metric rows vs " +
+               std::to_string(set.size()) + " scenarios)");
+    const std::vector<double> weights = fleet->population_weights();
+    std::size_t fleet_clusters = 0;
+    for (std::size_t i = 0; i < fleet->shapes.size(); ++i) {
+      const std::string& name = fleet->shapes[i].machine.name;
+      metrics::MetricDatabase shard_db(catalog);
+      for (std::size_t r = 0; r < set.size(); ++r) {
+        if (set.scenarios[r].machine_type == name) shard_db.add_row(db.row(r));
+      }
+      ensure(shard_db.num_rows() > 0,
+             "analyze --shapes: shape '" + name + "' has no scenario rows");
+      core::AnalyzerConfig shard_config = config;
+      shard_config.lineage_tag = core::ShardedPipeline::lineage_tag_for(name, i);
+      const core::Analyzer analyzer(shard_config);
+      const core::AnalysisResult analysis = analyzer.analyze(shard_db);
+      fleet_clusters += analysis.chosen_k;
+      out << "shape " << name << " (w="
+          << static_cast<int>(100.0 * weights[i]) << "%): "
+          << shard_db.num_rows() << " scenarios, "
+          << analysis.kept_columns.size() << " kept metrics, "
+          << analysis.num_components << " PCs, " << analysis.chosen_k
+          << " behaviour groups\n";
+    }
+    out << "fleet: " << set.size() << " scenarios across " << fleet->size()
+        << " shapes, " << fleet_clusters
+        << " behaviour groups total (per-shape pipelines never pool)\n";
+    return 0;
+  }
   args.reject_unconsumed();
 
   const metrics::MetricCatalog& catalog = core::resolve_schema(schema);
@@ -161,9 +233,90 @@ int run_analyze(const Args& args, std::ostream& out) {
   return 0;
 }
 
+namespace {
+
+/// The --shapes path of `flare evaluate`: sharded fit, per-shape telemetry,
+/// weighted fan-in, optional weighted ground truth.
+int run_evaluate_fleet(std::ostream& out, const std::string& scenarios_path,
+                       const core::Feature& feature,
+                       const dcsim::FleetConfig& fleet,
+                       const core::FlareConfig& config, bool per_job,
+                       bool with_truth) {
+  const dcsim::ScenarioSet set =
+      trace::load_scenario_set(scenarios_path, fleet.shape_names());
+  core::ShardedConfig sharded;
+  sharded.base = config;
+  sharded.fleet = fleet;
+  core::ShardedPipeline pipeline(sharded);
+  pipeline.fit(set);
+
+  const core::FleetEstimate est = pipeline.evaluate(feature);
+  out << feature.name() << " (" << feature.description() << ")\n";
+  out << "fleet estimate: " << est.impact_pct << "% HP MIPS reduction ("
+      << est.scenario_replays << " scenario replays vs " << set.size()
+      << " scenarios across " << fleet.size() << " shapes)\n";
+  out << "fan-in mass: direct " << 100.0 * est.replay.direct_mass
+      << "% / fallback " << 100.0 * est.replay.fallback_mass
+      << "% / quarantined " << 100.0 * est.replay.quarantined_mass
+      << "% (total " << 100.0 * est.replay.total_mass() << "%)\n";
+
+  report::AsciiTable table({"shape", "weight %", "impact %", "clusters",
+                            "replays"});
+  table.set_alignment(0, report::Align::kLeft);
+  for (const core::ShardFeatureEstimate& s : est.per_shape) {
+    table.add_row({s.shape, report::AsciiTable::cell(100.0 * s.weight, 1),
+                   report::AsciiTable::cell(s.estimate.impact_pct),
+                   std::to_string(s.estimate.per_cluster.size()),
+                   std::to_string(s.estimate.scenario_replays)});
+  }
+  table.print(out);
+
+  if (with_truth) {
+    // Fleet-wide truth is the same weighted fan-in over per-shape truths:
+    // each shape's full-datacenter evaluator runs its own impact model.
+    double truth = 0.0;
+    const std::vector<double> weights = pipeline.weights();
+    for (std::size_t i = 0; i < pipeline.num_shards(); ++i) {
+      const baselines::FullDatacenterEvaluator shard_truth(
+          pipeline.shard(i).impact_model(), pipeline.shard(i).scenario_set());
+      truth += weights[i] * shard_truth.evaluate(feature).impact_pct;
+    }
+    out << "fleet-wide truth: " << truth << "%  (sharded |error| "
+        << std::abs(est.impact_pct - truth) << " pp)\n";
+  }
+
+  if (per_job) {
+    out << "\nper-HP-job impacts (fleet-wide):\n";
+    report::AsciiTable jobs({"job", "impact %", "covered weight %"});
+    for (const dcsim::JobType job : dcsim::hp_job_types()) {
+      bool present = false;
+      for (const dcsim::ColocationScenario& s : set.scenarios) {
+        if (s.mix.count(job) > 0) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) {
+        jobs.add_row({std::string(dcsim::job_code(job)),
+                      "n/a (never scheduled)", "0"});
+        continue;
+      }
+      const core::FleetPerJobEstimate pj = pipeline.evaluate_per_job(feature, job);
+      jobs.add_row({std::string(dcsim::job_code(job)),
+                    report::AsciiTable::cell(pj.impact_pct),
+                    report::AsciiTable::cell(100.0 * pj.covered_weight, 1)});
+    }
+    jobs.print(out);
+  }
+  return 0;
+}
+
+}  // namespace
+
 int run_evaluate(const Args& args, std::ostream& out) {
   const std::string scenarios_path = args.require_string("scenarios");
   const core::Feature feature = parse_feature(args.require_string("feature"));
+  const std::optional<dcsim::FleetConfig> fleet = fleet_from(args);
   const dcsim::MachineConfig machine =
       machine_by_name(args.get_string("machine", "default"));
   core::FlareConfig config;
@@ -177,6 +330,14 @@ int run_evaluate(const Args& args, std::ostream& out) {
   const bool with_truth = args.get_flag("truth");
   const bool with_sampling = args.get_flag("sampling");
   args.reject_unconsumed();
+
+  if (fleet.has_value()) {
+    ensure(!with_sampling,
+           "evaluate --shapes does not support --sampling (the sampling "
+           "baseline is single-shape)");
+    return run_evaluate_fleet(out, scenarios_path, feature, *fleet, config,
+                              per_job, with_truth);
+  }
 
   const dcsim::ScenarioSet set = trace::load_scenario_set(scenarios_path);
   core::FlarePipeline pipeline(config);
@@ -253,9 +414,11 @@ int run_evaluate(const Args& args, std::ostream& out) {
 int run_help(std::ostream& out) {
   out << "flare — representative-scenario datacenter feature evaluation\n\n"
          "commands:\n"
-         "  simulate --out F.csv [--machine default|small] [--scenarios N]\n"
-         "           [--seed S] [--machines M]\n"
-         "      simulate a datacenter and archive its co-location scenarios\n"
+         "  simulate --out F.csv [--machine default|small|dense] [--scenarios N]\n"
+         "           [--seed S] [--machines M] [--shapes SPEC]\n"
+         "      simulate a datacenter and archive its co-location scenarios;\n"
+         "      --shapes runs one scheduler per machine shape (heterogeneous\n"
+         "      fleet) and tags every row with its shape id\n"
          "  profile --scenarios F.csv --out M.csv [--machine ...]\n"
          "          [--samples K] [--seed S] [--schema NAME] [--threads T]\n"
          "      collect the two-level raw metric database for every scenario\n"
@@ -263,19 +426,24 @@ int run_help(std::ostream& out) {
          "          [--ward] [--no-whiten] [--no-refine] [--schema NAME]\n"
          "          [--threads T] [--storage ram|mmap] [--memory-budget MB]\n"
          "          [--kmeans-mode exact|minibatch|auto]\n"
+         "          [--shapes SPEC --scenarios F.csv]\n"
          "      --storage mmap streams the metrics through an out-of-core\n"
          "      column store (side-car M.csv.fcs) instead of materialising\n"
          "      the dense matrix; --memory-budget caps the resident working\n"
          "      set (MiB); --kmeans-mode picks the cluster-sweep solver\n"
-         "      (minibatch = coreset solve + full-data refinement)\n"
+         "      (minibatch = coreset solve + full-data refinement);\n"
+         "      --shapes analyses each machine shape in its own pipeline\n"
+         "      (metric rows routed by the row-aligned scenario trace)\n"
          "      refinement -> PCA -> clustering -> representative scenarios\n"
          "  evaluate --scenarios F.csv --feature SPEC [--machine ...]\n"
          "           [--clusters K] [--per-job] [--truth] [--sampling]\n"
          "           [--schema NAME] [--threads T]\n"
          "           [--replay-faults R] [--replay-fault-seed S]\n"
          "           [--replay-retries N] [--replay-deadline D] [--replay-ci W]\n"
-         "           [--max-quarantined-mass M]\n"
+         "           [--max-quarantined-mass M] [--shapes SPEC]\n"
          "      estimate a feature's fleet impact from the representatives;\n"
+         "      --shapes shards the pipeline per machine shape and fans the\n"
+         "      per-shape estimates in with population weights;\n"
          "      --replay-faults injects testbed replay faults at rate R\n"
          "      (retried N times, deadline D seconds, repeat-measured until\n"
          "      the CI half-width is <= W pp; unreplayable representatives\n"
@@ -290,22 +458,28 @@ int run_help(std::ostream& out) {
          "         [--metrics M.csv] [--machine ...] [--clusters K]\n"
          "         [--samples K] [--seed S] [--schema NAME] [--threads T]\n"
          "         [--faults R] [--fault-seed S] [--sample-quorum Q]\n"
-         "         [--max-retries N] [--journal] [--resume]\n"
+         "         [--max-retries N] [--journal] [--resume] [--shapes SPEC]\n"
          "      absorb a batch of fresh scenarios with the cheapest sound\n"
          "      action for its drift verdict; --commit appends the batch to\n"
          "      the scenario CSV (and its profiled rows to --metrics);\n"
          "      --faults injects counter faults at rate R (quorum Q valid\n"
          "      samples per row, N retries); --journal guards the appends\n"
-         "      with a write-ahead journal, --resume rolls back torn ones\n"
+         "      with a write-ahead journal, --resume rolls back torn ones;\n"
+         "      --shapes routes the batch per shape — only shards the batch\n"
+         "      touches run their drift gate\n"
          "  report --scenarios F.csv --out R.md [--features LIST] [--truth]\n"
          "         [--machine ...] [--clusters K] [--replay-faults R]\n"
          "         [--replay-fault-seed S] [--replay-retries N]\n"
          "         [--replay-deadline D] [--replay-ci W]\n"
-         "         [--max-quarantined-mass M]\n"
+         "         [--max-quarantined-mass M] [--shapes SPEC]\n"
          "      write a Markdown evaluation report; LIST is ';'-separated\n"
          "      feature SPECs (default: the three Table 4 features);\n"
-         "      replay flags as in `evaluate`\n"
+         "      replay flags as in `evaluate`; --shapes writes the\n"
+         "      heterogeneous-fleet report (per-shape + fan-in estimates)\n"
          "  help\n\n"
+         "shapes SPEC: comma-separated shape[:count] entries, e.g.\n"
+         "  'default:6,small:2,dense:4' — count = machines of that shape;\n"
+         "  weights for the fleet-wide fan-in are machine-count shares\n"
          "schema NAME: standard | job-mix (§5.3 per-job columns) |\n"
          "  temporal (§4.1 stddev columns) | job-mix-temporal\n"
          "feature SPEC: feature1|feature2|feature3|baseline, or knobs like\n"

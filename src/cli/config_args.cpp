@@ -16,7 +16,14 @@ core::MetricSchema schema_by_name(const std::string& name) {
 dcsim::MachineConfig machine_by_name(const std::string& name) {
   if (name == "default") return dcsim::default_machine();
   if (name == "small") return dcsim::small_machine();
-  throw ParseError("unknown machine shape '" + name + "' (default|small)");
+  if (name == "dense") return dcsim::dense_machine();
+  throw ParseError("unknown machine shape '" + name + "' (default|small|dense)");
+}
+
+std::optional<dcsim::FleetConfig> fleet_from(const Args& args) {
+  const std::string spec = args.get_string("shapes", "");
+  if (spec.empty()) return std::nullopt;
+  return dcsim::parse_fleet_spec(spec);
 }
 
 std::size_t threads_from(const Args& args) {

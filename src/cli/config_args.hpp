@@ -4,11 +4,13 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 
 #include "cli/args.hpp"
 #include "core/analyzer.hpp"
 #include "core/pipeline.hpp"
+#include "dcsim/fleet.hpp"
 #include "dcsim/machine_config.hpp"
 
 namespace flare::cli {
@@ -16,6 +18,11 @@ namespace flare::cli {
 [[nodiscard]] core::MetricSchema schema_by_name(const std::string& name);
 
 [[nodiscard]] dcsim::MachineConfig machine_by_name(const std::string& name);
+
+/// Shared --shapes knob: a fleet spec like "default:6,small:2,dense:4"
+/// (shape[:count], comma-separated). nullopt when the flag is absent —
+/// the command runs its single-shape path, bit-identical to before.
+[[nodiscard]] std::optional<dcsim::FleetConfig> fleet_from(const Args& args);
 
 /// Shared --threads knob: 1 = serial (default), 0 = all hardware threads.
 [[nodiscard]] std::size_t threads_from(const Args& args);

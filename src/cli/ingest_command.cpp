@@ -8,6 +8,7 @@
 #include "cli/commands.hpp"
 #include "cli/config_args.hpp"
 #include "core/pipeline.hpp"
+#include "core/sharded_pipeline.hpp"
 #include "trace/journal.hpp"
 #include "trace/metric_io.hpp"
 #include "trace/scenario_io.hpp"
@@ -37,6 +38,7 @@ core::PcaUpdatePolicy pca_update_by_name(const std::string& name) {
 int run_ingest(const Args& args, std::ostream& out) {
   const std::string scenarios_path = args.require_string("scenarios");
   const std::string batch_path = args.require_string("batch");
+  const std::optional<dcsim::FleetConfig> fleet = fleet_from(args);
   const core::RefitPolicy policy =
       refit_policy_by_name(args.get_string("refit-policy", "auto"));
   const std::string metrics_path = args.get_string("metrics", "");
@@ -83,6 +85,54 @@ int run_ingest(const Args& args, std::ostream& out) {
             << "\n";
       }
     }
+  }
+
+  if (fleet.has_value()) {
+    // Sharded ingest: the batch routes per shape id; only touched shards run
+    // their drift gate (drift in one shape never refits another).
+    ensure(metrics_path.empty(),
+           "ingest --shapes does not support --metrics (per-shape metric "
+           "archives are not wired up yet)");
+    const dcsim::ScenarioSet base =
+        trace::load_scenario_set(scenarios_path, fleet->shape_names());
+    const dcsim::ScenarioSet batch =
+        trace::load_scenario_set(batch_path, fleet->shape_names());
+    core::ShardedConfig sharded;
+    sharded.base = config;
+    sharded.fleet = *fleet;
+    core::ShardedPipeline pipeline(sharded);
+    pipeline.fit(base);
+    std::size_t fitted_clusters = 0;
+    for (std::size_t i = 0; i < pipeline.num_shards(); ++i) {
+      fitted_clusters += pipeline.shard(i).analysis().chosen_k;
+    }
+    out << "fitted " << base.size() << " scenarios into " << fitted_clusters
+        << " behaviour groups across " << pipeline.num_shards() << " shards\n";
+
+    const core::FleetIngestReport report = pipeline.ingest(batch, policy);
+    for (std::size_t i = 0; i < pipeline.num_shards(); ++i) {
+      const std::string& name = fleet->shapes[i].machine.name;
+      if (!report.per_shape[i].has_value()) {
+        out << "shape " << name << ": untouched (no rows routed)\n";
+        continue;
+      }
+      const core::IngestReport& r = *report.per_shape[i];
+      out << "shape " << name << ": +" << r.appended << " rows, verdict "
+          << core::to_string(r.drift.verdict) << ", action "
+          << core::to_string(r.action) << ", pca drift "
+          << util::format_double(r.pca_drift, 6)
+          << (r.degraded ? ", degraded" : "") << "\n";
+    }
+    out << "fleet: " << report.appended << " rows routed to "
+        << report.shards_touched() << "/" << pipeline.num_shards()
+        << " shards\n";
+
+    if (commit) {
+      trace::append_scenario_set(batch, scenarios_path, journaled);
+      out << "appended " << batch.size() << " scenarios to " << scenarios_path
+          << "\n";
+    }
+    return 0;
   }
 
   const dcsim::ScenarioSet base = trace::load_scenario_set(scenarios_path);

@@ -11,6 +11,7 @@
 #include "cli/config_args.hpp"
 #include "cli/feature_spec.hpp"
 #include "core/pipeline.hpp"
+#include "core/sharded_pipeline.hpp"
 #include "trace/scenario_io.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -125,6 +126,77 @@ void write_report(std::ostream& md, core::FlarePipeline& pipeline,
         "evaluation after Lee et al., Middleware '23.\n";
 }
 
+// Fleet-mode report: one section per shape, per-feature fleet estimates with
+// the per-shape breakdown, and the fan-in mass line (paper §5.5).
+void write_fleet_report(std::ostream& md, core::ShardedPipeline& pipeline,
+                        const std::vector<core::Feature>& features,
+                        bool with_truth) {
+  const dcsim::FleetConfig& fleet = pipeline.fleet();
+  const std::vector<double> weights = pipeline.weights();
+
+  md << "# FLARE fleet feature-evaluation report\n\n";
+  md << "## Fleet\n\n";
+  md << "| shape | machines | weight | scenarios | behaviour groups |\n";
+  md << "|---|---|---|---|---|\n";
+  for (std::size_t i = 0; i < pipeline.num_shards(); ++i) {
+    const core::FlarePipeline& shard = pipeline.shard(i);
+    md << "| `" << fleet.shapes[i].machine.name << "` | "
+       << fleet.shapes[i].num_machines << " | "
+       << util::format_double(100.0 * weights[i], 1) << " % | "
+       << shard.scenario_set().size() << " | " << shard.analysis().chosen_k
+       << " |\n";
+  }
+  md << "\nEach shape runs its own complete pipeline (own PCA space, own "
+        "clusters, own drift gate); fleet estimates fan the per-shape "
+        "numbers in with the population weights above.\n";
+
+  md << "\n## Fleet feature estimates\n\n";
+  md << "| feature | fleet estimate";
+  if (with_truth) md << " | fleet truth | abs. error";
+  md << " | replays |\n|---|---";
+  if (with_truth) md << "|---|---";
+  md << "|---|\n";
+  for (const core::Feature& feature : features) {
+    const core::FleetEstimate est = pipeline.evaluate(feature);
+    md << "| " << feature.name() << " | " << pct(est.impact_pct);
+    if (with_truth) {
+      double truth = 0.0;
+      for (std::size_t i = 0; i < pipeline.num_shards(); ++i) {
+        const baselines::FullDatacenterEvaluator shard_truth(
+            pipeline.shard(i).impact_model(),
+            pipeline.shard(i).scenario_set());
+        truth += weights[i] * shard_truth.evaluate(feature).impact_pct;
+      }
+      md << " | " << pct(truth) << " | "
+         << util::format_double(std::abs(est.impact_pct - truth), 2) << " pp";
+    }
+    md << " | " << est.scenario_replays << " |\n";
+  }
+
+  md << "\n## Per-shape breakdown\n\n";
+  for (const core::Feature& feature : features) {
+    const core::FleetEstimate est = pipeline.evaluate(feature);
+    md << "### " << feature.name() << "\n\n" << feature.description() << "\n\n";
+    md << "| shape | weight | impact | contribution |\n|---|---|---|---|\n";
+    for (const core::ShardFeatureEstimate& s : est.per_shape) {
+      md << "| `" << s.shape << "` | "
+         << util::format_double(100.0 * s.weight, 1) << " % | "
+         << pct(s.estimate.impact_pct) << " | "
+         << pct(s.weight * s.estimate.impact_pct) << " |\n";
+    }
+    const core::ReplayLedger& ledger = est.replay;
+    md << "\nFan-in mass: direct "
+       << util::format_double(100.0 * ledger.direct_mass, 1) << " % / fallback "
+       << util::format_double(100.0 * ledger.fallback_mass, 1)
+       << " % / quarantined "
+       << util::format_double(100.0 * ledger.quarantined_mass, 1)
+       << " % (total "
+       << util::format_double(100.0 * ledger.total_mass(), 1) << " %).\n\n";
+  }
+  md << "---\nGenerated by `flare report --shapes` — sharded heterogeneous-"
+        "fleet evaluation after Lee et al., Middleware '23 §5.5.\n";
+}
+
 }  // namespace
 
 int run_report(const Args& args, std::ostream& out) {
@@ -132,6 +204,7 @@ int run_report(const Args& args, std::ostream& out) {
   const std::string out_path = args.require_string("out");
   const std::string feature_list = args.get_string("features", "feature1;feature2;feature3");
   const bool with_truth = args.get_flag("truth");
+  const std::optional<dcsim::FleetConfig> fleet = fleet_from(args);
   core::FlareConfig config;
   config.machine = machine_by_name(args.get_string("machine", "default"));
   const long long clusters = args.get_int("clusters", 18);
@@ -149,6 +222,33 @@ int run_report(const Args& args, std::ostream& out) {
     features.push_back(parse_feature(spec));
   }
   ensure(!features.empty(), "report: no features given");
+
+  if (fleet.has_value()) {
+    const dcsim::ScenarioSet mixed =
+        trace::load_scenario_set(scenarios_path, fleet->shape_names());
+    core::ShardedConfig sharded;
+    sharded.base = config;
+    sharded.fleet = *fleet;
+    core::ShardedPipeline pipeline(sharded);
+    pipeline.fit(mixed);
+
+    std::ofstream md(out_path);
+    ensure(static_cast<bool>(md),
+           "report: cannot open output file: " + out_path);
+    write_fleet_report(md, pipeline, features, with_truth);
+    ensure(static_cast<bool>(md), "report: write failed: " + out_path);
+
+    std::size_t representatives = 0;
+    for (std::size_t i = 0; i < pipeline.num_shards(); ++i) {
+      representatives += pipeline.shard(i).analysis().chosen_k;
+    }
+    out << "evaluated " << features.size() << " feature(s) on "
+        << representatives << " representatives across "
+        << pipeline.num_shards() << " shards ("
+        << pipeline.scenario_replays() << " replays total)\n";
+    out << "wrote " << out_path << "\n";
+    return 0;
+  }
 
   const dcsim::ScenarioSet set = trace::load_scenario_set(scenarios_path);
   core::FlarePipeline pipeline(config);

@@ -40,6 +40,10 @@ StageFingerprints upstream_fingerprints(const linalg::Matrix& raw,
   // ignored some rows' moments must never splice with a clean fit over the
   // same bytes (health_salt == 0 for clean fits, preserving their hashes).
   if (health_salt != 0) h = util::hash_mix(h, health_salt);
+  // Sharded fits mix the shard's lineage tag the same way: two shards fed
+  // byte-identical databases must never splice each other's stages
+  // (lineage_tag == 0 for unsharded fits, preserving their hashes).
+  if (cfg.lineage_tag != 0) h = util::hash_mix(h, cfg.lineage_tag);
   fp.raw = h;
   h = util::hash_mix(fp.raw, cfg.use_correlation_filter ? 1u : 0u);
   fp.refine = hash_mix(h, cfg.correlation_threshold);

@@ -88,6 +88,15 @@ struct AnalyzerConfig {
   /// slots and reductions happen serially in index order.
   std::size_t threads = 1;
 
+  /// Lineage namespace mixed into the fingerprint root when nonzero. The
+  /// sharded data plane gives every shape's pipeline a distinct tag so one
+  /// shard's stage outputs can never splice into another's, even over
+  /// byte-identical metric databases (DESIGN.md §13). 0 (default) leaves
+  /// every fingerprint exactly as before — the single-shape path is
+  /// unchanged. Numeric outputs never depend on the tag, only reuse
+  /// decisions do.
+  std::uint64_t lineage_tag = 0;
+
   PcLabelerConfig labeler;
 };
 

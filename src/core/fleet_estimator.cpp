@@ -1,0 +1,137 @@
+#include "core/fleet_estimator.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace flare::core {
+namespace {
+
+constexpr double kWeightTolerance = 1e-9;
+
+void check_weights(const std::vector<double>& weights, std::string_view who) {
+  double total = 0.0;
+  for (const double w : weights) {
+    ensure(std::isfinite(w) && w >= 0.0,
+           std::string(who) + ": shard weights must be finite and >= 0");
+    total += w;
+  }
+  ensure(std::abs(total - 1.0) <= kWeightTolerance,
+         std::string(who) + ": shard weights must sum to 1");
+}
+
+}  // namespace
+
+ReplayLedger combine_ledgers(const std::vector<double>& weights,
+                             const std::vector<const ReplayLedger*>& ledgers) {
+  ensure(weights.size() == ledgers.size(),
+         "combine_ledgers: one weight per ledger");
+  ReplayLedger out;
+  for (std::size_t s = 0; s < ledgers.size(); ++s) {
+    const double w = weights[s];
+    const ReplayLedger& l = *ledgers[s];
+    // Masses live in cluster-weight units that sum to 1 per shard, so the
+    // weighted sum conserves: Σ_s w_s · total_mass_s = Σ_s w_s = 1.
+    out.direct_mass += w * l.direct_mass;
+    out.fallback_mass += w * l.fallback_mass;
+    out.quarantined_mass += w * l.quarantined_mass;
+    out.measurement_uncertainty_pp += w * l.measurement_uncertainty_pp;
+    out.quarantine_widening_pp += w * l.quarantine_widening_pp;
+    // Counters and costs are physical totals, not shares.
+    out.clusters_direct += l.clusters_direct;
+    out.clusters_fallback += l.clusters_fallback;
+    out.clusters_quarantined += l.clusters_quarantined;
+    out.total_attempts += l.total_attempts;
+    out.failed_attempts += l.failed_attempts;
+    out.fallback_probes += l.fallback_probes;
+    out.simulated_seconds += l.simulated_seconds;
+  }
+  return out;
+}
+
+FleetEstimate fan_in(std::vector<ShardFeatureEstimate> shards) {
+  ensure(!shards.empty(), "fan_in: no shard estimates");
+  std::vector<double> weights;
+  std::vector<const ReplayLedger*> ledgers;
+  weights.reserve(shards.size());
+  ledgers.reserve(shards.size());
+  FleetEstimate out;
+  out.feature_name = shards.front().estimate.feature_name;
+  for (const ShardFeatureEstimate& s : shards) {
+    ensure(s.estimate.feature_name == out.feature_name,
+           "fan_in: shards estimated different features");
+    weights.push_back(s.weight);
+    ledgers.push_back(&s.estimate.replay);
+    out.impact_pct += s.weight * s.estimate.impact_pct;
+    out.scenario_replays += s.estimate.scenario_replays;
+  }
+  check_weights(weights, "fan_in");
+  out.replay = combine_ledgers(weights, ledgers);
+  out.per_shape = std::move(shards);
+  return out;
+}
+
+ValidatedFleetEstimate fan_in_validated(
+    std::vector<ShardValidatedEstimate> shards) {
+  ensure(!shards.empty(), "fan_in_validated: no shard estimates");
+  std::vector<ShardFeatureEstimate> plain;
+  plain.reserve(shards.size());
+  for (const ShardValidatedEstimate& s : shards) {
+    plain.push_back({s.shape, s.weight, s.estimate.estimate});
+  }
+  ValidatedFleetEstimate out;
+  out.estimate = fan_in(std::move(plain));
+  for (const ShardValidatedEstimate& s : shards) {
+    out.validation_impact_pct += s.weight * s.estimate.validation_impact_pct;
+    out.uncertainty_pp += s.weight * s.estimate.uncertainty_pp;
+  }
+  out.per_shape = std::move(shards);
+  return out;
+}
+
+FleetPerJobEstimate fan_in_per_job(std::vector<ShardPerJobEstimate> shards) {
+  ensure(!shards.empty(), "fan_in_per_job: no shard estimates");
+  {
+    std::vector<double> weights;
+    weights.reserve(shards.size());
+    for (const ShardPerJobEstimate& s : shards) weights.push_back(s.weight);
+    check_weights(weights, "fan_in_per_job");
+  }
+  FleetPerJobEstimate out;
+  bool seeded = false;
+  for (const ShardPerJobEstimate& s : shards) {
+    if (!s.estimate.has_value()) continue;
+    if (!seeded) {
+      out.feature_name = s.estimate->feature_name;
+      out.job = s.estimate->job;
+      seeded = true;
+    } else {
+      ensure(s.estimate->feature_name == out.feature_name &&
+                 s.estimate->job == out.job,
+             "fan_in_per_job: shards estimated different features or jobs");
+    }
+    out.covered_weight += s.weight;
+  }
+  if (!seeded || out.covered_weight <= 0.0) {
+    throw ReplayError(
+        "fan_in_per_job: the job runs on no shape of the fleet — no shard "
+        "population contains it, so there is nothing to estimate");
+  }
+  // Renormalise over the covering shards: their fan-in must still sum to 1.
+  std::vector<double> covered_weights;
+  std::vector<const ReplayLedger*> ledgers;
+  for (const ShardPerJobEstimate& s : shards) {
+    if (!s.estimate.has_value()) continue;
+    const double w = s.weight / out.covered_weight;
+    covered_weights.push_back(w);
+    ledgers.push_back(&s.estimate->replay);
+    out.impact_pct += w * s.estimate->impact_pct;
+    out.scenario_replays += s.estimate->scenario_replays;
+  }
+  out.replay = combine_ledgers(covered_weights, ledgers);
+  out.per_shape = std::move(shards);
+  return out;
+}
+
+}  // namespace flare::core

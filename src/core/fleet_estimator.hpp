@@ -1,0 +1,119 @@
+// Weighted fan-in of per-shape estimates into one datacenter-wide estimate
+// (paper §5.5, DESIGN.md §13).
+//
+// A heterogeneous fleet is analysed per machine shape: each shape's pipeline
+// replays its own representatives and produces its own FeatureEstimate with
+// its own ReplayLedger. The fleet-wide number is the population-weighted
+// average — shape s holding a fraction w_s of the fleet's machines
+// contributes w_s of the answer:
+//
+//   impact_fleet = Σ_s w_s · impact_s                    (Σ_s w_s = 1)
+//
+// The combined ReplayLedger conserves mass by the same weighting: shard s's
+// ledger sums to 1 in its own cluster-weight units, so
+// Σ_s w_s · (direct_s + fallback_s + quarantined_s) = Σ_s w_s = 1 — the
+// fleet ledger's direct + fallback + quarantined mass is exactly 1 whenever
+// every shard's is (property-tested under ctest -L shard). Uncertainty bands
+// combine linearly too: the shards replay disjoint testbeds, so the
+// worst-case band of the weighted sum is the weighted sum of the bands.
+//
+// Per-job estimates add a wrinkle: a job may run on only some shapes (a
+// placement constraint, or it simply never landed there). Shards whose
+// population lacks the job contribute nothing; the weights of the covering
+// shards are renormalised by the covered mass so the per-job fan-in still
+// sums to 1 over the shards that actually observed the job.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/estimator.hpp"
+
+namespace flare::core {
+
+/// One shape's contribution to a fleet-wide estimate.
+struct ShardFeatureEstimate {
+  std::string shape;    ///< machine shape name (FleetConfig order)
+  double weight = 0.0;  ///< population weight w_s (machine-count share)
+  FeatureEstimate estimate;
+};
+
+/// Datacenter-wide feature impact over a heterogeneous fleet.
+struct FleetEstimate {
+  std::string feature_name;
+  double impact_pct = 0.0;  ///< Σ_s w_s · impact_s
+  std::vector<ShardFeatureEstimate> per_shape;
+  std::size_t scenario_replays = 0;  ///< Σ over shards (evaluation cost)
+  /// Population-weighted combination of the shard ledgers; total_mass() == 1
+  /// whenever every shard's does.
+  ReplayLedger replay;
+};
+
+/// One shape's validated contribution (estimate + uncertainty band).
+struct ShardValidatedEstimate {
+  std::string shape;
+  double weight = 0.0;
+  ValidatedFeatureEstimate estimate;
+};
+
+/// FleetEstimate with a combined uncertainty band.
+struct ValidatedFleetEstimate {
+  FleetEstimate estimate;
+  double validation_impact_pct = 0.0;  ///< Σ_s w_s · validation_s
+  double uncertainty_pp = 0.0;         ///< Σ_s w_s · uncertainty_s
+  std::vector<ShardValidatedEstimate> per_shape;
+
+  [[nodiscard]] double lower() const {
+    return estimate.impact_pct - uncertainty_pp;
+  }
+  [[nodiscard]] double upper() const {
+    return estimate.impact_pct + uncertainty_pp;
+  }
+};
+
+/// One shape's per-job contribution. `estimate` is nullopt when the job never
+/// ran on this shape — the shard is excluded and its weight renormalised away.
+struct ShardPerJobEstimate {
+  std::string shape;
+  double weight = 0.0;
+  std::optional<PerJobEstimate> estimate;
+};
+
+/// Fleet-wide per-job impact (§5.3 across shapes).
+struct FleetPerJobEstimate {
+  std::string feature_name;
+  dcsim::JobType job = dcsim::JobType::kDataAnalytics;
+  double impact_pct = 0.0;
+  /// Σ w_s over shards whose population contains the job. 1 = the job runs
+  /// everywhere; < 1 = the estimate speaks for this fraction of the fleet.
+  double covered_weight = 0.0;
+  std::vector<ShardPerJobEstimate> per_shape;
+  std::size_t scenario_replays = 0;
+  /// Combined over covering shards with renormalised weights (sums to 1).
+  ReplayLedger replay;
+};
+
+/// Weighted combination of shard ledgers: masses and uncertainty terms are
+/// weighted sums, counters and costs plain sums. `weights` and `ledgers`
+/// pair up index-wise.
+[[nodiscard]] ReplayLedger combine_ledgers(
+    const std::vector<double>& weights,
+    const std::vector<const ReplayLedger*>& ledgers);
+
+/// Fans per-shape estimates into the fleet-wide estimate. Shard weights must
+/// be non-negative and sum to 1 (within 1e-9); shard feature names must
+/// agree. Throws std::invalid_argument otherwise.
+[[nodiscard]] FleetEstimate fan_in(std::vector<ShardFeatureEstimate> shards);
+
+/// Validated variant: bands combine linearly (see file comment).
+[[nodiscard]] ValidatedFleetEstimate fan_in_validated(
+    std::vector<ShardValidatedEstimate> shards);
+
+/// Per-job variant: shards without the job are skipped and the covering
+/// shards' weights renormalised by covered_weight. Throws ReplayError when no
+/// shard observed the job — there is no population to speak for.
+[[nodiscard]] FleetPerJobEstimate fan_in_per_job(
+    std::vector<ShardPerJobEstimate> shards);
+
+}  // namespace flare::core

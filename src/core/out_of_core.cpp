@@ -176,8 +176,14 @@ AnalysisResult analyze_out_of_core(const metrics::ColumnStore& store,
   tel.dense_bytes = n * d * sizeof(double);
 
   // ---- Pass 1: moments (or a cache hit keyed by the store's structure) ----
+  // The shard lineage tag namespaces every out-of-core key and fingerprint:
+  // per-shape OOC analyses sharing one cache/spill directory stay disjoint
+  // (tag 0 = unsharded, keys unchanged).
+  const std::uint64_t root = config.lineage_tag != 0
+                                 ? util::hash_mix(kOutOfCoreTag, config.lineage_tag)
+                                 : kOutOfCoreTag;
   const std::uint64_t moments_key = nonzero(util::hash_mix(
-      util::hash_mix(kOutOfCoreTag, store.structural_signature()),
+      util::hash_mix(root, store.structural_signature()),
       metrics::catalog_hash(store.catalog())));
   StreamedMoments moments;
   std::vector<double> weights;
@@ -306,7 +312,7 @@ AnalysisResult analyze_out_of_core(const metrics::ColumnStore& store,
   }
 
   // ---- Pass 2: project every block into the score matrix (or reload) ----
-  std::uint64_t scores_key = util::hash_mix(kOutOfCoreTag, moments.content_hash);
+  std::uint64_t scores_key = util::hash_mix(root, moments.content_hash);
   scores_key = util::hash_mix(scores_key, config.use_correlation_filter ? 1u : 0u);
   scores_key = hash_mix(scores_key, config.correlation_threshold);
   scores_key = nonzero(hash_mix(scores_key, config.variance_target));
@@ -379,7 +385,7 @@ AnalysisResult analyze_out_of_core(const metrics::ColumnStore& store,
   // out-of-core tag (see the header — these must never splice across). ----
   StageFingerprints fp;
   {
-    std::uint64_t h = util::hash_mix(kOutOfCoreTag, moments.content_hash);
+    std::uint64_t h = util::hash_mix(root, moments.content_hash);
     for (const metrics::MetricInfo& m : store.catalog().metrics()) {
       h = util::fnv1a(m.name, h);
     }

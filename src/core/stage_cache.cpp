@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace flare::core {
 namespace {
@@ -67,8 +68,15 @@ StageOutputCache::StageOutputCache(StageCacheConfig config)
   }
 }
 
-std::string StageOutputCache::spill_path(std::string_view stage,
-                                         std::uint64_t fingerprint) const {
+std::uint64_t StageOutputCache::tagged(std::uint64_t fingerprint) const {
+  if (config_.lineage_tag == 0 || fingerprint == 0) return fingerprint;
+  const std::uint64_t h = util::hash_mix(fingerprint, config_.lineage_tag);
+  // Keep the poisoned sentinel unreachable for real keys.
+  return h != 0 ? h : config_.lineage_tag;
+}
+
+std::string StageOutputCache::tagged_spill_path(std::string_view stage,
+                                                std::uint64_t fingerprint) const {
   std::string path = config_.spill_dir;
   if (!path.empty() && path.back() != '/') path += '/';
   path += stage;
@@ -76,6 +84,11 @@ std::string StageOutputCache::spill_path(std::string_view stage,
   path += hex64(fingerprint);
   path += ".spill";
   return path;
+}
+
+std::string StageOutputCache::spill_path(std::string_view stage,
+                                         std::uint64_t fingerprint) const {
+  return tagged_spill_path(stage, tagged(fingerprint));
 }
 
 StageOutputCache::EntryList::iterator StageOutputCache::find(
@@ -88,7 +101,7 @@ StageOutputCache::EntryList::iterator StageOutputCache::find(
 void StageOutputCache::spill(Entry& entry) {
   if (!config_.spill_dir.empty()) {
     if (!entry.spilled) {
-      write_spill(spill_path(entry.stage, entry.fingerprint), entry.value);
+      write_spill(tagged_spill_path(entry.stage, entry.fingerprint), entry.value);
       entry.spilled = true;
       stats_.spilled_bytes += entry.bytes;
       ++stats_.spills;
@@ -127,12 +140,13 @@ void StageOutputCache::put(std::string_view stage, std::uint64_t fingerprint,
   ensure(fingerprint != 0,
          "StageOutputCache::put: zero (poisoned) fingerprints are not "
          "cacheable — the output is not a pure function of a fit input");
+  fingerprint = tagged(fingerprint);
   EntryList::iterator it = find(stage, fingerprint);
   if (it != entries_.end()) {
     if (it->resident) stats_.resident_bytes -= it->bytes;
     if (it->spilled) {
       stats_.spilled_bytes -= it->bytes;
-      std::remove(spill_path(it->stage, it->fingerprint).c_str());
+      std::remove(tagged_spill_path(it->stage, it->fingerprint).c_str());
     }
     entries_.erase(it);
   }
@@ -151,7 +165,7 @@ void StageOutputCache::put(std::string_view stage, std::uint64_t fingerprint,
 void StageOutputCache::set_priority(std::string_view stage,
                                     std::uint64_t fingerprint,
                                     double eviction_priority) {
-  EntryList::iterator it = find(stage, fingerprint);
+  EntryList::iterator it = find(stage, tagged(fingerprint));
   if (it != entries_.end()) it->priority = eviction_priority;
 }
 
@@ -161,6 +175,7 @@ std::optional<linalg::Matrix> StageOutputCache::get(std::string_view stage,
     ++stats_.misses;
     return std::nullopt;
   }
+  fingerprint = tagged(fingerprint);
   EntryList::iterator it = find(stage, fingerprint);
   if (it != entries_.end() && it->resident) {
     ++stats_.hits;
@@ -171,7 +186,7 @@ std::optional<linalg::Matrix> StageOutputCache::get(std::string_view stage,
   // earlier process: probe the content-addressed file.
   if (!config_.spill_dir.empty()) {
     std::optional<linalg::Matrix> loaded =
-        read_spill(spill_path(stage, fingerprint));
+        read_spill(tagged_spill_path(stage, fingerprint));
     if (loaded.has_value()) {
       ++stats_.reloads;
       if (it == entries_.end()) {
@@ -210,19 +225,19 @@ linalg::Matrix StageOutputCache::get_or_compute(
 
 void StageOutputCache::invalidate(std::string_view stage,
                                   std::uint64_t fingerprint) {
-  EntryList::iterator it = find(stage, fingerprint);
+  EntryList::iterator it = find(stage, tagged(fingerprint));
   if (it == entries_.end()) return;
   if (it->resident) stats_.resident_bytes -= it->bytes;
   if (it->spilled) {
     stats_.spilled_bytes -= it->bytes;
-    std::remove(spill_path(it->stage, it->fingerprint).c_str());
+    std::remove(tagged_spill_path(it->stage, it->fingerprint).c_str());
   }
   entries_.erase(it);
 }
 
 void StageOutputCache::clear() {
   for (const Entry& e : entries_) {
-    if (e.spilled) std::remove(spill_path(e.stage, e.fingerprint).c_str());
+    if (e.spilled) std::remove(tagged_spill_path(e.stage, e.fingerprint).c_str());
   }
   entries_.clear();
   stats_.resident_bytes = 0;

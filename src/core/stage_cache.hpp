@@ -43,6 +43,12 @@ struct StageCacheConfig {
   /// Where spilled entries go. Empty = spilling disabled: over-budget
   /// entries are dropped outright and cost a recompute on the next miss.
   std::string spill_dir;
+  /// Lineage namespace mixed into every key (and spill filename) when
+  /// nonzero. The sharded data plane points each shape's cache at one shared
+  /// spill directory; the tag keeps the shards' content-addressed files
+  /// disjoint even when two shards compute identical fingerprints
+  /// (DESIGN.md §13). 0 (default) = untagged, keys and filenames unchanged.
+  std::uint64_t lineage_tag = 0;
 };
 
 struct StageCacheStats {
@@ -94,11 +100,21 @@ class StageOutputCache {
   [[nodiscard]] const StageCacheConfig& config() const { return config_; }
   [[nodiscard]] std::size_t entries() const { return entries_.size(); }
 
-  /// Spill-file path for a key (exposed for tests).
+  /// Spill-file path for a key, lineage tag applied (exposed for tests).
   [[nodiscard]] std::string spill_path(std::string_view stage,
                                        std::uint64_t fingerprint) const;
 
  private:
+  /// Namespaces a caller fingerprint with config_.lineage_tag. Identity when
+  /// the tag is 0 or the fingerprint is the poisoned sentinel 0 (which must
+  /// stay rejectable). Applied once at every public entry point; entries
+  /// store the tagged value.
+  [[nodiscard]] std::uint64_t tagged(std::uint64_t fingerprint) const;
+
+  /// spill_path for an already-tagged fingerprint (what entries store).
+  [[nodiscard]] std::string tagged_spill_path(std::string_view stage,
+                                              std::uint64_t fingerprint) const;
+
   struct Entry {
     std::string stage;
     std::uint64_t fingerprint = 0;

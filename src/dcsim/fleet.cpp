@@ -1,0 +1,178 @@
+#include "dcsim/fleet.hpp"
+
+#include <numeric>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace flare::dcsim {
+
+int FleetConfig::total_machines() const {
+  int total = 0;
+  for (const ShapePopulation& s : shapes) total += s.num_machines;
+  return total;
+}
+
+std::vector<double> FleetConfig::population_weights() const {
+  const int total = total_machines();
+  ensure(total > 0, "FleetConfig::population_weights: fleet has no machines");
+  std::vector<double> weights;
+  weights.reserve(shapes.size());
+  for (const ShapePopulation& s : shapes) {
+    weights.push_back(static_cast<double>(s.num_machines) /
+                      static_cast<double>(total));
+  }
+  return weights;
+}
+
+std::vector<std::string> FleetConfig::shape_names() const {
+  std::vector<std::string> names;
+  names.reserve(shapes.size());
+  for (const ShapePopulation& s : shapes) names.push_back(s.machine.name);
+  return names;
+}
+
+std::optional<std::size_t> FleetConfig::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    if (shapes[i].machine.name == name) return i;
+  }
+  return std::nullopt;
+}
+
+MachineConfig machine_shape_by_name(const std::string& name) {
+  if (name == "default") return default_machine();
+  if (name == "small") return small_machine();
+  if (name == "dense") return dense_machine();
+  throw ParseError("unknown machine shape '" + name +
+                   "' — expected default, small, or dense");
+}
+
+FleetConfig parse_fleet_spec(std::string_view spec) {
+  FleetConfig fleet;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string_view entry =
+        spec.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                         : comma - pos);
+    if (entry.empty()) {
+      throw ParseError("fleet spec '" + std::string(spec) +
+                       "': empty entry — expected shape[:count]");
+    }
+    const std::size_t colon = entry.find(':');
+    const std::string name(entry.substr(0, colon));
+    int count = 1;
+    if (colon != std::string_view::npos) {
+      const std::string count_str(entry.substr(colon + 1));
+      try {
+        std::size_t consumed = 0;
+        count = std::stoi(count_str, &consumed);
+        if (consumed != count_str.size()) throw std::invalid_argument(count_str);
+      } catch (const std::exception&) {
+        throw ParseError("fleet spec '" + std::string(spec) +
+                         "': bad machine count '" + count_str + "' for shape '" +
+                         name + "'");
+      }
+      if (count <= 0) {
+        throw ParseError("fleet spec '" + std::string(spec) + "': shape '" +
+                         name + "' needs a positive machine count");
+      }
+    }
+    ShapePopulation pop;
+    pop.machine = machine_shape_by_name(name);  // throws on unknown shape
+    pop.num_machines = count;
+    if (fleet.index_of(pop.machine.name).has_value()) {
+      throw ParseError("fleet spec '" + std::string(spec) +
+                       "': duplicate shape '" + name + "'");
+    }
+    fleet.shapes.push_back(std::move(pop));
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  ensure(!fleet.shapes.empty(), "parse_fleet_spec: fleet spec is empty");
+  return fleet;
+}
+
+std::size_t FleetScenarioSet::total_scenarios() const {
+  std::size_t total = 0;
+  for (const ScenarioSet& set : per_shape) total += set.size();
+  return total;
+}
+
+ScenarioSet FleetScenarioSet::merged() const {
+  ScenarioSet out;
+  out.machine_type = per_shape.size() == 1 ? per_shape.front().machine_type
+                                           : std::string("fleet");
+  out.scenarios.reserve(total_scenarios());
+  for (const ScenarioSet& set : per_shape) {
+    for (const ColocationScenario& s : set.scenarios) {
+      ColocationScenario row = s;
+      row.id = out.scenarios.size();
+      out.scenarios.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+FleetScenarioSet generate_fleet_scenario_set(const SubmissionConfig& config,
+                                             const FleetConfig& fleet,
+                                             const JobCatalog& catalog,
+                                             std::vector<SubmissionStats>* stats) {
+  ensure(!fleet.shapes.empty(), "generate_fleet_scenario_set: empty fleet");
+  if (stats != nullptr) stats->clear();
+  FleetScenarioSet out;
+  out.per_shape.reserve(fleet.shapes.size());
+  for (std::size_t i = 0; i < fleet.shapes.size(); ++i) {
+    const ShapePopulation& pop = fleet.shapes[i];
+    SubmissionConfig shaped = config;
+    shaped.num_machines = pop.num_machines;
+    // Decorrelate the shapes' arrival streams: each shape's scheduler sees
+    // its own user population, not a replay of shape 0's.
+    shaped.seed = config.seed + 0x9e3779b97f4a7c15ull * (i + 1);
+    SubmissionStats shape_stats;
+    out.per_shape.push_back(generate_scenario_set(
+        shaped, pop.machine, catalog, stats != nullptr ? &shape_stats : nullptr));
+    if (stats != nullptr) stats->push_back(shape_stats);
+  }
+  return out;
+}
+
+FleetScenarioSet split_by_shape(const ScenarioSet& mixed,
+                                const FleetConfig& fleet) {
+  ensure(!fleet.shapes.empty(), "split_by_shape: empty fleet");
+  FleetScenarioSet out;
+  out.per_shape.resize(fleet.shapes.size());
+  for (std::size_t i = 0; i < fleet.shapes.size(); ++i) {
+    out.per_shape[i].machine_type = fleet.shapes[i].machine.name;
+  }
+  for (std::size_t row = 0; row < mixed.scenarios.size(); ++row) {
+    const ColocationScenario& s = mixed.scenarios[row];
+    if (s.machine_type.empty()) {
+      throw ParseError("scenario " + std::to_string(row) +
+                       ": shape id is absent — every row of a fleet trace must "
+                       "name its machine shape");
+    }
+    const std::optional<std::size_t> shard = fleet.index_of(s.machine_type);
+    if (!shard.has_value()) {
+      throw ParseError("scenario " + std::to_string(row) + ": shape id '" +
+                       s.machine_type +
+                       "' is not in the fleet's shape table (" +
+                       [&fleet] {
+                         std::string names;
+                         for (const ShapePopulation& p : fleet.shapes) {
+                           if (!names.empty()) names += ", ";
+                           names += p.machine.name;
+                         }
+                         return names;
+                       }() +
+                       ") — refusing to coerce it into another shape's shard");
+    }
+    ScenarioSet& dest = out.per_shape[*shard];
+    ColocationScenario copy = s;
+    copy.id = dest.scenarios.size();
+    dest.scenarios.push_back(std::move(copy));
+  }
+  return out;
+}
+
+}  // namespace flare::dcsim

@@ -1,0 +1,90 @@
+// Heterogeneous fleet description (paper §5.5): a shape-population table.
+//
+// Real datacenters mix machine generations; the paper handles this by
+// partitioning the fleet by machine shape and deriving representatives per
+// shape. A FleetConfig is that partition: an ordered table of
+// (MachineConfig, machine count) entries. The *shape id* of a scenario row is
+// the machine name (ColocationScenario::machine_type) resolved against this
+// table — names are what the trace format persists, the table is what turns
+// them back into machines and fan-in weights.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dcsim/machine_config.hpp"
+#include "dcsim/scenario.hpp"
+#include "dcsim/submission.hpp"
+
+namespace flare::dcsim {
+
+/// One machine shape and how many machines of it the fleet runs.
+struct ShapePopulation {
+  MachineConfig machine;
+  int num_machines = 1;
+};
+
+/// The shape table of a heterogeneous fleet. Shape id = index in `shapes`;
+/// scenario rows reference shapes by machine name.
+struct FleetConfig {
+  std::vector<ShapePopulation> shapes;
+
+  [[nodiscard]] std::size_t size() const { return shapes.size(); }
+  [[nodiscard]] int total_machines() const;
+
+  /// Machine-count share per shape (Σ = 1) — the estimator's fan-in weights.
+  [[nodiscard]] std::vector<double> population_weights() const;
+
+  /// Shape names in table order (the valid shape ids for trace validation).
+  [[nodiscard]] std::vector<std::string> shape_names() const;
+
+  /// Table index of the shape named `name`, or nullopt when absent.
+  [[nodiscard]] std::optional<std::size_t> index_of(std::string_view name) const;
+};
+
+/// Canonical machine registry (the shapes the CLI can name):
+/// default | small | dense. Throws ParseError on unknown names.
+[[nodiscard]] MachineConfig machine_shape_by_name(const std::string& name);
+
+/// Parses a fleet spec like "default:6,small:2" — comma-separated
+/// `shape[:count]` entries, shape resolved via machine_shape_by_name, count
+/// defaulting to 1. Throws ParseError on malformed specs, non-positive
+/// counts, or duplicate shapes.
+[[nodiscard]] FleetConfig parse_fleet_spec(std::string_view spec);
+
+/// The per-shape scenario populations of one heterogeneous fleet, in
+/// FleetConfig::shapes order.
+struct FleetScenarioSet {
+  std::vector<ScenarioSet> per_shape;
+
+  [[nodiscard]] std::size_t total_scenarios() const;
+
+  /// One mixed set: per-shape populations concatenated in table order with
+  /// dense global ids; every row keeps its shape tag (this is what
+  /// `flare simulate --shapes` archives).
+  [[nodiscard]] ScenarioSet merged() const;
+};
+
+/// Runs the §5.1 job-submission simulation once per shape: each shape's
+/// sub-fleet gets its own scheduler (jobs are placed per shape — a mix
+/// observed on one shape never blends into another), its own arrival stream
+/// (seed derived from config.seed and the shape index) and
+/// config.target_distinct_scenarios distinct scenarios. config.num_machines
+/// is overridden by each shape's population. `stats`, when given, receives
+/// one entry per shape.
+[[nodiscard]] FleetScenarioSet generate_fleet_scenario_set(
+    const SubmissionConfig& config, const FleetConfig& fleet,
+    const JobCatalog& catalog = default_job_catalog(),
+    std::vector<SubmissionStats>* stats = nullptr);
+
+/// Splits a mixed shape-tagged set into per-shape sets (table order),
+/// re-id'ing rows densely per shape while preserving relative row order.
+/// Throws ParseError when a row's shape id is absent (empty) or names no
+/// shape in the table — an unknown machine config must never be silently
+/// coerced into another shape's pipeline.
+[[nodiscard]] FleetScenarioSet split_by_shape(const ScenarioSet& mixed,
+                                              const FleetConfig& fleet);
+
+}  // namespace flare::dcsim

@@ -48,4 +48,27 @@ MachineConfig small_machine() {
   return m;
 }
 
+MachineConfig dense_machine() {
+  MachineConfig m;
+  m.name = "dense";
+  m.sockets = 2;
+  m.physical_cores_per_socket = 20;  // 40 vCPUs/socket with 2-way SMT
+  m.scheduled_threads_per_core = 2;
+  m.dram_gb = 384.0;
+  m.smt_enabled = true;
+  m.llc_mb_per_socket = 27.5;  // Xeon Gold 6230
+  m.min_freq_ghz = 1.0;
+  m.max_freq_ghz = 3.2;
+  m.mem_channels_per_socket = 6;
+  m.mem_bw_gbps_per_channel = 21.3;  // DDR4-2666
+  m.mem_latency_ns = 81.0;
+  m.network_gbps = 25.0;
+  m.disk_kiops = 200.0;
+  m.cpu_model = "Intel Xeon Gold 6230";
+  m.dram_model = "384GB DDR4 2666MHz";
+  m.disk_model = "Intel P4510 NVMe SSD";
+  m.nic_model = "Mellanox ConnectX-4 25Gbps";
+  return m;
+}
+
 }  // namespace flare::dcsim

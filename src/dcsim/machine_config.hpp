@@ -72,4 +72,11 @@ struct MachineConfig {
 /// Table 5 "Small" machine: Intel Xeon E5-2640 v3, 2 sockets × 16 vCPUs, 128 GB.
 [[nodiscard]] MachineConfig small_machine();
 
+/// A newer high-core-count shape (Intel Xeon Gold 6230 class, 2 sockets ×
+/// 40 vCPUs, 384 GB, DDR4-2666): the third generation a real fleet mixes in.
+/// Its larger LLC, wider memory system and higher clock ceiling shift every
+/// microarchitectural axis the interference model reads, so its scenarios
+/// must not be pooled with the older shapes' (§5.5).
+[[nodiscard]] MachineConfig dense_machine();
+
 }  // namespace flare::dcsim

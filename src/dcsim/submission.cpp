@@ -169,6 +169,9 @@ ScenarioSet generate_scenario_set(const SubmissionConfig& config,
   ScenarioSet set;
   set.machine_type = machine.name;
   set.scenarios = recorder.take();
+  // Every row carries its shape id (the machine name): the trace format
+  // persists the per-row tag, and the sharded data plane routes on it.
+  for (ColocationScenario& s : set.scenarios) s.machine_type = machine.name;
   return set;
 }
 

@@ -1,5 +1,6 @@
 #include "trace/scenario_io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <optional>
 
@@ -25,6 +26,11 @@ void save_scenario_set(const dcsim::ScenarioSet& set, const std::string& path) {
 }
 
 dcsim::ScenarioSet load_scenario_set(const std::string& path) {
+  return load_scenario_set(path, {});
+}
+
+dcsim::ScenarioSet load_scenario_set(const std::string& path,
+                                     const std::vector<std::string>& valid_shapes) {
   const CsvContent content = read_csv_content(path);
   if (!content.complete_final_line) {
     throw ParseError("load_scenario_set: " + path +
@@ -48,6 +54,21 @@ dcsim::ScenarioSet load_scenario_set(const std::string& path) {
     dcsim::ColocationScenario s;
     s.id = static_cast<std::size_t>(parse_csv_int(fields[0], path, line_no));
     s.machine_type = fields[1];
+    if (s.machine_type.empty()) {
+      throw ParseError("load_scenario_set: " + path + ":" +
+                       std::to_string(line_no) +
+                       ": shape id (machine_type) is absent — the row cannot "
+                       "be routed to any shard");
+    }
+    if (!valid_shapes.empty() &&
+        std::find(valid_shapes.begin(), valid_shapes.end(), s.machine_type) ==
+            valid_shapes.end()) {
+      throw ParseError("load_scenario_set: " + path + ":" +
+                       std::to_string(line_no) +
+                       ": shape id out of range for the fleet — offending "
+                       "token '" +
+                       s.machine_type + "'");
+    }
     s.observation_weight = parse_csv_double(fields[2], path, line_no);
     if (s.observation_weight < 0.0) {
       throw ParseError("load_scenario_set: " + path + ":" +

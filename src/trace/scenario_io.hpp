@@ -4,6 +4,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "dcsim/scenario.hpp"
 
@@ -13,8 +14,17 @@ namespace flare::trace {
 void save_scenario_set(const dcsim::ScenarioSet& set, const std::string& path);
 
 /// Reads a set written by `save_scenario_set`. Throws flare::ParseError on
-/// malformed files; validates ids are dense and weights non-negative.
+/// malformed files; validates ids are dense, weights non-negative, and the
+/// shape id (machine_type) of every row non-empty — a row with no shape id
+/// cannot be routed to any shard.
 [[nodiscard]] dcsim::ScenarioSet load_scenario_set(const std::string& path);
+
+/// Like load_scenario_set, and additionally requires every row's shape id to
+/// name one of `valid_shapes` (a fleet's shape table) — an unknown machine
+/// config must fail with a positioned ParseError instead of being silently
+/// coerced into another shape's pipeline.
+[[nodiscard]] dcsim::ScenarioSet load_scenario_set(
+    const std::string& path, const std::vector<std::string>& valid_shapes);
 
 /// Appends `batch` to an existing scenario CSV without rewriting it,
 /// continuing the file's dense id sequence (the batch's own ids are

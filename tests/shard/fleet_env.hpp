@@ -1,0 +1,52 @@
+// Shared fleet environment for the `ctest -L shard` suite: one two-shape
+// heterogeneous fleet (default-heavy, with a small-machine minority) plus a
+// generated fleet population, built once per test binary.
+#pragma once
+
+#include "core/sharded_pipeline.hpp"
+#include "dcsim/fleet.hpp"
+
+namespace flare::core::testing {
+
+inline dcsim::FleetConfig two_shape_fleet() {
+  dcsim::FleetConfig fleet;
+  fleet.shapes.push_back({dcsim::machine_shape_by_name("default"), 3});
+  fleet.shapes.push_back({dcsim::machine_shape_by_name("small"), 1});
+  return fleet;
+}
+
+inline dcsim::SubmissionConfig fleet_submission_config() {
+  dcsim::SubmissionConfig config;
+  // Each shape needs rows >= metric columns (~90 after the standard schema)
+  // for a full-rank PCA; 150 matches the core-suite population size.
+  config.target_distinct_scenarios = 150;
+  return config;
+}
+
+inline const dcsim::FleetScenarioSet& two_shape_population() {
+  static const dcsim::FleetScenarioSet kSet = dcsim::generate_fleet_scenario_set(
+      fleet_submission_config(), two_shape_fleet());
+  return kSet;
+}
+
+inline FlareConfig shard_flare_config() {
+  FlareConfig config;
+  config.analyzer.fixed_clusters = 6;
+  config.analyzer.compute_quality_curve = false;
+  return config;
+}
+
+/// A fitted two-shape ShardedPipeline, shared across tests that only read it.
+inline ShardedPipeline& fitted_two_shape_pipeline() {
+  static ShardedPipeline* kPipeline = [] {
+    ShardedConfig config;
+    config.base = shard_flare_config();
+    config.fleet = two_shape_fleet();
+    auto* p = new ShardedPipeline(config);
+    p->fit(two_shape_population());
+    return p;
+  }();
+  return *kPipeline;
+}
+
+}  // namespace flare::core::testing

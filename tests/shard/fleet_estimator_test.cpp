@@ -1,0 +1,163 @@
+// Fan-in unit tests (ctest label `shard`): the weighted combination of
+// per-shape estimates must conserve ledger mass to 1, combine uncertainty
+// bands linearly, and renormalise per-job weights over the shards that
+// actually observed the job.
+#include "core/fleet_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace flare::core {
+namespace {
+
+ReplayLedger ledger(double direct, double fallback, double quarantined,
+                    int attempts = 6) {
+  ReplayLedger l;
+  l.direct_mass = direct;
+  l.fallback_mass = fallback;
+  l.quarantined_mass = quarantined;
+  l.total_attempts = attempts;
+  l.failed_attempts = attempts / 3;
+  l.fallback_probes = fallback > 0.0 ? 2 : 0;
+  l.measurement_uncertainty_pp = 0.2;
+  l.quarantine_widening_pp = quarantined > 0.0 ? 0.5 : 0.0;
+  l.simulated_seconds = 3600.0;
+  return l;
+}
+
+ShardFeatureEstimate shard_estimate(const std::string& shape, double weight,
+                                    double impact, const ReplayLedger& l) {
+  ShardFeatureEstimate s;
+  s.shape = shape;
+  s.weight = weight;
+  s.estimate.feature_name = "feature1";
+  s.estimate.impact_pct = impact;
+  s.estimate.scenario_replays = 6;
+  s.estimate.replay = l;
+  return s;
+}
+
+TEST(FanIn, ImpactIsThePopulationWeightedSum) {
+  const FleetEstimate fleet =
+      fan_in({shard_estimate("default", 0.75, 8.0, ledger(1.0, 0.0, 0.0)),
+              shard_estimate("small", 0.25, 16.0, ledger(1.0, 0.0, 0.0))});
+  EXPECT_EQ(fleet.feature_name, "feature1");
+  EXPECT_NEAR(fleet.impact_pct, 0.75 * 8.0 + 0.25 * 16.0, 1e-12);
+  EXPECT_EQ(fleet.scenario_replays, 12u);
+  ASSERT_EQ(fleet.per_shape.size(), 2u);
+}
+
+TEST(FanIn, LedgerMassConservesToOne) {
+  // Each shard's ledger sums to 1 in its own units; the weighted combination
+  // must sum to exactly Σ w_s = 1 — this is the invariant the uncertainty
+  // band reporting depends on.
+  const FleetEstimate fleet =
+      fan_in({shard_estimate("default", 0.5, 8.0, ledger(0.7, 0.2, 0.1)),
+              shard_estimate("small", 0.3, 4.0, ledger(1.0, 0.0, 0.0)),
+              shard_estimate("dense", 0.2, 2.0, ledger(0.4, 0.5, 0.1))});
+  EXPECT_NEAR(fleet.replay.total_mass(), 1.0, 1e-12);
+  EXPECT_NEAR(fleet.replay.direct_mass, 0.5 * 0.7 + 0.3 * 1.0 + 0.2 * 0.4,
+              1e-12);
+  EXPECT_NEAR(fleet.replay.fallback_mass, 0.5 * 0.2 + 0.2 * 0.5, 1e-12);
+  EXPECT_NEAR(fleet.replay.quarantined_mass, 0.5 * 0.1 + 0.2 * 0.1, 1e-12);
+  // Counters and costs are bills, not shares: plain sums.
+  EXPECT_EQ(fleet.replay.total_attempts, 18);
+  EXPECT_NEAR(fleet.replay.simulated_seconds, 3 * 3600.0, 1e-9);
+}
+
+TEST(FanIn, RejectsWeightsThatDoNotSumToOne) {
+  EXPECT_THROW(
+      (void)fan_in({shard_estimate("default", 0.6, 8.0, ledger(1, 0, 0)),
+                    shard_estimate("small", 0.6, 4.0, ledger(1, 0, 0))}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)fan_in({shard_estimate("default", 1.5, 8.0, ledger(1, 0, 0)),
+                    shard_estimate("small", -0.5, 4.0, ledger(1, 0, 0))}),
+      std::invalid_argument);
+  EXPECT_THROW((void)fan_in({}), std::invalid_argument);
+}
+
+TEST(FanIn, RejectsMismatchedFeatureNames) {
+  ShardFeatureEstimate a = shard_estimate("default", 0.5, 8.0, ledger(1, 0, 0));
+  ShardFeatureEstimate b = shard_estimate("small", 0.5, 4.0, ledger(1, 0, 0));
+  b.estimate.feature_name = "feature2";
+  EXPECT_THROW((void)fan_in({a, b}), std::invalid_argument);
+}
+
+TEST(FanInValidated, BandsCombineLinearly) {
+  ShardValidatedEstimate a;
+  a.shape = "default";
+  a.weight = 0.75;
+  a.estimate.estimate = shard_estimate("default", 0.75, 8.0, ledger(1, 0, 0))
+                            .estimate;
+  a.estimate.validation_impact_pct = 8.4;
+  a.estimate.uncertainty_pp = 1.0;
+  ShardValidatedEstimate b;
+  b.shape = "small";
+  b.weight = 0.25;
+  b.estimate.estimate =
+      shard_estimate("small", 0.25, 16.0, ledger(1, 0, 0)).estimate;
+  b.estimate.validation_impact_pct = 15.0;
+  b.estimate.uncertainty_pp = 2.0;
+
+  const ValidatedFleetEstimate fleet = fan_in_validated({a, b});
+  EXPECT_NEAR(fleet.estimate.impact_pct, 10.0, 1e-12);
+  EXPECT_NEAR(fleet.validation_impact_pct, 0.75 * 8.4 + 0.25 * 15.0, 1e-12);
+  EXPECT_NEAR(fleet.uncertainty_pp, 0.75 * 1.0 + 0.25 * 2.0, 1e-12);
+  EXPECT_NEAR(fleet.lower(), fleet.estimate.impact_pct - fleet.uncertainty_pp,
+              1e-12);
+  EXPECT_NEAR(fleet.upper(), fleet.estimate.impact_pct + fleet.uncertainty_pp,
+              1e-12);
+}
+
+ShardPerJobEstimate per_job_shard(const std::string& shape, double weight,
+                                  double impact) {
+  ShardPerJobEstimate s;
+  s.shape = shape;
+  s.weight = weight;
+  PerJobEstimate e;
+  e.feature_name = "feature1";
+  e.job = dcsim::JobType::kWebSearch;
+  e.impact_pct = impact;
+  e.scenario_replays = 6;
+  e.replay = ledger(1.0, 0.0, 0.0);
+  s.estimate = e;
+  return s;
+}
+
+TEST(FanInPerJob, RenormalisesOverCoveringShards) {
+  // The job never landed on 'small': its weight renormalises away and the
+  // fleet answer speaks for the covered 80% of machines.
+  ShardPerJobEstimate missing;
+  missing.shape = "small";
+  missing.weight = 0.2;
+  const FleetPerJobEstimate fleet =
+      fan_in_per_job({per_job_shard("default", 0.5, 10.0), missing,
+                      per_job_shard("dense", 0.3, 2.0)});
+  EXPECT_NEAR(fleet.covered_weight, 0.8, 1e-12);
+  EXPECT_NEAR(fleet.impact_pct, (0.5 / 0.8) * 10.0 + (0.3 / 0.8) * 2.0, 1e-12);
+  EXPECT_NEAR(fleet.replay.total_mass(), 1.0, 1e-12);  // renormalised ledger
+}
+
+TEST(FanInPerJob, FullCoverageKeepsPopulationWeights) {
+  const FleetPerJobEstimate fleet = fan_in_per_job(
+      {per_job_shard("default", 0.75, 8.0), per_job_shard("small", 0.25, 4.0)});
+  EXPECT_NEAR(fleet.covered_weight, 1.0, 1e-12);
+  EXPECT_NEAR(fleet.impact_pct, 0.75 * 8.0 + 0.25 * 4.0, 1e-12);
+}
+
+TEST(FanInPerJob, ThrowsWhenNoShardObservedTheJob) {
+  ShardPerJobEstimate a;
+  a.shape = "default";
+  a.weight = 0.5;
+  ShardPerJobEstimate b;
+  b.shape = "small";
+  b.weight = 0.5;
+  EXPECT_THROW((void)fan_in_per_job({a, b}), ReplayError);
+}
+
+}  // namespace
+}  // namespace flare::core

@@ -1,0 +1,215 @@
+// dcsim fleet-table and trace-layer tests (ctest label `shard`): the
+// shape-population table, per-shape scenario generation, shape-id routing,
+// and the scenario-trace loaders' refusal to route rows whose shape id is
+// absent or names no shape in the fleet.
+#include "dcsim/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "tests/shard/fleet_env.hpp"
+#include "trace/scenario_io.hpp"
+#include "util/error.hpp"
+
+namespace flare::dcsim {
+namespace {
+
+TEST(FleetSpec, ParsesShapesAndCounts) {
+  const FleetConfig fleet = parse_fleet_spec("default:6,small:2,dense:4");
+  ASSERT_EQ(fleet.size(), 3u);
+  EXPECT_EQ(fleet.shapes[0].machine.name, "default");
+  EXPECT_EQ(fleet.shapes[0].num_machines, 6);
+  EXPECT_EQ(fleet.shapes[1].machine.name, "small");
+  EXPECT_EQ(fleet.shapes[1].num_machines, 2);
+  EXPECT_EQ(fleet.shapes[2].machine.name, "dense");
+  EXPECT_EQ(fleet.shapes[2].num_machines, 4);
+  EXPECT_EQ(fleet.total_machines(), 12);
+}
+
+TEST(FleetSpec, CountDefaultsToOne) {
+  const FleetConfig fleet = parse_fleet_spec("dense");
+  ASSERT_EQ(fleet.size(), 1u);
+  EXPECT_EQ(fleet.shapes[0].num_machines, 1);
+}
+
+TEST(FleetSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_fleet_spec(""), ParseError);
+  EXPECT_THROW(parse_fleet_spec("warehouse:3"), ParseError);  // unknown shape
+  EXPECT_THROW(parse_fleet_spec("default:0"), ParseError);    // count < 1
+  EXPECT_THROW(parse_fleet_spec("default:-2"), ParseError);
+  EXPECT_THROW(parse_fleet_spec("default:2,default:3"), ParseError);  // dup
+  EXPECT_THROW(parse_fleet_spec("default:two"), ParseError);
+}
+
+TEST(FleetSpec, PopulationWeightsSumToOne) {
+  const FleetConfig fleet = parse_fleet_spec("default:6,small:2,dense:4");
+  const std::vector<double> w = fleet.population_weights();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_NEAR(w[0] + w[1] + w[2], 1.0, 1e-12);
+  EXPECT_NEAR(w[0], 6.0 / 12.0, 1e-12);
+  EXPECT_NEAR(w[1], 2.0 / 12.0, 1e-12);
+  EXPECT_NEAR(w[2], 4.0 / 12.0, 1e-12);
+}
+
+TEST(FleetGeneration, EveryRowCarriesItsShapeId) {
+  const FleetScenarioSet& population = core::testing::two_shape_population();
+  const FleetConfig fleet = core::testing::two_shape_fleet();
+  ASSERT_EQ(population.per_shape.size(), fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const std::string& name = fleet.shapes[i].machine.name;
+    EXPECT_EQ(population.per_shape[i].machine_type, name);
+    for (const ColocationScenario& s : population.per_shape[i].scenarios) {
+      EXPECT_EQ(s.machine_type, name);
+    }
+  }
+}
+
+TEST(FleetGeneration, PerShapeArrivalStreamsAreDecorrelated) {
+  // The per-shape seeds derive from (config.seed, shape index); identical
+  // mix sequences across shapes would mean the derivation collapsed.
+  const FleetScenarioSet& population = core::testing::two_shape_population();
+  const ScenarioSet& a = population.per_shape[0];
+  const ScenarioSet& b = population.per_shape[1];
+  std::size_t shared_prefix = 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t r = 0; r < n; ++r) {
+    if (a.scenarios[r].mix == b.scenarios[r].mix) ++shared_prefix;
+  }
+  EXPECT_LT(shared_prefix, n / 2);
+}
+
+TEST(FleetMerge, MergedSetKeepsTagsAndDenseIds) {
+  const FleetScenarioSet& population = core::testing::two_shape_population();
+  const ScenarioSet merged = population.merged();
+  ASSERT_EQ(merged.size(), population.total_scenarios());
+  EXPECT_EQ(merged.machine_type, "fleet");  // multi-shape merge
+  for (std::size_t r = 0; r < merged.size(); ++r) {
+    EXPECT_EQ(merged.scenarios[r].id, r);
+    EXPECT_FALSE(merged.scenarios[r].machine_type.empty());
+  }
+}
+
+TEST(FleetSplit, SplitUndoesMerge) {
+  const FleetScenarioSet& population = core::testing::two_shape_population();
+  const FleetConfig fleet = core::testing::two_shape_fleet();
+  const FleetScenarioSet split = split_by_shape(population.merged(), fleet);
+  ASSERT_EQ(split.per_shape.size(), population.per_shape.size());
+  for (std::size_t i = 0; i < split.per_shape.size(); ++i) {
+    const ScenarioSet& got = split.per_shape[i];
+    const ScenarioSet& want = population.per_shape[i];
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t r = 0; r < got.size(); ++r) {
+      EXPECT_EQ(got.scenarios[r].id, r);  // dense per-shard re-id
+      EXPECT_EQ(got.scenarios[r].mix, want.scenarios[r].mix);
+      EXPECT_EQ(got.scenarios[r].observation_weight,
+                want.scenarios[r].observation_weight);
+      EXPECT_EQ(got.scenarios[r].machine_type, want.scenarios[r].machine_type);
+    }
+  }
+}
+
+TEST(FleetSplit, RejectsUnknownShapeId) {
+  const FleetConfig fleet = core::testing::two_shape_fleet();
+  ScenarioSet mixed = core::testing::two_shape_population().merged();
+  mixed.scenarios[3].machine_type = "warehouse";
+  EXPECT_THROW(
+      {
+        try {
+          (void)split_by_shape(mixed, fleet);
+        } catch (const ParseError& e) {
+          EXPECT_NE(std::string(e.what()).find("warehouse"), std::string::npos);
+          throw;
+        }
+      },
+      ParseError);
+}
+
+TEST(FleetSplit, RejectsAbsentShapeId) {
+  const FleetConfig fleet = core::testing::two_shape_fleet();
+  ScenarioSet mixed = core::testing::two_shape_population().merged();
+  mixed.scenarios[0].machine_type.clear();
+  EXPECT_THROW(
+      {
+        try {
+          (void)split_by_shape(mixed, fleet);
+        } catch (const ParseError& e) {
+          EXPECT_NE(std::string(e.what()).find("absent"), std::string::npos);
+          throw;
+        }
+      },
+      ParseError);
+}
+
+class ShapeTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/shard_fleet_trace.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(ShapeTraceTest, ShapeTaggedTraceRoundTrips) {
+  const ScenarioSet merged = core::testing::two_shape_population().merged();
+  trace::save_scenario_set(merged, path_);
+  const ScenarioSet loaded = trace::load_scenario_set(
+      path_, core::testing::two_shape_fleet().shape_names());
+  ASSERT_EQ(loaded.size(), merged.size());
+  for (std::size_t r = 0; r < merged.size(); ++r) {
+    EXPECT_EQ(loaded.scenarios[r].id, merged.scenarios[r].id);
+    EXPECT_EQ(loaded.scenarios[r].mix, merged.scenarios[r].mix);
+    EXPECT_EQ(loaded.scenarios[r].observation_weight,
+              merged.scenarios[r].observation_weight);
+    EXPECT_EQ(loaded.scenarios[r].machine_type,
+              merged.scenarios[r].machine_type);
+  }
+}
+
+TEST_F(ShapeTraceTest, LoaderRejectsShapeOutsideTheFleet) {
+  std::ofstream csv(path_);
+  csv << "scenario_id,machine_type,observation_weight,job_mix\n";
+  csv << "0,default,1.0,GA:1\n";
+  csv << "1,warehouse,1.0,WSC:1\n";  // not in the fleet table
+  csv.close();
+  EXPECT_THROW(
+      {
+        try {
+          (void)trace::load_scenario_set(path_, {"default", "small"});
+        } catch (const ParseError& e) {
+          const std::string what = e.what();
+          // The error is positioned (file:line) and names the offender.
+          EXPECT_NE(what.find(path_), std::string::npos) << what;
+          EXPECT_NE(what.find(":3"), std::string::npos) << what;
+          EXPECT_NE(what.find("warehouse"), std::string::npos) << what;
+        throw;
+        }
+      },
+      ParseError);
+  // Without a fleet to validate against, any non-empty shape id loads.
+  EXPECT_EQ(trace::load_scenario_set(path_).size(), 2u);
+}
+
+TEST_F(ShapeTraceTest, LoaderRejectsAbsentShapeId) {
+  std::ofstream csv(path_);
+  csv << "scenario_id,machine_type,observation_weight,job_mix\n";
+  csv << "0,,1.0,GA:1\n";  // empty shape id: unroutable
+  csv.close();
+  EXPECT_THROW(
+      {
+        try {
+          (void)trace::load_scenario_set(path_);
+        } catch (const ParseError& e) {
+          const std::string what = e.what();
+          EXPECT_NE(what.find(":2"), std::string::npos) << what;
+          EXPECT_NE(what.find("absent"), std::string::npos) << what;
+          throw;
+        }
+      },
+      ParseError);
+}
+
+}  // namespace
+}  // namespace flare::dcsim

@@ -1,0 +1,133 @@
+// StageOutputCache lineage-tag tests (ctest label `shard`): two shards
+// pointed at one spill directory must never collide, even when they compute
+// identical (stage, fingerprint) keys over byte-identical databases.
+#include "core/stage_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "core/sharded_pipeline.hpp"
+
+namespace flare::core {
+namespace {
+
+linalg::Matrix salted_matrix(std::size_t rows, std::size_t cols, double salt) {
+  linalg::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = salt + static_cast<double>(r * cols + c) * 0.5;
+    }
+  }
+  return m;
+}
+
+class StageCacheLineageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spill_dir_ = ::testing::TempDir() + "/flare_shard_spill";
+    std::filesystem::create_directories(spill_dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(spill_dir_); }
+
+  StageCacheConfig tagged_config(std::uint64_t tag,
+                                 std::size_t budget = 0) const {
+    StageCacheConfig config;
+    config.memory_budget_bytes = budget;
+    config.spill_dir = spill_dir_;
+    config.lineage_tag = tag;
+    return config;
+  }
+
+  std::string spill_dir_;
+};
+
+TEST_F(StageCacheLineageTest, SameKeyUnderDifferentTagsNeverCollides) {
+  const std::uint64_t tag_a = ShardedPipeline::lineage_tag_for("default", 0);
+  const std::uint64_t tag_b = ShardedPipeline::lineage_tag_for("small", 1);
+  StageOutputCache a(tagged_config(tag_a));
+  StageOutputCache b(tagged_config(tag_b));
+
+  // Identical databases on two shards produce identical raw fingerprints;
+  // each shard's cache must still serve its own payload.
+  a.put("scores", 0xFEED, salted_matrix(4, 3, 1.0));
+  b.put("scores", 0xFEED, salted_matrix(4, 3, 2.0));
+  ASSERT_TRUE(a.get("scores", 0xFEED).has_value());
+  ASSERT_TRUE(b.get("scores", 0xFEED).has_value());
+  EXPECT_EQ(a.get("scores", 0xFEED)->data(), salted_matrix(4, 3, 1.0).data());
+  EXPECT_EQ(b.get("scores", 0xFEED)->data(), salted_matrix(4, 3, 2.0).data());
+
+  // The content-addressed spill filenames are namespaced too.
+  EXPECT_NE(a.spill_path("scores", 0xFEED), b.spill_path("scores", 0xFEED));
+}
+
+TEST_F(StageCacheLineageTest, SpilledEntriesCoexistInOneDirectory) {
+  const std::uint64_t tag_a = ShardedPipeline::lineage_tag_for("default", 0);
+  const std::uint64_t tag_b = ShardedPipeline::lineage_tag_for("small", 1);
+  // Budget of one 4×4 payload: the second put spills the first.
+  const std::size_t budget = 16 * sizeof(double);
+  StageOutputCache a(tagged_config(tag_a, budget));
+  StageOutputCache b(tagged_config(tag_b, budget));
+
+  a.put("scores", 1, salted_matrix(4, 4, 1.0));
+  a.put("scores", 2, salted_matrix(4, 4, 2.0));  // spills key 1
+  b.put("scores", 1, salted_matrix(4, 4, 10.0));
+  b.put("scores", 2, salted_matrix(4, 4, 20.0));  // spills key 1
+
+  EXPECT_TRUE(std::filesystem::exists(a.spill_path("scores", 1)));
+  EXPECT_TRUE(std::filesystem::exists(b.spill_path("scores", 1)));
+
+  // Both reload their own bits from the shared directory.
+  const std::optional<linalg::Matrix> ra = a.get("scores", 1);
+  const std::optional<linalg::Matrix> rb = b.get("scores", 1);
+  ASSERT_TRUE(ra.has_value());
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_EQ(ra->data(), salted_matrix(4, 4, 1.0).data());
+  EXPECT_EQ(rb->data(), salted_matrix(4, 4, 10.0).data());
+}
+
+TEST_F(StageCacheLineageTest, ColdProcessReloadsOnlyItsOwnLineage) {
+  const std::uint64_t tag = ShardedPipeline::lineage_tag_for("dense", 2);
+  {
+    StageOutputCache writer(tagged_config(tag, 16 * sizeof(double)));
+    writer.put("moments", 77, salted_matrix(4, 4, 3.0));
+    writer.put("moments", 78, salted_matrix(4, 4, 4.0));  // spills 77
+    ASSERT_TRUE(std::filesystem::exists(writer.spill_path("moments", 77)));
+  }
+  // A fresh cache with the same tag finds the spill; an untagged one (or a
+  // different shard) sees a miss — no cross-lineage splicing.
+  StageOutputCache same_lineage(tagged_config(tag));
+  const std::optional<linalg::Matrix> hit = same_lineage.get("moments", 77);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->data(), salted_matrix(4, 4, 3.0).data());
+
+  StageOutputCache untagged(tagged_config(0));
+  EXPECT_FALSE(untagged.get("moments", 77).has_value());
+  StageOutputCache other(tagged_config(
+      ShardedPipeline::lineage_tag_for("dense", 3)));
+  EXPECT_FALSE(other.get("moments", 77).has_value());
+}
+
+TEST_F(StageCacheLineageTest, UntaggedCacheKeepsLegacyPaths) {
+  // lineage_tag == 0 must be byte-for-byte the pre-shard behaviour: the
+  // spill filename is the raw content address.
+  StageOutputCache cache(tagged_config(0));
+  const std::string path = cache.spill_path("scores", 0xABCD);
+  EXPECT_NE(path.find("scores-"), std::string::npos);
+  EXPECT_EQ(path, cache.spill_path("scores", 0xABCD));
+  StageOutputCache tagged(
+      tagged_config(ShardedPipeline::lineage_tag_for("default", 0)));
+  EXPECT_NE(tagged.spill_path("scores", 0xABCD), path);
+}
+
+TEST_F(StageCacheLineageTest, PoisonedFingerprintStaysRejectedUnderTags) {
+  StageOutputCache cache(
+      tagged_config(ShardedPipeline::lineage_tag_for("default", 0)));
+  EXPECT_THROW(cache.put("scores", 0, salted_matrix(1, 1, 0.0)),
+               std::invalid_argument);
+  EXPECT_FALSE(cache.get("scores", 0).has_value());
+}
+
+}  // namespace
+}  // namespace flare::core
