@@ -467,6 +467,19 @@ int run_help(std::ostream& out) {
          "      with a write-ahead journal, --resume rolls back torn ones;\n"
          "      --shapes routes the batch per shape — only shards the batch\n"
          "      touches run their drift gate\n"
+         "  campaign --scenarios F.csv --feature SPEC [--machine ...]\n"
+         "           [--clusters K] [--testbeds N] [--budget SECONDS]\n"
+         "           [--target-ci PP] [--checkpoint-every N] [--prior-band PP]\n"
+         "           [--no-validation] [--campaign-state C.csv] [--truth]\n"
+         "           [--schema NAME] [--threads T] [--shapes SPEC]\n"
+         "           [replay-fault flags as in `evaluate`]\n"
+         "      schedule the feature's replays across a simulated farm of N\n"
+         "      testbeds, heavy clusters first, with anytime estimates: stop\n"
+         "      early once the uncertainty band is <= --target-ci pp or the\n"
+         "      simulated testbed-time --budget (seconds) is spent;\n"
+         "      --checkpoint-every records the narrowing band every N units,\n"
+         "      --campaign-state archives the state for `flare report`,\n"
+         "      --no-validation skips the band-tightening runner-up probes\n"
          "  report --scenarios F.csv --out R.md [--features LIST] [--truth]\n"
          "         [--machine ...] [--clusters K] [--replay-faults R]\n"
          "         [--replay-fault-seed S] [--replay-retries N]\n"
@@ -476,6 +489,10 @@ int run_help(std::ostream& out) {
          "      feature SPECs (default: the three Table 4 features);\n"
          "      replay flags as in `evaluate`; --shapes writes the\n"
          "      heterogeneous-fleet report (per-shape + fan-in estimates)\n"
+         "  report --campaign-state C.csv --out R.md\n"
+         "      answer from an archived (possibly mid-run) replay campaign:\n"
+         "      anytime estimate + band, checkpoint narrowing history,\n"
+         "      mass accounting, and per-testbed utilisation\n"
          "  help\n\n"
          "shapes SPEC: comma-separated shape[:count] entries, e.g.\n"
          "  'default:6,small:2,dense:4' — count = machines of that shape;\n"
@@ -500,12 +517,13 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     if (command == "analyze") return run_analyze(args, out);
     if (command == "evaluate") return run_evaluate(args, out);
     if (command == "report") return run_report(args, out);
+    if (command == "campaign") return run_campaign(args, out);
     if (command == "drift") return run_drift(args, out);
     if (command == "ingest") return run_ingest(args, out);
     if (command == "help" || command == "--help") return run_help(out);
     throw ParseError("unknown command '" + command +
-                     "' (expected simulate|profile|analyze|evaluate|report|"
-                     "drift|ingest|help)");
+                     "' (expected simulate|profile|analyze|evaluate|campaign|"
+                     "report|drift|ingest|help)");
   } catch (const std::exception& e) {
     err << "flare: " << e.what() << "\n";
     return 2;

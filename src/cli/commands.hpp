@@ -12,6 +12,11 @@
 //                  [--machine ...] [--clusters K] [--per-job] [--truth]
 //   flare report   --scenarios scenarios.csv --out report.md
 //                  [--features "feature1;fmax=2.0,llc=20"] [--truth]
+//                  [--campaign-state campaign.csv]
+//   flare campaign --scenarios scenarios.csv --feature SPEC
+//                  [--testbeds N] [--budget SECONDS] [--target-ci PP]
+//                  [--checkpoint-every N] [--prior-band PP] [--no-validation]
+//                  [--campaign-state campaign.csv] [--truth] [--shapes SPEC]
 //   flare drift    --baseline metrics.csv --fresh new_metrics.csv
 //                  [--clusters K] [--refit-ratio R] [--reweight-shift S]
 //   flare ingest   --scenarios scenarios.csv --batch batch.csv
@@ -34,6 +39,7 @@ namespace flare::cli {
 [[nodiscard]] int run_analyze(const Args& args, std::ostream& out);
 [[nodiscard]] int run_evaluate(const Args& args, std::ostream& out);
 [[nodiscard]] int run_report(const Args& args, std::ostream& out);
+[[nodiscard]] int run_campaign(const Args& args, std::ostream& out);
 [[nodiscard]] int run_drift(const Args& args, std::ostream& out);
 [[nodiscard]] int run_ingest(const Args& args, std::ostream& out);
 [[nodiscard]] int run_help(std::ostream& out);

@@ -52,11 +52,16 @@ struct ClusterImpact {
 };
 
 /// Accounting of how the replay campaign behind an estimate went. Masses are
-/// in original cluster-weight units, so direct + fallback + quarantined = 1.
+/// in original cluster-weight units, so direct + fallback + quarantined
+/// (+ pending, for an anytime snapshot mid-campaign) = 1.
 struct ReplayLedger {
   double direct_mass = 0.0;       ///< mass estimated from chosen representatives
   double fallback_mass = 0.0;     ///< mass estimated from promoted runner-ups
   double quarantined_mass = 0.0;  ///< mass excluded (unreplayable clusters)
+  /// Mass not yet measured — nonzero only in anytime campaign checkpoints
+  /// (core/campaign.hpp); a finished estimate always has pending == 0, so the
+  /// historical three-way ledger split is unchanged.
+  double pending_mass = 0.0;
   int clusters_direct = 0;
   int clusters_fallback = 0;
   int clusters_quarantined = 0;
@@ -75,7 +80,7 @@ struct ReplayLedger {
   double simulated_seconds = 0.0;  ///< testbed time consumed (simulated clock)
 
   [[nodiscard]] double total_mass() const {
-    return direct_mass + fallback_mass + quarantined_mass;
+    return direct_mass + fallback_mass + quarantined_mass + pending_mass;
   }
   [[nodiscard]] bool degraded() const {
     return clusters_fallback > 0 || clusters_quarantined > 0;

@@ -36,6 +36,7 @@ ReplayLedger combine_ledgers(const std::vector<double>& weights,
     out.direct_mass += w * l.direct_mass;
     out.fallback_mass += w * l.fallback_mass;
     out.quarantined_mass += w * l.quarantined_mass;
+    out.pending_mass += w * l.pending_mass;
     out.measurement_uncertainty_pp += w * l.measurement_uncertainty_pp;
     out.quarantine_widening_pp += w * l.quarantine_widening_pp;
     // Counters and costs are physical totals, not shares.

@@ -1,0 +1,62 @@
+#include "dcsim/testbed_farm.hpp"
+
+#include "util/error.hpp"
+
+namespace flare::dcsim {
+
+TestbedFarm::TestbedFarm(std::size_t num_testbeds) {
+  ensure(num_testbeds >= 1, "TestbedFarm: need at least one testbed");
+  slots_.resize(num_testbeds);
+}
+
+std::size_t TestbedFarm::acquire() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].available_at < slots_[best].available_at) best = i;
+  }
+  return best;
+}
+
+double TestbedFarm::commit(std::size_t testbed, double seconds,
+                           std::size_t attempts, double not_before) {
+  ensure(testbed < slots_.size(), "TestbedFarm::commit: no such testbed");
+  ensure(seconds >= 0.0, "TestbedFarm::commit: negative replay duration");
+  TestbedSlot& slot = slots_[testbed];
+  const double start =
+      slot.available_at > not_before ? slot.available_at : not_before;
+  slot.available_at = start + seconds;
+  slot.busy_seconds += seconds;
+  slot.units += 1;
+  slot.attempts += attempts;
+  return start;
+}
+
+double TestbedFarm::makespan_seconds() const {
+  double makespan = 0.0;
+  for (const TestbedSlot& slot : slots_) {
+    if (slot.available_at > makespan) makespan = slot.available_at;
+  }
+  return makespan;
+}
+
+double TestbedFarm::total_busy_seconds() const {
+  double total = 0.0;
+  for (const TestbedSlot& slot : slots_) total += slot.busy_seconds;
+  return total;
+}
+
+std::vector<TestbedUtilisation> TestbedFarm::utilisation() const {
+  const double makespan = makespan_seconds();
+  std::vector<TestbedUtilisation> table(slots_.size());
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    table[i].testbed = i;
+    table[i].units = slots_[i].units;
+    table[i].attempts = slots_[i].attempts;
+    table[i].busy_seconds = slots_[i].busy_seconds;
+    table[i].utilisation =
+        makespan > 0.0 ? slots_[i].busy_seconds / makespan : 0.0;
+  }
+  return table;
+}
+
+}  // namespace flare::dcsim

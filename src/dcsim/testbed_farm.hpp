@@ -1,0 +1,81 @@
+// Simulated load-testing testbed farm (the machine pool behind a replay
+// campaign). A farm is N identical testbeds, each with its own simulated
+// clock — a testbed is busy until the replay it is running finishes, and the
+// campaign scheduler (core/campaign.hpp) always dispatches the next unit to
+// the testbed that frees up first. The farm only models *time and occupancy*;
+// what a replay measures is the Replayer's business, and every fault decision
+// stays a pure function of (seed, scenario, feature, attempt) — never of the
+// testbed id — so a campaign's measurements are placement-invariant: the same
+// units produce the same readings whether the farm has 1 slot or 16 (the
+// bit-identity contract `ctest -L campaign` pins).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace flare::dcsim {
+
+/// One testbed slot's running occupancy ledger.
+struct TestbedSlot {
+  /// Simulated time at which this testbed finishes its current replay and
+  /// can accept the next unit (0 = idle since campaign start).
+  double available_at = 0.0;
+  /// Simulated seconds this testbed has spent running replays (incl. the
+  /// attempt loop's retries and backoff waits — a retrying testbed is busy).
+  double busy_seconds = 0.0;
+  /// Campaign units dispatched to this testbed.
+  std::size_t units = 0;
+  /// Replay attempts billed on this testbed.
+  std::size_t attempts = 0;
+};
+
+/// Per-testbed utilisation telemetry, derived once the campaign settles.
+struct TestbedUtilisation {
+  std::size_t testbed = 0;
+  std::size_t units = 0;
+  std::size_t attempts = 0;
+  double busy_seconds = 0.0;
+  /// busy / campaign makespan; 0 when the campaign never ran a unit.
+  double utilisation = 0.0;
+};
+
+/// The farm: N slots on one shared simulated timeline. acquire() implements
+/// the earliest-idle-first policy (ties broken by lowest id, so dispatch is
+/// deterministic); commit() charges a finished replay's duration to the slot.
+class TestbedFarm {
+ public:
+  explicit TestbedFarm(std::size_t num_testbeds);
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  /// The testbed the next unit runs on: the slot with the earliest
+  /// available_at, lowest id on ties.
+  [[nodiscard]] std::size_t acquire() const;
+
+  /// Charges `seconds` of replay time (attempts + backoff waits) and
+  /// `attempts` billed attempts to slot `testbed`; returns the simulated
+  /// start time of the unit. The unit starts when the slot frees up, but
+  /// never before `not_before` (a follow-up probe cannot start before its
+  /// parent's result exists — the slot idles through the gap, which counts
+  /// against utilisation but not against the busy-seconds bill).
+  double commit(std::size_t testbed, double seconds, std::size_t attempts,
+                double not_before = 0.0);
+
+  /// Campaign makespan: when the last busy testbed frees up.
+  [[nodiscard]] double makespan_seconds() const;
+
+  /// Σ busy seconds over slots — the campaign's testbed-time bill, invariant
+  /// to the slot count (cost is what early stopping trims; the slot count
+  /// trims the makespan).
+  [[nodiscard]] double total_busy_seconds() const;
+
+  [[nodiscard]] const std::vector<TestbedSlot>& slots() const { return slots_; }
+
+  /// Utilisation table against the current makespan.
+  [[nodiscard]] std::vector<TestbedUtilisation> utilisation() const;
+
+ private:
+  std::vector<TestbedSlot> slots_;
+};
+
+}  // namespace flare::dcsim

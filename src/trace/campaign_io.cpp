@@ -1,0 +1,245 @@
+#include "trace/campaign_io.hpp"
+
+#include <fstream>
+
+#include "trace/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace flare::trace {
+namespace {
+
+constexpr const char* kMagic = "flare_campaign";
+constexpr const char* kVersion = "v1";
+
+using util::format_double_exact;
+
+[[nodiscard]] std::string fmt(double v) { return format_double_exact(v); }
+
+[[nodiscard]] core::CampaignStopReason parse_stop(const std::string& token,
+                                                  const std::string& path,
+                                                  std::size_t line_no) {
+  if (token == "exhausted") return core::CampaignStopReason::kExhausted;
+  if (token == "target_reached") return core::CampaignStopReason::kTargetReached;
+  if (token == "budget_exhausted") {
+    return core::CampaignStopReason::kBudgetExhausted;
+  }
+  throw ParseError("load_campaign_state: " + path + ":" +
+                   std::to_string(line_no) +
+                   ": unknown stop reason — offending token '" + token + "'");
+}
+
+[[nodiscard]] core::ClusterReplayStatus parse_status(const std::string& token,
+                                                     const std::string& path,
+                                                     std::size_t line_no) {
+  if (token == "direct") return core::ClusterReplayStatus::kDirect;
+  if (token == "fallback") return core::ClusterReplayStatus::kFallback;
+  if (token == "quarantined") return core::ClusterReplayStatus::kQuarantined;
+  throw ParseError("load_campaign_state: " + path + ":" +
+                   std::to_string(line_no) +
+                   ": unknown cluster status — offending token '" + token + "'");
+}
+
+void expect_fields(const std::vector<std::string>& fields, std::size_t n,
+                   const char* record, const std::string& path,
+                   std::size_t line_no) {
+  if (fields.size() != n) {
+    throw ParseError("load_campaign_state: " + path + ":" +
+                     std::to_string(line_no) + ": " + record + " record needs " +
+                     std::to_string(n) + " fields, got " +
+                     std::to_string(fields.size()));
+  }
+}
+
+void write_ledger(std::ostream& out, const char* tag,
+                  const core::ReplayLedger& l) {
+  write_csv_row(out, {tag, fmt(l.direct_mass), fmt(l.fallback_mass),
+                      fmt(l.quarantined_mass), fmt(l.pending_mass),
+                      std::to_string(l.clusters_direct),
+                      std::to_string(l.clusters_fallback),
+                      std::to_string(l.clusters_quarantined),
+                      std::to_string(l.total_attempts),
+                      std::to_string(l.failed_attempts),
+                      std::to_string(l.fallback_probes),
+                      fmt(l.measurement_uncertainty_pp),
+                      fmt(l.quarantine_widening_pp), fmt(l.simulated_seconds)});
+}
+
+[[nodiscard]] core::ReplayLedger parse_ledger(const std::vector<std::string>& f,
+                                              std::size_t first,
+                                              const std::string& path,
+                                              std::size_t line_no) {
+  core::ReplayLedger l;
+  l.direct_mass = parse_csv_double(f[first + 0], path, line_no);
+  l.fallback_mass = parse_csv_double(f[first + 1], path, line_no);
+  l.quarantined_mass = parse_csv_double(f[first + 2], path, line_no);
+  l.pending_mass = parse_csv_double(f[first + 3], path, line_no);
+  l.clusters_direct = static_cast<int>(parse_csv_int(f[first + 4], path, line_no));
+  l.clusters_fallback =
+      static_cast<int>(parse_csv_int(f[first + 5], path, line_no));
+  l.clusters_quarantined =
+      static_cast<int>(parse_csv_int(f[first + 6], path, line_no));
+  l.total_attempts = static_cast<int>(parse_csv_int(f[first + 7], path, line_no));
+  l.failed_attempts =
+      static_cast<int>(parse_csv_int(f[first + 8], path, line_no));
+  l.fallback_probes =
+      static_cast<int>(parse_csv_int(f[first + 9], path, line_no));
+  l.measurement_uncertainty_pp = parse_csv_double(f[first + 10], path, line_no);
+  l.quarantine_widening_pp = parse_csv_double(f[first + 11], path, line_no);
+  l.simulated_seconds = parse_csv_double(f[first + 12], path, line_no);
+  return l;
+}
+
+}  // namespace
+
+void save_campaign_state(const core::CampaignState& state,
+                         const std::string& path) {
+  std::ofstream out(path);
+  ensure(static_cast<bool>(out),
+         "save_campaign_state: cannot open file: " + path);
+  write_csv_row(out, {kMagic, kVersion});
+  write_csv_row(
+      out, {"summary", state.feature_name, std::to_string(state.num_testbeds),
+            std::string(to_string(state.stop)), fmt(state.target_ci_pp),
+            fmt(state.budget_seconds), fmt(state.impact_pct), fmt(state.band_pp),
+            std::to_string(state.units_completed),
+            std::to_string(state.units_failed),
+            std::to_string(state.clusters_total),
+            std::to_string(state.distinct_replays), fmt(state.makespan_seconds),
+            fmt(state.total_busy_seconds)});
+  write_ledger(out, "ledger", state.ledger);
+  for (const core::CampaignCheckpoint& cp : state.checkpoints) {
+    std::vector<std::string> fields = {
+        "checkpoint", std::to_string(cp.units_completed), fmt(cp.impact_pct),
+        fmt(cp.band_pp), fmt(cp.measured_mass), fmt(cp.simulated_seconds),
+        std::to_string(cp.attempts), fmt(cp.ledger.direct_mass),
+        fmt(cp.ledger.fallback_mass), fmt(cp.ledger.quarantined_mass),
+        fmt(cp.ledger.pending_mass)};
+    write_csv_row(out, fields);
+  }
+  for (const dcsim::TestbedUtilisation& t : state.testbeds) {
+    write_csv_row(out, {"testbed", std::to_string(t.testbed),
+                        std::to_string(t.units), std::to_string(t.attempts),
+                        fmt(t.busy_seconds), fmt(t.utilisation)});
+  }
+  for (const core::CampaignClusterRow& c : state.clusters) {
+    write_csv_row(out, {"cluster", std::to_string(c.shard),
+                        std::to_string(c.cluster), fmt(c.weight),
+                        c.measured ? "1" : "0",
+                        std::string(to_string(c.status)),
+                        std::to_string(c.scenario_row), fmt(c.impact_pct),
+                        fmt(c.ci_halfwidth_pp), fmt(c.halfwidth_pp)});
+  }
+  ensure(static_cast<bool>(out), "save_campaign_state: write failed: " + path);
+}
+
+core::CampaignState load_campaign_state(const std::string& path) {
+  const CsvContent content = read_csv_content(path);
+  if (!content.complete_final_line) {
+    throw ParseError("load_campaign_state: " + path +
+                     ": truncated final line (no trailing newline) — torn "
+                     "write?");
+  }
+  const std::vector<std::string>& lines = content.lines;
+  if (lines.empty()) {
+    throw ParseError("load_campaign_state: " + path + ": empty file");
+  }
+  {
+    const std::vector<std::string> head = parse_csv_row(lines[0], path, 1);
+    if (head.size() != 2 || head[0] != kMagic || head[1] != kVersion) {
+      throw ParseError("load_campaign_state: " + path +
+                       ": not a flare_campaign v1 file");
+    }
+  }
+  core::CampaignState state;
+  bool seen_summary = false;
+  bool seen_ledger = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::size_t line_no = i + 1;
+    const std::vector<std::string> f = parse_csv_row(lines[i], path, line_no);
+    ensure(!f.empty(), "load_campaign_state: empty record in " + path);
+    if (f[0] == "summary") {
+      expect_fields(f, 14, "summary", path, line_no);
+      state.feature_name = f[1];
+      state.num_testbeds =
+          static_cast<std::size_t>(parse_csv_int(f[2], path, line_no));
+      state.stop = parse_stop(f[3], path, line_no);
+      state.target_ci_pp = parse_csv_double(f[4], path, line_no);
+      state.budget_seconds = parse_csv_double(f[5], path, line_no);
+      state.impact_pct = parse_csv_double(f[6], path, line_no);
+      state.band_pp = parse_csv_double(f[7], path, line_no);
+      state.units_completed =
+          static_cast<std::size_t>(parse_csv_int(f[8], path, line_no));
+      state.units_failed =
+          static_cast<std::size_t>(parse_csv_int(f[9], path, line_no));
+      state.clusters_total =
+          static_cast<std::size_t>(parse_csv_int(f[10], path, line_no));
+      state.distinct_replays =
+          static_cast<std::size_t>(parse_csv_int(f[11], path, line_no));
+      state.makespan_seconds = parse_csv_double(f[12], path, line_no);
+      state.total_busy_seconds = parse_csv_double(f[13], path, line_no);
+      seen_summary = true;
+    } else if (f[0] == "ledger") {
+      expect_fields(f, 14, "ledger", path, line_no);
+      state.ledger = parse_ledger(f, 1, path, line_no);
+      seen_ledger = true;
+    } else if (f[0] == "checkpoint") {
+      expect_fields(f, 11, "checkpoint", path, line_no);
+      core::CampaignCheckpoint cp;
+      cp.units_completed =
+          static_cast<std::size_t>(parse_csv_int(f[1], path, line_no));
+      cp.impact_pct = parse_csv_double(f[2], path, line_no);
+      cp.band_pp = parse_csv_double(f[3], path, line_no);
+      cp.measured_mass = parse_csv_double(f[4], path, line_no);
+      cp.simulated_seconds = parse_csv_double(f[5], path, line_no);
+      cp.attempts = static_cast<int>(parse_csv_int(f[6], path, line_no));
+      cp.ledger.direct_mass = parse_csv_double(f[7], path, line_no);
+      cp.ledger.fallback_mass = parse_csv_double(f[8], path, line_no);
+      cp.ledger.quarantined_mass = parse_csv_double(f[9], path, line_no);
+      cp.ledger.pending_mass = parse_csv_double(f[10], path, line_no);
+      cp.ledger.simulated_seconds = cp.simulated_seconds;
+      cp.ledger.total_attempts = cp.attempts;
+      state.checkpoints.push_back(cp);
+    } else if (f[0] == "testbed") {
+      expect_fields(f, 6, "testbed", path, line_no);
+      dcsim::TestbedUtilisation t;
+      t.testbed = static_cast<std::size_t>(parse_csv_int(f[1], path, line_no));
+      t.units = static_cast<std::size_t>(parse_csv_int(f[2], path, line_no));
+      t.attempts = static_cast<std::size_t>(parse_csv_int(f[3], path, line_no));
+      t.busy_seconds = parse_csv_double(f[4], path, line_no);
+      t.utilisation = parse_csv_double(f[5], path, line_no);
+      state.testbeds.push_back(t);
+    } else if (f[0] == "cluster") {
+      expect_fields(f, 10, "cluster", path, line_no);
+      core::CampaignClusterRow c;
+      c.shard = static_cast<std::size_t>(parse_csv_int(f[1], path, line_no));
+      c.cluster = static_cast<std::size_t>(parse_csv_int(f[2], path, line_no));
+      c.weight = parse_csv_double(f[3], path, line_no);
+      c.measured = f[4] == "1";
+      c.status = parse_status(f[5], path, line_no);
+      c.scenario_row =
+          static_cast<std::size_t>(parse_csv_int(f[6], path, line_no));
+      c.impact_pct = parse_csv_double(f[7], path, line_no);
+      c.ci_halfwidth_pp = parse_csv_double(f[8], path, line_no);
+      c.halfwidth_pp = parse_csv_double(f[9], path, line_no);
+      state.clusters.push_back(c);
+    } else {
+      throw ParseError("load_campaign_state: " + path + ":" +
+                       std::to_string(line_no) +
+                       ": unknown record type — offending token '" + f[0] + "'");
+    }
+  }
+  if (!seen_summary || !seen_ledger) {
+    throw ParseError("load_campaign_state: " + path +
+                     ": missing summary or ledger record");
+  }
+  if (state.clusters.size() != state.clusters_total) {
+    throw ParseError("load_campaign_state: " + path + ": cluster record count " +
+                     std::to_string(state.clusters.size()) +
+                     " does not match the summary's clusters_total " +
+                     std::to_string(state.clusters_total));
+  }
+  return state;
+}
+
+}  // namespace flare::trace

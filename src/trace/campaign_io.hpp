@@ -1,0 +1,25 @@
+// Campaign-state persistence: a core::CampaignState round-trips through a
+// typed-line CSV so a (possibly still-running) replay campaign can be
+// inspected out of process — `flare campaign --campaign-state FILE` writes
+// it, `flare report --campaign-state FILE` answers from it. Doubles are
+// written with util::format_double_exact, so the anytime estimate, band, and
+// mass accounting survive the round-trip bit for bit.
+#pragma once
+
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace flare::trace {
+
+/// Writes the campaign state to `path` (summary, ledger, checkpoint,
+/// testbed, and cluster records; the per-unit dispatch trace is not
+/// persisted — it is timeline telemetry, not part of the estimate).
+void save_campaign_state(const core::CampaignState& state,
+                         const std::string& path);
+
+/// Reads a state written by save_campaign_state. Throws flare::ParseError on
+/// malformed files, unknown record types, or inconsistent counts.
+[[nodiscard]] core::CampaignState load_campaign_state(const std::string& path);
+
+}  // namespace flare::trace

@@ -1,0 +1,130 @@
+// Anytime-estimate regressions (ctest label `campaign`):
+//
+//   1. The uncertainty band is monotonically non-widening across checkpoints
+//      — clean, under replay faults, and on a fleet.
+//   2. An early stop at --target-ci never reports a band wider than the
+//      target, and costs less than the exhaustive campaign.
+//   3. The final estimate's error against the full-datacenter truth sits
+//      inside the reported band, and on the deterministic clean path the
+//      truth is inside the band at every checkpoint.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/full_evaluator.hpp"
+#include "core/campaign.hpp"
+#include "core/pipeline.hpp"
+#include "core/sharded_pipeline.hpp"
+#include "dcsim/replay_faults.hpp"
+#include "tests/core/test_env.hpp"
+#include "tests/util/fleet_env.hpp"
+
+namespace flare::core {
+namespace {
+
+void expect_band_monotone(const CampaignState& state) {
+  ASSERT_FALSE(state.checkpoints.empty());
+  double last = state.checkpoints.front().band_pp;
+  for (const CampaignCheckpoint& cp : state.checkpoints) {
+    EXPECT_LE(cp.band_pp, last)
+        << "band widened at checkpoint with " << cp.units_completed << " units";
+    last = cp.band_pp;
+  }
+  EXPECT_EQ(state.checkpoints.back().band_pp, state.band_pp);
+}
+
+TEST(CampaignAnytime, BandNeverWidensOnTheCleanPath) {
+  const CampaignState state = run_campaign(
+      testing::fitted_pipeline(), feature_dvfs_cap(), CampaignConfig{});
+  expect_band_monotone(state);
+}
+
+TEST(CampaignAnytime, BandNeverWidensUnderReplayFaults) {
+  FlarePipeline& pipeline = testing::fitted_pipeline();
+  for (const std::uint64_t seed : {0x1ull, 0xABCDull, 0xFEEDF00Dull}) {
+    CampaignScheduler scheduler(
+        CampaignConfig{}, pipeline.config().replay,
+        dcsim::ReplayFaultOptions::uniform(0.20, seed));
+    scheduler.add_shard("all", 1.0, pipeline.analysis(),
+                        pipeline.scenario_set(), pipeline.impact_model());
+    const CampaignState state = scheduler.run(feature_dvfs_cap());
+    expect_band_monotone(state);
+    EXPECT_NEAR(state.ledger.total_mass(), 1.0, 1e-9);
+  }
+}
+
+TEST(CampaignAnytime, BandNeverWidensOnAFleet) {
+  const CampaignState state =
+      run_campaign(testing::fitted_two_shape_pipeline(), feature_dvfs_cap(),
+                   CampaignConfig{});
+  expect_band_monotone(state);
+}
+
+TEST(CampaignAnytime, TargetStopNeverReportsABandWiderThanTheTarget) {
+  FlarePipeline& pipeline = testing::fitted_pipeline();
+  const CampaignState full =
+      run_campaign(pipeline, feature_dvfs_cap(), CampaignConfig{});
+
+  CampaignConfig config;
+  config.target_ci_pp = 5.0;
+  const CampaignState state =
+      run_campaign(pipeline, feature_dvfs_cap(), config);
+  EXPECT_EQ(state.stop, CampaignStopReason::kTargetReached);
+  EXPECT_LE(state.band_pp, config.target_ci_pp);
+  // The dial actually saves testbed time relative to exhaustion.
+  EXPECT_LT(state.units_completed, full.units_completed);
+  EXPECT_LT(state.total_busy_seconds, full.total_busy_seconds);
+}
+
+TEST(CampaignAnytime, TrivialTargetStopsBeforeAnyTestbedTime) {
+  CampaignConfig config;
+  config.target_ci_pp = config.prior_halfwidth_pp + 1.0;  // prior already meets it
+  const CampaignState state = run_campaign(testing::fitted_pipeline(),
+                                           feature_dvfs_cap(), config);
+  EXPECT_EQ(state.stop, CampaignStopReason::kTargetReached);
+  EXPECT_EQ(state.units_completed, 0u);
+  EXPECT_EQ(state.total_busy_seconds, 0.0);
+  EXPECT_NEAR(state.ledger.pending_mass, 1.0, 1e-9);
+}
+
+TEST(CampaignAnytime, TruthSitsInsideTheBandAtEveryCheckpoint) {
+  FlarePipeline& pipeline = testing::fitted_pipeline();
+  const baselines::FullDatacenterEvaluator evaluator(
+      pipeline.impact_model(), testing::small_scenario_set());
+  const double truth = evaluator.evaluate(feature_dvfs_cap()).impact_pct;
+
+  const CampaignState state =
+      run_campaign(pipeline, feature_dvfs_cap(), CampaignConfig{});
+  EXPECT_LE(std::abs(state.impact_pct - truth), state.band_pp);
+  for (const CampaignCheckpoint& cp : state.checkpoints) {
+    EXPECT_LE(std::abs(cp.impact_pct - truth), cp.band_pp)
+        << "truth escaped the band at " << cp.units_completed << " units";
+  }
+}
+
+TEST(CampaignAnytime, FaultyFleetEstimateErrorStaysInsideTheFinalBand) {
+  ShardedPipeline& fleet = testing::fitted_two_shape_pipeline();
+  double truth = 0.0;
+  const std::vector<double> weights = fleet.weights();
+  for (std::size_t i = 0; i < fleet.num_shards(); ++i) {
+    const baselines::FullDatacenterEvaluator evaluator(
+        fleet.shard(i).impact_model(), fleet.shard(i).scenario_set());
+    truth += weights[i] * evaluator.evaluate(feature_dvfs_cap()).impact_pct;
+  }
+
+  CampaignScheduler scheduler(
+      CampaignConfig{}, fleet.config().base.replay,
+      dcsim::ReplayFaultOptions::uniform(0.10, 0xCAFEull));
+  for (std::size_t i = 0; i < fleet.num_shards(); ++i) {
+    scheduler.add_shard(fleet.fleet().shapes[i].machine.name, weights[i],
+                        fleet.shard(i).analysis(),
+                        fleet.shard(i).scenario_set(),
+                        fleet.shard(i).impact_model());
+  }
+  const CampaignState state = scheduler.run(feature_dvfs_cap());
+  expect_band_monotone(state);
+  EXPECT_LE(std::abs(state.impact_pct - truth), state.band_pp);
+}
+
+}  // namespace
+}  // namespace flare::core

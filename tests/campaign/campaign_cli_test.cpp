@@ -1,0 +1,111 @@
+// End-to-end `flare campaign` integration (ctest label `campaign`): simulate
+// a three-shape fleet, run a faulty multi-testbed campaign against it with
+// the state archived, then answer from the archive mid-workflow with
+// `flare report --campaign-state`. The campaign's own --truth check must
+// land inside the reported band.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "core/campaign.hpp"
+#include "trace/campaign_io.hpp"
+
+namespace flare::cli {
+namespace {
+
+int run(std::initializer_list<const char*> argv, std::string* out_text = nullptr,
+        std::string* err_text = nullptr) {
+  std::vector<const char*> v = {"flare"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  std::ostringstream out, err;
+  const int code = run_cli(static_cast<int>(v.size()), v.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return code;
+}
+
+class CampaignCliTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::remove(scenarios_.c_str());
+    std::remove(state_.c_str());
+    std::remove(report_.c_str());
+  }
+  std::string scenarios_ = ::testing::TempDir() + "/campaign_fleet.csv";
+  std::string state_ = ::testing::TempDir() + "/campaign_state.csv";
+  std::string report_ = ::testing::TempDir() + "/campaign_report.md";
+};
+
+TEST_F(CampaignCliTest, FaultyFleetCampaignThenReportFromTheArchive) {
+  ASSERT_EQ(run({"simulate", "--shapes", "default:3,small:2,dense:1",
+                 "--scenarios", "150", "--out", scenarios_.c_str()}),
+            0);
+
+  std::string out;
+  ASSERT_EQ(run({"campaign", "--scenarios", scenarios_.c_str(), "--shapes",
+                 "default:3,small:2,dense:1", "--feature", "feature2",
+                 "--clusters", "6", "--testbeds", "4", "--checkpoint-every",
+                 "3", "--replay-faults", "0.1", "--campaign-state",
+                 state_.c_str(), "--truth"},
+                &out),
+            0);
+  EXPECT_NE(out.find("campaign: exhausted"), std::string::npos) << out;
+  EXPECT_NE(out.find("anytime estimate"), std::string::npos);
+  EXPECT_NE(out.find("inside the reported band"), std::string::npos) << out;
+  EXPECT_EQ(out.find("OUTSIDE"), std::string::npos) << out;
+
+  // The archive round-trips with the mass still conserved, ready for an
+  // operator (or a later session) to interrogate without the scenario trace.
+  const core::CampaignState state = trace::load_campaign_state(state_);
+  EXPECT_EQ(state.num_testbeds, 4u);
+  EXPECT_NEAR(state.ledger.total_mass(), 1.0, 1e-9);
+  EXPECT_FALSE(state.checkpoints.empty());
+  EXPECT_EQ(state.testbeds.size(), 4u);
+
+  ASSERT_EQ(run({"report", "--campaign-state", state_.c_str(), "--out",
+                 report_.c_str()},
+                &out),
+            0);
+  EXPECT_NE(out.find("wrote"), std::string::npos);
+  std::ifstream md(report_);
+  ASSERT_TRUE(md.good());
+  std::stringstream content;
+  content << md.rdbuf();
+  EXPECT_NE(content.str().find("# FLARE replay-campaign report"),
+            std::string::npos);
+  EXPECT_NE(content.str().find("## Checkpoints"), std::string::npos);
+  EXPECT_NE(content.str().find("## Testbed utilisation"), std::string::npos);
+}
+
+TEST_F(CampaignCliTest, TargetCiStopIsReportedAndUnderTheTarget) {
+  ASSERT_EQ(run({"simulate", "--scenarios", "150", "--out",
+                 scenarios_.c_str()}),
+            0);
+  std::string out;
+  ASSERT_EQ(run({"campaign", "--scenarios", scenarios_.c_str(), "--feature",
+                 "feature2", "--clusters", "6", "--target-ci", "5.0",
+                 "--campaign-state", state_.c_str()},
+                &out),
+            0);
+  EXPECT_NE(out.find("target_reached"), std::string::npos) << out;
+  const core::CampaignState state = trace::load_campaign_state(state_);
+  EXPECT_EQ(state.stop, core::CampaignStopReason::kTargetReached);
+  EXPECT_LE(state.band_pp, 5.0);
+}
+
+TEST_F(CampaignCliTest, BadFlagsFailLoudly) {
+  std::string err;
+  EXPECT_NE(run({"campaign", "--scenarios", "nope.csv", "--feature",
+                 "feature2", "--testbeds", "0"},
+                nullptr, &err),
+            0);
+  EXPECT_NE(err.find("--testbeds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flare::cli

@@ -1,0 +1,196 @@
+// Campaign-scheduler contracts (ctest label `campaign`):
+//
+//   1. TestbedFarm mechanics: earliest-slot acquisition, causal backfill
+//      (not_before), and a billing that ignores idle gaps.
+//   2. Placement invariance: the campaign's estimate, band, stop reason,
+//      ledger, checkpoints, and dispatch journal are bit-identical for 1 and
+//      N testbeds — the farm only shapes the timeline.
+//   3. Clean-path reproduction: a campaign run to exhaustion with validation
+//      on lands bit-exactly on FlareEstimator::estimate_with_validation's
+//      impact and uncertainty, single-shape and fleet fan-in alike.
+//   4. Budget stops cut the campaign off without breaking the anytime
+//      contract (the band just stays wider).
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pipeline.hpp"
+#include "core/sharded_pipeline.hpp"
+#include "dcsim/replay_faults.hpp"
+#include "dcsim/testbed_farm.hpp"
+#include "tests/core/test_env.hpp"
+#include "tests/util/fleet_env.hpp"
+
+namespace flare::core {
+namespace {
+
+CampaignState faulty_campaign(const FlarePipeline& pipeline,
+                              const CampaignConfig& config, double fault_rate,
+                              std::uint64_t seed) {
+  CampaignScheduler scheduler(config, pipeline.config().replay,
+                              dcsim::ReplayFaultOptions::uniform(fault_rate, seed));
+  scheduler.add_shard("all", 1.0, pipeline.analysis(), pipeline.scenario_set(),
+                      pipeline.impact_model());
+  return scheduler.run(feature_dvfs_cap());
+}
+
+TEST(TestbedFarm, AcquiresTheEarliestSlotLowestIdFirst) {
+  dcsim::TestbedFarm farm(3);
+  EXPECT_EQ(farm.acquire(), 0u);  // all idle -> lowest id
+  (void)farm.commit(0, 100.0, 1);
+  (void)farm.commit(1, 50.0, 1);
+  EXPECT_EQ(farm.acquire(), 2u);  // still idle
+  (void)farm.commit(2, 200.0, 1);
+  EXPECT_EQ(farm.acquire(), 1u);  // earliest available_at (50 s)
+}
+
+TEST(TestbedFarm, CommitHonoursNotBeforeWithoutBillingTheGap) {
+  dcsim::TestbedFarm farm(1);
+  const double s0 = farm.commit(0, 100.0, 1);
+  EXPECT_EQ(s0, 0.0);
+  // A probe that causally depends on a unit finishing at t=500 elsewhere may
+  // not start before it, even though this slot frees at t=100.
+  const double s1 = farm.commit(0, 100.0, 2, /*not_before=*/500.0);
+  EXPECT_EQ(s1, 500.0);
+  EXPECT_EQ(farm.makespan_seconds(), 600.0);
+  // The 400 s idle gap is not billed.
+  EXPECT_EQ(farm.total_busy_seconds(), 200.0);
+  const std::vector<dcsim::TestbedUtilisation> util = farm.utilisation();
+  ASSERT_EQ(util.size(), 1u);
+  EXPECT_EQ(util[0].units, 2u);
+  EXPECT_EQ(util[0].attempts, 3u);
+  EXPECT_NEAR(util[0].utilisation, 200.0 / 600.0, 1e-12);
+}
+
+TEST(CampaignScheduler, EstimateIsBitIdenticalAcrossFarmSizes) {
+  FlarePipeline& pipeline = testing::fitted_pipeline();
+  CampaignConfig one;
+  one.num_testbeds = 1;
+  CampaignConfig five = one;
+  five.num_testbeds = 5;
+  // Faults exercise retries, fallback walks, and backfill — the hard case
+  // for placement invariance.
+  const CampaignState a = faulty_campaign(pipeline, one, 0.15, 0xFA57ull);
+  const CampaignState b = faulty_campaign(pipeline, five, 0.15, 0xFA57ull);
+
+  EXPECT_EQ(a.impact_pct, b.impact_pct);
+  EXPECT_EQ(a.band_pp, b.band_pp);
+  EXPECT_EQ(a.stop, b.stop);
+  EXPECT_EQ(a.units_completed, b.units_completed);
+  EXPECT_EQ(a.units_failed, b.units_failed);
+  EXPECT_EQ(a.distinct_replays, b.distinct_replays);
+  EXPECT_EQ(a.ledger.total_attempts, b.ledger.total_attempts);
+  EXPECT_EQ(a.ledger.failed_attempts, b.ledger.failed_attempts);
+  EXPECT_EQ(a.ledger.direct_mass, b.ledger.direct_mass);
+  EXPECT_EQ(a.ledger.fallback_mass, b.ledger.fallback_mass);
+  EXPECT_EQ(a.ledger.quarantined_mass, b.ledger.quarantined_mass);
+  // The testbed-time bill is placement-invariant; the makespan shrinks.
+  EXPECT_EQ(a.total_busy_seconds, b.total_busy_seconds);
+  EXPECT_LE(b.makespan_seconds, a.makespan_seconds);
+
+  ASSERT_EQ(a.checkpoints.size(), b.checkpoints.size());
+  for (std::size_t i = 0; i < a.checkpoints.size(); ++i) {
+    EXPECT_EQ(a.checkpoints[i].impact_pct, b.checkpoints[i].impact_pct);
+    EXPECT_EQ(a.checkpoints[i].band_pp, b.checkpoints[i].band_pp);
+    EXPECT_EQ(a.checkpoints[i].measured_mass, b.checkpoints[i].measured_mass);
+    EXPECT_EQ(a.checkpoints[i].attempts, b.checkpoints[i].attempts);
+  }
+  // Same units in the same logical order — only the slot assignment differs.
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].shard, b.trace[i].shard);
+    EXPECT_EQ(a.trace[i].cluster, b.trace[i].cluster);
+    EXPECT_EQ(a.trace[i].kind, b.trace[i].kind);
+    EXPECT_EQ(a.trace[i].scenario_row, b.trace[i].scenario_row);
+    EXPECT_EQ(a.trace[i].attempts, b.trace[i].attempts);
+    EXPECT_EQ(a.trace[i].ok, b.trace[i].ok);
+  }
+}
+
+TEST(CampaignScheduler, ExhaustedCleanCampaignReproducesTheValidatedEstimate) {
+  FlarePipeline& pipeline = testing::fitted_pipeline();
+  const CampaignState state =
+      run_campaign(pipeline, feature_dvfs_cap(), CampaignConfig{});
+  const ValidatedFeatureEstimate expected =
+      pipeline.evaluate_with_validation(feature_dvfs_cap());
+
+  EXPECT_EQ(state.stop, CampaignStopReason::kExhausted);
+  // Bit-exact, not merely close: the campaign accumulates in the estimator's
+  // order and skips the no-op renormalisation on full clean coverage.
+  EXPECT_EQ(state.impact_pct, expected.estimate.impact_pct);
+  EXPECT_EQ(state.band_pp, expected.uncertainty_pp);
+  EXPECT_EQ(state.ledger.direct_mass, expected.estimate.replay.direct_mass);
+  EXPECT_EQ(state.units_failed, 0u);
+  EXPECT_NEAR(state.ledger.total_mass(), 1.0, 1e-9);
+  EXPECT_EQ(state.ledger.pending_mass, 0.0);
+}
+
+TEST(CampaignScheduler, ExhaustedCleanFleetCampaignReproducesTheFanIn) {
+  ShardedPipeline& fleet = testing::fitted_two_shape_pipeline();
+  const CampaignState state =
+      run_campaign(fleet, feature_dvfs_cap(), CampaignConfig{});
+  const ValidatedFleetEstimate expected =
+      fleet.evaluate_with_validation(feature_dvfs_cap());
+
+  EXPECT_EQ(state.stop, CampaignStopReason::kExhausted);
+  EXPECT_EQ(state.impact_pct, expected.estimate.impact_pct);
+  EXPECT_EQ(state.band_pp, expected.uncertainty_pp);
+  EXPECT_NEAR(state.ledger.total_mass(), 1.0, 1e-9);
+  // One cluster row per (shard, cluster), weights summing to 1.
+  EXPECT_EQ(state.clusters.size(), state.clusters_total);
+  double total_weight = 0.0;
+  for (const CampaignClusterRow& row : state.clusters) total_weight += row.weight;
+  EXPECT_NEAR(total_weight, 1.0, 1e-9);
+}
+
+TEST(CampaignScheduler, RepresentativeOnlyCampaignMatchesThePlainEstimate) {
+  FlarePipeline& pipeline = testing::fitted_pipeline();
+  CampaignConfig config;
+  config.validation = false;
+  const CampaignState state =
+      run_campaign(pipeline, feature_dvfs_cap(), config);
+  const FeatureEstimate expected = pipeline.evaluate(feature_dvfs_cap());
+  EXPECT_EQ(state.impact_pct, expected.impact_pct);
+  // Half the units: representatives only.
+  EXPECT_EQ(state.units_completed, pipeline.analysis().chosen_k);
+}
+
+TEST(CampaignScheduler, BudgetStopCutsTheCampaignOffEarly) {
+  FlarePipeline& pipeline = testing::fitted_pipeline();
+  const CampaignState full =
+      run_campaign(pipeline, feature_dvfs_cap(), CampaignConfig{});
+  ASSERT_GT(full.units_completed, 2u);
+
+  CampaignConfig config;
+  // Enough for roughly two nominal units, nowhere near exhaustion.
+  config.budget_seconds = 2.5 * pipeline.config().replay.nominal_seconds;
+  const CampaignState state =
+      run_campaign(pipeline, feature_dvfs_cap(), config);
+  EXPECT_EQ(state.stop, CampaignStopReason::kBudgetExhausted);
+  EXPECT_LT(state.units_completed, full.units_completed);
+  // The anytime contract still holds at the cut: mass conserves (the rest is
+  // pending) and the band is no tighter than the exhaustive run's.
+  EXPECT_NEAR(state.ledger.total_mass(), 1.0, 1e-9);
+  EXPECT_GT(state.ledger.pending_mass, 0.0);
+  EXPECT_GE(state.band_pp, full.band_pp);
+  EXPECT_TRUE(std::isfinite(state.impact_pct));
+}
+
+TEST(CampaignScheduler, HeavyClustersDispatchBeforeLightOnes) {
+  FlarePipeline& pipeline = testing::fitted_pipeline();
+  const CampaignState state =
+      run_campaign(pipeline, feature_dvfs_cap(), CampaignConfig{});
+  const std::vector<double>& weights = pipeline.analysis().cluster_weights;
+  double last = 2.0;  // above any weight
+  for (const CampaignUnitTrace& unit : state.trace) {
+    if (unit.kind != CampaignUnitKind::kRepresentative) continue;
+    EXPECT_LE(weights[unit.cluster], last)
+        << "cluster " << unit.cluster << " dispatched out of weight order";
+    last = weights[unit.cluster];
+  }
+}
+
+}  // namespace
+}  // namespace flare::core

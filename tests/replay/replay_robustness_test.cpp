@@ -20,9 +20,11 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "core/sharded_pipeline.hpp"
 #include "dcsim/replay_faults.hpp"
 #include "dcsim/submission.hpp"
 #include "tests/core/test_env.hpp"
+#include "tests/util/fleet_env.hpp"
 #include "util/error.hpp"
 
 namespace flare::core {
@@ -269,6 +271,24 @@ TEST(ReplayRobustness, PerJobEstimateSurvivesFaultsAndConservesMass) {
   expect_mass_conserved(pj.replay);
   // Job-level impacts are small; faults move the estimate but not wildly.
   EXPECT_NEAR(pj.impact_pct, pj_clean.impact_pct, 5.0);
+}
+
+// Fleet-level robustness over the shared two-shape environment
+// (tests/util/fleet_env.hpp): per-shard fault streams are independent, and
+// the population-weighted fan-in ledger still conserves mass to 1.
+TEST(ReplayRobustness, FleetFanInConservesMassUnderFaults) {
+  ShardedConfig config;
+  config.base = testing::shard_flare_config();
+  config.base.replay_faults = dcsim::ReplayFaultOptions::uniform(0.10, 0xF1EE7ull);
+  config.fleet = testing::two_shape_fleet();
+  ShardedPipeline pipeline(config);
+  pipeline.fit(testing::two_shape_population());
+  const FleetEstimate estimate = pipeline.evaluate(feature_dvfs_cap());
+  EXPECT_TRUE(std::isfinite(estimate.impact_pct));
+  expect_mass_conserved(estimate.replay);
+  for (const ShardFeatureEstimate& shard : estimate.per_shape) {
+    expect_mass_conserved(shard.estimate.replay);
+  }
 }
 
 // The nightly grid cell: counter faults corrupt profiling while replay faults

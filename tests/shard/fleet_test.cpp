@@ -10,7 +10,7 @@
 #include <fstream>
 #include <string>
 
-#include "tests/shard/fleet_env.hpp"
+#include "tests/util/fleet_env.hpp"
 #include "trace/scenario_io.hpp"
 #include "util/error.hpp"
 

@@ -15,7 +15,7 @@
 
 #include "core/sharded_pipeline.hpp"
 #include "ml/minibatch_kmeans.hpp"
-#include "tests/shard/fleet_env.hpp"
+#include "tests/util/fleet_env.hpp"
 #include "tests/util/property.hpp"
 
 namespace flare::core {

@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "dcsim/replay_faults.hpp"
-#include "tests/shard/fleet_env.hpp"
+#include "tests/util/fleet_env.hpp"
 #include "util/error.hpp"
 
 namespace flare::core {

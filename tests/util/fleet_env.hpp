@@ -1,6 +1,8 @@
-// Shared fleet environment for the `ctest -L shard` suite: one two-shape
-// heterogeneous fleet (default-heavy, with a small-machine minority) plus a
-// generated fleet population, built once per test binary.
+// Shared fleet environment for the `ctest -L shard`, `-L replay`, and
+// `-L campaign` suites: a two-shape heterogeneous fleet (default-heavy, with
+// a small-machine minority), a three-shape fleet that adds the dense shape,
+// and fitted pipelines over generated populations — each built once per test
+// binary and shared across tests that only read them.
 #pragma once
 
 #include "core/sharded_pipeline.hpp"
@@ -15,6 +17,14 @@ inline dcsim::FleetConfig two_shape_fleet() {
   return fleet;
 }
 
+inline dcsim::FleetConfig three_shape_fleet() {
+  dcsim::FleetConfig fleet;
+  fleet.shapes.push_back({dcsim::machine_shape_by_name("default"), 3});
+  fleet.shapes.push_back({dcsim::machine_shape_by_name("small"), 2});
+  fleet.shapes.push_back({dcsim::machine_shape_by_name("dense"), 1});
+  return fleet;
+}
+
 inline dcsim::SubmissionConfig fleet_submission_config() {
   dcsim::SubmissionConfig config;
   // Each shape needs rows >= metric columns (~90 after the standard schema)
@@ -26,6 +36,12 @@ inline dcsim::SubmissionConfig fleet_submission_config() {
 inline const dcsim::FleetScenarioSet& two_shape_population() {
   static const dcsim::FleetScenarioSet kSet = dcsim::generate_fleet_scenario_set(
       fleet_submission_config(), two_shape_fleet());
+  return kSet;
+}
+
+inline const dcsim::FleetScenarioSet& three_shape_population() {
+  static const dcsim::FleetScenarioSet kSet = dcsim::generate_fleet_scenario_set(
+      fleet_submission_config(), three_shape_fleet());
   return kSet;
 }
 
@@ -44,6 +60,19 @@ inline ShardedPipeline& fitted_two_shape_pipeline() {
     config.fleet = two_shape_fleet();
     auto* p = new ShardedPipeline(config);
     p->fit(two_shape_population());
+    return p;
+  }();
+  return *kPipeline;
+}
+
+/// A fitted three-shape ShardedPipeline (campaign/replay suites), fault-free.
+inline ShardedPipeline& fitted_three_shape_pipeline() {
+  static ShardedPipeline* kPipeline = [] {
+    ShardedConfig config;
+    config.base = shard_flare_config();
+    config.fleet = three_shape_fleet();
+    auto* p = new ShardedPipeline(config);
+    p->fit(three_shape_population());
     return p;
   }();
   return *kPipeline;
