@@ -1,0 +1,267 @@
+// Extension: serve-daemon amortisation. The resident `flare serve` daemon
+// exists to amortise what the one-shot CLI pays on every call — process
+// startup, fit, and (the big one) one profiler pass + drift verdict per
+// ingest batch. This harness measures the service plane's four headline
+// numbers on a real Unix socket:
+//
+//   * status round-trip latency (p50/p99) and requests/s — the inline
+//     control path that must stay responsive under load;
+//   * coalesced vs serial ingest: the same batches pushed concurrently
+//     (batches arriving during a pass merge into one) and one-at-a-time
+//     (every batch pays its own pass) — the amortisation headline;
+//   * crash-recovery time: how long a restart over the committed state
+//     takes (recover + refit + replay) until the daemon serves again.
+//
+// Writes BENCH_serve.json (path overridable via argv[1]).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "trace/scenario_io.hpp"
+#include "util/error.hpp"
+#include "util/socket.hpp"  // defines FLARE_HAVE_UNIX_SOCKETS on POSIX
+
+#ifndef FLARE_HAVE_UNIX_SOCKETS
+int main() {
+  std::fprintf(stderr,
+               "error: this platform has no AF_UNIX support; the serve "
+               "daemon (and this bench) is POSIX-only.\n");
+  return 1;
+}
+#else
+
+namespace {
+
+using namespace flare;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kStatusCalls = 400;
+constexpr std::size_t kIngestClients = 4;
+constexpr std::size_t kBatchesPerClient = 8;
+constexpr std::size_t kBatchRows = 8;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+dcsim::ScenarioSet make_set(std::size_t n, std::uint64_t seed) {
+  dcsim::SubmissionConfig config;
+  config.target_distinct_scenarios = n;
+  config.seed = seed;
+  return dcsim::generate_scenario_set(config, dcsim::default_machine());
+}
+
+serve::DaemonConfig daemon_config(const std::string& dir,
+                                  const std::string& socket_name) {
+  serve::DaemonConfig config;
+  config.socket_path = dir + "/" + socket_name;
+  config.state_dir = dir + "/state";
+  config.flare.analyzer.fixed_clusters = 6;
+  config.flare.analyzer.compute_quality_curve = false;
+  config.default_deadline_ms = 600000;  // this bench measures, never sheds
+  return config;
+}
+
+/// Runs a daemon on a background thread for the duration of one measurement.
+struct Runner {
+  serve::Daemon daemon;
+  std::thread thread;
+  Runner(serve::DaemonConfig config, const dcsim::ScenarioSet& base)
+      : daemon(std::move(config), base),
+        thread([this] { daemon.run(); }) {
+    if (!serve::wait_until_ready(daemon.config().socket_path,
+                                 std::chrono::seconds(60))) {
+      std::fprintf(stderr, "daemon never became ready\n");
+      std::exit(1);
+    }
+  }
+  ~Runner() { stop(); }
+  void stop() {
+    if (!thread.joinable()) return;
+    try {
+      serve::ServeClient client(daemon.config().socket_path);
+      (void)client.call(serve::make_shutdown_request());
+    } catch (const FlareError&) {
+    }
+    thread.join();
+  }
+};
+
+struct Results {
+  double status_p50_us = 0.0;
+  double status_p99_us = 0.0;
+  double status_requests_per_second = 0.0;
+  std::size_t ingest_requests = 0;
+  std::size_t coalesced_passes = 0;
+  std::size_t max_coalesced_batches = 0;
+  double coalesced_wall_seconds = 0.0;
+  double serial_passes = 0.0;
+  double serial_wall_seconds = 0.0;
+  double amortisation_speedup = 0.0;  // serial wall / coalesced wall
+  double recovery_seconds = 0.0;      // restart over committed state
+  std::uint64_t recovered_epoch = 0;
+};
+
+void write_json(const std::string& path, const Results& r) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"benchmark\": \"serve_daemon_amortisation\",\n";
+#ifdef NDEBUG
+  out << "  \"build_type\": \"release\",\n";
+#else
+  out << "  \"build_type\": \"debug\",\n";
+#endif
+  out << "  \"status\": {\"p50_us\": " << r.status_p50_us
+      << ", \"p99_us\": " << r.status_p99_us
+      << ", \"requests_per_second\": " << r.status_requests_per_second
+      << "},\n";
+  out << "  \"coalesced_ingest\": {\"requests\": " << r.ingest_requests
+      << ", \"passes\": " << r.coalesced_passes
+      << ", \"max_coalesced_batches\": " << r.max_coalesced_batches
+      << ", \"wall_seconds\": " << r.coalesced_wall_seconds << "},\n";
+  out << "  \"serial_ingest\": {\"requests\": " << r.ingest_requests
+      << ", \"passes\": " << r.serial_passes
+      << ", \"wall_seconds\": " << r.serial_wall_seconds << "},\n";
+  out << "  \"amortisation_speedup\": " << r.amortisation_speedup << ",\n";
+  out << "  \"recovery\": {\"seconds\": " << r.recovery_seconds
+      << ", \"epoch\": " << r.recovered_epoch << "}\n}\n";
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifndef NDEBUG
+  if (std::getenv("FLARE_ALLOW_DEBUG_BENCH") == nullptr) {
+    std::fprintf(stderr,
+                 "error: debug build — BENCH_serve.json numbers would be "
+                 "meaningless. Rebuild Release or set "
+                 "FLARE_ALLOW_DEBUG_BENCH=1 (never commit the output).\n");
+    return 1;
+  }
+#endif
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+
+  bench::print_banner("Extension",
+                      "Serve daemon: coalesced ingest amortisation");
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "flare_bench_serve").string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  const dcsim::ScenarioSet base = make_set(300, 11);
+
+  // Pre-render every batch so measurement windows contain no generation.
+  std::vector<std::string> batches;
+  for (std::size_t i = 0; i < kIngestClients * kBatchesPerClient; ++i) {
+    batches.push_back(
+        trace::scenario_set_to_csv(make_set(kBatchRows, 1000 + i)));
+  }
+
+  Results results;
+  results.ingest_requests = batches.size();
+
+  {  // --- status latency on an idle daemon -------------------------------
+    Runner runner(daemon_config(dir, "lat.sock"), base);
+    serve::ServeClient client(runner.daemon.config().socket_path);
+    std::vector<double> us;
+    const Clock::time_point window = Clock::now();
+    for (std::size_t i = 0; i < kStatusCalls; ++i) {
+      const Clock::time_point start = Clock::now();
+      (void)client.call(serve::make_status_request());
+      us.push_back(1e6 * seconds_since(start));
+    }
+    const double window_s = seconds_since(window);
+    std::sort(us.begin(), us.end());
+    results.status_p50_us = us[us.size() / 2];
+    results.status_p99_us = us[(us.size() * 99) / 100];
+    results.status_requests_per_second =
+        static_cast<double>(kStatusCalls) / window_s;
+    runner.stop();
+    std::filesystem::remove_all(dir + "/state", ec);
+  }
+
+  {  // --- coalesced: concurrent clients, batches merge into passes --------
+    Runner runner(daemon_config(dir, "coalesced.sock"), base);
+    const Clock::time_point start = Clock::now();
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kIngestClients; ++c) {
+      clients.emplace_back([&, c] {
+        serve::ServeClient client(runner.daemon.config().socket_path,
+                                  std::chrono::seconds(600));
+        for (std::size_t i = 0; i < kBatchesPerClient; ++i) {
+          (void)client.call(serve::make_ingest_request(
+              batches[c * kBatchesPerClient + i]));
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    results.coalesced_wall_seconds = seconds_since(start);
+    const serve::DaemonStats stats = runner.daemon.stats_snapshot();
+    results.coalesced_passes = stats.coalesced_groups;
+    results.max_coalesced_batches = stats.max_coalesced_batches;
+    runner.stop();
+  }
+
+  {  // --- recovery: restart over the committed state ----------------------
+    const Clock::time_point start = Clock::now();
+    Runner runner(daemon_config(dir, "recovered.sock"), base);
+    results.recovery_seconds = seconds_since(start);
+    results.recovered_epoch = runner.daemon.epoch();
+    runner.stop();
+    std::filesystem::remove_all(dir + "/state", ec);
+  }
+
+  {  // --- serial: same batches, every one pays its own pass ----------------
+    Runner runner(daemon_config(dir, "serial.sock"), base);
+    serve::ServeClient client(runner.daemon.config().socket_path,
+                              std::chrono::seconds(600));
+    const Clock::time_point start = Clock::now();
+    for (const std::string& batch : batches) {
+      (void)client.call(serve::make_ingest_request(batch));
+    }
+    results.serial_wall_seconds = seconds_since(start);
+    results.serial_passes =
+        static_cast<double>(runner.daemon.stats_snapshot().coalesced_groups);
+    runner.stop();
+  }
+  std::filesystem::remove_all(dir, ec);
+
+  results.amortisation_speedup =
+      results.coalesced_wall_seconds > 0.0
+          ? results.serial_wall_seconds / results.coalesced_wall_seconds
+          : 0.0;
+
+  std::printf(
+      "status: p50 %.0f us, p99 %.0f us, %.0f req/s\n"
+      "coalesced ingest: %zu requests -> %zu passes (max %zu batches/pass) "
+      "in %.2f s\n"
+      "serial ingest:    %zu requests -> %.0f passes in %.2f s\n"
+      "amortisation speedup: %.2fx\n"
+      "recovery (epoch %llu): %.2f s\n",
+      results.status_p50_us, results.status_p99_us,
+      results.status_requests_per_second, results.ingest_requests,
+      results.coalesced_passes, results.max_coalesced_batches,
+      results.coalesced_wall_seconds, results.ingest_requests,
+      results.serial_passes, results.serial_wall_seconds,
+      results.amortisation_speedup,
+      static_cast<unsigned long long>(results.recovered_epoch),
+      results.recovery_seconds);
+
+  write_json(out_path, results);
+  return 0;
+}
+
+#endif  // FLARE_HAVE_UNIX_SOCKETS

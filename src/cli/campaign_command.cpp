@@ -85,6 +85,15 @@ int run_campaign(const Args& args, std::ostream& out) {
       args.get_double("prior-band", campaign.prior_halfwidth_pp);
   ensure(campaign.prior_halfwidth_pp > 0.0, "--prior-band must be positive");
   campaign.validation = !args.get_flag("no-validation");
+  const std::string speeds = args.get_string("testbed-speeds", "");
+  if (!speeds.empty()) {
+    for (const std::string& token : util::split(speeds, ',')) {
+      campaign.testbed_speed_factors.push_back(
+          util::parse_double(util::trim(token)));
+    }
+    ensure(campaign.testbed_speed_factors.size() == campaign.num_testbeds,
+           "--testbed-speeds must list one factor per --testbeds slot");
+  }
 
   const std::string state_path = args.get_string("campaign-state", "");
   const bool with_truth = args.get_flag("truth");

@@ -468,7 +468,8 @@ int run_help(std::ostream& out) {
          "      --shapes routes the batch per shape — only shards the batch\n"
          "      touches run their drift gate\n"
          "  campaign --scenarios F.csv --feature SPEC [--machine ...]\n"
-         "           [--clusters K] [--testbeds N] [--budget SECONDS]\n"
+         "           [--clusters K] [--testbeds N] [--testbed-speeds LIST]\n"
+         "           [--budget SECONDS]\n"
          "           [--target-ci PP] [--checkpoint-every N] [--prior-band PP]\n"
          "           [--no-validation] [--campaign-state C.csv] [--truth]\n"
          "           [--schema NAME] [--threads T] [--shapes SPEC]\n"
@@ -477,6 +478,9 @@ int run_help(std::ostream& out) {
          "      testbeds, heavy clusters first, with anytime estimates: stop\n"
          "      early once the uncertainty band is <= --target-ci pp or the\n"
          "      simulated testbed-time --budget (seconds) is spent;\n"
+         "      --testbed-speeds gives each slot a speed factor (comma-\n"
+         "      separated, one per testbed; 2.0 = twice as fast) — scales\n"
+         "      occupancy and billed seconds, never a measurement;\n"
          "      --checkpoint-every records the narrowing band every N units,\n"
          "      --campaign-state archives the state for `flare report`,\n"
          "      --no-validation skips the band-tightening runner-up probes\n"
@@ -493,7 +497,29 @@ int run_help(std::ostream& out) {
          "      answer from an archived (possibly mid-run) replay campaign:\n"
          "      anytime estimate + band, checkpoint narrowing history,\n"
          "      mass accounting, and per-testbed utilisation\n"
+         "  serve --socket S.sock --state-dir DIR --scenarios F.csv\n"
+         "        [--machine ...] [--schema NAME] [--threads T]\n"
+         "        [--refit-policy auto|never|always] [--samples K] [--seed S]\n"
+         "        [--max-ingest-queue N] [--max-eval-queue N]\n"
+         "        [--default-deadline-ms MS] [--frame-timeout-ms MS]\n"
+         "        [replay-fault flags as in `evaluate`]\n"
+         "      run the resident service daemon on a Unix socket: coalesced\n"
+         "      ingest batching (one profiler pass per queue drain), bounded\n"
+         "      per-class admission with explicit shed answers, deadline\n"
+         "      watchdog, snapshot-consistent reads tagged with the model\n"
+         "      epoch, and crash-safe resident state in --state-dir (a\n"
+         "      kill -9'd daemon recovers bit-identical to replaying its\n"
+         "      acknowledged ingests; unacknowledged groups are reported)\n"
+         "  client --socket S.sock --request VERB [--batch B.csv]\n"
+         "         [--feature SPEC] [--features LIST] [--validate]\n"
+         "         [--deadline-ms MS] [--timeout-ms MS]\n"
+         "      one-shot caller for a running daemon; VERB is\n"
+         "      status|ingest|evaluate|report|shutdown. Prints the response\n"
+         "      payload (key=value lines, epoch included); a non-ok outcome\n"
+         "      (shed/timeout/failed) exits with the serve error code\n"
          "  help\n\n"
+         "exit codes: 0 ok, 2 parse/usage, 3 numerical, 4 capacity,\n"
+         "  5 fault, 6 quarantine, 7 replay, 8 journal, 9 serve, 1 other\n\n"
          "shapes SPEC: comma-separated shape[:count] entries, e.g.\n"
          "  'default:6,small:2,dense:4' — count = machines of that shape;\n"
          "  weights for the fleet-wide fan-in are machine-count shares\n"
@@ -520,13 +546,44 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     if (command == "campaign") return run_campaign(args, out);
     if (command == "drift") return run_drift(args, out);
     if (command == "ingest") return run_ingest(args, out);
+    if (command == "serve") return run_serve(args, out);
+    if (command == "client") return run_client(args, out);
     if (command == "help" || command == "--help") return run_help(out);
     throw ParseError("unknown command '" + command +
                      "' (expected simulate|profile|analyze|evaluate|campaign|"
-                     "report|drift|ingest|help)");
-  } catch (const std::exception& e) {
+                     "report|drift|ingest|serve|client|help)");
+  } catch (const ParseError& e) {
     err << "flare: " << e.what() << "\n";
     return 2;
+  } catch (const NumericalError& e) {
+    err << "flare: " << e.what() << "\n";
+    return 3;
+  } catch (const CapacityError& e) {
+    err << "flare: " << e.what() << "\n";
+    return 4;
+  } catch (const FaultError& e) {
+    err << "flare: " << e.what() << "\n";
+    return 5;
+  } catch (const QuarantineError& e) {
+    err << "flare: " << e.what() << "\n";
+    return 6;
+  } catch (const ReplayError& e) {
+    err << "flare: " << e.what() << "\n";
+    return 7;
+  } catch (const JournalError& e) {
+    err << "flare: " << e.what() << "\n";
+    return 8;
+  } catch (const ServeError& e) {
+    err << "flare: " << e.what() << "\n";
+    return 9;
+  } catch (const std::invalid_argument& e) {
+    // ensure() reports precondition violations this way — usage errors,
+    // same bucket as ParseError.
+    err << "flare: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    err << "flare: " << e.what() << "\n";
+    return 1;
   }
 }
 

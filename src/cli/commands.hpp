@@ -42,10 +42,19 @@ namespace flare::cli {
 [[nodiscard]] int run_campaign(const Args& args, std::ostream& out);
 [[nodiscard]] int run_drift(const Args& args, std::ostream& out);
 [[nodiscard]] int run_ingest(const Args& args, std::ostream& out);
+[[nodiscard]] int run_serve(const Args& args, std::ostream& out);
+[[nodiscard]] int run_client(const Args& args, std::ostream& out);
 [[nodiscard]] int run_help(std::ostream& out);
 
-/// Dispatches to the command; converts flare errors into exit code 2 with a
-/// message on `err`.
+/// Dispatches to the command; converts typed flare errors into distinct,
+/// documented exit codes with a message on `err`:
+///   0 success          5 FaultError
+///   1 other exception  6 QuarantineError
+///   2 ParseError       7 ReplayError
+///   3 NumericalError   8 JournalError
+///   4 CapacityError    9 ServeError
+/// (2 for ParseError is the historical catch-all, kept so existing callers
+/// that only distinguish "usage error" keep working.)
 [[nodiscard]] int run_cli(int argc, const char* const* argv, std::ostream& out,
                           std::ostream& err);
 

@@ -1,21 +1,12 @@
-// Textual feature specifications for the CLI:
-//   "feature1" | "feature2" | "feature3" | "baseline"   (Table 4 presets)
-// or a comma-separated knob list, e.g. "fmax=2.0,llc=20,smt=off":
-//   fmax=<GHz>     cap the max clock
-//   fmin=<GHz>     raise the min clock
-//   llc=<MB>       set the per-socket LLC capacity
-//   smt=on|off     toggle hyperthreading
-//   memlat=<ns>    set the unloaded memory latency
+// Feature-spec parsing moved to core/feature_spec.hpp so the serve daemon
+// can parse evaluate requests without linking the CLI layer. This header
+// keeps the historical flare::cli::parse_feature name as an alias.
 #pragma once
 
-#include <string_view>
-
-#include "core/feature.hpp"
+#include "core/feature_spec.hpp"
 
 namespace flare::cli {
 
-/// Parses a feature specification. Throws flare::ParseError on unknown
-/// presets, unknown knobs, or malformed values.
-[[nodiscard]] core::Feature parse_feature(std::string_view spec);
+using core::parse_feature;
 
 }  // namespace flare::cli

@@ -105,6 +105,10 @@ CampaignScheduler::CampaignScheduler(CampaignConfig config, ReplayPolicy policy,
                                      dcsim::ReplayFaultOptions faults)
     : config_(config), policy_(policy), faults_(faults) {
   ensure(config_.num_testbeds >= 1, "CampaignScheduler: need at least one testbed");
+  ensure(config_.testbed_speed_factors.empty() ||
+             config_.testbed_speed_factors.size() == config_.num_testbeds,
+         "CampaignScheduler: testbed_speed_factors must be empty or match "
+         "num_testbeds");
   ensure(config_.checkpoint_every >= 1,
          "CampaignScheduler: checkpoint_every must be >= 1");
   ensure(config_.prior_halfwidth_pp > 0.0,
@@ -143,7 +147,7 @@ CampaignState CampaignScheduler::run(const Feature& feature) const {
       row.emplace_back(*s.impact, policy_, dcsim::ReplayFaultModel(faults_));
     }
   }
-  dcsim::TestbedFarm farm(config_.num_testbeds);
+  dcsim::TestbedFarm farm(config_.num_testbeds, config_.testbed_speed_factors);
 
   // Per-cluster states, shard-major.
   std::vector<std::vector<ClusterState>> states(shards_.size());
@@ -331,11 +335,15 @@ CampaignState CampaignScheduler::run(const Feature& feature) const {
     Replayer& replayer = grid[testbed][u.shard];
     const ReplayMeasurement m =
         replayer.replay_scenario_measured(shard.set->scenarios[u.row], feature);
+    // The slot's occupancy (and bill) scales with its speed factor; the
+    // homogeneous path divides by exactly 1.0 and stays bit-identical.
+    const double slot_seconds =
+        m.simulated_seconds / farm.speed_factor(testbed);
     const double start =
         farm.commit(testbed, m.simulated_seconds,
                     static_cast<std::size_t>(m.attempts), u.not_before);
-    const double end = start + m.simulated_seconds;
-    busy += m.simulated_seconds;
+    const double end = start + slot_seconds;
+    busy += slot_seconds;
     total_attempts += m.attempts;
     failed_attempts += m.failed_attempts;
     distinct.insert({u.shard, u.row});

@@ -48,6 +48,11 @@ struct CampaignConfig {
   /// Testbed-farm size. Changes the makespan and utilisation telemetry only —
   /// never a measurement (see the placement-invariance note above).
   std::size_t num_testbeds = 1;
+  /// Per-testbed speed factors for a heterogeneous farm (empty = homogeneous;
+  /// otherwise one positive factor per testbed — see TestbedFarm). Scales
+  /// occupancy and billed seconds per slot, never a measurement; all-1.0
+  /// factors are bit-identical to the homogeneous farm.
+  std::vector<double> testbed_speed_factors;
   /// Early stop: finish once the anytime band half-width is at or under this
   /// (percentage points of impact). <= 0 disables the target (the campaign
   /// runs to exhaustion or budget).

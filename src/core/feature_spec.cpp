@@ -1,4 +1,4 @@
-#include "cli/feature_spec.hpp"
+#include "core/feature_spec.hpp"
 
 #include <functional>
 #include <vector>
@@ -6,14 +6,14 @@
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
-namespace flare::cli {
+namespace flare::core {
 
-core::Feature parse_feature(std::string_view spec) {
+Feature parse_feature(std::string_view spec) {
   const std::string trimmed(util::trim(spec));
-  if (trimmed == "feature1" || trimmed == "cache") return core::feature_cache_sizing();
-  if (trimmed == "feature2" || trimmed == "dvfs") return core::feature_dvfs_cap();
-  if (trimmed == "feature3" || trimmed == "smt") return core::feature_smt_off();
-  if (trimmed == "baseline") return core::baseline_feature();
+  if (trimmed == "feature1" || trimmed == "cache") return feature_cache_sizing();
+  if (trimmed == "feature2" || trimmed == "dvfs") return feature_dvfs_cap();
+  if (trimmed == "feature3" || trimmed == "smt") return feature_smt_off();
+  if (trimmed == "baseline") return baseline_feature();
 
   // Knob list: build a composed transformation.
   std::vector<std::function<void(dcsim::MachineConfig&)>> knobs;
@@ -52,11 +52,11 @@ core::Feature parse_feature(std::string_view spec) {
     }
   }
   ensure(!knobs.empty(), "empty feature specification");
-  return core::Feature("custom:" + trimmed, "custom knob set: " + trimmed,
-                       [knobs](dcsim::MachineConfig m) {
-                         for (const auto& knob : knobs) knob(m);
-                         return m;
-                       });
+  return Feature("custom:" + trimmed, "custom knob set: " + trimmed,
+                 [knobs](dcsim::MachineConfig m) {
+                   for (const auto& knob : knobs) knob(m);
+                   return m;
+                 });
 }
 
-}  // namespace flare::cli
+}  // namespace flare::core

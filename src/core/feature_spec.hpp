@@ -1,0 +1,21 @@
+// Textual feature specifications, shared by the CLI and the serve daemon:
+//   "feature1" | "feature2" | "feature3" | "baseline"   (Table 4 presets)
+// or a comma-separated knob list, e.g. "fmax=2.0,llc=20,smt=off":
+//   fmax=<GHz>     cap the max clock
+//   fmin=<GHz>     raise the min clock
+//   llc=<MB>       set the per-socket LLC capacity
+//   smt=on|off     toggle hyperthreading
+//   memlat=<ns>    set the unloaded memory latency
+#pragma once
+
+#include <string_view>
+
+#include "core/feature.hpp"
+
+namespace flare::core {
+
+/// Parses a feature specification. Throws flare::ParseError on unknown
+/// presets, unknown knobs, or malformed values.
+[[nodiscard]] Feature parse_feature(std::string_view spec);
+
+}  // namespace flare::core

@@ -1,12 +1,26 @@
 #include "dcsim/testbed_farm.hpp"
 
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace flare::dcsim {
 
-TestbedFarm::TestbedFarm(std::size_t num_testbeds) {
+TestbedFarm::TestbedFarm(std::size_t num_testbeds,
+                         std::vector<double> speed_factors) {
   ensure(num_testbeds >= 1, "TestbedFarm: need at least one testbed");
+  ensure(speed_factors.empty() || speed_factors.size() == num_testbeds,
+         "TestbedFarm: speed factor count must match the testbed count");
+  for (const double factor : speed_factors) {
+    ensure(factor > 0.0, "TestbedFarm: speed factors must be positive");
+  }
   slots_.resize(num_testbeds);
+  speed_factors_ = std::move(speed_factors);
+}
+
+double TestbedFarm::speed_factor(std::size_t testbed) const {
+  ensure(testbed < slots_.size(), "TestbedFarm::speed_factor: no such testbed");
+  return speed_factors_.empty() ? 1.0 : speed_factors_[testbed];
 }
 
 std::size_t TestbedFarm::acquire() const {
@@ -22,10 +36,15 @@ double TestbedFarm::commit(std::size_t testbed, double seconds,
   ensure(testbed < slots_.size(), "TestbedFarm::commit: no such testbed");
   ensure(seconds >= 0.0, "TestbedFarm::commit: negative replay duration");
   TestbedSlot& slot = slots_[testbed];
+  // Occupancy scales with the slot's speed. A homogeneous farm divides by
+  // exactly 1.0, which is bit-exact — the all-1.0 farm stays bit-identical
+  // to the historical unscaled arithmetic.
+  const double duration =
+      speed_factors_.empty() ? seconds : seconds / speed_factors_[testbed];
   const double start =
       slot.available_at > not_before ? slot.available_at : not_before;
-  slot.available_at = start + seconds;
-  slot.busy_seconds += seconds;
+  slot.available_at = start + duration;
+  slot.busy_seconds += duration;
   slot.units += 1;
   slot.attempts += attempts;
   return start;

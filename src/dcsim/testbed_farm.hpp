@@ -42,9 +42,20 @@ struct TestbedUtilisation {
 /// The farm: N slots on one shared simulated timeline. acquire() implements
 /// the earliest-idle-first policy (ties broken by lowest id, so dispatch is
 /// deterministic); commit() charges a finished replay's duration to the slot.
+///
+/// Heterogeneous farms: each slot may carry a speed factor (2.0 = runs
+/// replays in half the nominal time, 0.5 = twice). The factor scales how
+/// long a unit occupies the slot — and therefore its billed busy seconds —
+/// but never what the replay measures: measurements are placement-invariant
+/// by construction. A factor of exactly 1.0 divides out bit-exactly, so a
+/// farm of all-1.0 factors is bit-identical to the homogeneous farm (the
+/// regression `ctest -L campaign` pins).
 class TestbedFarm {
  public:
-  explicit TestbedFarm(std::size_t num_testbeds);
+  /// `speed_factors` must be empty (homogeneous, all 1.0) or hold one
+  /// positive factor per testbed.
+  explicit TestbedFarm(std::size_t num_testbeds,
+                       std::vector<double> speed_factors = {});
 
   [[nodiscard]] std::size_t size() const { return slots_.size(); }
 
@@ -52,14 +63,19 @@ class TestbedFarm {
   /// available_at, lowest id on ties.
   [[nodiscard]] std::size_t acquire() const;
 
-  /// Charges `seconds` of replay time (attempts + backoff waits) and
-  /// `attempts` billed attempts to slot `testbed`; returns the simulated
-  /// start time of the unit. The unit starts when the slot frees up, but
-  /// never before `not_before` (a follow-up probe cannot start before its
-  /// parent's result exists — the slot idles through the gap, which counts
-  /// against utilisation but not against the busy-seconds bill).
+  /// Charges `seconds` of *nominal* replay time (attempts + backoff waits)
+  /// and `attempts` billed attempts to slot `testbed`; returns the simulated
+  /// start time of the unit. The slot is occupied (and billed) for
+  /// `seconds / speed_factor(testbed)`. The unit starts when the slot frees
+  /// up, but never before `not_before` (a follow-up probe cannot start
+  /// before its parent's result exists — the slot idles through the gap,
+  /// which counts against utilisation but not against the busy-seconds
+  /// bill).
   double commit(std::size_t testbed, double seconds, std::size_t attempts,
                 double not_before = 0.0);
+
+  /// This slot's speed factor (1.0 on homogeneous farms).
+  [[nodiscard]] double speed_factor(std::size_t testbed) const;
 
   /// Campaign makespan: when the last busy testbed frees up.
   [[nodiscard]] double makespan_seconds() const;
@@ -76,6 +92,7 @@ class TestbedFarm {
 
  private:
   std::vector<TestbedSlot> slots_;
+  std::vector<double> speed_factors_;  ///< empty = homogeneous (all 1.0)
 };
 
 }  // namespace flare::dcsim

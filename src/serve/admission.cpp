@@ -1,0 +1,114 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+namespace flare::serve {
+
+AdmitResult AdmissionQueue::try_push(PendingRequest request) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  AdmitResult result;
+  if (closed_) {
+    result.shed_reason = "daemon shutting down";
+    return result;
+  }
+  switch (request.frame.type) {
+    case RequestType::kIngest:
+      if (ingest_.size() >= limits_.max_ingest) {
+        result.shed_reason = "ingest queue full (" +
+                             std::to_string(limits_.max_ingest) + ")";
+        return result;
+      }
+      ingest_.push_back(std::move(request));
+      lock.unlock();
+      ingest_cv_.notify_one();
+      break;
+    case RequestType::kEvaluate:
+    case RequestType::kReport:
+      if (eval_.size() >= limits_.max_eval) {
+        result.shed_reason = "eval queue full (" +
+                             std::to_string(limits_.max_eval) + ")";
+        return result;
+      }
+      eval_.push_back(std::move(request));
+      lock.unlock();
+      eval_cv_.notify_one();
+      break;
+    case RequestType::kStatus:
+    case RequestType::kShutdown:
+      // Control requests are answered inline by the IO thread; queuing one
+      // is a daemon bug, not a client error.
+      result.shed_reason = "control requests are not queued";
+      return result;
+  }
+  result.accepted = true;
+  return result;
+}
+
+std::vector<PendingRequest> AdmissionQueue::drain_ingest() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ingest_cv_.wait(lock, [this] { return closed_ || !ingest_.empty(); });
+  std::vector<PendingRequest> drained;
+  drained.reserve(ingest_.size());
+  for (PendingRequest& r : ingest_) drained.push_back(std::move(r));
+  ingest_.clear();
+  return drained;
+}
+
+std::optional<PendingRequest> AdmissionQueue::pop_eval() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  eval_cv_.wait(lock, [this] { return closed_ || !eval_.empty(); });
+  if (eval_.empty()) return std::nullopt;
+  PendingRequest request = std::move(eval_.front());
+  eval_.pop_front();
+  return request;
+}
+
+std::vector<PendingRequest> AdmissionQueue::take_expired(
+    std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PendingRequest> expired;
+  const auto sweep = [&](std::deque<PendingRequest>& queue) {
+    auto keep = queue.begin();
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (it->deadline <= now) {
+        expired.push_back(std::move(*it));
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    queue.erase(keep, queue.end());
+  };
+  sweep(ingest_);
+  sweep(eval_);
+  return expired;
+}
+
+std::vector<PendingRequest> AdmissionQueue::close() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<PendingRequest> remaining;
+  if (!closed_) {
+    closed_ = true;
+    remaining.reserve(ingest_.size() + eval_.size());
+    for (PendingRequest& r : ingest_) remaining.push_back(std::move(r));
+    for (PendingRequest& r : eval_) remaining.push_back(std::move(r));
+    ingest_.clear();
+    eval_.clear();
+  }
+  lock.unlock();
+  ingest_cv_.notify_all();
+  eval_cv_.notify_all();
+  return remaining;
+}
+
+std::size_t AdmissionQueue::ingest_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ingest_.size();
+}
+
+std::size_t AdmissionQueue::eval_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return eval_.size();
+}
+
+}  // namespace flare::serve

@@ -1,0 +1,100 @@
+// Bounded admission control for the serve daemon (DESIGN.md §16).
+//
+// Requests are admitted into per-class queues with explicit caps: ingest
+// (writes) and eval (evaluate/report reads) back up independently, so a
+// flood of ingest batches cannot starve reads — and `status` never enters a
+// queue at all (the IO thread answers it inline). When a class is full the
+// push is refused with a named shed reason that the daemon turns into a
+// kShed response: overload is always *answered*, never a silent drop.
+//
+// The ingest worker drains its whole queue in one call (drain_ingest), which
+// is what makes batch coalescing possible: everything that queued up while
+// the previous profiler pass ran is merged into a single ingest. The eval
+// worker pops one request at a time. A watchdog thread periodically calls
+// take_expired() and answers each expired request with a typed kTimeout —
+// a slow refit can delay service, but it can never wedge a request into
+// silence.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace flare::serve {
+
+/// A request admitted into a queue, tagged with enough identity for the
+/// daemon to route the eventual response back to its connection.
+struct PendingRequest {
+  std::uint64_t request_id = 0;  ///< daemon-global, monotonically increasing
+  std::uint64_t conn_id = 0;     ///< owning connection
+  RequestFrame frame;
+  /// Hard deadline derived from the frame's deadline_ms at admission time.
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+/// Outcome of an admission attempt.
+struct AdmitResult {
+  bool accepted = false;
+  std::string shed_reason;  ///< set when !accepted, names the limit hit
+};
+
+/// Per-class queue caps.
+struct AdmissionLimits {
+  std::size_t max_ingest = 64;
+  std::size_t max_eval = 64;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionLimits limits) : limits_(limits) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Admits into the class derived from `request.frame.type` (kIngest →
+  /// ingest queue; kEvaluate/kReport → eval queue). Refuses with a shed
+  /// reason when that class is at its cap or the queue is closed.
+  [[nodiscard]] AdmitResult try_push(PendingRequest request);
+
+  /// Blocks until at least one ingest is pending (or the queue closes), then
+  /// returns *all* pending ingests — the coalescing contract. Empty result
+  /// means closed.
+  [[nodiscard]] std::vector<PendingRequest> drain_ingest();
+
+  /// Blocks until an eval request is pending (or the queue closes). nullopt
+  /// means closed.
+  [[nodiscard]] std::optional<PendingRequest> pop_eval();
+
+  /// Removes and returns every queued request whose deadline is <= now.
+  /// The caller (watchdog) answers each with kTimeout.
+  [[nodiscard]] std::vector<PendingRequest> take_expired(
+      std::chrono::steady_clock::time_point now);
+
+  /// Closes the queue: wakes blocked workers and returns everything still
+  /// pending so the daemon can answer each with kShuttingDown. Idempotent
+  /// (later calls return empty).
+  [[nodiscard]] std::vector<PendingRequest> close();
+
+  /// Instantaneous depths, for `status`.
+  [[nodiscard]] std::size_t ingest_depth() const;
+  [[nodiscard]] std::size_t eval_depth() const;
+  [[nodiscard]] const AdmissionLimits& limits() const { return limits_; }
+
+ private:
+  AdmissionLimits limits_;
+  mutable std::mutex mutex_;
+  std::condition_variable ingest_cv_;
+  std::condition_variable eval_cv_;
+  std::deque<PendingRequest> ingest_;
+  std::deque<PendingRequest> eval_;
+  bool closed_ = false;
+};
+
+}  // namespace flare::serve

@@ -1,0 +1,147 @@
+// The `flare serve` daemon (DESIGN.md §16): a resident FlarePipeline behind
+// a Unix-domain socket, built for three properties the one-shot CLI cannot
+// give:
+//
+//   * amortised ingest — all batches that arrive while one profiler pass
+//     runs are coalesced into a single ingest (one profiling pass, one drift
+//     verdict) instead of N;
+//   * bounded overload — per-class admission caps with explicit kShed
+//     answers, a watchdog that answers kTimeout for requests whose deadline
+//     passes in the queue, and inline `status` that stays responsive while
+//     ingest backs up. Every admitted or refused request gets exactly one
+//     terminal outcome;
+//   * crash safety — acknowledged ingests are durable (serve/state.hpp)
+//     before the ack leaves the daemon, so a SIGKILL at any instant recovers
+//     to a model bit-identical to replaying the acknowledged groups.
+//
+// Threading: the constructor recovers + fits; run() starts four roles —
+// the IO thread (this thread: accept, frame assembly, inline status/
+// shutdown, response writes), the ingest worker (owns the pipeline), the
+// eval worker (reads published snapshots only), and the watchdog. Workers
+// hand responses back through a mutex-guarded outbox + self-pipe wakeup; no
+// state is shared unsynchronised (the TSan job runs this suite).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "serve/admission.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service_faults.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/state.hpp"
+
+namespace flare::serve {
+
+struct DaemonConfig {
+  std::string socket_path;
+  std::string state_dir;
+  core::FlareConfig flare;
+  /// Refit policy applied to every coalesced ingest (recorded per group in
+  /// the manifest so offline replay uses the same).
+  core::RefitPolicy refit = core::RefitPolicy::kAuto;
+  AdmissionLimits limits;
+  /// Deadline applied when a request frame carries deadline_ms == 0.
+  std::uint32_t default_deadline_ms = 5000;
+  /// Budget for completing a started frame; a client stalled mid-frame
+  /// longer than this gets kFailed + close instead of wedging the reader.
+  std::uint32_t frame_timeout_ms = 2000;
+  /// Daemon-side fault injection (kill points); client-side knobs are
+  /// consulted by the test clients, not here.
+  ServiceFaultOptions faults;
+};
+
+/// Monotonic daemon counters (a coherent copy; see Daemon::stats_snapshot).
+struct DaemonStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;   ///< complete frames parsed off sockets
+  // Terminal outcomes. ok + shed + failed + timeout + shutting_down ==
+  // responses issued; the accounting tests pivot on this.
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t timeout = 0;
+  std::uint64_t shutting_down = 0;
+  std::uint64_t ingest_requests = 0;   ///< ingest frames admitted
+  std::uint64_t coalesced_groups = 0;  ///< ingest passes actually executed
+  std::uint64_t max_coalesced_batches = 0;  ///< largest single coalescing
+};
+
+/// What construction-time recovery found.
+struct StartReport {
+  std::uint64_t epoch = 0;  ///< committed groups replayed over the base fit
+  /// Orphan group files: ingest data that reached disk but never its commit
+  /// point. Reported, never folded in.
+  std::vector<std::string> unacknowledged;
+  bool recovered = false;   ///< a manifest journal was found and cleared
+};
+
+class Daemon {
+ public:
+  /// Prepares the state dir, runs crash recovery, fits `base`, and replays
+  /// every committed group in manifest order — the daemon is serving the
+  /// recovered model before the socket exists. Throws FlareError subtypes on
+  /// unrecoverable state.
+  Daemon(DaemonConfig config, const dcsim::ScenarioSet& base);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Serves until a shutdown request arrives. Blocking; owns the calling
+  /// thread as the IO thread.
+  void run();
+
+  [[nodiscard]] const StartReport& start_report() const { return start_report_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_.load(); }
+  [[nodiscard]] DaemonStats stats_snapshot() const;
+  [[nodiscard]] const DaemonConfig& config() const { return config_; }
+
+ private:
+  struct Conn;
+
+  void ingest_loop();
+  void eval_loop();
+  void watchdog_loop();
+
+  /// Handles one complete request frame from `conn` (IO thread).
+  void handle_frame(Conn& conn, RequestFrame frame);
+  /// Routes a worker/watchdog response to the IO thread (any thread).
+  void push_response(std::uint64_t conn_id, ResponseFrame response);
+  void record_outcome(Outcome outcome);
+  [[nodiscard]] std::string status_payload();
+  void publish_snapshot();
+  [[nodiscard]] std::shared_ptr<const ModelSnapshot> snapshot() const;
+  void initiate_shutdown();
+
+  DaemonConfig config_;
+  ResidentState state_;
+  core::FlarePipeline pipeline_;     ///< ingest worker only (after run())
+  core::ImpactModel eval_impact_;    ///< eval worker's own testbed model
+  AdmissionQueue queue_;
+  ServiceFaultModel faults_;
+  StartReport start_report_;
+
+  std::atomic<std::uint64_t> epoch_{0};
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+
+  // Outbox: responses produced off the IO thread, drained by it.
+  std::mutex outbox_mutex_;
+  std::vector<std::pair<std::uint64_t, ResponseFrame>> outbox_;
+  int wake_write_fd_ = -1;  ///< self-pipe write end (valid while running)
+
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<bool> stop_watchdog_{false};
+  std::uint64_t next_request_id_ = 0;  ///< IO thread only
+
+  mutable std::mutex stats_mutex_;
+  DaemonStats stats_;
+};
+
+}  // namespace flare::serve

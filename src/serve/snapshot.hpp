@@ -1,0 +1,26 @@
+// Immutable model snapshots for snapshot-consistent reads (DESIGN.md §16).
+//
+// The ingest worker owns the live FlarePipeline; readers never touch it.
+// After every successful coalesced ingest the worker publishes a new
+// ModelSnapshot — a value copy of exactly what evaluation needs — under a
+// fresh epoch. The eval worker grabs the current shared_ptr per request and
+// serves the whole request from it, so an evaluate that overlaps a refit
+// reads one coherent model and reports the epoch it actually used; it is
+// never torn across two epochs.
+#pragma once
+
+#include <cstdint>
+
+#include "core/analyzer.hpp"
+#include "dcsim/scenario.hpp"
+
+namespace flare::serve {
+
+struct ModelSnapshot {
+  /// Number of coalesced ingest groups folded in (base fit = epoch 0).
+  std::uint64_t epoch = 0;
+  dcsim::ScenarioSet set;
+  core::AnalysisResult analysis;
+};
+
+}  // namespace flare::serve

@@ -1,0 +1,212 @@
+#include "serve/state.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+
+#include "trace/csv.hpp"
+#include "trace/journal.hpp"
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define FLARE_SERVE_HAVE_FSYNC 1
+#endif
+
+namespace flare::serve {
+namespace {
+
+constexpr const char* kManifestName = "manifest.csv";
+constexpr const char* kManifestHeader = "group_id,file,rows,refit_policy";
+
+std::string group_file_name(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "group_%06llu.csv",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+/// Parses "group_NNNNNN.csv" back to its id; nullopt for anything else.
+std::optional<std::uint64_t> parse_group_file_name(const std::string& name) {
+  constexpr std::string_view kPrefix = "group_";
+  constexpr std::string_view kSuffix = ".csv";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return std::nullopt;
+  if (name.rfind(kPrefix, 0) != 0) return std::nullopt;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t id = 0;
+  for (std::size_t i = kPrefix.size(); i < name.size() - kSuffix.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return id;
+}
+
+/// Writes `text` to `path` durably: fwrite + fflush + fsync + close. Throws
+/// ServeError on any failure (a partially durable group file must not be
+/// renamed into place).
+void write_file_durably(const std::string& path, const std::string& text) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) {
+    throw ServeError("ResidentState: cannot create " + path);
+  }
+  bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size();
+  ok = (std::fflush(out) == 0) && ok;
+#ifdef FLARE_SERVE_HAVE_FSYNC
+  ok = (::fsync(::fileno(out)) == 0) && ok;
+#endif
+  ok = (std::fclose(out) == 0) && ok;
+  if (!ok) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    throw ServeError("ResidentState: cannot durably write " + path);
+  }
+}
+
+}  // namespace
+
+ResidentState::ResidentState(std::string state_dir) : dir_(std::move(state_dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw ServeError("ResidentState: cannot create state dir " + dir_ + ": " +
+                     ec.message());
+  }
+  manifest_path_ = (std::filesystem::path(dir_) / kManifestName).string();
+  if (!std::filesystem::exists(manifest_path_, ec)) {
+    write_file_durably(manifest_path_, std::string(kManifestHeader) + "\n");
+    trace::fsync_parent_dir(manifest_path_);
+  }
+}
+
+std::string ResidentState::group_path(const std::string& file) const {
+  return (std::filesystem::path(dir_) / file).string();
+}
+
+GroupRecord ResidentState::commit_group(const std::string& csv_text,
+                                        std::size_t rows,
+                                        const std::string& refit_policy,
+                                        const KillHook& kill_hook) {
+  GroupRecord record;
+  record.id = next_id_++;
+  record.file = group_file_name(record.id);
+  record.rows = rows;
+  record.refit_policy = refit_policy;
+
+  // Step 1: the group's data, durable under a name the manifest will point
+  // at. tmp -> fsync -> rename -> dir fsync, so no reader can ever observe a
+  // half-written group file.
+  const std::string final_path = group_path(record.file);
+  const std::string tmp_path = final_path + ".tmp";
+  write_file_durably(tmp_path, csv_text);
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    throw ServeError("ResidentState: cannot rename " + tmp_path + ": " +
+                     ec.message());
+  }
+  trace::fsync_parent_dir(final_path);
+  if (kill_hook) kill_hook(KillPoint::kAfterGroupFile);
+
+  // Step 2: the commit point — a journaled, fsync'd manifest append.
+  {
+    trace::AppendJournal journal(manifest_path_);
+    std::FILE* out = std::fopen(manifest_path_.c_str(), "ab");
+    if (out == nullptr) {
+      throw ServeError("ResidentState: cannot open manifest " + manifest_path_);
+    }
+    std::ostringstream row;
+    trace::write_csv_row(row, {std::to_string(record.id), record.file,
+                               std::to_string(record.rows), record.refit_policy});
+    const std::string line = row.str();
+    bool ok = std::fwrite(line.data(), 1, line.size(), out) == line.size();
+    ok = (std::fflush(out) == 0) && ok;
+#ifdef FLARE_SERVE_HAVE_FSYNC
+    ok = (::fsync(::fileno(out)) == 0) && ok;
+#endif
+    ok = (std::fclose(out) == 0) && ok;
+    if (!ok) {
+      throw ServeError("ResidentState: manifest append failed for group " +
+                       std::to_string(record.id) +
+                       " — journal left for rollback");
+    }
+    journal.commit();
+  }
+  if (kill_hook) kill_hook(KillPoint::kAfterCommit);
+  return record;
+}
+
+StateRecovery recover_state(ResidentState& state) {
+  StateRecovery result;
+  const std::string manifest = state.manifest_path_;
+
+  const trace::JournalRecovery journal = trace::recover_append(manifest);
+  result.manifest_recovered = journal.recovered;
+  result.manifest_truncated = journal.truncated;
+
+  const trace::CsvContent content = trace::read_csv_content(manifest);
+  if (!content.complete_final_line) {
+    // recover_append only rolls back appends it has a journal for; a torn
+    // tail with no journal means the manifest was written outside the commit
+    // protocol. Refuse rather than guess which groups are committed.
+    throw ServeError("recover_state: manifest " + manifest +
+                     " has a truncated final line and no journal to roll back");
+  }
+  if (content.lines.empty() || content.lines.front() != kManifestHeader) {
+    throw ServeError("recover_state: missing or wrong manifest header in " +
+                     manifest);
+  }
+  std::uint64_t max_id_seen = 0;
+  bool any_id_seen = false;
+  for (std::size_t i = 1; i < content.lines.size(); ++i) {
+    const std::size_t line_no = i + 1;
+    const std::vector<std::string> fields =
+        trace::parse_csv_row(content.lines[i], manifest, line_no);
+    if (fields.size() != 4) {
+      throw ServeError("recover_state: " + manifest + ":" +
+                       std::to_string(line_no) + ": expected 4 fields, got " +
+                       std::to_string(fields.size()));
+    }
+    GroupRecord record;
+    record.id = static_cast<std::uint64_t>(
+        trace::parse_csv_int(fields[0], manifest, line_no));
+    record.file = fields[1];
+    record.rows = static_cast<std::size_t>(
+        trace::parse_csv_int(fields[2], manifest, line_no));
+    record.refit_policy = fields[3];
+    std::error_code ec;
+    if (!std::filesystem::exists(state.group_path(record.file), ec)) {
+      // The manifest committed a group whose file is gone: the model cannot
+      // be reconstructed. This is data loss, not a recoverable tear.
+      throw ServeError("recover_state: manifest lists " + record.file +
+                       " but the file is missing from " + state.dir());
+    }
+    max_id_seen = any_id_seen ? std::max(max_id_seen, record.id) : record.id;
+    any_id_seen = true;
+    result.committed.push_back(std::move(record));
+  }
+
+  // Orphans: group files on disk the manifest never committed.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(state.dir(), ec)) {
+    const std::string name = entry.path().filename().string();
+    const std::optional<std::uint64_t> id = parse_group_file_name(name);
+    if (!id) continue;
+    const bool committed = std::any_of(
+        result.committed.begin(), result.committed.end(),
+        [&](const GroupRecord& r) { return r.file == name; });
+    if (!committed) result.orphan_files.push_back(name);
+    max_id_seen = any_id_seen ? std::max(max_id_seen, *id) : *id;
+    any_id_seen = true;
+  }
+  std::sort(result.orphan_files.begin(), result.orphan_files.end());
+  state.next_id_ = any_id_seen ? max_id_seen + 1 : 0;
+  return result;
+}
+
+}  // namespace flare::serve

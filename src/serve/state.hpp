@@ -1,0 +1,106 @@
+// Crash-safe resident state for the serve daemon (DESIGN.md §16).
+//
+// The daemon's model is a deterministic function of (base scenario archive,
+// FlareConfig, the ordered sequence of coalesced ingest groups it executed).
+// Only the last part is runtime state, so that is all that is persisted: a
+// state directory holding one CSV per coalesced group plus a `manifest.csv`
+// whose journaled appends are the commit points.
+//
+//   state_dir/
+//     manifest.csv        # header + one row per committed group, appended
+//                         # under an AppendJournal (trace/journal.hpp)
+//     group_000000.csv    # coalesced batch, written tmp -> fsync -> rename
+//     group_000001.csv
+//
+// Commit protocol for one coalesced group (the order is the invariant):
+//   1. write group_<id>.csv.tmp, fsync, rename to group_<id>.csv, fsync dir
+//   2. journaled append of the manifest row, fsync manifest, commit journal
+//   3. (daemon) send acks to every client whose batch is in the group
+//
+// A SIGKILL between 1 and 2 leaves an *orphan* group file: present on disk,
+// absent from the manifest — recovery reports it as unacknowledged and the
+// model excludes it. A kill between 2 and 3 leaves a committed-but-unacked
+// group: recovery includes it (the commit point passed), and clients that
+// never saw the ack observe at-least-once semantics. A kill mid-append is
+// rolled back by recover_append. In every window, the recovered model is
+// bit-identical to replaying the manifest's groups in order — the property
+// tests/serve asserts with a fork-SIGKILL harness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/service_faults.hpp"
+
+namespace flare::serve {
+
+/// One committed coalesced-ingest group (a manifest row).
+struct GroupRecord {
+  std::uint64_t id = 0;
+  std::string file;          ///< file name inside the state dir
+  std::size_t rows = 0;      ///< scenario rows in the group
+  std::string refit_policy;  ///< "auto" | "never" | "always", as executed
+};
+
+/// What recovery found in a state directory.
+struct StateRecovery {
+  /// Committed groups, in manifest (= execution) order. Replaying these over
+  /// the base fit reconstructs the pre-crash model bit-identically.
+  std::vector<GroupRecord> committed;
+  /// Group files present on disk but absent from the manifest: ingests whose
+  /// data survived but whose commit point was never reached. Never folded
+  /// into the model; reported so no acknowledged/unacknowledged ambiguity is
+  /// silent.
+  std::vector<std::string> orphan_files;
+  /// recover_append found (and cleared) a manifest journal.
+  bool manifest_recovered = false;
+  /// The manifest had a torn append rolled back.
+  bool manifest_truncated = false;
+};
+
+/// Called at each durability boundary during commit_group; the daemon's hook
+/// consults its ServiceFaultModel and _exit()s to simulate SIGKILL at that
+/// point. Default no-op.
+using KillHook = std::function<void(KillPoint)>;
+
+/// Owns the state directory of one daemon instance.
+class ResidentState {
+ public:
+  /// Creates `state_dir` (and an empty manifest) if absent. Throws
+  /// flare::ServeError when the directory cannot be prepared. Does NOT
+  /// recover — call recover_state first when reopening an existing dir.
+  explicit ResidentState(std::string state_dir);
+
+  /// Durably persists one coalesced group and commits it to the manifest.
+  /// `csv_text` is the group's scenario CSV (scenario_set_to_csv format).
+  /// Returns the committed record. `kill_hook` fires after step 1
+  /// (kAfterGroupFile) and after step 2 (kAfterCommit).
+  GroupRecord commit_group(const std::string& csv_text, std::size_t rows,
+                           const std::string& refit_policy,
+                           const KillHook& kill_hook = {});
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::uint64_t next_group_id() const { return next_id_; }
+
+  /// Absolute path of a group file.
+  [[nodiscard]] std::string group_path(const std::string& file) const;
+
+ private:
+  std::string dir_;
+  std::string manifest_path_;
+  std::uint64_t next_id_ = 0;
+
+  friend StateRecovery recover_state(ResidentState& state);
+};
+
+/// Rolls back any torn manifest append, parses the manifest, and classifies
+/// group files into committed vs orphan. Leaves orphan files on disk (they
+/// are evidence, not garbage) but never replays them. Also fast-forwards the
+/// state's next group id past both committed and orphan ids so a recovered
+/// daemon cannot reuse an orphan's name. Throws flare::ServeError on a
+/// manifest that does not parse even after journal recovery.
+[[nodiscard]] StateRecovery recover_state(ResidentState& state);
+
+}  // namespace flare::serve

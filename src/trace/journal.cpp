@@ -10,6 +10,7 @@
 #include "util/error.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #define FLARE_HAVE_FSYNC 1
 #endif
@@ -53,6 +54,20 @@ bool parse_journal(const std::vector<std::string>& lines, std::uint64_t* size) {
 
 }  // namespace
 
+void fsync_parent_dir(const std::string& path) {
+#ifdef FLARE_HAVE_FSYNC
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;  // best-effort: an unsyncable dir is not a new failure
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
 std::string AppendJournal::journal_path(const std::string& target_path) {
   return target_path + ".journal";
 }
@@ -89,6 +104,11 @@ AppendJournal::AppendJournal(const std::string& target_path)
     throw JournalError("AppendJournal: cannot durably write journal " +
                        journal_path_);
   }
+  // The journal's *directory entry* must be durable too: fsyncing the file
+  // alone leaves a power-loss window where the metadata drop loses the name
+  // while the target's appended bytes survive — a torn append with no undo
+  // record. Syncing the containing directory closes that ordering.
+  fsync_parent_dir(journal_path_);
 }
 
 AppendJournal::~AppendJournal() {
@@ -105,6 +125,9 @@ void AppendJournal::commit() {
     throw JournalError("AppendJournal::commit: cannot clear journal " +
                        journal_path_ + ": " + ec.message());
   }
+  // Make the unlink durable: a resurrected journal after power loss would
+  // roll a *committed* append back on the next recover_append().
+  fsync_parent_dir(journal_path_);
   committed_ = true;
 }
 
@@ -146,6 +169,7 @@ JournalRecovery recover_append(const std::string& target_path) {
     throw JournalError("recover_append: cannot clear journal " + jpath + ": " +
                        ec.message());
   }
+  fsync_parent_dir(jpath);
   result.recovered = true;
   return result;
 }

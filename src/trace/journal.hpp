@@ -70,4 +70,12 @@ class AppendJournal {
 /// call unconditionally before loading an archive.
 [[nodiscard]] JournalRecovery recover_append(const std::string& target_path);
 
+/// fsyncs the directory containing `path`, making a just-created, renamed, or
+/// removed directory entry durable. File-data fsync alone does not protect
+/// the *name*: a power loss can drop the journal's directory entry while
+/// keeping the target's appended bytes, leaving a torn append with no undo
+/// record — exactly the ordering this call closes. No-op on platforms
+/// without fsync; best-effort (some filesystems refuse O_RDONLY dir fsync).
+void fsync_parent_dir(const std::string& path);
+
 }  // namespace flare::trace

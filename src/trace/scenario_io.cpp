@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <optional>
+#include <sstream>
 
 #include "trace/csv.hpp"
 #include "trace/journal.hpp"
@@ -25,13 +26,14 @@ void save_scenario_set(const dcsim::ScenarioSet& set, const std::string& path) {
   ensure(static_cast<bool>(out), "save_scenario_set: write failed: " + path);
 }
 
-dcsim::ScenarioSet load_scenario_set(const std::string& path) {
-  return load_scenario_set(path, {});
-}
+namespace {
 
-dcsim::ScenarioSet load_scenario_set(const std::string& path,
-                                     const std::vector<std::string>& valid_shapes) {
-  const CsvContent content = read_csv_content(path);
+/// Shared parsing core for the file and wire paths: `origin` labels every
+/// ParseError (a path for archives, a client tag for wire batches).
+dcsim::ScenarioSet parse_scenario_lines(
+    const CsvContent& content, const std::string& origin,
+    const std::vector<std::string>& valid_shapes) {
+  const std::string& path = origin;
   if (!content.complete_final_line) {
     throw ParseError("load_scenario_set: " + path +
                      ": truncated final line (no trailing newline) — torn "
@@ -92,6 +94,45 @@ dcsim::ScenarioSet load_scenario_set(const std::string& path,
   }
   if (!set.scenarios.empty()) set.machine_type = set.scenarios.front().machine_type;
   return set;
+}
+
+}  // namespace
+
+dcsim::ScenarioSet load_scenario_set(const std::string& path) {
+  return load_scenario_set(path, {});
+}
+
+dcsim::ScenarioSet load_scenario_set(const std::string& path,
+                                     const std::vector<std::string>& valid_shapes) {
+  return parse_scenario_lines(read_csv_content(path), path, valid_shapes);
+}
+
+std::string scenario_set_to_csv(const dcsim::ScenarioSet& set) {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  for (const dcsim::ColocationScenario& s : set.scenarios) {
+    write_csv_row(out, {std::to_string(s.id), s.machine_type,
+                        util::format_double_exact(s.observation_weight), s.mix.key()});
+  }
+  return out.str();
+}
+
+dcsim::ScenarioSet parse_scenario_set_csv(const std::string& text,
+                                          const std::string& origin) {
+  CsvContent content;
+  content.complete_final_line = text.empty() || text.back() == '\n';
+  std::string line;
+  for (const char c : text) {
+    if (c == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (!line.empty()) content.lines.push_back(line);
+      line.clear();
+    } else {
+      line.push_back(c);
+    }
+  }
+  if (!line.empty()) content.lines.push_back(line);
+  return parse_scenario_lines(content, origin, {});
 }
 
 void append_scenario_set(const dcsim::ScenarioSet& batch, const std::string& path,

@@ -26,6 +26,17 @@ void save_scenario_set(const dcsim::ScenarioSet& set, const std::string& path);
 [[nodiscard]] dcsim::ScenarioSet load_scenario_set(
     const std::string& path, const std::vector<std::string>& valid_shapes);
 
+/// Serialises the set to the same CSV text save_scenario_set writes — the
+/// wire format `flare client ingest` ships a batch in (serve/protocol.hpp).
+[[nodiscard]] std::string scenario_set_to_csv(const dcsim::ScenarioSet& set);
+
+/// Parses CSV text produced by scenario_set_to_csv / save_scenario_set.
+/// `origin` labels ParseErrors in place of a file path (e.g. the requesting
+/// client), so a malformed wire batch fails with the same positioned
+/// diagnostics a malformed archive does.
+[[nodiscard]] dcsim::ScenarioSet parse_scenario_set_csv(
+    const std::string& text, const std::string& origin);
+
 /// Appends `batch` to an existing scenario CSV without rewriting it,
 /// continuing the file's dense id sequence (the batch's own ids are
 /// ignored). The file must exist and parse — the existing rows are read

@@ -70,6 +70,15 @@ class JournalError : public FlareError {
   explicit JournalError(const std::string& what) : FlareError(what) {}
 };
 
+/// Raised by the service plane (`flare serve` / `flare client`): socket
+/// setup or framing failures, malformed protocol frames, a peer that
+/// answered with a terminal non-ok outcome, or daemon state that cannot be
+/// recovered.
+class ServeError : public FlareError {
+ public:
+  explicit ServeError(const std::string& what) : FlareError(what) {}
+};
+
 /// Throws `std::invalid_argument` with `message` when `condition` is false.
 /// Used to validate preconditions at public API boundaries.
 void ensure(bool condition, std::string_view message);

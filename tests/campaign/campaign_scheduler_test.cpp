@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "core/pipeline.hpp"
 #include "core/sharded_pipeline.hpp"
@@ -62,6 +63,83 @@ TEST(TestbedFarm, CommitHonoursNotBeforeWithoutBillingTheGap) {
   EXPECT_EQ(util[0].units, 2u);
   EXPECT_EQ(util[0].attempts, 3u);
   EXPECT_NEAR(util[0].utilisation, 200.0 / 600.0, 1e-12);
+}
+
+TEST(TestbedFarm, SpeedFactorScalesOccupancyAndBillNeverMeasurements) {
+  dcsim::TestbedFarm farm(1, {2.0});
+  EXPECT_EQ(farm.speed_factor(0), 2.0);
+  // 100 nominal seconds on a 2× slot: occupied (and billed) for 50.
+  const double start = farm.commit(0, 100.0, 1);
+  EXPECT_EQ(start, 0.0);
+  EXPECT_EQ(farm.slots()[0].available_at, 50.0);
+  EXPECT_EQ(farm.total_busy_seconds(), 50.0);
+  EXPECT_EQ(farm.makespan_seconds(), 50.0);
+
+  // Validation: a factor per slot or none, and only positive ones.
+  EXPECT_THROW(dcsim::TestbedFarm(2, {1.0}), std::invalid_argument);
+  EXPECT_THROW(dcsim::TestbedFarm(1, {0.0}), std::invalid_argument);
+  EXPECT_THROW(dcsim::TestbedFarm(1, {-2.0}), std::invalid_argument);
+}
+
+TEST(TestbedFarm, AllUnitFactorsAreBitIdenticalToHomogeneous) {
+  dcsim::TestbedFarm plain(2);
+  dcsim::TestbedFarm unit(2, {1.0, 1.0});
+  // Same irrational-ish durations through both; ÷1.0 must be bit-exact.
+  const double durations[] = {101.7, 33.3333, 250.0001, 7.77};
+  for (const double seconds : durations) {
+    const std::size_t a = plain.acquire();
+    const std::size_t b = unit.acquire();
+    ASSERT_EQ(a, b);
+    EXPECT_EQ(plain.commit(a, seconds, 1), unit.commit(b, seconds, 1));
+  }
+  EXPECT_EQ(plain.total_busy_seconds(), unit.total_busy_seconds());
+  EXPECT_EQ(plain.makespan_seconds(), unit.makespan_seconds());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain.slots()[i].available_at, unit.slots()[i].available_at);
+    EXPECT_EQ(plain.slots()[i].busy_seconds, unit.slots()[i].busy_seconds);
+  }
+}
+
+TEST(CampaignScheduler, UnitSpeedFactorsKeepTheCampaignBitIdentical) {
+  FlarePipeline& pipeline = testing::fitted_pipeline();
+  CampaignConfig plain;
+  plain.num_testbeds = 5;
+  CampaignConfig unit = plain;
+  unit.testbed_speed_factors.assign(5, 1.0);
+  const CampaignState a = faulty_campaign(pipeline, plain, 0.15, 0xFA57ull);
+  const CampaignState b = faulty_campaign(pipeline, unit, 0.15, 0xFA57ull);
+
+  EXPECT_EQ(a.impact_pct, b.impact_pct);
+  EXPECT_EQ(a.band_pp, b.band_pp);
+  EXPECT_EQ(a.stop, b.stop);
+  EXPECT_EQ(a.units_completed, b.units_completed);
+  EXPECT_EQ(a.total_busy_seconds, b.total_busy_seconds);
+  EXPECT_EQ(a.makespan_seconds, b.makespan_seconds);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].testbed, b.trace[i].testbed);
+    EXPECT_EQ(a.trace[i].start_seconds, b.trace[i].start_seconds);
+    EXPECT_EQ(a.trace[i].end_seconds, b.trace[i].end_seconds);
+  }
+}
+
+TEST(CampaignScheduler, FasterTestbedsShrinkBillAndMakespanNotTheEstimate) {
+  FlarePipeline& pipeline = testing::fitted_pipeline();
+  CampaignConfig plain;
+  plain.num_testbeds = 3;
+  CampaignConfig doubled = plain;
+  doubled.testbed_speed_factors.assign(3, 2.0);
+  const CampaignState a = faulty_campaign(pipeline, plain, 0.15, 0xFA57ull);
+  const CampaignState b = faulty_campaign(pipeline, doubled, 0.15, 0xFA57ull);
+
+  // Measurements are placement- and speed-invariant...
+  EXPECT_EQ(a.impact_pct, b.impact_pct);
+  EXPECT_EQ(a.band_pp, b.band_pp);
+  EXPECT_EQ(a.units_completed, b.units_completed);
+  EXPECT_EQ(a.ledger.total_attempts, b.ledger.total_attempts);
+  // ...while the bill and makespan halve exactly (÷2.0 is bit-exact).
+  EXPECT_EQ(b.total_busy_seconds, a.total_busy_seconds / 2.0);
+  EXPECT_EQ(b.makespan_seconds, a.makespan_seconds / 2.0);
 }
 
 TEST(CampaignScheduler, EstimateIsBitIdenticalAcrossFarmSizes) {

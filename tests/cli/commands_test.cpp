@@ -257,6 +257,26 @@ TEST(CliErrors, MissingInputFile) {
   EXPECT_NE(err.find("cannot open"), std::string::npos);
 }
 
+TEST(CliErrors, ServeErrorsGetTheirOwnExitCode) {
+  // ServeError -> 9: no daemon behind the socket. The one-shot client turns
+  // transport failures into the typed exit-code map, not a generic 1.
+  std::string err;
+  EXPECT_EQ(run({"client", "--socket", "/nonexistent/flare-serve-test.sock",
+                 "--request", "status", "--timeout-ms", "200"},
+                nullptr, &err),
+            9);
+  EXPECT_NE(err.find("flare:"), std::string::npos);
+}
+
+TEST(CliErrors, UnknownClientRequestIsAParseError) {
+  std::string err;
+  EXPECT_EQ(run({"client", "--socket", "/nonexistent/flare-serve-test.sock",
+                 "--request", "frobnicate"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("unknown client request"), std::string::npos);
+}
+
 TEST(CliHelp, PrintsUsage) {
   std::string out;
   EXPECT_EQ(run({"help"}, &out), 0);
@@ -267,6 +287,9 @@ TEST(CliHelp, PrintsUsage) {
   EXPECT_NE(out.find("--refit-policy auto|never|always"), std::string::npos);
   EXPECT_NE(out.find("--pca-update incremental|refit|auto"), std::string::npos);
   EXPECT_NE(out.find("--batch"), std::string::npos);
+  EXPECT_NE(out.find("serve --socket"), std::string::npos);
+  EXPECT_NE(out.find("client --socket"), std::string::npos);
+  EXPECT_NE(out.find("9 serve"), std::string::npos);
 }
 
 }  // namespace

@@ -199,6 +199,36 @@ TEST(CrashRecovery, KilledMidAppendProcessIsRolledBack) {
   append_scenario_set(batch, file.path, /*journaled=*/true);
   EXPECT_EQ(load_scenario_set(file.path).size(), original.size() + batch.size());
 }
+TEST(CrashRecovery, KilledBeforeAnyTargetBytesLeavesArchiveUntouched) {
+  TempFile file("flare_recover_kill_early.csv");
+  const dcsim::ScenarioSet original = small_set(10, 11);
+  save_scenario_set(original, file.path);
+  const std::uint64_t clean_size = fs::file_size(file.path);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: dies between arming the journal and writing the first byte of
+    // the append — the other durability window of the protocol. The armed
+    // journal (now dir-fsynced, so it survives a whole-machine crash too)
+    // records a clean size; recovery must be a size-preserving no-op.
+    AppendJournal journal(file.path);
+    _exit(137);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 137);
+
+  EXPECT_TRUE(fs::exists(AppendJournal::journal_path(file.path)));
+  const JournalRecovery rec = recover_append(file.path);
+  EXPECT_TRUE(rec.recovered);
+  EXPECT_FALSE(rec.truncated);  // nothing was written, nothing to cut
+  EXPECT_EQ(rec.restored_size, clean_size);
+  EXPECT_EQ(fs::file_size(file.path), clean_size);
+  EXPECT_FALSE(fs::exists(AppendJournal::journal_path(file.path)));
+  EXPECT_EQ(load_scenario_set(file.path).size(), original.size());
+}
 #endif  // FLARE_HAVE_FORK
 
 }  // namespace

@@ -1,0 +1,146 @@
+// Admission-queue contracts: per-class caps with named shed reasons, the
+// drain-everything coalescing semantics of the ingest side, watchdog expiry
+// sweeps, and close() idempotence. These are the locks the daemon's
+// "every request gets exactly one terminal outcome" accounting stands on.
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace flare::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+PendingRequest request_of(RequestType type, std::uint64_t id,
+                          Clock::time_point deadline = Clock::time_point::max()) {
+  PendingRequest request;
+  request.request_id = id;
+  request.conn_id = id;
+  request.frame.type = type;
+  request.deadline = deadline;
+  return request;
+}
+
+TEST(AdmissionQueue, ClassesFillIndependentlyWithNamedShedReasons) {
+  AdmissionQueue queue(AdmissionLimits{2, 1});
+
+  EXPECT_TRUE(queue.try_push(request_of(RequestType::kIngest, 1)).accepted);
+  EXPECT_TRUE(queue.try_push(request_of(RequestType::kIngest, 2)).accepted);
+  const AdmitResult ingest_full =
+      queue.try_push(request_of(RequestType::kIngest, 3));
+  EXPECT_FALSE(ingest_full.accepted);
+  EXPECT_EQ(ingest_full.shed_reason, "ingest queue full (2)");
+
+  // A full ingest queue must not block reads...
+  EXPECT_TRUE(queue.try_push(request_of(RequestType::kEvaluate, 4)).accepted);
+  // ...and the eval class has its own, independent cap (report shares it).
+  const AdmitResult eval_full =
+      queue.try_push(request_of(RequestType::kReport, 5));
+  EXPECT_FALSE(eval_full.accepted);
+  EXPECT_EQ(eval_full.shed_reason, "eval queue full (1)");
+
+  EXPECT_EQ(queue.ingest_depth(), 2u);
+  EXPECT_EQ(queue.eval_depth(), 1u);
+}
+
+TEST(AdmissionQueue, ControlRequestsAreNeverQueued) {
+  AdmissionQueue queue(AdmissionLimits{});
+  EXPECT_FALSE(queue.try_push(request_of(RequestType::kStatus, 1)).accepted);
+  EXPECT_FALSE(queue.try_push(request_of(RequestType::kShutdown, 2)).accepted);
+  EXPECT_EQ(queue.ingest_depth(), 0u);
+  EXPECT_EQ(queue.eval_depth(), 0u);
+}
+
+TEST(AdmissionQueue, DrainIngestReturnsEverythingPendingInOrder) {
+  AdmissionQueue queue(AdmissionLimits{8, 8});
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(queue.try_push(request_of(RequestType::kIngest, id)).accepted);
+  }
+  // The coalescing contract: one drain picks up the whole backlog.
+  const std::vector<PendingRequest> drained = queue.drain_ingest();
+  ASSERT_EQ(drained.size(), 5u);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    EXPECT_EQ(drained[id - 1].request_id, id);
+  }
+  EXPECT_EQ(queue.ingest_depth(), 0u);
+}
+
+TEST(AdmissionQueue, DrainIngestBlocksUntilWork) {
+  AdmissionQueue queue(AdmissionLimits{});
+  std::vector<PendingRequest> drained;
+  std::thread worker([&] { drained = queue.drain_ingest(); });
+  // The push must wake the blocked drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(queue.try_push(request_of(RequestType::kIngest, 42)).accepted);
+  worker.join();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].request_id, 42u);
+}
+
+TEST(AdmissionQueue, PopEvalReturnsOneAtATime) {
+  AdmissionQueue queue(AdmissionLimits{});
+  ASSERT_TRUE(queue.try_push(request_of(RequestType::kEvaluate, 1)).accepted);
+  ASSERT_TRUE(queue.try_push(request_of(RequestType::kReport, 2)).accepted);
+  const std::optional<PendingRequest> first = queue.pop_eval();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->request_id, 1u);
+  EXPECT_EQ(queue.eval_depth(), 1u);
+}
+
+TEST(AdmissionQueue, TakeExpiredSweepsBothClassesAndKeepsTheRest) {
+  AdmissionQueue queue(AdmissionLimits{8, 8});
+  const Clock::time_point now = Clock::now();
+  const Clock::time_point past = now - std::chrono::seconds(1);
+  const Clock::time_point future = now + std::chrono::hours(1);
+  ASSERT_TRUE(
+      queue.try_push(request_of(RequestType::kIngest, 1, past)).accepted);
+  ASSERT_TRUE(
+      queue.try_push(request_of(RequestType::kIngest, 2, future)).accepted);
+  ASSERT_TRUE(
+      queue.try_push(request_of(RequestType::kEvaluate, 3, past)).accepted);
+  ASSERT_TRUE(
+      queue.try_push(request_of(RequestType::kEvaluate, 4, future)).accepted);
+
+  const std::vector<PendingRequest> expired = queue.take_expired(now);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0].request_id, 1u);
+  EXPECT_EQ(expired[1].request_id, 3u);
+  EXPECT_EQ(queue.ingest_depth(), 1u);
+  EXPECT_EQ(queue.eval_depth(), 1u);
+
+  // The survivors are still serviceable.
+  EXPECT_EQ(queue.drain_ingest().at(0).request_id, 2u);
+  EXPECT_EQ(queue.pop_eval()->request_id, 4u);
+}
+
+TEST(AdmissionQueue, CloseReturnsRemainingOnceAndWakesWorkers) {
+  AdmissionQueue queue(AdmissionLimits{8, 8});
+  ASSERT_TRUE(queue.try_push(request_of(RequestType::kIngest, 1)).accepted);
+  ASSERT_TRUE(queue.try_push(request_of(RequestType::kEvaluate, 2)).accepted);
+
+  const std::vector<PendingRequest> remaining = queue.close();
+  ASSERT_EQ(remaining.size(), 2u);
+  // Idempotent: a second close surrenders nothing (no double answers).
+  EXPECT_TRUE(queue.close().empty());
+
+  // Closed queue: workers see end-of-stream, admission sheds by name.
+  EXPECT_TRUE(queue.drain_ingest().empty());
+  EXPECT_FALSE(queue.pop_eval().has_value());
+  const AdmitResult shed = queue.try_push(request_of(RequestType::kIngest, 3));
+  EXPECT_FALSE(shed.accepted);
+  EXPECT_EQ(shed.shed_reason, "daemon shutting down");
+}
+
+TEST(AdmissionQueue, CloseUnblocksAWaitingWorker) {
+  AdmissionQueue queue(AdmissionLimits{});
+  std::thread worker([&] { EXPECT_TRUE(queue.drain_ingest().empty()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(queue.close().empty());
+  worker.join();
+}
+
+}  // namespace
+}  // namespace flare::serve
