@@ -125,10 +125,11 @@ void Daemon::push_response(std::uint64_t conn_id, ResponseFrame response) {
     outbox_.emplace_back(conn_id, std::move(response));
   }
 #ifdef FLARE_HAVE_UNIX_SOCKETS
-  if (wake_write_fd_ >= 0) {
+  const int wake_fd = wake_write_fd_.load();
+  if (wake_fd >= 0) {
     const char byte = 1;
     // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
-    (void)!::write(wake_write_fd_, &byte, 1);
+    (void)!::write(wake_fd, &byte, 1);
   }
 #endif
 }
@@ -157,6 +158,7 @@ std::string Daemon::status_payload() {
       << "ingest_limit=" << queue_.limits().max_ingest << '\n'
       << "eval_limit=" << queue_.limits().max_eval << '\n'
       << "connections=" << stats.connections << '\n'
+      << "open_connections=" << stats.open_connections << '\n'
       << "requests=" << stats.requests << '\n'
       << "ok=" << stats.ok << '\n'
       << "shed=" << stats.shed << '\n'
@@ -459,7 +461,7 @@ void Daemon::run() {
   util::Fd wake_write(pipe_fds[1]);
   util::set_nonblocking(wake_read.get());
   util::set_nonblocking(wake_write.get());
-  wake_write_fd_ = wake_write.get();
+  wake_write_fd_.store(wake_write.get());
 
   std::thread ingest_thread([this] { ingest_loop(); });
   std::thread eval_thread([this] { eval_loop(); });
@@ -512,6 +514,8 @@ void Daemon::run() {
     for (auto it = conns.begin(); it != conns.end();) {
       if (it->second.closing && it->second.outbuf.empty()) {
         it = conns.erase(it);
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        --stats_.open_connections;
       } else {
         ++it;
       }
@@ -520,7 +524,16 @@ void Daemon::run() {
     if (shutting_down_.load()) {
       if (shutdown_grace_end == Clock::time_point{}) {
         listener.reset();  // stop accepting; flush what we owe, then leave
-        shutdown_grace_end = now + std::chrono::milliseconds(500);
+        // Quiesce the workers before the final flush: one may still be
+        // serving a request it popped before the queue closed, and its
+        // response must reach the outbox before all_flushed can be trusted
+        // — otherwise that client sees EOF instead of a terminal outcome.
+        if (ingest_thread.joinable()) ingest_thread.join();
+        if (eval_thread.joinable()) eval_thread.join();
+        stop_watchdog_.store(true);
+        if (watchdog_thread.joinable()) watchdog_thread.join();
+        shutdown_grace_end = Clock::now() + std::chrono::milliseconds(500);
+        continue;  // drain what the workers just pushed, then flush it
       }
       const bool all_flushed = std::all_of(
           conns.begin(), conns.end(),
@@ -564,6 +577,7 @@ void Daemon::run() {
         {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++stats_.connections;
+          ++stats_.open_connections;
         }
         conns.emplace(conn.id, std::move(conn));
       }
@@ -576,7 +590,12 @@ void Daemon::run() {
       if (it == conns.end()) continue;
       Conn& conn = it->second;
 
-      if ((fds[i].revents & (POLLERR | POLLHUP)) != 0 && conn.outbuf.empty()) {
+      if ((fds[i].revents & (POLLERR | POLLHUP)) != 0) {
+        // The peer is gone: bytes still owed have nowhere to go. Drop them
+        // so the fd is reaped this round — keeping it registered for POLLOUT
+        // would turn every poll() into an instant POLLERR busy-spin. The
+        // outcomes were already recorded when the responses were produced.
+        conn.outbuf.clear();
         conn.closing = true;
       }
 
@@ -647,19 +666,35 @@ void Daemon::run() {
                    0
 #endif
             );
-        if (sent <= 0) break;  // EAGAIN / error; retry next round
-        conn.outbuf.erase(0, static_cast<std::size_t>(sent));
+        if (sent > 0) {
+          conn.outbuf.erase(0, static_cast<std::size_t>(sent));
+          continue;
+        }
+        if (sent < 0 && errno == EINTR) continue;
+        if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          break;  // kernel buffer full; retry when POLLOUT fires
+        }
+        // Hard error (EPIPE/ECONNRESET/...): the client disconnected with
+        // response bytes still queued. Drop them and close — leaving the
+        // outbuf non-empty would keep the dead fd registered for POLLOUT
+        // forever (instant-POLLERR busy-spin, one leaked fd per client).
+        conn.outbuf.clear();
+        conn.closing = true;
+        break;
       }
     }
   }
 
-  // Teardown: the queue is closed (initiate_shutdown), workers exit on
-  // their next pass; the watchdog sees its stop flag.
+  // Teardown: the shutdown branch above already joined the workers on every
+  // path that reaches here; the guards keep this safe regardless. The wake
+  // fd is only invalidated after the joins — workers may call push_response
+  // right up until they exit (the pipe itself outlives them via the local
+  // Fd objects).
   initiate_shutdown();  // no-op when a shutdown request got here first
-  wake_write_fd_ = -1;
-  ingest_thread.join();
-  eval_thread.join();
-  watchdog_thread.join();
+  if (ingest_thread.joinable()) ingest_thread.join();
+  if (eval_thread.joinable()) eval_thread.join();
+  if (watchdog_thread.joinable()) watchdog_thread.join();
+  wake_write_fd_.store(-1);
   std::remove(config_.socket_path.c_str());
 }
 

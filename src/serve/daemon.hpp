@@ -59,6 +59,10 @@ struct DaemonConfig {
 /// Monotonic daemon counters (a coherent copy; see Daemon::stats_snapshot).
 struct DaemonStats {
   std::uint64_t connections = 0;
+  /// Gauge, not a counter: connections currently registered with the IO
+  /// loop. The disconnect tests pivot on this returning to baseline — a
+  /// dead client's fd must be reaped, never parked forever.
+  std::uint64_t open_connections = 0;
   std::uint64_t requests = 0;   ///< complete frames parsed off sockets
   // Terminal outcomes. ok + shed + failed + timeout + shutting_down ==
   // responses issued; the accounting tests pivot on this.
@@ -134,7 +138,9 @@ class Daemon {
   // Outbox: responses produced off the IO thread, drained by it.
   std::mutex outbox_mutex_;
   std::vector<std::pair<std::uint64_t, ResponseFrame>> outbox_;
-  int wake_write_fd_ = -1;  ///< self-pipe write end (valid while running)
+  /// Self-pipe write end (valid while running). Atomic: workers read it in
+  /// push_response while the IO thread installs/invalidates it.
+  std::atomic<int> wake_write_fd_{-1};
 
   std::atomic<bool> shutting_down_{false};
   std::atomic<bool> stop_watchdog_{false};

@@ -125,8 +125,17 @@ Fd accept_unix(int listener_fd) {
       set_nonblocking(conn.get());
       return conn;
     }
-    if (errno == EINTR) continue;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return Fd();
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      // Resource exhaustion is a load condition, not a daemon bug: report
+      // "nothing accepted" so the caller's loop survives and retries. The
+      // brief sleep keeps a still-readable listener from turning the
+      // caller's poll loop into a busy spin while the limit persists.
+      (void)::poll(nullptr, 0, 10);
+      return Fd();
+    }
     throw ServeError("accept: " + std::string(std::strerror(errno)));
   }
 }

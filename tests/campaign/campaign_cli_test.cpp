@@ -36,9 +36,14 @@ class CampaignCliTest : public ::testing::Test {
     std::remove(state_.c_str());
     std::remove(report_.c_str());
   }
-  std::string scenarios_ = ::testing::TempDir() + "/campaign_fleet.csv";
-  std::string state_ = ::testing::TempDir() + "/campaign_state.csv";
-  std::string report_ = ::testing::TempDir() + "/campaign_report.md";
+  // Unique per-test paths: ctest runs these cases concurrently, and fixed
+  // fixture names would collide across processes.
+  std::string stem_ =
+      ::testing::TempDir() + "/campaign_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::string scenarios_ = stem_ + "_fleet.csv";
+  std::string state_ = stem_ + "_state.csv";
+  std::string report_ = stem_ + "_report.md";
 };
 
 TEST_F(CampaignCliTest, FaultyFleetCampaignThenReportFromTheArchive) {

@@ -26,8 +26,13 @@ class CliWorkflowTest : public ::testing::Test {
     std::remove(scenarios_.c_str());
     std::remove(metrics_.c_str());
   }
-  std::string scenarios_ = ::testing::TempDir() + "/cli_scenarios.csv";
-  std::string metrics_ = ::testing::TempDir() + "/cli_metrics.csv";
+  // Unique per-test paths: ctest runs these cases concurrently, and fixed
+  // fixture names would collide across processes.
+  std::string stem_ =
+      ::testing::TempDir() + "/cli_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::string scenarios_ = stem_ + "_scenarios.csv";
+  std::string metrics_ = stem_ + "_metrics.csv";
 };
 
 TEST_F(CliWorkflowTest, SimulateProfileAnalyzeEvaluate) {

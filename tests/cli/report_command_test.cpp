@@ -35,8 +35,13 @@ class ReportCommandTest : public ::testing::Test {
     return std::string((std::istreambuf_iterator<char>(in)),
                        std::istreambuf_iterator<char>());
   }
-  std::string scenarios_ = ::testing::TempDir() + "/report_scenarios.csv";
-  std::string report_ = ::testing::TempDir() + "/report.md";
+  // Unique per-test paths: ctest runs these cases concurrently, and fixed
+  // fixture names would collide across processes.
+  std::string stem_ =
+      ::testing::TempDir() + "/report_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::string scenarios_ = stem_ + "_scenarios.csv";
+  std::string report_ = stem_ + ".md";
 };
 
 TEST_F(ReportCommandTest, WritesDefaultThreeFeatureReport) {

@@ -72,7 +72,11 @@ class OutOfCoreTest : public ::testing::Test {
 
   metrics::MetricCatalog catalog_ = test_catalog();
   metrics::MetricDatabase db_{catalog_};
-  std::string path_ = ::testing::TempDir() + "/flare_ooc_store.fcs";
+  // Unique per test: ctest runs each TEST_F as its own process, so sibling
+  // tests sharing one literal path clobber each other under `ctest -j`.
+  std::string path_ =
+      ::testing::TempDir() + "/flare_ooc_store_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".fcs";
 };
 
 TEST_F(OutOfCoreTest, MatchesInRamAnalysisDecisions) {

@@ -21,7 +21,11 @@ linalg::Matrix make_matrix(std::size_t rows, std::size_t cols, double salt) {
 class StageCacheTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    spill_dir_ = ::testing::TempDir() + "/flare_spill";
+    // Unique per test: sibling cases run as concurrent ctest processes, and
+    // TearDown's remove_all on a shared dir would yank a neighbour's spills.
+    spill_dir_ =
+        ::testing::TempDir() + "/flare_spill_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::create_directories(spill_dir_);
   }
   void TearDown() override { std::filesystem::remove_all(spill_dir_); }

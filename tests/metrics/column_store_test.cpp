@@ -44,7 +44,11 @@ MetricDatabase make_database(const MetricCatalog& catalog, std::size_t rows,
 class ColumnStoreTest : public ::testing::Test {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = ::testing::TempDir() + "/flare_store.fcs";
+  // Unique per test: ctest runs each TEST_F as its own process, so sibling
+  // tests sharing one literal path clobber each other under `ctest -j`.
+  std::string path_ =
+      ::testing::TempDir() + "/flare_store_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".fcs";
   MetricCatalog catalog_ = tiny_catalog();
 };
 

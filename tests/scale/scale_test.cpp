@@ -97,8 +97,14 @@ class ScaleTest : public ::testing::Test {
     std::remove(store_path_.c_str());
     std::filesystem::remove_all(spill_dir_);
   }
-  std::string store_path_ = ::testing::TempDir() + "/flare_scale_store.fcs";
-  std::string spill_dir_ = ::testing::TempDir() + "/flare_scale_spill";
+  // Unique per test: ctest runs each TEST_F as its own process, so sibling
+  // tests sharing one literal path clobber each other under `ctest -j`.
+  std::string test_name_ =
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::string store_path_ =
+      ::testing::TempDir() + "/flare_scale_store_" + test_name_ + ".fcs";
+  std::string spill_dir_ =
+      ::testing::TempDir() + "/flare_scale_spill_" + test_name_;
 };
 
 TEST_F(ScaleTest, FiftyThousandRowsAnalyseThroughMmap) {

@@ -326,19 +326,61 @@ TEST(ServeDaemon, ShutdownAnswersQueuedRequestsInsteadOfDroppingThem) {
   const ResponseFrame refused = queued.read();
   EXPECT_EQ(refused.outcome, Outcome::kShuttingDown);
 
-  // The in-flight pass still commits and records its ok — but if the grace
-  // window closes before the worker surfaces, the bytes may never be sent.
-  // Either way the *outcome* is accounted; that is the contract.
-  try {
-    const ResponseFrame inflight = slow.read();
-    EXPECT_EQ(inflight.outcome, Outcome::kOk);
-  } catch (const ServeError&) {
-    // Connection torn down at grace end: acceptable, accounted below.
-  }
+  // The in-flight pass was popped before the queue closed; shutdown
+  // quiesces the worker before the final flush, so its ack is *delivered*,
+  // not just accounted — EOF here would be a silent drop.
+  const ResponseFrame inflight = slow.read();
+  EXPECT_EQ(inflight.outcome, Outcome::kOk);
 
   runner.stop();
   const DaemonStats stats = runner.daemon().stats_snapshot();
   EXPECT_GE(stats.shutting_down, 1u);
+  expect_fully_accounted(stats);
+}
+
+TEST(ServeDaemon, DisconnectedClientWithQueuedResponsesIsReaped) {
+  TempTree tree("serve_daemon_disconnect");
+  DaemonConfig config = daemon_config(tree);
+  DaemonRunner runner(config, base_set());
+
+  // Pipeline far more status requests than the socket buffers hold, then
+  // vanish without reading: the daemon is left owing megabytes to a peer
+  // that is gone. The hard send error (or POLLERR/POLLHUP) must drop the
+  // undeliverable bytes and reap the connection — not park the dead fd in
+  // the poll set forever (busy-spin + one leaked fd per such client).
+  constexpr int kPipelined = 4000;
+  {
+    RawConn ghost(config.socket_path);
+    const std::string one = encode_request(make_status_request());
+    std::string burst;
+    burst.reserve(one.size() * kPipelined);
+    for (int i = 0; i < kPipelined; ++i) burst += one;
+    ghost.send_bytes(burst);
+    // Wait until every pipelined frame is parsed and answered: megabytes of
+    // responses now sit queued against socket buffers the ghost never
+    // drains, so the daemon provably still owes bytes when the ghost
+    // vanishes — the close below lands on a non-empty outbuf.
+    ASSERT_TRUE(wait_for_status(
+        config.socket_path,
+        [](const auto& kv) {
+          return std::stoull(testing::kv_or(kv, "requests")) >=
+                 static_cast<std::uint64_t>(kPipelined);
+        },
+        std::chrono::seconds(30)));
+  }  // closes without reading a single response
+
+  // Once the ghost is reaped, the only live connection is the status probe
+  // itself. Before the fix this never converges.
+  EXPECT_TRUE(wait_for_status(
+      config.socket_path,
+      [](const auto& kv) {
+        return testing::kv_or(kv, "open_connections") == "1";
+      },
+      std::chrono::seconds(30)));
+
+  runner.stop();
+  const DaemonStats stats = runner.daemon().stats_snapshot();
+  EXPECT_GE(stats.requests, static_cast<std::uint64_t>(kPipelined));
   expect_fully_accounted(stats);
 }
 

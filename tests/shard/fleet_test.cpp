@@ -146,7 +146,10 @@ TEST(FleetSplit, RejectsAbsentShapeId) {
 class ShapeTraceTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/shard_fleet_trace.csv";
+    // Unique per test: sibling cases run as concurrent ctest processes.
+    path_ = ::testing::TempDir() + "/shard_fleet_trace_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".csv";
   }
   void TearDown() override { std::remove(path_.c_str()); }
   std::string path_;

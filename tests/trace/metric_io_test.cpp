@@ -24,7 +24,11 @@ metrics::MetricCatalog tiny_catalog() {
 class MetricIoTest : public ::testing::Test {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = ::testing::TempDir() + "/flare_metrics.csv";
+  // Unique per test: ctest runs each TEST_F as its own process, so sibling
+  // tests sharing one literal path clobber each other under `ctest -j`.
+  std::string path_ =
+      ::testing::TempDir() + "/flare_metrics_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".csv";
   metrics::MetricCatalog catalog_ = tiny_catalog();
 };
 

@@ -28,7 +28,11 @@ dcsim::ScenarioSet sample_set() {
 class ScenarioIoTest : public ::testing::Test {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  std::string path_ = ::testing::TempDir() + "/flare_scenarios.csv";
+  // Unique per test: ctest runs each TEST_F as its own process, so sibling
+  // tests sharing one literal path clobber each other under `ctest -j`.
+  std::string path_ =
+      ::testing::TempDir() + "/flare_scenarios_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".csv";
 };
 
 TEST_F(ScenarioIoTest, RoundTripsExactly) {

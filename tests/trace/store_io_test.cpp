@@ -51,8 +51,14 @@ class StoreIoTest : public ::testing::Test {
     std::remove(csv_path_.c_str());
     std::remove((store_path_ + ".journal").c_str());
   }
-  std::string store_path_ = ::testing::TempDir() + "/flare_io_store.fcs";
-  std::string csv_path_ = ::testing::TempDir() + "/flare_io_metrics.csv";
+  // Unique per test: ctest runs each TEST_F as its own process, so sibling
+  // tests sharing one literal path clobber each other under `ctest -j`.
+  std::string test_name_ =
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::string store_path_ =
+      ::testing::TempDir() + "/flare_io_store_" + test_name_ + ".fcs";
+  std::string csv_path_ =
+      ::testing::TempDir() + "/flare_io_metrics_" + test_name_ + ".csv";
   metrics::MetricCatalog catalog_ = tiny_catalog();
 };
 
