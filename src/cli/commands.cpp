@@ -33,6 +33,9 @@ int run_simulate(const Args& args, std::ostream& out) {
       static_cast<std::size_t>(args.get_int("scenarios", 895));
   config.seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
   config.num_machines = static_cast<int>(args.get_int("machines", 8));
+  const std::optional<dcsim::WorkloadDynamics> dynamics =
+      dynamics_from(args, fleet);
+  if (dynamics.has_value()) config.dynamics = *dynamics;
   args.reject_unconsumed();
 
   if (fleet.has_value()) {
@@ -49,7 +52,16 @@ int run_simulate(const Args& args, std::ostream& out) {
           << sets.per_shape[i].size() << " scenarios over "
           << stats[i].simulated_hours << " h\n";
     }
-    trace::save_scenario_set(sets.merged(), out_path);
+    const dcsim::ScenarioSet merged = sets.merged();
+    if (config.dynamics.any()) {
+      std::size_t tagged = 0;
+      for (const dcsim::ColocationScenario& s : merged.scenarios) {
+        if (s.dynamic_tagged()) ++tagged;
+      }
+      out << "dynamics: " << tagged << " of " << merged.size()
+          << " scenarios carry non-stationary tags\n";
+    }
+    trace::save_scenario_set(merged, out_path);
     out << "fleet: " << sets.total_scenarios()
         << " distinct co-location scenarios across " << fleet->size()
         << " shapes\n"
@@ -60,6 +72,14 @@ int run_simulate(const Args& args, std::ostream& out) {
   dcsim::SubmissionStats stats;
   const dcsim::ScenarioSet set = dcsim::generate_scenario_set(
       config, machine, dcsim::default_job_catalog(), &stats);
+  if (config.dynamics.any()) {
+    std::size_t tagged = 0;
+    for (const dcsim::ColocationScenario& s : set.scenarios) {
+      if (s.dynamic_tagged()) ++tagged;
+    }
+    out << "dynamics: " << tagged << " of " << set.size()
+        << " scenarios carry non-stationary tags\n";
+  }
   trace::save_scenario_set(set, out_path);
   out << "simulated " << stats.simulated_hours << " h of datacenter time on "
       << config.num_machines << " " << machine.name << " machines\n"
@@ -416,9 +436,14 @@ int run_help(std::ostream& out) {
          "commands:\n"
          "  simulate --out F.csv [--machine default|small|dense] [--scenarios N]\n"
          "           [--seed S] [--machines M] [--shapes SPEC]\n"
+         "           [--dynamics SPEC [--dynamics-seed S] [--dynamics-start H]]\n"
          "      simulate a datacenter and archive its co-location scenarios;\n"
          "      --shapes runs one scheduler per machine shape (heterogeneous\n"
-         "      fleet) and tags every row with its shape id\n"
+         "      fleet) and tags every row with its shape id; --dynamics\n"
+         "      overlays non-stationary regimes (see dynamics SPEC below) and\n"
+         "      requires an explicit --seed or --dynamics-seed; --dynamics-\n"
+         "      start sets the absolute start hour so streaming batch windows\n"
+         "      continue one episode timeline\n"
          "  profile --scenarios F.csv --out M.csv [--machine ...]\n"
          "          [--samples K] [--seed S] [--schema NAME] [--threads T]\n"
          "      collect the two-level raw metric database for every scenario\n"
@@ -459,6 +484,7 @@ int run_help(std::ostream& out) {
          "         [--samples K] [--seed S] [--schema NAME] [--threads T]\n"
          "         [--faults R] [--fault-seed S] [--sample-quorum Q]\n"
          "         [--max-retries N] [--journal] [--resume] [--shapes SPEC]\n"
+         "         [--drift-response SPEC]\n"
          "      absorb a batch of fresh scenarios with the cheapest sound\n"
          "      action for its drift verdict; --commit appends the batch to\n"
          "      the scenario CSV (and its profiled rows to --metrics);\n"
@@ -466,7 +492,8 @@ int run_help(std::ostream& out) {
          "      samples per row, N retries); --journal guards the appends\n"
          "      with a write-ahead journal, --resume rolls back torn ones;\n"
          "      --shapes routes the batch per shape — only shards the batch\n"
-         "      touches run their drift gate\n"
+         "      touches run their drift gate; --drift-response turns on the\n"
+         "      adaptive response (see drift-response SPEC below)\n"
          "  campaign --scenarios F.csv --feature SPEC [--machine ...]\n"
          "           [--clusters K] [--testbeds N] [--testbed-speeds LIST]\n"
          "           [--budget SECONDS]\n"
@@ -502,7 +529,7 @@ int run_help(std::ostream& out) {
          "        [--refit-policy auto|never|always] [--samples K] [--seed S]\n"
          "        [--max-ingest-queue N] [--max-eval-queue N]\n"
          "        [--default-deadline-ms MS] [--frame-timeout-ms MS]\n"
-         "        [replay-fault flags as in `evaluate`]\n"
+         "        [--drift-response SPEC] [replay-fault flags as in `evaluate`]\n"
          "      run the resident service daemon on a Unix socket: coalesced\n"
          "      ingest batching (one profiler pass per queue drain), bounded\n"
          "      per-class admission with explicit shed answers, deadline\n"
@@ -523,6 +550,17 @@ int run_help(std::ostream& out) {
          "shapes SPEC: comma-separated shape[:count] entries, e.g.\n"
          "  'default:6,small:2,dense:4' — count = machines of that shape;\n"
          "  weights for the fleet-wide fan-in are machine-count shares\n"
+         "dynamics SPEC: comma-separated generator entries name[:key=value...]\n"
+         "  with name = diurnal (period= amp= hp_amp= phase=), flash\n"
+         "  (rate= dur= mult= short=), upgrade (at= frac= shift=), anomaly\n"
+         "  (rate= dur= intensity= frac=); every generator takes shape= to\n"
+         "  scope it to one --shapes shape, e.g.\n"
+         "  'diurnal:amp=0.4,flash:rate=3:mult=5,upgrade:at=48:frac=0.5'\n"
+         "drift-response SPEC: 'on', 'off', or key=value entries (imply on),\n"
+         "  comma-separated: ewma|confirm|cooldown|cusum-ref|cusum|budget|\n"
+         "  widen|widen-cap|coherence|min-rows|separation — change-point\n"
+         "  confirmation, refit hysteresis, staleness band widening, and\n"
+         "  anomaly-episode quarantine over the ingest drift gate\n"
          "schema NAME: standard | job-mix (§5.3 per-job columns) |\n"
          "  temporal (§4.1 stddev columns) | job-mix-temporal\n"
          "feature SPEC: feature1|feature2|feature3|baseline, or knobs like\n"

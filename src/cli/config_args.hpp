@@ -10,6 +10,7 @@
 #include "cli/args.hpp"
 #include "core/analyzer.hpp"
 #include "core/pipeline.hpp"
+#include "dcsim/dynamics.hpp"
 #include "dcsim/fleet.hpp"
 #include "dcsim/machine_config.hpp"
 
@@ -41,5 +42,25 @@ namespace flare::cli {
 /// Fills config.replay / config.replay_faults; with none of the flags given
 /// the config keeps its defaults and the clean path stays bit-identical.
 void apply_replay_args(const Args& args, core::FlareConfig& config);
+
+/// Shared --dynamics knob: parses the generator spec (dcsim dynamics.hpp)
+/// and cross-validates it against the other flags. Rejected with positioned
+/// ParseErrors: `--dynamics` without a seed source (an explicit --seed or
+/// --dynamics-seed — the episode schedules must be reproducible), a
+/// shape-scoped generator without a --shapes fleet, and a scope naming a
+/// shape the fleet does not contain. Also consumes --dynamics-seed (schedule
+/// RNG; default derives a decorrelated substream from --seed) and
+/// --dynamics-start (absolute start hour for streaming batch windows).
+/// nullopt when --dynamics is absent — the stationary path, bit-identical.
+[[nodiscard]] std::optional<dcsim::WorkloadDynamics> dynamics_from(
+    const Args& args, const std::optional<dcsim::FleetConfig>& fleet);
+
+/// Shared --drift-response knob (ingest/serve): "on", "off", or a
+/// comma-separated key=value list (implies on) with keys
+/// ewma|confirm|cooldown|cusum-ref|cusum|budget|widen|widen-cap|coherence|
+/// min-rows mapped onto core::DriftResponseConfig. Malformed entries throw
+/// ParseError naming the offending entry. Absent flag leaves the response
+/// disabled (the historical ingest path, bit-identical).
+void apply_drift_response_args(const Args& args, core::FlareConfig& config);
 
 }  // namespace flare::cli

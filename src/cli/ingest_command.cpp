@@ -67,6 +67,7 @@ int run_ingest(const Args& args, std::ostream& out) {
   config.profiler.sample_quorum =
       static_cast<int>(args.get_int("sample-quorum", 1));
   config.profiler.max_retries = static_cast<int>(args.get_int("max-retries", 2));
+  apply_drift_response_args(args, config);
   config.threads = threads_from(args);
   config.profiler.threads = config.threads;
   args.reject_unconsumed();
@@ -164,6 +165,28 @@ int run_ingest(const Args& args, std::ostream& out) {
       << "   action: " << core::to_string(report.action);
   if (report.pca_incremental_refit) out << " (incremental pca)";
   out << "\n";
+  if (config.drift_response.enabled) {
+    out << "response: regime " << core::to_string(report.response.regime)
+        << ", statistic " << util::format_double(report.response.statistic, 3)
+        << ", ewma " << util::format_double(report.response.ewma, 3)
+        << ", cusum " << util::format_double(report.response.cusum, 3)
+        << (report.response.refit_suppressed ? "  [refit suppressed]" : "")
+        << "\n";
+    if (report.response.episode_rows > 0) {
+      out << "  episode fenced: " << report.response.episode_rows << " rows ("
+          << util::format_double(100.0 * report.response.episode_weight_fraction,
+                                 1)
+          << "% of batch weight, dispersion ratio "
+          << util::format_double(report.response.episode_dispersion_ratio, 3)
+          << ")\n";
+    }
+    if (report.response.staleness_widening_pp > 0.0) {
+      out << "  staleness: " << report.response.batches_since_refit
+          << " batches since refit, band widened +"
+          << util::format_double(report.response.staleness_widening_pp, 2)
+          << " pp\n";
+    }
+  }
   out << "stage re-runs: refine " << after.refine - before.refine
       << ", standardize " << after.standardize - before.standardize << ", pca "
       << after.pca - before.pca << ", whiten " << after.whiten - before.whiten

@@ -42,6 +42,7 @@ int run_serve(const Args& args, std::ostream& out) {
   config.flare.threads = threads_from(args);
   config.flare.profiler.threads = config.flare.threads;
   apply_replay_args(args, config.flare);
+  apply_drift_response_args(args, config.flare);
   config.refit =
       serve_refit_policy_by_name(args.get_string("refit-policy", "auto"));
 

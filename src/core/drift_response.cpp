@@ -1,0 +1,209 @@
+#include "core/drift_response.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace flare::core {
+
+std::string_view to_string(DriftRegime regime) {
+  switch (regime) {
+    case DriftRegime::kStable: return "stable";
+    case DriftRegime::kBurst: return "burst";
+    case DriftRegime::kShift: return "shift";
+  }
+  return "unknown";
+}
+
+EpisodeFence detect_anomalous_episode(const AnalysisResult& analysis,
+                                      const linalg::Matrix& projected,
+                                      const DriftReport& drift,
+                                      const DriftResponseConfig& config) {
+  EpisodeFence fence;
+  if (drift.uncovered_rows.size() < config.episode_min_rows) return fence;
+  if (analysis.clustering.centroids.rows() == 0 || projected.rows() == 0) {
+    return fence;
+  }
+  const std::size_t dim = projected.cols();
+  for (const std::size_t row : drift.uncovered_rows) {
+    ensure(row < projected.rows(),
+           "detect_anomalous_episode: uncovered row out of range");
+  }
+  const stages::NearestAssignment nearest =
+      stages::assign_to_nearest(analysis.clustering, projected);
+
+  // Separation prefilter: every fresh batch has rows just beyond the
+  // coverage radius (honest drift, never an episode). Only rows at
+  // episode_separation_ratio × their cluster's radius or farther qualify
+  // as interference-episode candidates.
+  const double sep_sq =
+      config.episode_separation_ratio * config.episode_separation_ratio;
+  std::vector<std::size_t> candidate;
+  candidate.reserve(drift.uncovered_rows.size());
+  for (const std::size_t row : drift.uncovered_rows) {
+    const std::size_t cluster = nearest.cluster[row];
+    const double radius_sq = cluster < drift.coverage_radius_sq.size()
+                                 ? drift.coverage_radius_sq[cluster]
+                                 : 0.0;
+    if (nearest.dist_sq[row] >= sep_sq * radius_sq) candidate.push_back(row);
+  }
+
+  // A real batch mixes episode rows with ordinary out-of-coverage drift
+  // rows, so the uncovered set as a whole rarely passes the coherence
+  // check. Trim the row farthest from the candidate centroid until what
+  // remains is a coherent clump (fence it) or too small to be an episode
+  // (no fence): strays peel off one by one because the centroid sits in
+  // the episode's mass, while i.i.d. noise never converges to a clump
+  // before dropping below episode_min_rows.
+  while (candidate.size() >= config.episode_min_rows) {
+    // Centroid of the candidate rows in the fitted cluster space.
+    std::vector<double> centroid(dim, 0.0);
+    for (const std::size_t row : candidate) {
+      for (std::size_t d = 0; d < dim; ++d) centroid[d] += projected(row, d);
+    }
+    const double inv = 1.0 / static_cast<double>(candidate.size());
+    for (double& c : centroid) c *= inv;
+
+    // Dispersion around their own centroid vs. separation from the fitted
+    // model. A coherent episode is a tight clump far from every fitted
+    // centroid; i.i.d. noise is dispersed roughly as widely as it is
+    // distant.
+    double dispersion_sq = 0.0;
+    double separation_sq = 0.0;
+    std::size_t farthest = 0;
+    double farthest_d2 = -1.0;
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+      const std::size_t row = candidate[i];
+      double d2 = 0.0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double delta = projected(row, d) - centroid[d];
+        d2 += delta * delta;
+      }
+      dispersion_sq += d2;
+      separation_sq += nearest.dist_sq[row];
+      if (d2 > farthest_d2) {
+        farthest_d2 = d2;
+        farthest = i;
+      }
+    }
+    dispersion_sq *= inv;
+    separation_sq *= inv;
+    if (separation_sq <= 0.0) return fence;
+
+    const double ratio = std::sqrt(dispersion_sq / separation_sq);
+    if (ratio <= config.episode_coherence_ratio) {
+      fence.rows = std::move(candidate);
+      std::sort(fence.rows.begin(), fence.rows.end());
+      fence.dispersion_ratio = ratio;
+      return fence;
+    }
+    candidate.erase(candidate.begin() +
+                    static_cast<std::ptrdiff_t>(farthest));
+  }
+  return fence;
+}
+
+DriftResponsePolicy::DriftResponsePolicy(DriftResponseConfig config,
+                                         DriftConfig drift)
+    : config_(config), drift_(drift) {
+  ensure(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+         "DriftResponsePolicy: ewma_alpha must be in (0, 1]");
+  ensure(config_.confirm_batches >= 1,
+         "DriftResponsePolicy: confirm_batches must be >= 1");
+  ensure(config_.cooldown_batches >= 0,
+         "DriftResponsePolicy: cooldown_batches must be >= 0");
+  ensure(config_.cusum_threshold > 0.0,
+         "DriftResponsePolicy: cusum_threshold must be > 0");
+  ensure(config_.staleness_budget_batches > 0.0,
+         "DriftResponsePolicy: staleness_budget_batches must be > 0");
+  ensure(config_.episode_separation_ratio >= 1.0,
+         "DriftResponsePolicy: episode_separation_ratio must be >= 1");
+}
+
+DriftVerdict DriftResponsePolicy::resolve(DriftVerdict proposed,
+                                          const DriftReport& drift,
+                                          DriftResponseReport& report) {
+  // Refit-worthiness of this batch, normalised so >= 1 means "the monitor's
+  // own thresholds would call this refit-worthy": max of the two criteria
+  // DriftMonitor::inspect applies.
+  const double distance_term =
+      drift_.refit_distance_ratio > 0.0
+          ? drift.distance_ratio / drift_.refit_distance_ratio
+          : 0.0;
+  const double coverage_term =
+      drift_.refit_coverage_fraction > 0.0
+          ? drift.out_of_coverage_fraction / drift_.refit_coverage_fraction
+          : 0.0;
+  const double statistic = std::max(distance_term, coverage_term);
+
+  ewma_ = seen_batch_
+              ? config_.ewma_alpha * statistic + (1.0 - config_.ewma_alpha) * ewma_
+              : statistic;
+  seen_batch_ = true;
+  cusum_ = std::max(0.0, cusum_ + statistic - config_.cusum_reference);
+  ++batches_since_refit_;
+
+  if (proposed == DriftVerdict::kRefit) {
+    ++refit_streak_;
+  } else {
+    refit_streak_ = 0;
+  }
+
+  const bool in_cooldown = cooldown_remaining_ > 0;
+  if (in_cooldown) --cooldown_remaining_;
+  const bool sustained = refit_streak_ >= config_.confirm_batches ||
+                         cusum_ >= config_.cusum_threshold;
+
+  DriftVerdict final_verdict = proposed;
+  if (proposed == DriftVerdict::kRefit) {
+    if (!in_cooldown && sustained) {
+      report.regime = DriftRegime::kShift;
+      report.refit_committed = true;
+    } else {
+      // A single refit-worthy batch (or one inside the cooldown window) is
+      // treated as a burst: reweight now, refit only if it persists.
+      final_verdict = DriftVerdict::kReweight;
+      report.regime = DriftRegime::kBurst;
+      report.refit_suppressed = true;
+    }
+  } else if (!in_cooldown && cusum_ >= config_.cusum_threshold) {
+    // Slow creep: no single batch crossed the refit thresholds, but the
+    // accumulated evidence did. Escalate whatever was proposed to a refit.
+    final_verdict = DriftVerdict::kRefit;
+    report.regime = DriftRegime::kShift;
+    report.refit_committed = true;
+  } else {
+    report.regime =
+        statistic >= 1.0 ? DriftRegime::kBurst : DriftRegime::kStable;
+  }
+
+  // Staleness guard: the batch-age budget shrinks as the drift-rate proxy
+  // grows; once over budget the replay bands widen proportionally.
+  const double effective_budget =
+      config_.staleness_budget_batches / std::max(ewma_, 0.1);
+  const double staleness =
+      static_cast<double>(batches_since_refit_) / effective_budget;
+  widening_pp_ = std::min(config_.staleness_widening_cap_pp,
+                          std::max(0.0, staleness - 1.0) *
+                              config_.staleness_widening_pp);
+
+  report.statistic = statistic;
+  report.ewma = ewma_;
+  report.cusum = cusum_;
+  report.batches_since_refit = batches_since_refit_;
+  report.staleness = staleness;
+  report.staleness_widening_pp = widening_pp_;
+  return final_verdict;
+}
+
+void DriftResponsePolicy::note_refit() {
+  batches_since_refit_ = 0;
+  cusum_ = 0.0;
+  refit_streak_ = 0;
+  widening_pp_ = 0.0;
+  cooldown_remaining_ = config_.cooldown_batches;
+}
+
+}  // namespace flare::core

@@ -1,0 +1,165 @@
+// Adaptive drift response (DESIGN.md §17): the policy layer that makes
+// FlarePipeline::ingest *survive* non-stationary scenario streams instead of
+// merely classifying them. Four mechanisms, all off by default (enabled =
+// false keeps every ingest bit-identical to the historical path):
+//
+//   * online change-point detection — the per-batch drift statistic feeds an
+//     EWMA (drift-rate proxy) and a CUSUM; a refit only commits when the
+//     evidence is *sustained* (confirm_batches consecutive refit-worthy
+//     batches, or the CUSUM crossing its threshold for slow creep), which
+//     distinguishes a transient flash-crowd burst from a real shift;
+//   * hysteresis — a committed refit opens a cooldown window during which
+//     further refit proposals are suppressed to kReweight, so bursty streams
+//     cannot thrash full refits;
+//   * anomaly-episode quarantine — cluster-coherent uncovered rows (one
+//     interference episode corrupting a machine subset together) are fenced
+//     as a unit via the PR-4 quarantine machinery *before* they can rotate
+//     the tracked basis or poison the refit decision;
+//   * staleness guard — when the fitted model's batch-age exceeds a
+//     drift-rate-scaled budget, every estimate's ReplayLedger band widens by
+//     a staleness term (the model is provably behind the stream).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/drift.hpp"
+
+namespace flare::core {
+
+struct DriftResponseConfig {
+  /// Master switch. Off = ingest behaves exactly as before this layer.
+  bool enabled = false;
+
+  // --- Change-point detector over the per-batch drift statistic ---
+  /// EWMA smoothing factor for the drift-rate proxy (higher = more reactive).
+  double ewma_alpha = 0.3;
+  /// Consecutive refit-worthy batches required before a refit commits.
+  int confirm_batches = 2;
+  /// Batches after a committed refit during which further refit proposals
+  /// are suppressed to kReweight (hysteresis).
+  int cooldown_batches = 3;
+  /// CUSUM accumulates max(0, statistic − reference); crossing `threshold`
+  /// commits a refit even when no single batch was refit-worthy (slow creep).
+  double cusum_reference = 0.7;
+  double cusum_threshold = 2.5;
+
+  // --- Staleness guard ---
+  /// Batch-age budget at a drift-rate proxy (EWMA) of 1.0; the effective
+  /// budget is this divided by max(ewma, 0.1) — faster drift, tighter budget.
+  double staleness_budget_batches = 12.0;
+  /// Band widening (pp) per unit of budget overrun, and its cap.
+  double staleness_widening_pp = 0.5;
+  double staleness_widening_cap_pp = 4.0;
+
+  // --- Anomaly-episode quarantine ---
+  /// Uncovered batch rows form a coherent episode when their RMS dispersion
+  /// around their own centroid is at most this fraction of their RMS
+  /// distance to the fitted centroids (tight clump, far away — the opposite
+  /// of i.i.d. noise, which disperses in all directions).
+  double episode_coherence_ratio = 0.5;
+  /// Minimum uncovered rows before an episode can be declared.
+  std::size_t episode_min_rows = 4;
+  /// Candidate episode rows must sit at least this multiple of their nearest
+  /// cluster's coverage radius away from it. Rows just beyond the radius are
+  /// honest drift evidence (fresh batches always carry some); interference
+  /// episodes land far outside. ≥ 1.
+  double episode_separation_ratio = 2.5;
+};
+
+/// The detector's classification of the stream at one batch.
+enum class DriftRegime : unsigned char {
+  kStable,  ///< statistic below refit-worthiness; model current
+  kBurst,   ///< refit-worthy evidence, not (yet) sustained — suppressed
+  kShift,   ///< sustained shift confirmed — refit committed
+};
+
+[[nodiscard]] std::string_view to_string(DriftRegime regime);
+
+/// Per-batch telemetry of the response policy (IngestReport::response).
+struct DriftResponseReport {
+  DriftRegime regime = DriftRegime::kStable;
+  /// Refit-worthiness of this batch: max of the distance-ratio and
+  /// out-of-coverage criteria, each normalised so ≥ 1 means refit-worthy.
+  double statistic = 0.0;
+  double ewma = 0.0;   ///< smoothed statistic (the drift-rate proxy)
+  double cusum = 0.0;  ///< accumulated sustained-shift evidence
+  /// Hysteresis downgraded a proposed refit to kReweight this batch.
+  bool refit_suppressed = false;
+  /// The change-point confirmed and a refit committed this batch.
+  bool refit_committed = false;
+  /// Batch rows fenced as one anomaly episode (0 = none detected).
+  std::size_t episode_rows = 0;
+  /// Observation-weight share of the batch those rows carried.
+  double episode_weight_fraction = 0.0;
+  /// Episode dispersion / separation (the coherence evidence; ≤ ratio).
+  double episode_dispersion_ratio = 0.0;
+  /// Batches ingested since the model was last (re)fitted.
+  int batches_since_refit = 0;
+  /// Batch-age over the drift-rate-scaled budget (> 1 = stale).
+  double staleness = 0.0;
+  /// Band widening the staleness guard currently applies (pp).
+  double staleness_widening_pp = 0.0;
+};
+
+/// A cluster-coherent set of uncovered batch rows (one anomaly episode).
+struct EpisodeFence {
+  std::vector<std::size_t> rows;  ///< batch row indices, ascending
+  double dispersion_ratio = 0.0;  ///< dispersion / separation evidence
+  [[nodiscard]] bool detected() const { return !rows.empty(); }
+};
+
+/// Finds the coherent episode (if any) inside the drift report's uncovered
+/// rows: at least episode_min_rows of them, clumped (RMS dispersion around
+/// their own centroid ≤ episode_coherence_ratio × RMS distance to the
+/// fitted centroids). Ordinary out-of-coverage drift rows mixed into the
+/// uncovered set are trimmed off (farthest-from-centroid first) until the
+/// coherent core remains, so a fence never quarantines honest drift
+/// evidence along with the episode. `projected` is the whole batch in the
+/// fitted cluster space (stages::project_rows order).
+[[nodiscard]] EpisodeFence detect_anomalous_episode(
+    const AnalysisResult& analysis, const linalg::Matrix& projected,
+    const DriftReport& drift, const DriftResponseConfig& config);
+
+/// The stateful per-pipeline response policy. One instance lives on
+/// FlarePipeline (per shard under ShardedPipeline, rebuilt deterministically
+/// by `flare serve` crash recovery since its state is a pure function of the
+/// replayed ingest sequence).
+class DriftResponsePolicy {
+ public:
+  DriftResponsePolicy() = default;
+  DriftResponsePolicy(DriftResponseConfig config, DriftConfig drift);
+
+  /// Advances the detector with one batch and resolves `proposed` (the
+  /// verdict after RefitPolicy / PCA / quarantine escalations) into the
+  /// final action, filling `report`. `drift` must be the episode-cleaned
+  /// drift report when an episode was fenced.
+  [[nodiscard]] DriftVerdict resolve(DriftVerdict proposed,
+                                     const DriftReport& drift,
+                                     DriftResponseReport& report);
+
+  /// Records that ingest actually refitted (resets batch-age, CUSUM, streak,
+  /// and opens the hysteresis cooldown).
+  void note_refit();
+
+  /// Band widening (pp) estimates made against the current model carry.
+  [[nodiscard]] double staleness_widening_pp() const { return widening_pp_; }
+  [[nodiscard]] int batches_since_refit() const { return batches_since_refit_; }
+  [[nodiscard]] const DriftResponseConfig& config() const { return config_; }
+
+ private:
+  DriftResponseConfig config_;
+  DriftConfig drift_;
+  bool seen_batch_ = false;
+  double ewma_ = 0.0;
+  double cusum_ = 0.0;
+  int refit_streak_ = 0;
+  int cooldown_remaining_ = 0;
+  int batches_since_refit_ = 0;
+  double widening_pp_ = 0.0;
+};
+
+}  // namespace flare::core

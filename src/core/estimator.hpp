@@ -77,6 +77,12 @@ struct ReplayLedger {
   /// replayed cluster impacts) / 2 — the quarantined clusters could plausibly
   /// have landed anywhere in the observed range.
   double quarantine_widening_pp = 0.0;
+  /// Extra band width from model staleness: under the adaptive drift
+  /// response (core/drift_response.hpp) the pipeline stamps every estimate
+  /// with the staleness guard's current widening — the fitted model is this
+  /// many pp less trustworthy because the stream has drifted past its
+  /// batch-age budget. Exactly 0 with the response disabled or fresh models.
+  double staleness_widening_pp = 0.0;
   double simulated_seconds = 0.0;  ///< testbed time consumed (simulated clock)
 
   [[nodiscard]] double total_mass() const {

@@ -39,6 +39,7 @@ ReplayLedger combine_ledgers(const std::vector<double>& weights,
     out.pending_mass += w * l.pending_mass;
     out.measurement_uncertainty_pp += w * l.measurement_uncertainty_pp;
     out.quarantine_widening_pp += w * l.quarantine_widening_pp;
+    out.staleness_widening_pp += w * l.staleness_widening_pp;
     // Counters and costs are physical totals, not shares.
     out.clusters_direct += l.clusters_direct;
     out.clusters_fallback += l.clusters_fallback;

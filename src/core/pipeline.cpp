@@ -30,7 +30,8 @@ FlarePipeline::FlarePipeline(FlareConfig config, const dcsim::JobCatalog& catalo
                 dcsim::ReplayFaultModel(config_.replay_faults)),
       pool_(config_.threads != 1
                 ? std::make_unique<util::ThreadPool>(config_.threads)
-                : nullptr) {}
+                : nullptr),
+      response_(config_.drift_response, config_.drift) {}
 
 std::string_view to_string(PcaUpdatePolicy policy) {
   switch (policy) {
@@ -152,21 +153,30 @@ void FlarePipeline::rebase_tracked_pca() {
 FeatureEstimate FlarePipeline::evaluate(const Feature& feature) {
   ensure(fitted(), "FlarePipeline::evaluate: call fit() first");
   const FlareEstimator estimator(*analysis_, set_, replayer_);
-  return estimator.estimate(feature);
+  FeatureEstimate est = estimator.estimate(feature);
+  est.replay.staleness_widening_pp = response_.staleness_widening_pp();
+  return est;
 }
 
 ValidatedFeatureEstimate FlarePipeline::evaluate_with_validation(
     const Feature& feature) {
   ensure(fitted(), "FlarePipeline::evaluate_with_validation: call fit() first");
   const FlareEstimator estimator(*analysis_, set_, replayer_);
-  return estimator.estimate_with_validation(feature);
+  ValidatedFeatureEstimate out = estimator.estimate_with_validation(feature);
+  // Staleness guard: a model past its drift-rate-scaled batch-age budget
+  // reports a proportionally wider band (exactly +0.0 when fresh/disabled).
+  out.estimate.replay.staleness_widening_pp = response_.staleness_widening_pp();
+  out.uncertainty_pp += response_.staleness_widening_pp();
+  return out;
 }
 
 PerJobEstimate FlarePipeline::evaluate_per_job(const Feature& feature,
                                                dcsim::JobType job) {
   ensure(fitted(), "FlarePipeline::evaluate_per_job: call fit() first");
   const FlareEstimator estimator(*analysis_, set_, replayer_);
-  return estimator.estimate_per_job(feature, job);
+  PerJobEstimate est = estimator.estimate_per_job(feature, job);
+  est.replay.staleness_widening_pp = response_.staleness_widening_pp();
+  return est;
 }
 
 void FlarePipeline::apply_scheduler_change(const std::vector<double>& new_weights) {
@@ -234,7 +244,42 @@ IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
 
   const DriftMonitor monitor(*analysis_, config_.drift);
   report.drift = monitor.inspect(fresh_db);
+  report.cleaned_drift = report.drift;
   const linalg::Matrix fresh_raw = fresh_db.to_matrix();
+
+  // Anomaly-episode fencing (drift response, any RefitPolicy): a
+  // cluster-coherent clump of uncovered rows is one interference episode, not
+  // population drift. Fence it into the batch quarantine BEFORE the tracked
+  // basis folds the batch (so the episode cannot rotate the basis) and
+  // re-measure drift on the healthy remainder — the verdict the rest of
+  // ingest acts on must not be poisoned by the episode. The fenced weight is
+  // deliberately kept out of quarantined_weight_fraction: an episode is
+  // handled evidence, not measurement failure, and must not trip the
+  // quarantine refit escalation.
+  if (config_.drift_response.enabled) {
+    const EpisodeFence fence = detect_anomalous_episode(
+        *analysis_, stages::project_rows(*analysis_, fresh_raw), report.drift,
+        config_.drift_response);
+    if (fence.detected()) {
+      double fenced_weight = 0.0;
+      for (const std::size_t row : fence.rows) {
+        fenced_weight += fresh.scenarios[row].observation_weight;
+        batch_quarantined[row] = true;
+      }
+      report.response.episode_rows = fence.rows.size();
+      report.response.episode_weight_fraction =
+          batch_weight > 0.0 ? fenced_weight / batch_weight : 0.0;
+      report.response.episode_dispersion_ratio = fence.dispersion_ratio;
+      metrics::MetricDatabase healthy_db(fresh_db.catalog());
+      for (std::size_t i = 0; i < fresh.size(); ++i) {
+        if (!batch_quarantined[i]) healthy_db.add_row(fresh_db.row(i));
+      }
+      if (healthy_db.num_rows() > 0) {
+        // Note: cleaned_drift.uncovered_rows index the healthy sub-batch.
+        report.cleaned_drift = monitor.inspect(healthy_db);
+      }
+    }
+  }
 
   // Fold the batch into the tracked eigenbasis first — in the frozen fitted
   // frame (fitted refinement + standardizer), the coordinates the basis has
@@ -263,7 +308,7 @@ IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
     ++analysis_->stage_counters.pca_incremental;
   }
 
-  report.action = report.drift.verdict;
+  report.action = report.cleaned_drift.verdict;
   if (policy == RefitPolicy::kAlways) {
     report.action = DriftVerdict::kRefit;
   } else if (policy == RefitPolicy::kNever &&
@@ -290,6 +335,15 @@ IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
       policy != RefitPolicy::kNever && report.action != DriftVerdict::kRefit) {
     report.action = DriftVerdict::kRefit;
     report.quarantine_escalated = true;
+  }
+  // Adaptive response (kAuto only): the change-point detector decides whether
+  // the refit-worthy evidence is sustained (commit) or a transient burst
+  // (suppress to reweight), and the staleness guard updates the band
+  // widening. kAlways stays the always-refit baseline and kNever keeps its
+  // veto — neither advances the detector.
+  if (config_.drift_response.enabled && policy == RefitPolicy::kAuto) {
+    report.action =
+        response_.resolve(report.action, report.cleaned_drift, report.response);
   }
 
   // Grow the population. Observation weights for all accounting come from
@@ -373,6 +427,9 @@ IngestReport FlarePipeline::ingest(const dcsim::ScenarioSet& batch,
       }
       break;
     }
+  }
+  if (config_.drift_response.enabled && report.action == DriftVerdict::kRefit) {
+    response_.note_refit();
   }
   if (tracking) refresh_quarantine_ledger();
   return report;

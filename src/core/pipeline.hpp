@@ -12,6 +12,7 @@
 
 #include "core/analyzer.hpp"
 #include "core/drift.hpp"
+#include "core/drift_response.hpp"
 #include "core/estimator.hpp"
 #include "core/impact.hpp"
 #include "core/profiler.hpp"
@@ -56,6 +57,10 @@ struct FlareConfig {
   MetricSchema schema = MetricSchema::kStandard;
   /// Thresholds for the ingest-time drift classification (see core/drift.hpp).
   DriftConfig drift;
+  /// Adaptive response to non-stationary streams: change-point detection with
+  /// refit hysteresis, anomaly-episode quarantine, and the staleness guard
+  /// (off by default; see core/drift_response.hpp).
+  DriftResponseConfig drift_response;
   /// Ingest-time eigenbasis maintenance (see PcaUpdatePolicy).
   PcaUpdatePolicy pca_update = PcaUpdatePolicy::kRefit;
   /// Retry / deadline / noise-gate policy for testbed replays (step 4).
@@ -125,6 +130,15 @@ struct IngestReport {
   /// DriftConfig::quarantine_refit_fraction and forced a refit action
   /// (RefitPolicy::kNever vetoes; the telemetry still reports the breach).
   bool quarantine_escalated = false;
+
+  // --- Adaptive drift response (populated when drift_response.enabled) ---
+  /// Change-point / hysteresis / staleness / episode telemetry for this
+  /// batch (see core/drift_response.hpp). Default-valued when disabled.
+  DriftResponseReport response;
+  /// The drift report re-measured on the batch with the fenced episode rows
+  /// removed — the evidence the response policy acted on. Equals `drift`
+  /// when no episode was fenced.
+  DriftReport cleaned_drift;
 };
 
 class FlarePipeline {
@@ -180,6 +194,12 @@ class FlarePipeline {
   /// clock, and the per-replay health journal.
   [[nodiscard]] const Replayer& replayer() const { return replayer_; }
 
+  /// Band widening (pp) the staleness guard currently applies to every
+  /// estimate (0 unless drift_response.enabled and the model is stale).
+  [[nodiscard]] double staleness_widening_pp() const {
+    return response_.staleness_widening_pp();
+  }
+
  private:
   FlareConfig config_;
   dcsim::JobCatalog catalog_;
@@ -221,6 +241,8 @@ class FlarePipeline {
   /// Shadow eigenbasis advanced by ml::Pca::update on every ingested batch,
   /// expressed in the fitted (frozen) refinement + standardisation frame.
   ml::Pca tracked_pca_;
+  /// Adaptive drift response state (inert unless drift_response.enabled).
+  DriftResponsePolicy response_;
 };
 
 }  // namespace flare::core

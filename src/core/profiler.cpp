@@ -4,6 +4,7 @@
 #include <limits>
 #include <memory>
 
+#include "dcsim/dynamics.hpp"
 #include "stats/descriptive.hpp"
 #include "util/thread_pool.hpp"
 #include "util/error.hpp"
@@ -73,6 +74,12 @@ std::vector<double> read_sample(const dcsim::InterferenceModel& model,
       model.evaluate(machine, scenario.mix, stream);
   std::vector<double> sample = dcsim::synthesize_counters(
       perf, model.catalog(), plan.base_catalog, config.counters, stream);
+  // Dynamics tags (rolling-upgrade version shift, anomaly-episode
+  // corruption) distort the synthesized counters deterministically; untagged
+  // rows skip the overlay entirely and stay bit-identical.
+  if (scenario.dynamic_tagged()) {
+    dcsim::apply_dynamics_overlay(sample, plan.base_catalog, scenario);
+  }
   if (faults.active()) {
     faults.corrupt(sample, last_observed, scenario.mix.key(), sample_index,
                    attempt);
@@ -105,8 +112,11 @@ metrics::MetricRow profile_one(const dcsim::InterferenceModel& model,
           config.noise_stream, scenario.id * 1000 + static_cast<std::uint64_t>(s));
       const dcsim::ScenarioPerformance perf =
           model.evaluate(machine, scenario.mix, stream);
-      const std::vector<double> sample = dcsim::synthesize_counters(
+      std::vector<double> sample = dcsim::synthesize_counters(
           perf, model.catalog(), plan.base_catalog, config.counters, stream);
+      if (scenario.dynamic_tagged()) {
+        dcsim::apply_dynamics_overlay(sample, plan.base_catalog, scenario);
+      }
       for (std::size_t i = 0; i < sample.size(); ++i) per_metric[i].add(sample[i]);
     }
     health.valid_samples = config.samples_per_scenario;

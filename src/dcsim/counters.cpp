@@ -8,6 +8,7 @@
 #include "stats/rng.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
+#include "util/seed_stream.hpp"
 
 namespace flare::dcsim {
 namespace {
@@ -330,7 +331,7 @@ CounterFaultModel::CounterFaultModel(FaultOptions options)
 
 std::uint64_t CounterFaultModel::stream(std::string_view scenario_key,
                                         std::uint64_t salt) const {
-  return util::hash_mix(util::fnv1a(scenario_key, options_.seed), salt);
+  return util::derive_stream(scenario_key, options_.seed, salt);
 }
 
 bool CounterFaultModel::lose_row(std::string_view scenario_key) const {

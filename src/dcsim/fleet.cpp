@@ -129,6 +129,9 @@ FleetScenarioSet generate_fleet_scenario_set(const SubmissionConfig& config,
     // Decorrelate the shapes' arrival streams: each shape's scheduler sees
     // its own user population, not a replay of shape 0's.
     shaped.seed = config.seed + 0x9e3779b97f4a7c15ull * (i + 1);
+    // Shape-scoped dynamics: a generator naming another shape is disabled
+    // for this shape's submission loop (unscoped generators hit every shape).
+    shaped.dynamics = config.dynamics.for_shape(pop.machine.name);
     SubmissionStats shape_stats;
     out.per_shape.push_back(generate_scenario_set(
         shaped, pop.machine, catalog, stats != nullptr ? &shape_stats : nullptr));

@@ -18,6 +18,12 @@ struct JobProfile {
   JobType type = JobType::kDataAnalytics;
   bool high_priority = true;
 
+  /// Software generation of this profile. 1 = the calibrated baseline below;
+  /// rolling-upgrade dynamics migrate machines to higher versions whose
+  /// counter behaviours shift deterministically (dcsim/dynamics.hpp
+  /// upgraded_profile / apply_dynamics_overlay).
+  int version = 1;
+
   /// Table 3 deployment blurb (threads, heap sizes, target QPS, ...).
   std::string configuration;
 

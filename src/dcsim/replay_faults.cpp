@@ -6,6 +6,7 @@
 #include "stats/rng.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
+#include "util/seed_stream.hpp"
 
 namespace flare::dcsim {
 
@@ -45,7 +46,7 @@ ReplayFaultModel::ReplayFaultModel(ReplayFaultOptions options)
 
 std::uint64_t ReplayFaultModel::stream(std::string_view scenario_key,
                                        std::uint64_t salt) const {
-  return util::hash_mix(util::fnv1a(scenario_key, options_.seed), salt);
+  return util::derive_stream(scenario_key, options_.seed, salt);
 }
 
 bool ReplayFaultModel::lose_machine(std::string_view scenario_key) const {

@@ -48,6 +48,26 @@ struct ColocationScenario {
   JobMix mix;
   double observation_weight = 1.0;
   std::string machine_type = "default";
+
+  // --- Non-stationarity tags (dcsim/dynamics.hpp; defaults = stationary).
+  // A row whose tags differ from these defaults was observed under a rolling
+  // upgrade or an anomalous co-location episode; the Profiler overlays the
+  // corresponding counter distortion deterministically from the tags, so a
+  // tagged trace round-trips to bit-identical metric rows.
+  /// Job-profile version the submitting machine ran (1 = baseline).
+  int profile_version = 1;
+  /// Log-scale counter-shift magnitude for version ≥ 2 rows.
+  double profile_shift = 0.0;
+  /// Anomaly episode id (1-based; 0 = unaffected). Rows sharing an id were
+  /// corrupted together — the cluster-coherent unit quarantine fences.
+  std::uint32_t anomaly_episode = 0;
+  /// Log-scale corruption magnitude of that episode.
+  double anomaly_intensity = 0.0;
+
+  /// Any tag off its stationary default?
+  [[nodiscard]] bool dynamic_tagged() const {
+    return profile_version != 1 || anomaly_episode != 0;
+  }
 };
 
 /// The profiled population of scenarios for one machine shape.

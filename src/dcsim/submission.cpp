@@ -6,6 +6,7 @@
 
 #include "stats/rng.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace flare::dcsim {
 namespace {
@@ -22,20 +23,33 @@ struct Departure {
   }
 };
 
-/// Accumulates observed machine-time per distinct mix.
+/// Accumulates observed machine-time per distinct (mix, dynamics-tag) row.
 class ScenarioRecorder {
  public:
-  /// Credits `mix` with `duration` hours of observation.
-  void observe(const JobMix& mix, double duration) {
+  /// Credits `mix` with `duration` hours of observation under the given
+  /// dynamics tags. The dedup key extends the mix key only for non-default
+  /// tags, so stationary runs record exactly the historical scenario rows —
+  /// while a mix observed both inside and outside an anomaly episode (or on
+  /// upgraded vs. baseline machines) becomes distinct rows, which is what
+  /// lets the analysis see the episode as a coherent group.
+  void observe(const JobMix& mix, double duration, int profile_version = 1,
+               double profile_shift = 0.0,
+               DynamicsPlan::AnomalyTag anomaly = {}) {
     if (duration <= 0.0 || mix.empty()) return;
     if (mix.hp_instances() == 0) return;  // performance is defined on HP jobs
-    const std::string key = mix.key();
+    std::string key = mix.key();
+    if (profile_version != 1) key += "|v" + std::to_string(profile_version);
+    if (anomaly.episode != 0) key += "|a" + std::to_string(anomaly.episode);
     auto [it, inserted] = index_.try_emplace(key, scenarios_.size());
     if (inserted) {
       ColocationScenario s;
       s.id = scenarios_.size();
       s.mix = mix;
       s.observation_weight = duration;
+      s.profile_version = profile_version;
+      s.profile_shift = profile_version != 1 ? profile_shift : 0.0;
+      s.anomaly_episode = anomaly.episode;
+      s.anomaly_intensity = anomaly.episode != 0 ? anomaly.intensity : 0.0;
       scenarios_.push_back(std::move(s));
     } else {
       scenarios_[it->second].observation_weight += duration;
@@ -84,22 +98,44 @@ ScenarioSet generate_scenario_set(const SubmissionConfig& config,
   Scheduler scheduler(machine, config.num_machines, catalog, config.policy);
   ScenarioRecorder recorder;
 
+  // Non-stationarity plan: episode schedules come from a dedicated RNG, so
+  // with every generator disabled the main arrival stream below is
+  // bit-identical to the stationary simulator.
+  const DynamicsPlan plan(config.dynamics, config.num_machines,
+                          config.max_sim_hours);
+  const bool dynamic = plan.active();
+  const auto abs_hour = [&config](double t) {
+    return config.dynamics.start_hour + t;
+  };
+
   // Per-machine observation bookkeeping: when a machine's mix changes we
-  // credit the old mix with the elapsed interval.
+  // credit the old mix with the elapsed interval, tagged with the dynamics
+  // state at the interval's start.
   std::vector<double> interval_start(static_cast<std::size_t>(config.num_machines), 0.0);
   std::vector<JobMix> current_mix(static_cast<std::size_t>(config.num_machines));
+  std::vector<int> interval_version(static_cast<std::size_t>(config.num_machines), 1);
+  std::vector<DynamicsPlan::AnomalyTag> interval_anomaly(
+      static_cast<std::size_t>(config.num_machines));
 
   auto on_mix_change = [&](int machine_id, double now) {
     const auto idx = static_cast<std::size_t>(machine_id);
-    recorder.observe(current_mix[idx], now - interval_start[idx]);
+    recorder.observe(current_mix[idx], now - interval_start[idx],
+                     interval_version[idx], plan.profile_shift(),
+                     interval_anomaly[idx]);
     current_mix[idx] = scheduler.machine(machine_id).mix;
     interval_start[idx] = now;
+    if (dynamic) {
+      interval_version[idx] = plan.profile_version(abs_hour(now), machine_id);
+      interval_anomaly[idx] = plan.anomaly_at(abs_hour(now), machine_id);
+    }
   };
 
   std::priority_queue<Departure, std::vector<Departure>, std::greater<>> departures;
   std::uint64_t seq = 0;
   double now = 0.0;
-  double next_arrival = rng.exponential(config.arrivals_per_hour);
+  double arrival_rate = config.arrivals_per_hour;
+  if (dynamic) arrival_rate *= plan.arrival_factor(abs_hour(0.0));
+  double next_arrival = rng.exponential(arrival_rate);
   std::size_t submissions = 0;
   double occupancy_time_integral = 0.0;  // ∫ busy_vcpus dt
   double last_event_time = 0.0;
@@ -127,18 +163,29 @@ ScenarioSet generate_scenario_set(const SubmissionConfig& config,
 
     account_occupancy(next_arrival);
     now = next_arrival;
-    next_arrival = now + rng.exponential(config.arrivals_per_hour);
+    arrival_rate = config.arrivals_per_hour;
+    if (dynamic) arrival_rate *= plan.arrival_factor(abs_hour(now));
+    next_arrival = now + rng.exponential(arrival_rate);
     ++submissions;
 
-    // Draw the job: priority class, type, scale-out width, duration.
-    const bool hp = rng.uniform() < config.hp_fraction;
+    // Draw the job: priority class, type, scale-out width, duration — the
+    // class and duration modulated by the diurnal cycle / flash short-job
+    // skew when dynamics run (both collapse to the stationary constants
+    // otherwise, keeping the draw stream bit-identical).
+    double hp_fraction = config.hp_fraction;
+    double mean_extra = config.mean_extra_duration_hours;
+    if (dynamic) {
+      hp_fraction = plan.hp_fraction(abs_hour(now), config.hp_fraction);
+      mean_extra *= plan.duration_scale(abs_hour(now));
+    }
+    const bool hp = rng.uniform() < hp_fraction;
     const JobType type =
         hp ? static_cast<JobType>(rng.weighted_index(hp_weights))
            : static_cast<JobType>(kNumHpJobTypes + rng.weighted_index(lp_weights));
     const int instances = static_cast<int>(rng.uniform_int(
         1, static_cast<std::uint64_t>(config.max_instances_per_submission)));
     const double duration =
-        config.min_duration_hours + rng.exponential(1.0 / config.mean_extra_duration_hours);
+        config.min_duration_hours + rng.exponential(1.0 / mean_extra);
 
     for (int i = 0; i < instances; ++i) {
       const std::optional<int> placed = scheduler.place(type);
@@ -150,8 +197,10 @@ ScenarioSet generate_scenario_set(const SubmissionConfig& config,
 
   // Close the books on every machine's final interval.
   for (int m = 0; m < config.num_machines; ++m) {
-    recorder.observe(current_mix[static_cast<std::size_t>(m)],
-                     now - interval_start[static_cast<std::size_t>(m)]);
+    const auto idx = static_cast<std::size_t>(m);
+    recorder.observe(current_mix[idx], now - interval_start[idx],
+                     interval_version[idx], plan.profile_shift(),
+                     interval_anomaly[idx]);
   }
   account_occupancy(now);
 
@@ -173,6 +222,30 @@ ScenarioSet generate_scenario_set(const SubmissionConfig& config,
   // persists the per-row tag, and the sharded data plane routes on it.
   for (ColocationScenario& s : set.scenarios) s.machine_type = machine.name;
   return set;
+}
+
+ScenarioSet generate_dynamics_batch(const SubmissionConfig& config,
+                                    const MachineConfig& machine,
+                                    const WorkloadDynamics& dynamics, int index,
+                                    double window_hours,
+                                    std::size_t target_scenarios,
+                                    const JobCatalog& catalog,
+                                    SubmissionStats* stats) {
+  ensure(index >= 0, "generate_dynamics_batch: index must be >= 0");
+  ensure(window_hours > 0.0, "generate_dynamics_batch: need a positive window");
+  ensure(target_scenarios > 0, "generate_dynamics_batch: need a target");
+  SubmissionConfig windowed = config;
+  windowed.dynamics = dynamics;
+  // Episode schedules key off dynamics.seed and absolute time, so advancing
+  // start_hour continues the same timeline; the arrival stream decorrelates
+  // per window (new users arrive, the dynamics persist).
+  windowed.dynamics.start_hour =
+      dynamics.start_hour + static_cast<double>(index) * window_hours;
+  windowed.seed =
+      util::hash_mix(config.seed, static_cast<std::uint64_t>(index) + 1);
+  windowed.max_sim_hours = window_hours;
+  windowed.target_distinct_scenarios = target_scenarios;
+  return generate_scenario_set(windowed, machine, catalog, stats);
 }
 
 }  // namespace flare::dcsim

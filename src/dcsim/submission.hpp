@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dcsim/dynamics.hpp"
 #include "dcsim/machine_config.hpp"
 #include "dcsim/scenario.hpp"
 #include "dcsim/scheduler.hpp"
@@ -38,6 +39,11 @@ struct SubmissionConfig {
   std::vector<double> lp_type_weights;
 
   PlacementPolicy policy = PlacementPolicy::kLeastUtilized;
+
+  /// Non-stationarity layer (dcsim/dynamics.hpp). All generators default to
+  /// disabled, in which case the event loop consumes the exact same RNG
+  /// stream as the stationary simulator — traces stay bit-identical.
+  WorkloadDynamics dynamics;
 };
 
 struct SubmissionStats {
@@ -56,5 +62,17 @@ struct SubmissionStats {
                                                 const JobCatalog& catalog =
                                                     default_job_catalog(),
                                                 SubmissionStats* stats = nullptr);
+
+/// One streaming window of a non-stationary trace: batch `index` simulates
+/// absolute hours [dynamics.start_hour + index·window_hours, +window_hours)
+/// under `dynamics` (episode schedules and the upgrade cutover continue
+/// across windows), with a per-window decorrelated arrival seed derived from
+/// config.seed and the window index.
+[[nodiscard]] ScenarioSet generate_dynamics_batch(
+    const SubmissionConfig& config, const MachineConfig& machine,
+    const WorkloadDynamics& dynamics, int index, double window_hours,
+    std::size_t target_scenarios,
+    const JobCatalog& catalog = default_job_catalog(),
+    SubmissionStats* stats = nullptr);
 
 }  // namespace flare::dcsim

@@ -135,8 +135,9 @@ void Daemon::push_response(std::uint64_t conn_id, ResponseFrame response) {
 }
 
 void Daemon::publish_snapshot() {
-  auto snapshot = std::make_shared<const ModelSnapshot>(ModelSnapshot{
-      epoch_.load(), pipeline_.scenario_set(), pipeline_.analysis()});
+  auto snapshot = std::make_shared<const ModelSnapshot>(
+      ModelSnapshot{epoch_.load(), pipeline_.scenario_set(),
+                    pipeline_.analysis(), pipeline_.staleness_widening_pp()});
   std::lock_guard<std::mutex> lock(snapshot_mutex_);
   snapshot_ = std::move(snapshot);
 }
@@ -168,7 +169,21 @@ std::string Daemon::status_payload() {
       << "ingest_requests=" << stats.ingest_requests << '\n'
       << "coalesced_groups=" << stats.coalesced_groups << '\n'
       << "max_coalesced_batches=" << stats.max_coalesced_batches << '\n'
-      << "unacknowledged_groups=" << start_report_.unacknowledged.size() << '\n';
+      << "unacknowledged_groups=" << start_report_.unacknowledged.size() << '\n'
+      << "actions_valid=" << stats.actions_valid << '\n'
+      << "actions_reweight=" << stats.actions_reweight << '\n'
+      << "actions_refit=" << stats.actions_refit << '\n'
+      << "refits_suppressed=" << stats.refits_suppressed << '\n'
+      << "episodes_quarantined=" << stats.episodes_quarantined << '\n'
+      << "episode_rows_quarantined=" << stats.episode_rows_quarantined << '\n'
+      << "rows_quarantined=" << stats.rows_quarantined << '\n'
+      << "last_verdict=" << stats.last_verdict << '\n'
+      << "last_action=" << stats.last_action << '\n'
+      << "last_regime=" << stats.last_regime << '\n'
+      << "last_drift_statistic="
+      << util::format_double_exact(stats.last_drift_statistic) << '\n'
+      << "staleness_widening_pp="
+      << util::format_double_exact(stats.staleness_widening_pp) << '\n';
   return out.str();
 }
 
@@ -343,6 +358,22 @@ void Daemon::ingest_loop() {
       ++stats_.coalesced_groups;
       stats_.max_coalesced_batches =
           std::max<std::uint64_t>(stats_.max_coalesced_batches, batches.size());
+      switch (report.action) {
+        case core::DriftVerdict::kValid: ++stats_.actions_valid; break;
+        case core::DriftVerdict::kReweight: ++stats_.actions_reweight; break;
+        case core::DriftVerdict::kRefit: ++stats_.actions_refit; break;
+      }
+      if (report.response.refit_suppressed) ++stats_.refits_suppressed;
+      if (report.response.episode_rows > 0) {
+        ++stats_.episodes_quarantined;
+        stats_.episode_rows_quarantined += report.response.episode_rows;
+      }
+      stats_.rows_quarantined += report.rows_quarantined;
+      stats_.last_verdict = core::to_string(report.cleaned_drift.verdict);
+      stats_.last_action = core::to_string(report.action);
+      stats_.last_regime = core::to_string(report.response.regime);
+      stats_.last_drift_statistic = report.response.statistic;
+      stats_.staleness_widening_pp = report.response.staleness_widening_pp;
     }
 
     std::ostringstream ack;
@@ -390,8 +421,14 @@ void Daemon::eval_loop() {
         const core::Feature feature = core::parse_feature(*spec);
         const bool validate = kv_get(kv, "validate").value_or("0") == "1";
         if (validate) {
-          const core::ValidatedFeatureEstimate est =
+          core::ValidatedFeatureEstimate est =
               estimator.estimate_with_validation(feature);
+          // The snapshot carries the staleness widening the resident
+          // pipeline reported when it was published — the band served to
+          // clients reflects the model's batch-age, not just replay noise.
+          est.estimate.replay.staleness_widening_pp =
+              snap->staleness_widening_pp;
+          est.uncertainty_pp += snap->staleness_widening_pp;
           out << "feature=" << est.estimate.feature_name << '\n'
               << "impact_pct="
               << util::format_double_exact(est.estimate.impact_pct) << '\n'

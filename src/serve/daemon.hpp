@@ -74,6 +74,27 @@ struct DaemonStats {
   std::uint64_t ingest_requests = 0;   ///< ingest frames admitted
   std::uint64_t coalesced_groups = 0;  ///< ingest passes actually executed
   std::uint64_t max_coalesced_batches = 0;  ///< largest single coalescing
+
+  // --- Drift / refit / quarantine telemetry (cumulative across coalesced
+  // ingest groups; the `status` verb reports every field as a kv pair) ---
+  std::uint64_t actions_valid = 0;     ///< ingests absorbed without re-running
+  std::uint64_t actions_reweight = 0;  ///< ingests that refreshed weights/reps
+  std::uint64_t actions_refit = 0;     ///< ingests that refitted the model
+  /// Refit proposals the adaptive response downgraded to reweight
+  /// (hysteresis / unconfirmed change-point).
+  std::uint64_t refits_suppressed = 0;
+  /// Anomaly episodes fenced by the episode quarantine, and the rows they
+  /// carried.
+  std::uint64_t episodes_quarantined = 0;
+  std::uint64_t episode_rows_quarantined = 0;
+  /// Batch rows quarantined for measurement health (below sample quorum).
+  std::uint64_t rows_quarantined = 0;
+  // Last-ingest verdict telemetry ("" / 0 until the first coalesced group).
+  std::string last_verdict;   ///< drift verdict of the last ingested group
+  std::string last_action;    ///< action actually taken on it
+  std::string last_regime;    ///< response regime (stable/burst/shift)
+  double last_drift_statistic = 0.0;
+  double staleness_widening_pp = 0.0;  ///< current staleness band widening
 };
 
 /// What construction-time recovery found.

@@ -1,6 +1,6 @@
 #include "serve/service_faults.hpp"
 
-#include "util/hash.hpp"
+#include "util/seed_stream.hpp"
 
 namespace flare::serve {
 
@@ -14,10 +14,9 @@ ServiceFaultModel::ServiceFaultModel(ServiceFaultOptions options)
 double ServiceFaultModel::uniform(std::string_view client_key,
                                   std::uint64_t request_index,
                                   std::uint64_t salt) const {
-  std::uint64_t h = util::fnv1a(client_key, options_.seed ^ salt);
-  h = util::hash_mix(h, request_index);
-  // Top 53 bits -> uniform double in [0, 1).
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
+  // Top 53 bits of the derived stream -> uniform double in [0, 1).
+  return util::uniform_from_stream(
+      util::derive_stream(client_key, options_.seed ^ salt, request_index));
 }
 
 ClientFaultKind ServiceFaultModel::client_fault(std::string_view client_key,

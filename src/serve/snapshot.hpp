@@ -21,6 +21,10 @@ struct ModelSnapshot {
   std::uint64_t epoch = 0;
   dcsim::ScenarioSet set;
   core::AnalysisResult analysis;
+  /// Staleness band widening (pp) the pipeline's drift response carried when
+  /// this snapshot was published — evaluations served from the snapshot add
+  /// it to their uncertainty band (0 with the response disabled).
+  double staleness_widening_pp = 0.0;
 };
 
 }  // namespace flare::serve

@@ -1,0 +1,202 @@
+// CLI contract tests for the non-stationarity knobs: `--dynamics` flag
+// contradictions (missing seed source, shape scopes outside the --shapes
+// fleet) and `--drift-response` spec errors must all surface as positioned
+// ParseErrors (exit code 2) naming the offending flag/entry, never as
+// silent acceptance or a generic failure.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+namespace flare::cli {
+namespace {
+
+int run(std::initializer_list<const char*> argv,
+        std::string* out_text = nullptr, std::string* err_text = nullptr) {
+  std::vector<const char*> v = {"flare"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  std::ostringstream out, err;
+  const int code = run_cli(static_cast<int>(v.size()), v.data(), out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return code;
+}
+
+class DynamicsArgsTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    std::remove(scenarios_.c_str());
+    std::remove(batch_.c_str());
+  }
+  std::string stem_ =
+      ::testing::TempDir() + "/dynargs_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name();
+  std::string scenarios_ = stem_ + "_scenarios.csv";
+  std::string batch_ = stem_ + "_batch.csv";
+};
+
+TEST_F(DynamicsArgsTest, DynamicsWithoutSeedSourceIsRejected) {
+  std::string err;
+  EXPECT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--dynamics",
+                 "diurnal:amp=0.3"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("no seed source"), std::string::npos) << err;
+  EXPECT_NE(err.find("--dynamics"), std::string::npos) << err;
+}
+
+TEST_F(DynamicsArgsTest, ExplicitSeedOrDynamicsSeedSatisfiesTheContract) {
+  EXPECT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--scenarios", "40",
+                 "--seed", "9", "--dynamics", "diurnal:amp=0.3"}),
+            0);
+  EXPECT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--scenarios", "40",
+                 "--dynamics-seed", "17", "--dynamics", "diurnal:amp=0.3"}),
+            0);
+}
+
+TEST_F(DynamicsArgsTest, ShapeScopedDynamicsWithoutShapesIsRejected) {
+  std::string err;
+  EXPECT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--seed", "9",
+                 "--dynamics", "flash:shape=small"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("shape 'small'"), std::string::npos) << err;
+  EXPECT_NE(err.find("no --shapes fleet"), std::string::npos) << err;
+}
+
+TEST_F(DynamicsArgsTest, ScopeNamingAShapeOutsideTheFleetIsRejected) {
+  std::string err;
+  EXPECT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--seed", "9",
+                 "--shapes", "default:2,small:2", "--dynamics",
+                 "anomaly:shape=dense"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("shape 'dense'"), std::string::npos) << err;
+  EXPECT_NE(err.find("not in the --shapes fleet"), std::string::npos) << err;
+  EXPECT_NE(err.find("default|small"), std::string::npos) << err;
+}
+
+TEST_F(DynamicsArgsTest, MalformedDynamicsSpecNamesTheOffendingToken) {
+  std::string err;
+  EXPECT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--seed", "9",
+                 "--dynamics", "flash:rate=soon"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("offending token 'soon'"), std::string::npos) << err;
+}
+
+TEST_F(DynamicsArgsTest, DynamicsSubFlagsRequireDynamics) {
+  std::string err;
+  EXPECT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--dynamics-seed",
+                 "5"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("--dynamics-seed requires --dynamics"),
+            std::string::npos)
+      << err;
+  EXPECT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--dynamics-start",
+                 "10"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("--dynamics-start requires --dynamics"),
+            std::string::npos)
+      << err;
+}
+
+TEST_F(DynamicsArgsTest, DriftResponseSpecErrorsNameTheEntry) {
+  ASSERT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--scenarios", "60",
+                 "--seed", "11"}),
+            0);
+  ASSERT_EQ(run({"simulate", "--out", batch_.c_str(), "--scenarios", "30",
+                 "--seed", "12"}),
+            0);
+
+  std::string err;
+  EXPECT_EQ(run({"ingest", "--scenarios", scenarios_.c_str(), "--batch",
+                 batch_.c_str(), "--drift-response", "confirm=maybe"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("in --drift-response entry 'confirm=maybe'"),
+            std::string::npos)
+      << err;
+
+  EXPECT_EQ(run({"ingest", "--scenarios", scenarios_.c_str(), "--batch",
+                 batch_.c_str(), "--drift-response", "ewma=0.3,turbo=1"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("unknown key 'turbo'"), std::string::npos) << err;
+
+  EXPECT_EQ(run({"ingest", "--scenarios", scenarios_.c_str(), "--batch",
+                 batch_.c_str(), "--drift-response", "ewma=2"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("ewma must be in (0, 1]"), std::string::npos) << err;
+
+  EXPECT_EQ(run({"ingest", "--scenarios", scenarios_.c_str(), "--batch",
+                 batch_.c_str(), "--drift-response", "min-rows=1"},
+                nullptr, &err),
+            2);
+  EXPECT_NE(err.find("min-rows must be >= 2"), std::string::npos) << err;
+}
+
+TEST_F(DynamicsArgsTest, DriftResponseOnOffAndKnobsAreAccepted) {
+  // 120 distinct scenarios keeps the base PCA fit overdetermined (the
+  // standard schema has 122 columns).
+  ASSERT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--scenarios", "120",
+                 "--seed", "11"}),
+            0);
+  ASSERT_EQ(run({"simulate", "--out", batch_.c_str(), "--scenarios", "30",
+                 "--seed", "12"}),
+            0);
+
+  std::string out;
+  ASSERT_EQ(run({"ingest", "--scenarios", scenarios_.c_str(), "--batch",
+                 batch_.c_str(), "--drift-response", "on"},
+                &out),
+            0);
+  EXPECT_NE(out.find("response: regime"), std::string::npos) << out;
+
+  // "off" and an absent flag keep the historical output shape (no response
+  // telemetry line).
+  ASSERT_EQ(run({"ingest", "--scenarios", scenarios_.c_str(), "--batch",
+                 batch_.c_str(), "--drift-response", "off"},
+                &out),
+            0);
+  EXPECT_EQ(out.find("response: regime"), std::string::npos) << out;
+
+  ASSERT_EQ(run({"ingest", "--scenarios", scenarios_.c_str(), "--batch",
+                 batch_.c_str(), "--drift-response",
+                 "ewma=0.5,confirm=3,cooldown=2,cusum-ref=0.8,cusum=3,"
+                 "budget=8,widen=0.25,widen-cap=2,coherence=0.4,min-rows=5,"
+                 "separation=1.5"},
+                &out),
+            0);
+  EXPECT_NE(out.find("response: regime"), std::string::npos) << out;
+}
+
+TEST_F(DynamicsArgsTest, SimulateReportsTaggedScenarioCount) {
+  std::string out;
+  ASSERT_EQ(run({"simulate", "--out", scenarios_.c_str(), "--scenarios", "40",
+                 "--seed", "11", "--dynamics",
+                 "upgrade:at=0:frac=1:shift=0.3"},
+                &out),
+            0);
+  const std::size_t line = out.find("dynamics: ");
+  ASSERT_NE(line, std::string::npos) << out;
+  // at=0, frac=1: every machine migrated before the first arrival — every
+  // archived scenario must be tagged, so the line reads "N of N".
+  std::size_t tagged = 0, total = 0;
+  ASSERT_EQ(std::sscanf(out.c_str() + line,
+                        "dynamics: %zu of %zu scenarios", &tagged, &total),
+            2)
+      << out;
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(tagged, total);
+}
+
+}  // namespace
+}  // namespace flare::cli

@@ -1,0 +1,203 @@
+// Long-horizon drift properties (ctest -L drift, dual-labelled property):
+// ≥50 batches from EVERY generator streamed through FlarePipeline::ingest
+// with the adaptive response on, certifying
+//   (a) QuarantineLedger mass conservation at every batch — no observation
+//       weight is ever silently lost, whatever the stream does;
+//   (b) co-membership ≥ 0.8 against an oracle cold refit at low drift rates
+//       — the adaptive policy's cheap actions do not quietly degrade the
+//       clustering the estimates hang off;
+//   (c) monotone commit epochs under `flare serve` — every coalesced group
+//       of a non-stationary stream commits at a strictly increasing epoch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/pipeline.hpp"
+#include "dcsim/dynamics.hpp"
+#include "tests/drift/drift_env.hpp"
+
+namespace flare::core {
+namespace {
+
+using drift_testing::anomaly_dynamics;
+using drift_testing::base_population;
+using drift_testing::diurnal_dynamics;
+using drift_testing::drift_flare_config;
+using drift_testing::flash_dynamics;
+using drift_testing::kWindowHours;
+using drift_testing::stream_window;
+using drift_testing::upgrade_dynamics;
+
+constexpr int kLongHorizonBatches = 50;
+/// Smaller windows keep the 4 × 50-batch sweep inside a unit-test budget.
+constexpr std::size_t kRowsPerBatch = 10;
+
+/// Ledger mass conservation + population bookkeeping after one ingest.
+void expect_conserved(const FlarePipeline& pipeline, int batch) {
+  const dcsim::ScenarioSet& population = pipeline.scenario_set();
+  const std::size_t n = population.size();
+  ASSERT_EQ(pipeline.database().num_rows(), n) << "batch " << batch;
+  ASSERT_EQ(pipeline.quarantined().size(), n) << "batch " << batch;
+  ASSERT_EQ(pipeline.analysis().clustering.assignment.size(), n)
+      << "batch " << batch;
+
+  double weight_sum = 0.0;
+  for (const double w : pipeline.analysis().cluster_weights) weight_sum += w;
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9) << "batch " << batch;
+
+  const QuarantineLedger& ledger = pipeline.analysis().quarantine;
+  if (ledger.quarantined_rows.empty() && ledger.total_weight == 0.0) {
+    return;  // clean population: no ledger is kept
+  }
+  double total = 0.0;
+  double quarantined = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double w = population.scenarios[r].observation_weight;
+    total += w;
+    if (pipeline.quarantined()[r]) quarantined += w;
+  }
+  EXPECT_NEAR(ledger.total_weight, total, 1e-9 * std::max(1.0, total))
+      << "batch " << batch;
+  EXPECT_NEAR(ledger.quarantined_weight, quarantined,
+              1e-9 * std::max(1.0, quarantined))
+      << "batch " << batch;
+  EXPECT_LE(ledger.quarantined_fraction(), 1.0) << "batch " << batch;
+}
+
+/// Streams `batches` windows of `dynamics` through a fresh adaptive
+/// pipeline, checking conservation at every batch. Returns the pipeline for
+/// further inspection.
+void run_long_horizon(const dcsim::WorkloadDynamics& dynamics,
+                      const char* name) {
+  SCOPED_TRACE(name);
+  FlarePipeline pipeline(drift_flare_config());
+  pipeline.fit(base_population());
+  std::size_t expected_rows = base_population().size();
+  int batches_since_refit = 0;
+  for (int b = 0; b < kLongHorizonBatches; ++b) {
+    const dcsim::ScenarioSet batch = stream_window(dynamics, b, kRowsPerBatch);
+    const IngestReport report = pipeline.ingest(batch);
+    // Every batch row lands in the population — quarantined rows included
+    // (they keep their slot; only their weight is fenced).
+    EXPECT_EQ(report.appended, batch.size());
+    expected_rows += batch.size();
+    ASSERT_EQ(pipeline.scenario_set().size(), expected_rows);
+    expect_conserved(pipeline, b);
+    // The response's batch-age gauge advances by one per batch; a committed
+    // refit reports the age it fired at, then resets for the next batch.
+    ++batches_since_refit;
+    EXPECT_EQ(report.response.batches_since_refit, batches_since_refit)
+        << name << " " << b;
+    if (report.action == DriftVerdict::kRefit) batches_since_refit = 0;
+    EXPECT_GE(report.response.staleness_widening_pp, 0.0);
+    EXPECT_LE(report.response.staleness_widening_pp,
+              pipeline.config().drift_response.staleness_widening_cap_pp);
+  }
+  // The whole stream landed in the population.
+  EXPECT_GT(pipeline.scenario_set().size(), base_population().size());
+}
+
+TEST(DriftLongHorizon, DiurnalStreamConservesLedgerMass) {
+  run_long_horizon(diurnal_dynamics(), "diurnal");
+}
+
+TEST(DriftLongHorizon, FlashCrowdStreamConservesLedgerMass) {
+  run_long_horizon(flash_dynamics(), "flash");
+}
+
+TEST(DriftLongHorizon, RollingUpgradeStreamConservesLedgerMass) {
+  run_long_horizon(upgrade_dynamics(/*at_hours=*/20 * kWindowHours), "upgrade");
+}
+
+TEST(DriftLongHorizon, AnomalyStreamConservesLedgerMass) {
+  run_long_horizon(anomaly_dynamics(), "anomaly");
+}
+
+// --- (b) co-membership vs an oracle refit at low drift ---------------------
+
+/// Fraction of row pairs two clusterings agree on about co-membership
+/// (permutation-invariant; sampled stride keeps it O(n²/s²)).
+double co_membership_agreement(const std::vector<std::size_t>& a,
+                               const std::vector<std::size_t>& b) {
+  std::size_t agree = 0, pairs = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      ++pairs;
+      if ((a[i] == a[j]) == (b[i] == b[j])) ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(pairs);
+}
+
+TEST(DriftLongHorizon, LowDriftCoMembershipMatchesOracleRefit) {
+  // A gentle diurnal stream: drift stays low, so the adaptive policy mostly
+  // absorbs batches with cheap kValid/kReweight actions. The whole run is
+  // seeded end to end, so the agreement below is a deterministic value, not
+  // a flaky sample.
+  const dcsim::WorkloadDynamics dynamics = diurnal_dynamics(/*amplitude=*/0.05);
+  FlarePipeline adaptive(drift_flare_config());
+  adaptive.fit(base_population());
+  for (int b = 0; b < kLongHorizonBatches; ++b) {
+    (void)adaptive.ingest(stream_window(dynamics, b, kRowsPerBatch));
+  }
+
+  // Oracle: a cold fit over the exact same grown population (profiles are a
+  // pure function of the scenario rows, so both see identical raw metrics).
+  FlarePipeline oracle(drift_flare_config());
+  oracle.fit(adaptive.scenario_set());
+
+  const double agreement =
+      co_membership_agreement(adaptive.analysis().clustering.assignment,
+                              oracle.analysis().clustering.assignment);
+  EXPECT_GE(agreement, 0.8) << "adaptive clustering diverged from the oracle";
+}
+
+}  // namespace
+}  // namespace flare::core
+
+// --- (c) monotone commit epochs under serve --------------------------------
+
+#include "util/socket.hpp"  // defines FLARE_HAVE_UNIX_SOCKETS on POSIX
+
+#ifdef FLARE_HAVE_UNIX_SOCKETS
+
+#include "serve/client.hpp"
+#include "tests/serve/serve_env.hpp"
+#include "trace/scenario_io.hpp"
+
+namespace flare::serve {
+namespace {
+
+TEST(DriftLongHorizon, ServeCommitEpochsAreStrictlyMonotone) {
+  testing::TempTree tree("drift_serve_epochs");
+  DaemonConfig config = testing::daemon_config(tree);
+  config.flare.drift_response.enabled = true;
+  testing::DaemonRunner runner(config, drift_testing::base_population());
+  ServeClient client = runner.client();
+
+  const dcsim::WorkloadDynamics dynamics = drift_testing::anomaly_dynamics();
+  std::uint64_t last_epoch =
+      client.call(make_status_request()).epoch;
+  for (int b = 0; b < 8; ++b) {
+    const dcsim::ScenarioSet batch =
+        drift_testing::stream_window(dynamics, b, 10);
+    const ResponseFrame ack = client.call(
+        make_ingest_request(trace::scenario_set_to_csv(batch)));
+    ASSERT_EQ(ack.outcome, Outcome::kOk) << "batch " << b;
+    // Every coalesced commit publishes at a strictly larger epoch — the
+    // anytime guarantee evaluations hang off, drift or not.
+    EXPECT_GT(ack.epoch, last_epoch) << "batch " << b;
+    last_epoch = ack.epoch;
+  }
+
+  runner.stop();
+  testing::expect_fully_accounted(runner.daemon().stats_snapshot());
+}
+
+}  // namespace
+}  // namespace flare::serve
+
+#endif  // FLARE_HAVE_UNIX_SOCKETS

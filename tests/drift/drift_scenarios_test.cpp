@@ -1,0 +1,159 @@
+// Acceptance scenarios for the adaptive drift response under the four
+// non-stationary generators (ISSUE 10 / DESIGN.md §17):
+//   * flash crowds — transient bursts must trigger ZERO full refits under
+//     the change-point hysteresis;
+//   * rolling upgrades — a sustained profile shift must trigger EXACTLY ONE
+//     refit (confirm, commit, cooldown, then the refreshed model covers the
+//     new behaviour);
+//   * anomalous co-location episodes — cluster-coherent corrupted rows are
+//     fenced together as episodes with QuarantineLedger mass conserved.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/drift_response.hpp"
+#include "core/pipeline.hpp"
+#include "tests/drift/drift_env.hpp"
+
+namespace flare::core {
+namespace {
+
+using drift_testing::anomaly_dynamics;
+using drift_testing::base_population;
+using drift_testing::drift_flare_config;
+using drift_testing::flash_dynamics;
+using drift_testing::kWindowHours;
+using drift_testing::stream_window;
+using drift_testing::upgrade_dynamics;
+
+struct StreamTrace {
+  std::vector<IngestReport> reports;
+
+  [[nodiscard]] int full_refits() const {
+    int n = 0;
+    for (const IngestReport& r : reports) {
+      if (r.action == DriftVerdict::kRefit) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] int suppressed() const {
+    int n = 0;
+    for (const IngestReport& r : reports) {
+      if (r.response.refit_suppressed) ++n;
+    }
+    return n;
+  }
+};
+
+/// Fits the shared base population and streams `batches` windows of
+/// `dynamics` through ingest under the adaptive policy.
+StreamTrace stream(FlarePipeline& pipeline,
+                   const dcsim::WorkloadDynamics& dynamics, int batches) {
+  StreamTrace trace;
+  for (int b = 0; b < batches; ++b) {
+    trace.reports.push_back(pipeline.ingest(stream_window(dynamics, b)));
+  }
+  return trace;
+}
+
+TEST(DriftScenarios, FlashCrowdsTriggerZeroFullRefitsUnderHysteresis) {
+  FlarePipeline pipeline(drift_flare_config());
+  pipeline.fit(base_population());
+
+  const StreamTrace trace = stream(pipeline, flash_dynamics(), 20);
+
+  // The acceptance criterion: bursty arrival spikes are transient — the
+  // hysteresis must keep the full-refit count at exactly zero.
+  EXPECT_EQ(trace.full_refits(), 0);
+  // The stream is not trivially stationary: the spikes shift the observed
+  // mix enough that at least one batch needed a reweight (or had a refit
+  // proposal suppressed) — otherwise this test would pass vacuously.
+  int non_valid = 0;
+  double max_statistic = 0.0;
+  for (const IngestReport& r : trace.reports) {
+    if (r.action != DriftVerdict::kValid) ++non_valid;
+    max_statistic = std::max(max_statistic, r.response.statistic);
+  }
+  EXPECT_GT(non_valid, 0) << "flash stream never perturbed the verdict; "
+                             "max statistic " << max_statistic;
+}
+
+TEST(DriftScenarios, RollingUpgradeTriggersExactlyOneRefit) {
+  FlarePipeline pipeline(drift_flare_config());
+  pipeline.fit(base_population());
+
+  // Cutover after 8 windows: the first half of the stream is stationary,
+  // then 75% of the fleet migrates to shifted counter profiles for good.
+  const int kBatches = 20;
+  const double cutover = 8 * kWindowHours;
+  const StreamTrace trace = stream(pipeline, upgrade_dynamics(cutover),
+                                   kBatches);
+
+  // The acceptance criterion: one sustained shift, exactly one refit.
+  EXPECT_EQ(trace.full_refits(), 1);
+  // And it happened after the cutover, once the confirm streak was met.
+  for (int b = 0; b < kBatches; ++b) {
+    if (trace.reports[static_cast<std::size_t>(b)].action ==
+        DriftVerdict::kRefit) {
+      EXPECT_GE(b, 8) << "refit committed before the cutover window";
+      EXPECT_TRUE(trace.reports[static_cast<std::size_t>(b)]
+                      .response.refit_committed);
+    }
+  }
+}
+
+TEST(DriftScenarios, AnomalousEpisodesAreQuarantinedAsEpisodes) {
+  FlarePipeline pipeline(drift_flare_config());
+  pipeline.fit(base_population());
+
+  const StreamTrace trace = stream(pipeline, anomaly_dynamics(), 20);
+
+  // At least one interference episode landed in the stream and was fenced
+  // as a unit: a cluster-coherent clump of at least episode_min_rows rows,
+  // with the coherence evidence below the configured ratio.
+  const DriftResponseConfig& response = pipeline.config().drift_response;
+  std::size_t fenced_batches = 0;
+  std::size_t fenced_rows = 0;
+  for (const IngestReport& r : trace.reports) {
+    if (r.response.episode_rows == 0) continue;
+    ++fenced_batches;
+    fenced_rows += r.response.episode_rows;
+    EXPECT_GE(r.response.episode_rows, response.episode_min_rows);
+    EXPECT_LE(r.response.episode_dispersion_ratio,
+              response.episode_coherence_ratio);
+    // The fence carried real observation-weight mass out of the fit.
+    EXPECT_GT(r.response.episode_weight_fraction, 0.0);
+  }
+  EXPECT_GT(fenced_batches, 0u) << "no episode was ever fenced";
+
+  // QuarantineLedger mass conservation over the grown population: the
+  // ledger's totals are exactly the true observation weights, and its
+  // quarantined mass is exactly the mass of the masked rows.
+  const QuarantineLedger& ledger = pipeline.analysis().quarantine;
+  const dcsim::ScenarioSet& population = pipeline.scenario_set();
+  double total = 0.0;
+  for (const dcsim::ColocationScenario& s : population.scenarios) {
+    total += s.observation_weight;
+  }
+  EXPECT_NEAR(ledger.total_weight, total, 1e-9 * total);
+  double quarantined_mass = 0.0;
+  std::size_t quarantined_rows = 0;
+  for (std::size_t r = 0; r < population.size(); ++r) {
+    if (pipeline.quarantined()[r]) {
+      quarantined_mass += population.scenarios[r].observation_weight;
+      ++quarantined_rows;
+    }
+  }
+  EXPECT_GE(quarantined_rows, fenced_rows);
+  EXPECT_EQ(ledger.quarantined_rows.size(), quarantined_rows);
+  EXPECT_NEAR(ledger.quarantined_weight, quarantined_mass,
+              1e-9 * std::max(1.0, quarantined_mass));
+  for (const std::size_t r : ledger.quarantined_rows) {
+    EXPECT_TRUE(pipeline.quarantined()[r]);
+  }
+}
+
+}  // namespace
+}  // namespace flare::core

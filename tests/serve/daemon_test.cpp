@@ -425,6 +425,71 @@ TEST(ServeDaemon, RestartRecoversEveryCommittedGroupBitIdentically) {
   expect_fully_accounted(runner.daemon().stats_snapshot());
 }
 
+/// The `status` verb's drift/refit/quarantine telemetry (DESIGN.md §17):
+/// the cumulative action counters partition the coalesced groups, the
+/// last-verdict fields carry real values, and both advance as further
+/// groups are ingested.
+TEST(ServeDaemon, StatusReportsDriftTelemetryAdvancingAcrossGroups) {
+  TempTree tree("serve_daemon_drift_telemetry");
+  DaemonConfig config = daemon_config(tree);
+  config.flare.drift_response.enabled = true;
+  DaemonRunner runner(config, base_set());
+  ServeClient client = runner.client();
+
+  const auto count = [](const std::map<std::string, std::string>& kv,
+                        const std::string& key) {
+    return std::stoull(kv_or(kv, key));
+  };
+
+  // Before any ingest the counters are zero and the last-verdict telemetry
+  // is explicitly empty (no group has run).
+  const auto kv0 = parse_kv_payload(client.call(make_status_request()).payload);
+  EXPECT_EQ(count(kv0, "actions_valid"), 0u);
+  EXPECT_EQ(count(kv0, "actions_reweight"), 0u);
+  EXPECT_EQ(count(kv0, "actions_refit"), 0u);
+  EXPECT_EQ(kv_or(kv0, "last_verdict"), "");
+  EXPECT_EQ(kv_or(kv0, "last_regime"), "");
+
+  ASSERT_EQ(client.call(make_ingest_request(csv_of(make_set(20, 21)))).outcome,
+            Outcome::kOk);
+  const auto kv1 = parse_kv_payload(client.call(make_status_request()).payload);
+  const std::uint64_t actions1 = count(kv1, "actions_valid") +
+                                 count(kv1, "actions_reweight") +
+                                 count(kv1, "actions_refit");
+  EXPECT_EQ(actions1, count(kv1, "coalesced_groups"));
+  EXPECT_GE(actions1, 1u);
+  // Every last-* field now carries the verdict of a real group.
+  const std::string verdict1 = kv_or(kv1, "last_verdict");
+  EXPECT_TRUE(verdict1 == "valid" || verdict1 == "reweight" ||
+              verdict1 == "refit")
+      << verdict1;
+  const std::string regime1 = kv_or(kv1, "last_regime");
+  EXPECT_TRUE(regime1 == "stable" || regime1 == "burst" || regime1 == "shift")
+      << regime1;
+  EXPECT_FALSE(kv_or(kv1, "last_action").empty());
+  EXPECT_NE(kv_or(kv1, "last_drift_statistic"), "<missing last_drift_statistic>");
+  EXPECT_NE(kv_or(kv1, "staleness_widening_pp"),
+            "<missing staleness_widening_pp>");
+
+  ASSERT_EQ(client.call(make_ingest_request(csv_of(make_set(25, 22)))).outcome,
+            Outcome::kOk);
+  const auto kv2 = parse_kv_payload(client.call(make_status_request()).payload);
+  const std::uint64_t actions2 = count(kv2, "actions_valid") +
+                                 count(kv2, "actions_reweight") +
+                                 count(kv2, "actions_refit");
+  // The partition invariant holds as the counters advance group by group.
+  EXPECT_EQ(actions2, count(kv2, "coalesced_groups"));
+  EXPECT_EQ(actions2, actions1 + 1);
+  // Monotone cumulative counters, never reset by later groups.
+  EXPECT_GE(count(kv2, "refits_suppressed"), count(kv1, "refits_suppressed"));
+  EXPECT_GE(count(kv2, "episodes_quarantined"),
+            count(kv1, "episodes_quarantined"));
+  EXPECT_GE(count(kv2, "rows_quarantined"), count(kv1, "rows_quarantined"));
+
+  runner.stop();
+  expect_fully_accounted(runner.daemon().stats_snapshot());
+}
+
 }  // namespace
 }  // namespace flare::serve
 

@@ -1,0 +1,99 @@
+#include "util/seed_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace flare::util {
+namespace {
+
+// The three fault models (dcsim counters, dcsim replay, serve service) used
+// to inline these formulas independently. These tests freeze the shared
+// helper against the original expressions bit-for-bit: if derive_stream or
+// uniform_from_stream ever changes, every archived trace and golden hash in
+// the repo silently shifts, so this is a hard regression gate.
+
+struct StreamCase {
+  std::string_view key;
+  std::uint64_t seed;
+  std::uint64_t salt;
+};
+
+std::vector<StreamCase> stream_cases() {
+  return {
+      // CounterFaultModel salts (lose_row / drop_sample / corrupt).
+      {"DA:2,DC:1,mcf:3|m03", 7, 0xB01DFACEull},
+      {"DA:2,DC:1,mcf:3|m03", 7, 0xD80Dull + 7919ull * 2 + 1},
+      {"silo:4|dense00", 0x5EED, 0xC0FEull + 104729ull * 3 + 0},
+      // ReplayFaultModel salts (lose_machine / attempt_fault).
+      {"xapian:1,DA:1", 42, 0x70A57ull},
+      {"xapian:1,DA:1", 42, 0x4EA7ull + 104729ull * 1},
+      // Degenerate inputs.
+      {"", 0, 0},
+      {"k", ~0ull, ~0ull},
+  };
+}
+
+TEST(SeedStream, DeriveStreamMatchesLegacyInlineFormula) {
+  for (const auto& c : stream_cases()) {
+    // The exact expression CounterFaultModel::stream and
+    // ReplayFaultModel::stream carried before the extraction.
+    const std::uint64_t legacy = hash_mix(fnv1a(c.key, c.seed), c.salt);
+    EXPECT_EQ(derive_stream(c.key, c.seed, c.salt), legacy)
+        << "key=" << c.key << " seed=" << c.seed << " salt=" << c.salt;
+  }
+}
+
+TEST(SeedStream, UniformMatchesLegacyServiceFaultFormula) {
+  const std::uint64_t seed = 0xFA117ull;
+  for (std::uint64_t request = 0; request < 64; ++request) {
+    for (const std::uint64_t salt : {0x11ull, 0x22ull}) {
+      // The exact expression ServiceFaultModel::uniform carried before the
+      // extraction: fnv1a under seed^salt, one mix of the request index,
+      // top 53 bits scaled to [0, 1).
+      std::uint64_t h = fnv1a("client-7", seed ^ salt);
+      h = hash_mix(h, request);
+      const double legacy = static_cast<double>(h >> 11) * 0x1.0p-53;
+      EXPECT_EQ(uniform_from_stream(
+                    derive_stream("client-7", seed ^ salt, request)),
+                legacy);
+    }
+  }
+}
+
+TEST(SeedStream, UniformStaysInUnitInterval) {
+  for (std::uint64_t salt = 0; salt < 1000; ++salt) {
+    const double u = uniform_from_stream(derive_stream("edge", 99, salt));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  EXPECT_LT(uniform_from_stream(~0ull), 1.0);
+  EXPECT_EQ(uniform_from_stream(0ull), 0.0);
+}
+
+TEST(SeedStream, DistinctSaltsDecorrelate) {
+  // Streams under the same key/seed but different salts must not collide —
+  // the fault models rely on this for per-decision independence.
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t salt = 0; salt < 4096; ++salt) {
+    seen.push_back(derive_stream("same-key", 1234, salt));
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(SeedStream, IsConstexpr) {
+  static_assert(derive_stream("compile-time", 1, 2) ==
+                hash_mix(fnv1a("compile-time", 1), 2));
+  static_assert(uniform_from_stream(derive_stream("compile-time", 1, 2)) <
+                1.0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace flare::util
